@@ -1,0 +1,25 @@
+PYTHON ?= python
+
+.PHONY: install test bench report examples clean
+
+install:
+	$(PYTHON) -m pip install -e .[test] || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+report:
+	$(PYTHON) -m repro report --output EXPERIMENTS.md
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples OK"
+
+clean:
+	rm -rf .pytest_cache build dist src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

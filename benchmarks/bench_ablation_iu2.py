@@ -1,0 +1,41 @@
+"""Ablation: IU1 vs IU2 on the Table 9 file system (design choice 3).
+
+The paper switches from IU1 to IU2 for Table 9 (M = 512, where field
+squares stay below M).  This ablation quantifies what that buys: the
+certified/exact optimal fraction and the k-sweep response sizes under both
+variants.
+"""
+
+from repro.analysis.optim_prob import exact_fraction
+from repro.analysis.response import average_largest_response
+from repro.core.fx import FXDistribution
+from repro.experiments.filesystems import table9_setup
+from repro.util.tables import format_table
+
+
+def _compare():
+    fs = table9_setup().filesystem
+    iu1 = FXDistribution(fs, policy="paper", variant="IU1")
+    iu2 = FXDistribution(fs, policy="paper", variant="IU2")
+    rows = []
+    for name, fx in (("IU1", iu1), ("IU2", iu2)):
+        responses = [
+            average_largest_response(fx, k, weighted=False) for k in (3, 4, 5)
+        ]
+        rows.append((name, exact_fraction(fx), *responses))
+    return rows
+
+
+def bench_iu1_vs_iu2(benchmark, show):
+    rows = benchmark(_compare)
+    by_name = {row[0]: row for row in rows}
+    # IU2 must not lose to IU1 on the scenario it was designed for
+    assert by_name["IU2"][1] >= by_name["IU1"][1] - 1e-12
+    show(
+        format_table(
+            ["variant", "optimal fraction", "k=3", "k=4", "k=5"],
+            rows,
+            title="IU1 vs IU2 on Table 9's file system",
+            float_digits=3,
+        )
+    )

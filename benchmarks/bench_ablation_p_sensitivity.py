@@ -1,0 +1,50 @@
+"""Ablation: sensitivity of the optimality percentages to p.
+
+The paper fixes the per-field specification probability at one value (all
+patterns equally likely, i.e. p = 0.5).  This ablation sweeps p: FX
+dominates at every p and stays above 93%, while Modulo collapses as p
+falls (more unspecified fields per query), so the gap is widest for
+wide-open workloads.
+"""
+
+from repro.analysis.optim_prob import exact_fraction
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.hashing.fields import FileSystem
+from repro.util.tables import format_table
+
+FS = FileSystem.uniform(6, 8, m=64)  # the Figure 1 right-edge scenario
+P_VALUES = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+def _sweep():
+    fx = FXDistribution(FS)
+    modulo = ModuloDistribution(FS)
+    rows = []
+    for p in P_VALUES:
+        rows.append(
+            (
+                p,
+                100.0 * exact_fraction(fx, p=p),
+                100.0 * exact_fraction(modulo, p=p),
+            )
+        )
+    return rows
+
+
+def bench_p_sensitivity(benchmark, show):
+    rows = benchmark(_sweep)
+    for p, fd, md in rows:
+        assert fd >= md          # FX dominates at every p
+        assert fd > 93.0         # and stays high across the sweep
+    # Modulo collapses as queries leave more fields unspecified (small p),
+    # so the FX advantage shrinks monotonically as p grows
+    gaps = [fd - md for __, fd, md in rows]
+    assert gaps == sorted(gaps, reverse=True)
+    show(
+        format_table(
+            ["p (field specified)", "FX %", "Modulo %"],
+            rows,
+            title=f"Optimality fraction vs p on {FS.describe()}",
+        )
+    )

@@ -1,0 +1,28 @@
+"""Ablation: per-pattern vs per-query averaging in Tables 7-9.
+
+The paper's entries turn out to be unweighted per-pattern averages (see
+DESIGN.md section 4b); with Table 9's mixed field sizes the two conventions
+genuinely differ.  This benchmark computes both and asserts the identifying
+fingerprints: unweighted reproduces the printed Modulo/Optimal cells,
+weighted does not.
+"""
+
+import pytest
+
+from repro.experiments.response_tables import reproduce_table
+
+
+def bench_weighting_conventions(benchmark, show):
+    unweighted = benchmark(reproduce_table, "table9", False)
+    weighted = reproduce_table("table9", weighted=True)
+    # fingerprints of the paper's convention
+    assert unweighted.column("Modulo")[0] == pytest.approx(9.6, abs=0.05)
+    assert unweighted.column("Optimal")[2] == pytest.approx(35.2, abs=0.05)
+    assert weighted.column("Modulo")[0] != pytest.approx(9.6, abs=0.05)
+    lines = ["k   unweighted-Optimal   weighted-Optimal"]
+    for i, k in enumerate(unweighted.ks):
+        lines.append(
+            f"{k}   {unweighted.column('Optimal')[i]:>12.1f}   "
+            f"{weighted.column('Optimal')[i]:>12.1f}"
+        )
+    show("\n".join(lines))

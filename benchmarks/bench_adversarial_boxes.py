@@ -1,0 +1,47 @@
+"""Extension benchmark: worst-case range queries per method.
+
+Complements the average-case box numbers: adversarial hill climbing finds
+each method's worst range box.  FX and GDM degrade gracefully; Z-order has
+a catastrophic worst case (its device ignores high field bits entirely, so
+an adversary confines the box to one low-bit residue class).
+"""
+
+from repro.analysis.adversary import worst_box_search
+from repro.core.fx import FXDistribution
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.zorder import ZOrderDistribution
+from repro.hashing.fields import FileSystem
+from repro.util.tables import format_table
+
+FS = FileSystem.of(16, 16, m=8)
+
+
+def _search_all():
+    methods = {
+        "FX": FXDistribution(FS),
+        "Modulo": ModuloDistribution(FS),
+        "GDM(3,5)": GDMDistribution(FS, multipliers=(3, 5)),
+        "Z-order": ZOrderDistribution(FS),
+    }
+    rows = []
+    for name, method in methods.items():
+        result = worst_box_search(method, restarts=5, seed=1)
+        rows.append((name, result.factor, result.box.describe()))
+    return rows
+
+
+def bench_worst_case_boxes(benchmark, show):
+    rows = benchmark(_search_all)
+    factors = {name: factor for name, factor, __ in rows}
+    assert all(factor >= 1.0 for factor in factors.values())
+    # the curve's worst case is the worst of the four
+    assert factors["Z-order"] == max(factors.values())
+    show(
+        format_table(
+            ["method", "worst load factor found", "worst box"],
+            rows,
+            title=f"Adversarial range boxes on {FS.describe()}",
+            float_digits=2,
+        )
+    )

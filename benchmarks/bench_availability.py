@@ -1,0 +1,41 @@
+"""Extension benchmark: availability of chained replication.
+
+Computes survival probabilities for k simultaneous failures (closed form,
+cross-checked against brute force in the tests) and validates the 2x
+degraded-load prediction against the simulated replicated file.
+"""
+
+from repro.analysis.availability import (
+    expected_degraded_load_factor,
+    survival_probability,
+)
+from repro.core.fx import FXDistribution
+from repro.distribution.replicated import ChainedReplicaScheme
+from repro.hashing.fields import FileSystem
+from repro.util.tables import format_table
+
+FS = FileSystem.of(8, 32, m=16)
+
+
+def _sweep():
+    scheme = ChainedReplicaScheme(FXDistribution(FS))
+    return [
+        (k, survival_probability(scheme, k)) for k in range(0, 6)
+    ]
+
+
+def bench_survival_probabilities(benchmark, show):
+    rows = benchmark(_sweep)
+    probabilities = [p for __, p in rows]
+    assert probabilities[0] == 1.0 and probabilities[1] == 1.0
+    assert probabilities == sorted(probabilities, reverse=True)
+    scheme = ChainedReplicaScheme(FXDistribution(FS))
+    assert expected_degraded_load_factor(scheme) == 2.0
+    show(
+        format_table(
+            ["simultaneous failures", "P(no data loss)"],
+            rows,
+            title=f"Chained replication on {FS.m} devices",
+            float_digits=3,
+        )
+    )

@@ -1,0 +1,55 @@
+"""Extension benchmark: subsumption-aware result caching.
+
+A zipf-ish repetitive workload against the cached executor versus raw
+execution; the cache's subsumption hits answer narrow queries from broad
+cached entries without touching any device.
+"""
+
+from repro.core.fx import FXDistribution
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+from repro.storage.cache import CachedExecutor
+from repro.storage.executor import QueryExecutor
+from repro.storage.parallel_file import PartitionedFile
+
+FS = FileSystem.of(8, 8, m=8)
+
+
+def _setup():
+    pf = PartitionedFile(FXDistribution(FS))
+    pf.insert_all([(i, i * 13) for i in range(400)])
+    # one broad query, many narrow refinements, with repetition
+    queries = [PartialMatchQuery.full_scan(FS)]
+    for v in range(8):
+        queries.extend([PartialMatchQuery.from_dict(FS, {0: v})] * 3)
+    return pf, queries
+
+
+def bench_cached_workload(benchmark, show):
+    pf, queries = _setup()
+
+    def run():
+        cached = CachedExecutor(pf, capacity=16)
+        for query in queries:
+            cached.execute(query)
+        return cached
+
+    cached = benchmark(run)
+    assert cached.stats.hit_rate > 0.9  # everything after the scan is a hit
+    show(
+        f"{cached.stats.lookups} lookups: {cached.stats.exact_hits} exact "
+        f"hits, {cached.stats.subsumption_hits} subsumption hits, "
+        f"{cached.stats.misses} misses "
+        f"(hit rate {100 * cached.stats.hit_rate:.0f}%)"
+    )
+
+
+def bench_uncached_workload(benchmark):
+    pf, queries = _setup()
+    executor = QueryExecutor(pf)
+
+    def run():
+        for query in queries:
+            executor.execute(query)
+
+    benchmark(run)

@@ -1,0 +1,42 @@
+"""Section 5.2.2: CPU cycles for address computation, FX vs GDM vs Modulo.
+
+Checks the paper's headline ("in MC68000 ... FX takes about only one third
+of GDM") on the Table 7 scenario, and additionally measures real wall-clock
+address-computation throughput of the Python implementations.
+"""
+
+import itertools
+
+from repro.experiments.cpu_table import cpu_comparison, render_cpu_table
+from repro.experiments.filesystems import table7_setup
+
+
+def bench_cpu_cycle_model(benchmark, show):
+    rows = benchmark(cpu_comparison, "mc68000")
+    table7 = rows[0]
+    assert table7.fx_cycles == 100       # 2 shifts + 2 (shift+xor) + 5 xor + and
+    assert table7.gdm_cycles == 444      # 6 mul + 5 add + and
+    assert table7.modulo_cycles == 24    # 5 add + and
+    assert table7.fx_to_gdm < 0.4
+    show(render_cpu_table("mc68000") + "\n\n" + render_cpu_table("i80286"))
+
+
+def bench_address_throughput_fx(benchmark):
+    setup = table7_setup()
+    fx = setup.methods["FX"]
+    buckets = list(itertools.islice(setup.filesystem.buckets(), 4096))
+    benchmark(lambda: [fx.device_of(b) for b in buckets])
+
+
+def bench_address_throughput_gdm(benchmark):
+    setup = table7_setup()
+    gdm = setup.methods["GDM1"]
+    buckets = list(itertools.islice(setup.filesystem.buckets(), 4096))
+    benchmark(lambda: [gdm.device_of(b) for b in buckets])
+
+
+def bench_address_throughput_modulo(benchmark):
+    setup = table7_setup()
+    modulo = setup.methods["Modulo"]
+    buckets = list(itertools.islice(setup.filesystem.buckets(), 4096))
+    benchmark(lambda: [modulo.device_of(b) for b in buckets])

@@ -1,0 +1,41 @@
+"""Extension benchmark: dynamic directory doubling under load.
+
+Grows a file from a tiny grid to thousands of buckets and accounts the
+reorganisation cost: with FX on identity-only (large) fields, doublings
+past F >= M move zero records, because the extra directory bit is
+truncated by T_M.
+"""
+
+from repro.hashing.fields import FileSystem
+from repro.storage.dynamic_file import DynamicPartitionedFile
+from repro.util.tables import format_table
+
+
+def _grow():
+    dyn = DynamicPartitionedFile(
+        FileSystem.of(2, 2, m=8), max_occupancy=3.0, seed=42
+    )
+    dyn.insert_all([(i, i * 31) for i in range(3000)])
+    return dyn
+
+
+def bench_growth_run(benchmark, show):
+    dyn = benchmark(_grow)
+    assert dyn.record_count == 3000
+    loads = dyn.device_loads()
+    mean = sum(loads) / len(loads)
+    assert max(loads) < 1.4 * mean
+    # once both fields reach F >= M, further splits are free under FX
+    late = [e for e in dyn.doublings if e.old_size >= dyn.filesystem.m]
+    assert late and all(e.records_moved == 0 for e in late)
+    show(
+        format_table(
+            ["field", "size change", "moved", "moved %"],
+            [
+                [e.field_index, f"{e.old_size}->{e.new_size}",
+                 e.records_moved, f"{100 * e.moved_fraction:.1f}%"]
+                for e in dyn.doublings
+            ],
+            title=f"Doublings while growing to {dyn.filesystem.describe()}",
+        )
+    )

@@ -1,0 +1,21 @@
+"""Extension benchmark: convolution-engine scaling with machine size.
+
+The paper motivates large machines (128-node Butterfly and beyond).  This
+benchmark evaluates a full 2^n-pattern optimality census at M = 512, 2048
+and 8192 devices — exact, in milliseconds, which is what made every other
+experiment in this repository feasible.
+"""
+
+import pytest
+
+from repro.analysis.optim_prob import exact_fraction
+from repro.core.fx import FXDistribution
+from repro.hashing.fields import FileSystem
+
+
+@pytest.mark.parametrize("m", [512, 2048, 8192])
+def bench_census_at_scale(benchmark, m):
+    fs = FileSystem.of(8, 8, 8, 16, 16, 16, m=m)
+    fx = FXDistribution(fs, policy="paper", variant="IU2")
+    fraction = benchmark(exact_fraction, fx)
+    assert 0.0 < fraction <= 1.0

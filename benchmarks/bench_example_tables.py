@@ -1,0 +1,23 @@
+"""Tables 1-6: regenerate the paper's worked example distributions.
+
+Each benchmark recomputes one example table's full device column and checks
+it cell-for-cell against the column printed in the paper.
+"""
+
+import pytest
+
+from repro.experiments.golden import GOLDEN_TABLES, golden_table
+
+
+@pytest.mark.parametrize("table_id", sorted(GOLDEN_TABLES))
+def bench_example_table(benchmark, show, table_id):
+    table = golden_table(table_id)
+    computed = benchmark(table.computed_devices)
+    assert computed == table.expected_devices
+    if table.expected_modulo is not None:
+        assert table.computed_modulo() == table.expected_modulo
+    show(
+        f"{table.caption}\n"
+        f"buckets: {table.filesystem.bucket_count}, "
+        f"devices match paper: yes"
+    )

@@ -1,0 +1,21 @@
+"""Figure 1: % strict-optimal queries, n = 6, pairwise FpFq >= M, I/U/IU1.
+
+Sweeps the number of small fields from 0 to 6 and compares FX's section 4.2
+conditions against Modulo's [DuSo82] condition, exactly as the paper did.
+"""
+
+from repro.experiments.figures import reproduce_figure, reproduce_figure_exact
+
+
+def bench_figure1(benchmark, show):
+    series = benchmark(reproduce_figure, "figure1")
+    fd = series.series["FD (FX)"]
+    md = series.series["MD (Modulo)"]
+    # paper's qualitative shape: FX degrades gently, Modulo collapses
+    assert fd == (100.0, 100.0, 100.0, 100.0, 98.4375, 96.875, 95.3125)
+    assert md[-1] < 15.0
+    assert all(f >= m for f, m in zip(fd, md))
+    # the sufficient conditions are exact on this scenario
+    exact = reproduce_figure_exact("figure1")
+    assert exact.series["FD (FX)"] == fd
+    show(series.render() + "\n\n" + exact.render())

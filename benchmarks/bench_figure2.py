@@ -1,0 +1,18 @@
+"""Figure 2: % strict-optimal queries, n = 10, pairwise FpFq >= M, I/U/IU1.
+
+Ten fields: 1024 query patterns per point, eleven points per curve, all
+evaluated exactly.  FX stays above 98%; Modulo ends near 1%.
+"""
+
+from repro.experiments.figures import reproduce_figure
+
+
+def bench_figure2(benchmark, show):
+    series = benchmark(reproduce_figure, "figure2")
+    fd = series.series["FD (FX)"]
+    md = series.series["MD (Modulo)"]
+    assert fd[0] == 100.0 and md[0] == 100.0
+    assert min(fd) > 98.0
+    assert md[-1] < 2.0
+    assert all(f >= m for f, m in zip(fd, md))
+    show(series.render())

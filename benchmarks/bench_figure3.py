@@ -1,0 +1,19 @@
+"""Figure 3: % strict-optimal, n = 6, FpFq < M <= FpFqFr, I/U/IU2.
+
+The harder regime: no small *pair* can cover the devices, so FX leans on
+the three-field IU2 machinery (Lemma 9.1 / Corollary 9.1).
+"""
+
+from repro.experiments.figures import reproduce_figure, reproduce_figure_exact
+
+
+def bench_figure3(benchmark, show):
+    series = benchmark(reproduce_figure, "figure3")
+    fd = series.series["FD (FX)"]
+    md = series.series["MD (Modulo)"]
+    assert fd == (100.0, 100.0, 100.0, 100.0, 95.3125, 85.9375, 71.875)
+    assert md[-1] < 15.0
+    assert all(f >= m for f, m in zip(fd, md))
+    exact = reproduce_figure_exact("figure3")
+    assert exact.series["FD (FX)"] == fd
+    show(series.render() + "\n\n" + exact.render())

@@ -1,0 +1,18 @@
+"""Figure 4: % strict-optimal, n = 10, FpFq < M <= FpFqFr, I/U/IU2.
+
+The widest sweep in the paper (ten fields, M = 512).  FX ends near 76%
+with all ten fields small; Modulo near 1%.
+"""
+
+from repro.experiments.figures import reproduce_figure
+
+
+def bench_figure4(benchmark, show):
+    series = benchmark(reproduce_figure, "figure4")
+    fd = series.series["FD (FX)"]
+    md = series.series["MD (Modulo)"]
+    assert fd[0] == 100.0
+    assert 70.0 < fd[-1] < 80.0
+    assert md[-1] < 2.0
+    assert all(f >= m for f, m in zip(fd, md))
+    show(series.render())

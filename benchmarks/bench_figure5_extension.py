@@ -1,0 +1,19 @@
+""""Figure 5" (extension): searched linear transforms on the Figure 3 sweep.
+
+Adds a third curve to the paper's FD/MD comparison: FX with GF(2)-linear
+transforms found by random search.  The searched curve dominates the
+published policy at every x — evidence for the section 6 conjecture that
+more general transformations widen the optimal query class.
+"""
+
+from repro.experiments.figures import extension_figure
+
+
+def bench_extension_figure(benchmark, show):
+    series = benchmark(extension_figure, "figure3")
+    fd = series.series["FD (FX)"]
+    ld = series.series["LD (linear, searched)"]
+    assert all(l >= f - 1e-9 for f, l in zip(fd, ld))   # LD dominates FD
+    assert ld[4] == 100.0 and fd[4] < 100.0            # perfect one x further
+    assert ld[-1] > fd[-1] + 5.0                        # clear gap at x = 6
+    show(series.render())

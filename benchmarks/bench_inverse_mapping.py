@@ -1,0 +1,40 @@
+"""Section 5.2: inverse mapping must be fast on every device.
+
+Benchmarks the algebraic per-device enumeration against filtering the full
+qualified set, for FX and Modulo.  The algebraic path touches
+|R(q)| / F_solved combinations instead of |R(q)| buckets.
+"""
+
+from repro.core.inverse import separable_qualified_on_device
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+
+FS = FileSystem.uniform(5, 8, m=32)
+QUERY = PartialMatchQuery.from_dict(FS, {0: 1})
+
+
+def _naive(method, device):
+    return [
+        b for b in QUERY.qualified_buckets() if method.device_of(b) == device
+    ]
+
+
+def bench_inverse_fx_algebraic(benchmark):
+    fx = FXDistribution(FS)
+    result = benchmark(lambda: list(separable_qualified_on_device(fx, 7, QUERY)))
+    assert sorted(result) == sorted(_naive(fx, 7))
+
+
+def bench_inverse_fx_naive_filter(benchmark):
+    fx = FXDistribution(FS)
+    benchmark(_naive, fx, 7)
+
+
+def bench_inverse_modulo_algebraic(benchmark):
+    modulo = ModuloDistribution(FS)
+    result = benchmark(
+        lambda: list(separable_qualified_on_device(modulo, 7, QUERY))
+    )
+    assert sorted(result) == sorted(_naive(modulo, 7))

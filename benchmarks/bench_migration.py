@@ -1,0 +1,41 @@
+"""Extension benchmark: re-declustering a live deployment.
+
+Measures the exact planned moved-fraction computation (one convolution)
+and a full live migration from Modulo to FX, and runs the cost/benefit
+analysis an operator would consult first.
+"""
+
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.hashing.fields import FileSystem
+from repro.storage.migration import Migration, moved_fraction, redecluster_analysis
+from repro.storage.parallel_file import PartitionedFile
+
+FS = FileSystem.uniform(4, 8, m=16)
+
+
+def bench_planned_fraction_exact(benchmark):
+    a = ModuloDistribution(FS)
+    b = FXDistribution(FS)
+    fraction = benchmark(moved_fraction, a, b)
+    assert 0.0 < fraction <= 1.0
+
+
+def bench_live_migration(benchmark, show):
+    def run():
+        pf = PartitionedFile(ModuloDistribution(FS))
+        pf.insert_all([(i, i * 3, i * 7, i * 11) for i in range(1500)])
+        report = Migration(pf, FXDistribution(FS)).apply()
+        pf.check_invariants()
+        return report
+
+    report = benchmark(run)
+    analysis = redecluster_analysis(ModuloDistribution(FS), FXDistribution(FS))
+    assert analysis.worthwhile
+    show(
+        f"moved {report.buckets_moved} buckets / {report.records_moved} "
+        f"records; planned fraction {analysis.moved_fraction:.2f}, "
+        f"E[largest response] {analysis.expected_largest_before:.2f} -> "
+        f"{analysis.expected_largest_after:.2f}, break-even after "
+        f"~{analysis.break_even_queries:.0f} queries"
+    )

@@ -1,0 +1,56 @@
+"""Extension benchmark: latency under a concurrent query stream.
+
+Beyond the paper's one-query-at-a-time analysis: a Poisson stream through
+the discrete-event simulator shows skew's queueing cost.  FX's mean latency
+must not exceed Modulo's on the same arrival sequence.
+"""
+
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.hashing.fields import FileSystem
+from repro.query.workload import QueryWorkload, WorkloadSpec
+from repro.storage.costs import DiskCostModel
+from repro.storage.simulator import ParallelQuerySimulator, poisson_arrivals
+from repro.util.tables import format_table
+
+FS = FileSystem.of(8, 8, 8, 8, m=16)
+
+
+def _arrivals():
+    workload = QueryWorkload(
+        FS, WorkloadSpec(spec_probability=0.6, exclude_trivial=True, seed=7)
+    )
+    return poisson_arrivals(workload, 150, rate_qps=8.0, seed=11)
+
+
+def bench_fx_under_load(benchmark, show):
+    arrivals = _arrivals()
+    fx_sim = ParallelQuerySimulator(
+        FXDistribution(FS), cost_model=DiskCostModel()
+    )
+    fx_report = benchmark(fx_sim.run, arrivals)
+    modulo_report = ParallelQuerySimulator(
+        ModuloDistribution(FS), cost_model=DiskCostModel()
+    ).run(arrivals)
+    assert fx_report.mean_latency_ms <= modulo_report.mean_latency_ms
+    show(
+        format_table(
+            ["method", "mean latency (ms)", "mean queueing (ms)"],
+            [
+                ["FX", round(fx_report.mean_latency_ms, 1),
+                 round(fx_report.mean_queueing_ms, 1)],
+                ["Modulo", round(modulo_report.mean_latency_ms, 1),
+                 round(modulo_report.mean_queueing_ms, 1)],
+            ],
+            title=f"150 queries at 8 q/s on {FS.describe()}",
+        )
+    )
+
+
+def bench_modulo_under_load(benchmark):
+    arrivals = _arrivals()
+    sim = ParallelQuerySimulator(
+        ModuloDistribution(FS), cost_model=DiskCostModel()
+    )
+    report = benchmark(sim.run, arrivals)
+    assert len(report.queries) == 150

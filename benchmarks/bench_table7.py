@@ -1,0 +1,24 @@
+"""Table 7: average largest response size, M = 32, six fields of size 8.
+
+Regenerates every cell exactly (convolution engine) and checks the legible
+paper values: the Modulo column digit-for-digit, GDM1/GDM3 to one decimal,
+FX against the optimal floor from k = 3 on.
+"""
+
+import pytest
+
+from repro.experiments.response_tables import reproduce_table
+
+
+def bench_table7(benchmark, show):
+    table = benchmark(reproduce_table, "table7")
+    assert table.column("Modulo") == (8.0, 48.0, 344.0, 2460.0, 18152.0)
+    assert table.column("GDM1") == pytest.approx(
+        (3.3, 18.1, 130.5, 1026.3, 8196.0), abs=0.05
+    )
+    assert table.column("GDM3") == pytest.approx(
+        (3.7, 18.9, 132.5, 1031.7, 8202.0), abs=0.05
+    )
+    assert table.column("FX") == (3.2, 16.0, 128.0, 1024.0, 8192.0)
+    assert table.column("Optimal") == (2.0, 16.0, 128.0, 1024.0, 8192.0)
+    show(table.render())

@@ -1,0 +1,29 @@
+"""Table 9: M = 512, sizes (8, 8, 8, 16, 16, 16), FX with I/U/IU2.
+
+The large-machine scenario (Butterfly-scale M): every field is smaller than
+M.  Modulo collapses (90404 vs optimal 4096 at k = 6); FX reaches the floor
+for k >= 5 and stays within a factor ~2 of it elsewhere.
+"""
+
+import pytest
+
+from repro.experiments.response_tables import reproduce_table
+
+
+def bench_table9(benchmark, show):
+    table = benchmark(reproduce_table, "table9")
+    assert table.column("Modulo") == pytest.approx(
+        (9.6, 91.2, 911.2, 9076.0, 90404.0), abs=0.05
+    )
+    assert table.column("GDM1") == pytest.approx(
+        (1.7, 10.0, 90.3, 909.5, 9176.0), abs=0.05
+    )
+    assert table.column("GDM2")[4] == 4144.0
+    assert table.column("FX")[3:] == (384.0, 4096.0)
+    assert table.column("Optimal")[3:] == (384.0, 4096.0)
+    # FX beats every other method from k = 3 on (paper's claim)
+    fx = table.column("FX")
+    for name in ("Modulo", "GDM1", "GDM2", "GDM3"):
+        other = table.column(name)
+        assert all(f <= o + 1e-9 for f, o in zip(fx[1:], other[1:]))
+    show(table.render())

@@ -1,0 +1,31 @@
+"""Extension benchmark: combined response-time model (sections 5.2.1+5.2.2).
+
+Prices address computation, inverse mapping and local retrieval in MC68000
+cycles for each method on the Table 7 file system.  GDM pays its multiply
+on every inverse-mapping step, so its gap to FX grows with k.
+"""
+
+from repro.analysis.total_time import TotalTimeModel, total_time_table
+from repro.core.fx import FXDistribution
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.hashing.fields import FileSystem
+
+FS = FileSystem.uniform(6, 8, m=32)
+
+
+def bench_total_time_table(benchmark, show):
+    methods = {
+        "FX": FXDistribution(FS),
+        "GDM1": GDMDistribution.preset(FS, "GDM1"),
+        "Modulo": ModuloDistribution(FS),
+    }
+    text = benchmark(total_time_table, FS, methods, (1, 2, 3, 4))
+    fx = TotalTimeModel(methods["FX"])
+    gdm = TotalTimeModel(methods["GDM1"])
+    gaps = [
+        gdm.average_cycles(k) - fx.average_cycles(k) for k in (1, 2, 3, 4)
+    ]
+    assert all(g > 0 for g in gaps)
+    assert gaps == sorted(gaps)
+    show(text)

@@ -1,0 +1,23 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark regenerates one paper artefact (a table, a figure or an
+ablation) through the ``benchmark`` fixture, asserts the key golden facts,
+and prints the rendered artefact — run with ``-s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print an artefact with a separating banner (visible under -s)."""
+
+    def _show(text: str) -> None:
+        print()
+        print("=" * 72)
+        print(text)
+        print("=" * 72)
+
+    return _show

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Capacity planning: from workload statistics to a deployed configuration.
+
+The full design loop a practitioner would run with this library:
+
+1. estimate per-field specification probabilities from a query trace,
+2. size the hash directories optimally for that workload,
+3. pick a declustering method with the advisor,
+4. verify the configuration's exact engines agree,
+5. simulate the expected concurrent load before committing hardware.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import FileSystem
+from repro.distribution.advisor import recommend_method
+from repro.experiments.verification import verify_method
+from repro.hashing.design import design_directory
+from repro.query.estimator import estimate_workload
+from repro.query.trace import parse_trace
+from repro.query.workload import QueryWorkload, WorkloadSpec
+from repro.storage.costs import DiskCostModel
+from repro.storage.simulator import ParallelQuerySimulator, poisson_arrivals
+
+# A logged sample of the application's queries (field f0 = customer,
+# f1 = region, f2 = status).  In production this would be a real log.
+TRACE = """
+f0=3 f1=* f2=1
+f0=7 f1=* f2=*
+f0=1 f1=2 f2=*
+f0=* f1=* f2=0
+f0=5 f1=* f2=1
+f0=2 f1=1 f2=*
+f0=4 f1=* f2=*
+f0=6 f1=* f2=1
+""".strip().splitlines()
+
+DEVICES = 16
+DIRECTORY_BITS = 9   # 512 buckets total
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Workload statistics from the trace (parse against a scratch
+    #    file system wide enough for the raw values).
+    # ------------------------------------------------------------------
+    scratch = FileSystem.of(16, 16, 16, m=DEVICES)
+    queries = list(parse_trace(scratch, TRACE))
+    n_fields = scratch.n_fields
+    estimate = estimate_workload(queries)
+    probabilities = list(estimate.probabilities())
+    print(
+        "estimated P(specified) per field:",
+        [round(p, 2) for p in probabilities],
+        "| independence plausible:" ,
+        estimate.looks_independent(tolerance=0.2),
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Size the directories for those statistics.
+    # ------------------------------------------------------------------
+    design = design_directory(probabilities, total_bits=DIRECTORY_BITS)
+    fs = design.filesystem(m=DEVICES)
+    print(
+        f"designed directory: {fs.describe()} "
+        f"(E[qualified buckets] = {design.expected_qualified():.1f})"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Pick the distribution method.
+    # ------------------------------------------------------------------
+    recommendation = recommend_method(fs, p=sum(probabilities) / n_fields)
+    print()
+    print(recommendation.render())
+    best = recommendation.best
+    method = best.method
+    print(f"-> deploying {best.name}")
+
+    # ------------------------------------------------------------------
+    # 4. Certify the configuration.
+    # ------------------------------------------------------------------
+    print()
+    print(verify_method(method).summary())
+
+    # ------------------------------------------------------------------
+    # 5. Simulate the expected load.
+    # ------------------------------------------------------------------
+    workload = QueryWorkload(
+        fs,
+        WorkloadSpec(spec_probability=tuple(probabilities), seed=5),
+    )
+    arrivals = poisson_arrivals(workload, 300, rate_qps=6.0, seed=9)
+    report = ParallelQuerySimulator(method, cost_model=DiskCostModel()).run(
+        arrivals
+    )
+    print(
+        f"\nsimulated 300 queries at 6 q/s: mean latency "
+        f"{report.mean_latency_ms:.1f} ms, p-worst "
+        f"{report.max_latency_ms:.1f} ms, hottest device at "
+        f"{100 * max(report.utilisation()):.0f}% utilisation"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Exact evaluation engine and cost models for the paper's section 5.
+
+``histograms``
+    Group-convolution machinery: per-device response histograms of partial
+    match queries under any separable method, computed exactly without
+    enumerating buckets.
+``response``
+    Average largest-response-size sweeps (Tables 7-9).
+``optim_prob``
+    Probability/percentage of strict optimality (Figures 1-4), both by the
+    paper's sufficient conditions and exactly.
+``cpu_cost``
+    Instruction-cycle model of address computation (section 5.2.2).
+``skew``
+    Load-skew metrics beyond the paper's largest-response-size.
+``ascii_chart``
+    Dependency-free chart rendering for the report.
+"""
+
+from repro.analysis.adversary import AdversarialBox, load_factor, worst_box_search
+from repro.analysis.availability import (
+    count_survivable_sets,
+    expected_degraded_load_factor,
+    survivable,
+    survival_probability,
+)
+from repro.analysis.ascii_chart import render_chart, render_series
+from repro.analysis.box import (
+    box_is_strict_optimal,
+    box_largest_response,
+    box_qualified_on_device,
+    box_response_histogram,
+)
+from repro.analysis.cpu_cost import CYCLE_TABLES, CpuCostModel, InstructionCosts
+from repro.analysis.histograms import (
+    PatternEvaluator,
+    cyclic_convolve,
+    pattern_histogram,
+    separable_response_histogram,
+    xor_convolve,
+)
+from repro.analysis.optim_prob import (
+    exact_optimality_series,
+    optimal_pattern_fraction,
+    sufficient_optimality_series,
+)
+from repro.analysis.skew import (
+    SkewSummary,
+    expected_largest_response,
+    expected_load_factor,
+    gini,
+    skew_summary,
+    static_balance,
+)
+from repro.analysis.response import (
+    ResponseTable,
+    average_largest_response,
+    largest_response_table,
+    optimal_largest_response,
+)
+
+__all__ = [
+    "PatternEvaluator",
+    "xor_convolve",
+    "cyclic_convolve",
+    "pattern_histogram",
+    "separable_response_histogram",
+    "average_largest_response",
+    "optimal_largest_response",
+    "largest_response_table",
+    "ResponseTable",
+    "optimal_pattern_fraction",
+    "sufficient_optimality_series",
+    "exact_optimality_series",
+    "CpuCostModel",
+    "InstructionCosts",
+    "CYCLE_TABLES",
+    "AdversarialBox",
+    "survivable",
+    "survival_probability",
+    "count_survivable_sets",
+    "expected_degraded_load_factor",
+    "worst_box_search",
+    "load_factor",
+    "box_response_histogram",
+    "box_largest_response",
+    "box_is_strict_optimal",
+    "box_qualified_on_device",
+    "render_chart",
+    "render_series",
+    "SkewSummary",
+    "skew_summary",
+    "expected_largest_response",
+    "expected_load_factor",
+    "static_balance",
+    "gini",
+]

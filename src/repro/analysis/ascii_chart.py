@@ -1,0 +1,98 @@
+"""ASCII line charts for the report (no plotting dependencies offline).
+
+Renders an :class:`~repro.analysis.optim_prob.OptimalitySeries` — or any
+set of named numeric series over shared x values — as a fixed-size ASCII
+grid, so EXPERIMENTS.md can carry a visual of Figures 1-4 alongside the
+numeric tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import AnalysisError
+
+__all__ = ["render_chart", "render_series"]
+
+#: Marker characters assigned to series in declaration order.
+_MARKERS = "*o+x#@"
+
+
+def render_chart(
+    x_values: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    height: int = 16,
+    y_min: float | None = None,
+    y_max: float | None = None,
+    y_label: str = "",
+) -> str:
+    """Plot the named *series* over *x_values* as ASCII.
+
+    Each x value gets one column (spaced); collisions print the marker of
+    the later series.  Returns a multi-line string ending with a legend.
+    """
+    if height < 4:
+        raise AnalysisError("chart height must be at least 4")
+    if not series:
+        raise AnalysisError("nothing to plot")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise AnalysisError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x values"
+            )
+    if len(series) > len(_MARKERS):
+        raise AnalysisError(f"at most {len(_MARKERS)} series supported")
+
+    all_values = [v for values in series.values() for v in values]
+    low = min(all_values) if y_min is None else y_min
+    high = max(all_values) if y_max is None else y_max
+    if high == low:
+        high = low + 1.0
+
+    col_width = 4
+    width = col_width * len(x_values)
+    grid = [[" "] * width for __ in range(height)]
+
+    def row_of(value: float) -> int:
+        scaled = (value - low) / (high - low)
+        return min(height - 1, max(0, round((height - 1) * (1.0 - scaled))))
+
+    for marker, (name, values) in zip(_MARKERS, series.items()):
+        for i, value in enumerate(values):
+            grid[row_of(value)][i * col_width + 1] = marker
+
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{high:7.1f} |"
+        elif r == height - 1:
+            label = f"{low:7.1f} |"
+        else:
+            label = "        |"
+        lines.append(label + "".join(row).rstrip())
+    axis = "        +" + "-" * width
+    lines.append(axis)
+    ticks = "         "
+    for x in x_values:
+        ticks += str(x).ljust(col_width)
+    lines.append(ticks.rstrip())
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    if y_label:
+        legend = f"{y_label};  {legend}"
+    lines.append("        " + legend)
+    return "\n".join(lines)
+
+
+def render_series(optimality_series, height: int = 16) -> str:
+    """Convenience wrapper for an OptimalitySeries (0-100% y range)."""
+    return render_chart(
+        optimality_series.x,
+        optimality_series.series,
+        height=height,
+        y_min=0.0,
+        y_max=100.0,
+        y_label="% strict optimal",
+    )

@@ -1,0 +1,141 @@
+"""Exact analysis and inverse mapping for box queries.
+
+The convolution reduction of :mod:`repro.analysis.histograms` never used
+the fact that an unspecified field ranges over its *whole* domain — only
+that fields are independent.  For a box query the per-field factor is the
+contribution histogram restricted to the allowed values, so the per-device
+histogram is still one exact group convolution, and the strict-optimality
+definition (no device above ``ceil(|box| / M)``) carries over verbatim.
+
+Inverse mapping likewise: enumerate all constrained-but-one fields over
+their allowed sets, solve the last field's contribution, and intersect the
+solutions with its allowed set.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.distribution.base import SeparableMethod
+from repro.errors import AnalysisError
+from repro.query.box import BoxQuery
+from repro.util.numbers import ceil_div
+
+__all__ = [
+    "box_response_histogram",
+    "box_largest_response",
+    "box_is_strict_optimal",
+    "box_sufficient_optimal",
+    "box_qualified_on_device",
+]
+
+
+def _restricted_histogram(
+    method: SeparableMethod, field_index: int, values: tuple[int, ...]
+) -> np.ndarray:
+    """Contribution histogram of one field over its allowed values only."""
+    m = method.filesystem.m
+    histogram = np.zeros(m, dtype=np.int64)
+    for value in values:
+        histogram[method.field_contribution(field_index, value)] += 1
+    return histogram
+
+
+def box_response_histogram(
+    method: SeparableMethod, box: BoxQuery
+) -> list[int]:
+    """Exact per-device counts of the box's qualified buckets."""
+    if box.filesystem != method.filesystem:
+        raise AnalysisError("box query targets a different file system")
+    from repro.analysis.histograms import cyclic_convolve, xor_convolve
+
+    m = method.filesystem.m
+    convolve = xor_convolve if method.combine == "xor" else cyclic_convolve
+    histogram = np.zeros(m, dtype=np.int64)
+    histogram[0] = 1
+    for field_index, values in enumerate(box.allowed):
+        histogram = convolve(
+            histogram, _restricted_histogram(method, field_index, values)
+        )
+    return [int(v) for v in histogram]
+
+
+def box_largest_response(method: SeparableMethod, box: BoxQuery) -> int:
+    """``max_i r_i`` over the box's qualified buckets."""
+    return max(box_response_histogram(method, box))
+
+
+def box_is_strict_optimal(method: SeparableMethod, box: BoxQuery) -> bool:
+    """The paper's optimality bound, applied to the general query class."""
+    bound = ceil_div(box.qualified_count, method.filesystem.m)
+    return box_largest_response(method, box) <= bound
+
+
+def box_sufficient_optimal(method: SeparableMethod, box: BoxQuery) -> bool:
+    """A Theorem-2/3-style *sufficient* condition for box optimality.
+
+    If any single field's restricted contribution histogram is uniform over
+    the devices, the whole convolution is uniform, hence strict optimal.
+    For FX with identity on a field of size ``F >= M`` this covers every
+    aligned allowed block whose length is a multiple of ``M`` — the box
+    analogue of Theorem 2.  Sound but far from complete: the exact check is
+    :func:`box_is_strict_optimal`.
+    """
+    if box.filesystem != method.filesystem:
+        raise AnalysisError("box query targets a different file system")
+    for field_index, values in enumerate(box.allowed):
+        histogram = _restricted_histogram(method, field_index, values)
+        if histogram[0] > 0 and bool(np.all(histogram == histogram[0])):
+            return True
+    return False
+
+
+def box_qualified_on_device(
+    method: SeparableMethod, device: int, box: BoxQuery
+):
+    """Yield the box's qualified buckets residing on *device*.
+
+    Same output-sensitive strategy as partial match inverse mapping:
+    enumerate every constrained field but the one with the largest allowed
+    set, solve that field's contribution and intersect with its set.
+    """
+    fs = method.filesystem
+    if box.filesystem != fs:
+        raise AnalysisError("box query targets a different file system")
+    if not 0 <= device < fs.m:
+        raise AnalysisError(f"device {device} outside [0, {fs.m})")
+    m = fs.m
+
+    solve_field = max(
+        range(fs.n_fields), key=lambda i: (len(box.allowed[i]), i)
+    )
+    other_fields = [i for i in range(fs.n_fields) if i != solve_field]
+    solve_index: dict[int, list[int]] = {}
+    for value in box.allowed[solve_field]:
+        contribution = method.field_contribution(solve_field, value)
+        solve_index.setdefault(contribution, []).append(value)
+    tables = {
+        i: [method.field_contribution(i, v) for v in box.allowed[i]]
+        for i in other_fields
+    }
+
+    axes = [range(len(box.allowed[i])) for i in other_fields]
+    for choice in itertools.product(*axes):
+        if method.combine == "xor":
+            acc = 0
+            for i, position in zip(other_fields, choice):
+                acc ^= tables[i][position]
+            needed = acc ^ device
+        else:
+            acc = 0
+            for i, position in zip(other_fields, choice):
+                acc += tables[i][position]
+            needed = (device - acc) % m
+        for solve_value in solve_index.get(needed, ()):
+            bucket: list[int] = [0] * fs.n_fields
+            for i, position in zip(other_fields, choice):
+                bucket[i] = box.allowed[i][position]
+            bucket[solve_field] = solve_value
+            yield tuple(bucket)

@@ -1,0 +1,177 @@
+"""Probability of strict optimality (paper section 5.1, Figures 1-4).
+
+Under the paper's query model — every field independently specified with the
+same probability ``p`` — the probability that a random partial match query is
+strict optimal is a weighted fraction of the ``2**n`` specification patterns
+(``p = 0.5`` makes all patterns equally likely, which is how the figures'
+"percentage of strict optimal distribution for all possible partial match
+queries" reads).
+
+The paper computes the figures *from the sufficient conditions* of each
+method, not from ground truth; we provide both:
+
+* :func:`sufficient_optimality_series` — FX's section 4.2 rule vs Modulo's
+  [DuSo82] condition, reproducing the figures,
+* :func:`exact_optimality_series` — exact per-pattern optimality via the
+  convolution engine, quantifying how conservative the conditions are.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.fx import FXDistribution
+from repro.core.theorems import (
+    fx_strict_optimal_sufficient,
+    modulo_strict_optimal_sufficient,
+)
+from repro.distribution.base import SeparableMethod
+from repro.distribution.modulo import ModuloDistribution
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+from repro.query.patterns import SpecPattern, all_patterns
+
+__all__ = [
+    "pattern_probability",
+    "optimal_pattern_fraction",
+    "fx_sufficient_fraction",
+    "modulo_sufficient_fraction",
+    "exact_fraction",
+    "OptimalitySeries",
+    "sufficient_optimality_series",
+    "exact_optimality_series",
+]
+
+
+def pattern_probability(pattern: SpecPattern, n_fields: int, p: float) -> float:
+    """Probability of one specification pattern under the independence model.
+
+    *p* is the per-field specification probability; the pattern lists the
+    *unspecified* fields.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"specification probability {p} outside [0, 1]")
+    unspecified = len(pattern)
+    return (p ** (n_fields - unspecified)) * ((1.0 - p) ** unspecified)
+
+
+def optimal_pattern_fraction(
+    n_fields: int,
+    predicate: Callable[[SpecPattern], bool],
+    p: float = 0.5,
+) -> float:
+    """Probability that a random query's pattern satisfies *predicate*.
+
+    With ``p = 0.5`` this is the plain fraction of optimal patterns.
+    """
+    total = 0.0
+    for pattern in all_patterns(n_fields):
+        if predicate(pattern):
+            total += pattern_probability(pattern, n_fields, p)
+    return total
+
+
+def fx_sufficient_fraction(fx: FXDistribution, p: float = 0.5) -> float:
+    """Fraction of queries certified optimal by the section 4.2 rule."""
+    return optimal_pattern_fraction(
+        fx.filesystem.n_fields,
+        lambda pattern: fx_strict_optimal_sufficient(fx, pattern),
+        p=p,
+    )
+
+
+def modulo_sufficient_fraction(filesystem: FileSystem, p: float = 0.5) -> float:
+    """Fraction of queries certified optimal by Modulo's [DuSo82] condition."""
+    return optimal_pattern_fraction(
+        filesystem.n_fields,
+        lambda pattern: modulo_strict_optimal_sufficient(filesystem, pattern),
+        p=p,
+    )
+
+
+def exact_fraction(method: SeparableMethod, p: float = 0.5) -> float:
+    """Exact fraction of strict-optimal queries (ground truth)."""
+    from repro.analysis.histograms import evaluator_for
+
+    evaluator = evaluator_for(method)
+    return optimal_pattern_fraction(
+        method.filesystem.n_fields, evaluator.is_strict_optimal, p=p
+    )
+
+
+@dataclass(frozen=True)
+class OptimalitySeries:
+    """One reproduced figure: percentage of optimal queries per x value.
+
+    ``x`` is the paper's abscissa ("number of fields whose sizes are less
+    than M"); each named series holds percentages in [0, 100].
+    """
+
+    title: str
+    x_label: str
+    x: tuple[int, ...]
+    series: dict[str, tuple[float, ...]]
+
+    def render(self) -> str:
+        from repro.util.tables import format_table
+
+        headers = [self.x_label, *self.series.keys()]
+        rows = [
+            [x_value, *(values[i] for values in self.series.values())]
+            for i, x_value in enumerate(self.x)
+        ]
+        return format_table(headers, rows, title=self.title)
+
+
+def sufficient_optimality_series(
+    filesystems: Sequence[FileSystem],
+    fx_builder: Callable[[FileSystem], FXDistribution],
+    x_values: Iterable[int] | None = None,
+    p: float = 0.5,
+    title: str = "",
+) -> OptimalitySeries:
+    """Reproduce one figure from the methods' sufficient conditions.
+
+    *filesystems* is the sweep (one per x value, typically with an
+    increasing count of small fields); *fx_builder* instantiates the FX
+    method under test for each.
+    """
+    x = tuple(x_values) if x_values is not None else tuple(range(len(filesystems)))
+    if len(x) != len(filesystems):
+        raise AnalysisError(f"{len(x)} x values for {len(filesystems)} file systems")
+    fd = []
+    md = []
+    for fs in filesystems:
+        fd.append(100.0 * fx_sufficient_fraction(fx_builder(fs), p=p))
+        md.append(100.0 * modulo_sufficient_fraction(fs, p=p))
+    return OptimalitySeries(
+        title=title or "Percentage of strict optimal distribution (sufficient)",
+        x_label="fields with F < M",
+        x=x,
+        series={"FD (FX)": tuple(fd), "MD (Modulo)": tuple(md)},
+    )
+
+
+def exact_optimality_series(
+    filesystems: Sequence[FileSystem],
+    fx_builder: Callable[[FileSystem], FXDistribution],
+    x_values: Iterable[int] | None = None,
+    p: float = 0.5,
+    title: str = "",
+) -> OptimalitySeries:
+    """Ground-truth companion of :func:`sufficient_optimality_series`."""
+    x = tuple(x_values) if x_values is not None else tuple(range(len(filesystems)))
+    if len(x) != len(filesystems):
+        raise AnalysisError(f"{len(x)} x values for {len(filesystems)} file systems")
+    fd = []
+    md = []
+    for fs in filesystems:
+        fd.append(100.0 * exact_fraction(fx_builder(fs), p=p))
+        md.append(100.0 * exact_fraction(ModuloDistribution(fs), p=p))
+    return OptimalitySeries(
+        title=title or "Percentage of strict optimal distribution (exact)",
+        x_label="fields with F < M",
+        x=x,
+        series={"FD (FX)": tuple(fd), "MD (Modulo)": tuple(md)},
+    )

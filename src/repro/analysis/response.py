@@ -1,0 +1,166 @@
+"""Largest-response-size analysis (paper section 5.2.1, Tables 7-9).
+
+The paper's response-time proxy for symmetric parallel devices is the
+*largest response size* ``max_i r_i(q)``; each table entry averages it over
+every partial match query with ``k`` unspecified fields.  For separable
+methods the value is shared by all queries of one pattern, so the average
+reduces to a pattern sweep with each pattern weighted by its number of
+concrete queries (``prod`` of the *specified* field sizes — the weights are
+equal only when all fields have the same size, which holds in Tables 7-8 but
+not in Table 9).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.distribution.base import DistributionMethod, SeparableMethod
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+from repro.query.patterns import patterns_with_k_unspecified, queries_for_pattern
+from repro.util.numbers import ceil_div
+from repro.util.tables import format_table
+
+__all__ = [
+    "average_largest_response",
+    "optimal_largest_response",
+    "largest_response_table",
+    "ResponseTable",
+]
+
+#: Work budget for brute-forcing non-separable methods.
+DEFAULT_WORK_LIMIT = 20_000_000
+
+
+def _pattern_weight(filesystem: FileSystem, pattern: frozenset[int], weighted: bool) -> int:
+    """Number of concrete queries sharing *pattern* (or 1 when unweighted)."""
+    if not weighted:
+        return 1
+    sizes = filesystem.field_sizes
+    return math.prod(
+        sizes[i] for i in range(filesystem.n_fields) if i not in pattern
+    )
+
+
+def average_largest_response(
+    method: DistributionMethod,
+    k: int,
+    weighted: bool = True,
+    work_limit: int = DEFAULT_WORK_LIMIT,
+) -> float:
+    """Average largest response size over all queries with *k* unspecified.
+
+    Exact.  Separable methods use the convolution engine; others enumerate
+    queries and buckets under *work_limit*.
+    """
+    fs = method.filesystem
+    total = 0.0
+    weight_sum = 0
+    if isinstance(method, SeparableMethod):
+        from repro.analysis.histograms import evaluator_for
+
+        evaluator = evaluator_for(method)
+        for pattern in patterns_with_k_unspecified(fs.n_fields, k):
+            weight = _pattern_weight(fs, pattern, weighted)
+            total += weight * evaluator.largest_response(pattern)
+            weight_sum += weight
+        return total / weight_sum
+    for pattern in patterns_with_k_unspecified(fs.n_fields, k):
+        qualified = math.prod(fs.field_sizes[i] for i in pattern)
+        combos = fs.bucket_count // qualified
+        if qualified * combos > work_limit:
+            raise AnalysisError(
+                f"brute-force sweep for pattern {sorted(pattern)} needs "
+                f"{qualified * combos} evaluations (> {work_limit})"
+            )
+        for query in queries_for_pattern(fs, pattern):
+            total += method.largest_response(query)
+            weight_sum += 1
+    return total / weight_sum
+
+
+def optimal_largest_response(
+    filesystem: FileSystem, k: int, weighted: bool = True
+) -> float:
+    """The paper's "Optimal" column: average of ``ceil(|R(q)| / M)``.
+
+    This is the information-theoretic floor any distribution must respect.
+    """
+    total = 0.0
+    weight_sum = 0
+    for pattern in patterns_with_k_unspecified(filesystem.n_fields, k):
+        qualified = math.prod(filesystem.field_sizes[i] for i in pattern)
+        weight = _pattern_weight(filesystem, pattern, weighted)
+        total += weight * ceil_div(qualified, filesystem.m)
+        weight_sum += weight
+    return total / weight_sum
+
+
+@dataclass(frozen=True)
+class ResponseTable:
+    """One reproduced response-size table (paper Tables 7-9 layout).
+
+    ``rows[i]`` corresponds to ``ks[i]`` unspecified fields and holds one
+    average per method (column order matches ``columns``), with the optimal
+    floor last.
+    """
+
+    title: str
+    filesystem: FileSystem
+    ks: tuple[int, ...]
+    columns: tuple[str, ...]
+    rows: tuple[tuple[float, ...], ...]
+
+    def column(self, name: str) -> tuple[float, ...]:
+        """All row values of one named column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise AnalysisError(
+                f"no column {name!r}; columns are {self.columns}"
+            ) from None
+        return tuple(row[index] for row in self.rows)
+
+    def render(self) -> str:
+        """Plain-text rendering in the paper's layout."""
+        headers = ["k unspecified", *self.columns]
+        body = [[k, *row] for k, row in zip(self.ks, self.rows)]
+        return format_table(headers, body, title=self.title)
+
+
+def largest_response_table(
+    filesystem: FileSystem,
+    methods: Mapping[str, DistributionMethod],
+    ks: Sequence[int] | Iterable[int],
+    title: str = "",
+    weighted: bool = True,
+) -> ResponseTable:
+    """Compute a full Tables-7-9-style comparison.
+
+    *methods* maps column names to instantiated distribution methods (all on
+    *filesystem*); an ``Optimal`` column is appended automatically.
+    """
+    ks = tuple(ks)
+    for name, method in methods.items():
+        if method.filesystem != filesystem:
+            raise AnalysisError(
+                f"method {name!r} was built on {method.filesystem.describe()}, "
+                f"table targets {filesystem.describe()}"
+            )
+    rows = []
+    for k in ks:
+        row = [
+            average_largest_response(method, k, weighted=weighted)
+            for method in methods.values()
+        ]
+        row.append(optimal_largest_response(filesystem, k, weighted=weighted))
+        rows.append(tuple(row))
+    return ResponseTable(
+        title=title or f"Average largest response size ({filesystem.describe()})",
+        filesystem=filesystem,
+        ks=ks,
+        columns=(*methods.keys(), "Optimal"),
+        rows=tuple(rows),
+    )

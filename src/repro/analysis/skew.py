@@ -1,0 +1,141 @@
+"""Load-skew metrics for allocations and query classes.
+
+The paper's evaluation reports one skew statistic (the largest response
+size).  Operators of a real array care about a few more, all derivable from
+the same exact histograms:
+
+* **load factor** of a query — largest response divided by the ideal
+  ``ceil(|R(q)| / M)`` (1.0 means strict optimal),
+* **expected largest response / load factor** under the independence query
+  model with specification probability ``p``,
+* **static balance** of the bucket allocation itself (max/mean and Gini
+  coefficient of device bucket counts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.histograms import evaluator_for
+from repro.analysis.optim_prob import pattern_probability
+from repro.distribution.base import DistributionMethod, SeparableMethod
+from repro.errors import AnalysisError
+from repro.query.patterns import all_patterns
+from repro.util.numbers import ceil_div
+
+__all__ = [
+    "SkewSummary",
+    "pattern_load_factor",
+    "expected_largest_response",
+    "expected_load_factor",
+    "static_balance",
+    "gini",
+    "skew_summary",
+]
+
+
+def pattern_load_factor(method: SeparableMethod, pattern: frozenset[int]) -> float:
+    """Largest response over the optimal floor for one pattern (>= 1.0)."""
+    fs = method.filesystem
+    qualified = math.prod(fs.field_sizes[i] for i in pattern)
+    bound = ceil_div(qualified, fs.m)
+    return evaluator_for(method).largest_response(pattern) / bound
+
+
+def expected_largest_response(method: SeparableMethod, p: float = 0.5) -> float:
+    """E[max_i r_i(q)] under the paper's independent-specification model."""
+    fs = method.filesystem
+    evaluator = evaluator_for(method)
+    total = 0.0
+    for pattern in all_patterns(fs.n_fields):
+        weight = pattern_probability(pattern, fs.n_fields, p)
+        if weight:
+            total += weight * evaluator.largest_response(pattern)
+    return total
+
+
+def expected_load_factor(method: SeparableMethod, p: float = 0.5) -> float:
+    """E[load factor]: 1.0 iff the method is perfect optimal."""
+    fs = method.filesystem
+    total = 0.0
+    for pattern in all_patterns(fs.n_fields):
+        weight = pattern_probability(pattern, fs.n_fields, p)
+        if weight:
+            total += weight * pattern_load_factor(method, pattern)
+    return total
+
+
+def gini(values: list[int] | list[float]) -> float:
+    """Gini coefficient of a non-negative distribution (0 = equal)."""
+    if not values:
+        raise AnalysisError("gini of an empty list")
+    if any(v < 0 for v in values):
+        raise AnalysisError("gini requires non-negative values")
+    total = sum(values)
+    if total == 0:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    cumulative = 0.0
+    for rank, value in enumerate(ordered, start=1):
+        cumulative += rank * value
+    return (2.0 * cumulative) / (n * total) - (n + 1.0) / n
+
+
+def static_balance(method: DistributionMethod) -> tuple[float, float]:
+    """(max/mean, gini) of the whole-grid device bucket counts.
+
+    Enumerates the grid, so intended for analysis-scale file systems.
+    """
+    counts = [len(buckets) for buckets in method.distribute()]
+    mean = sum(counts) / len(counts)
+    if mean == 0:
+        raise AnalysisError("empty file system")
+    return max(counts) / mean, gini(counts)
+
+
+@dataclass(frozen=True)
+class SkewSummary:
+    """One method's skew profile on one file system."""
+
+    method_name: str
+    expected_largest_response: float
+    expected_load_factor: float
+    worst_load_factor: float
+    optimal_fraction: float
+
+    def row(self) -> list[object]:
+        return [
+            self.method_name,
+            round(self.expected_largest_response, 2),
+            round(self.expected_load_factor, 3),
+            round(self.worst_load_factor, 2),
+            f"{100 * self.optimal_fraction:.1f}%",
+        ]
+
+
+def skew_summary(method: SeparableMethod, p: float = 0.5) -> SkewSummary:
+    """Full skew profile: expectations, worst case and optimal fraction."""
+    fs = method.filesystem
+    evaluator = evaluator_for(method)
+    expected_response = 0.0
+    expected_factor = 0.0
+    worst_factor = 1.0
+    optimal = 0.0
+    for pattern in all_patterns(fs.n_fields):
+        weight = pattern_probability(pattern, fs.n_fields, p)
+        factor = pattern_load_factor(method, pattern)
+        worst_factor = max(worst_factor, factor)
+        if weight:
+            expected_response += weight * evaluator.largest_response(pattern)
+            expected_factor += weight * factor
+        if factor <= 1.0:
+            optimal += pattern_probability(pattern, fs.n_fields, 0.5)
+    return SkewSummary(
+        method_name=method.name or type(method).__name__,
+        expected_largest_response=expected_response,
+        expected_load_factor=expected_factor,
+        worst_load_factor=worst_factor,
+        optimal_fraction=optimal,
+    )

@@ -1,0 +1,123 @@
+"""End-to-end response-time synthesis (sections 5.2.1 + 5.2.2 combined).
+
+The paper analyses the two response-time components separately: the largest
+response size (dominant on parallel disks) and the CPU cycles of address
+computation / inverse mapping (dominant in main-memory databases).  This
+module combines them into one modelled number per query class::
+
+    T(q) = address_cycles                      # route the query once
+         + inverse_steps(q) * inverse_cycles   # each device solves its share
+         + largest_response(q) * bucket_cycles # local retrieval, in parallel
+
+with every term priced in processor cycles and the per-device work taken at
+the *most loaded* device (symmetric interconnect, as in section 5.2.1).
+``inverse_steps`` is the enumeration count of the algebraic inverse mapping:
+``|R(q)| / F_solved`` with the largest unspecified field solved.
+
+The combined table makes the paper's qualitative argument quantitative: for
+main-memory systems, GDM pays its multiply on *every* inverse-mapping step,
+so its CPU gap versus FX grows with the response size rather than staying a
+fixed per-query constant.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.analysis.cpu_cost import CpuCostModel
+from repro.analysis.histograms import evaluator_for
+from repro.distribution.base import DistributionMethod, SeparableMethod
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+from repro.query.patterns import patterns_with_k_unspecified
+from repro.util.tables import format_table
+
+__all__ = ["TotalTimeModel", "total_time_table"]
+
+#: Local per-bucket retrieval cost (hash probe + copy), in cycles.  The
+#: comparison is insensitive to the exact value; it is shared by all
+#: methods.
+DEFAULT_BUCKET_CYCLES = 40.0
+
+
+class TotalTimeModel:
+    """Cycles-per-query model for one method on one processor."""
+
+    def __init__(
+        self,
+        method: DistributionMethod,
+        cpu: CpuCostModel | None = None,
+        bucket_cycles: float = DEFAULT_BUCKET_CYCLES,
+    ):
+        if not isinstance(method, SeparableMethod):
+            raise AnalysisError(
+                "total-time model needs a separable method (exact histogram "
+                "and algebraic inverse mapping)"
+            )
+        self.method = method
+        self.cpu = cpu or CpuCostModel.for_processor("mc68000")
+        self.bucket_cycles = bucket_cycles
+
+    def inverse_steps(self, pattern: frozenset[int]) -> int:
+        """Enumeration count of inverse mapping for one pattern.
+
+        The solver enumerates all unspecified fields but the largest one
+        (see :mod:`repro.core.inverse`).
+        """
+        sizes = self.method.filesystem.field_sizes
+        fields = sorted(pattern)
+        if not fields:
+            return 1
+        qualified = math.prod(sizes[i] for i in fields)
+        solved = max(sizes[i] for i in fields)
+        return qualified // solved
+
+    def query_cycles(self, pattern: frozenset[int]) -> float:
+        """Modelled cycles for one query with the given pattern."""
+        evaluator = evaluator_for(self.method)
+        largest = evaluator.largest_response(pattern)
+        return (
+            self.cpu.address_cycles(self.method)
+            + self.inverse_steps(pattern) * self.cpu.inverse_step_cycles(self.method)
+            + largest * self.bucket_cycles
+        )
+
+    def average_cycles(self, k: int) -> float:
+        """Average modelled cycles over all patterns with *k* unspecified."""
+        fs = self.method.filesystem
+        total = 0.0
+        count = 0
+        for pattern in patterns_with_k_unspecified(fs.n_fields, k):
+            total += self.query_cycles(pattern)
+            count += 1
+        return total / count
+
+
+def total_time_table(
+    filesystem: FileSystem,
+    methods: Mapping[str, DistributionMethod],
+    ks: tuple[int, ...] = (1, 2, 3, 4),
+    processor: str = "mc68000",
+    bucket_cycles: float = DEFAULT_BUCKET_CYCLES,
+) -> str:
+    """Render the combined response-time comparison as a text table."""
+    cpu = CpuCostModel.for_processor(processor)
+    models = {
+        name: TotalTimeModel(method, cpu=cpu, bucket_cycles=bucket_cycles)
+        for name, method in methods.items()
+    }
+    rows = []
+    for k in ks:
+        row: list[object] = [k]
+        for model in models.values():
+            row.append(round(model.average_cycles(k)))
+        rows.append(row)
+    return format_table(
+        ["k unspecified", *models.keys()],
+        rows,
+        title=(
+            f"Modelled cycles per query on {cpu.costs.name} "
+            f"({filesystem.describe()})"
+        ),
+    )

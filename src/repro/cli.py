@@ -1,0 +1,396 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``report``   regenerate EXPERIMENTS.md (all tables and figures),
+``table``    print one of Tables 7-9,
+``figure``   print one of Figures 1-4 (optionally as an ASCII chart),
+``census``   strict-optimality census of a method on a file system,
+``skew``     skew profile of the standard methods on a file system,
+``search``   transform-assignment search (paper families or GF(2) linear),
+``design``   optimal directory bit allocation from query statistics,
+``simulate`` concurrent-workload latency comparison of the methods,
+``recommend`` rank methods for a file system and workload.
+
+File systems are given as ``--fields 8,8,16 --devices 32``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.analysis.ascii_chart import render_series
+from repro.core.fx import FXDistribution
+from repro.core.linear import random_matrix_search
+from repro.core.optimality import optimality_report
+from repro.distribution.base import available_methods, create_method
+from repro.distribution.search import (
+    exhaustive_assignment_search,
+    hill_climb_assignment_search,
+)
+from repro.errors import ReproError
+from repro.hashing.fields import FileSystem
+from repro.util.tables import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_filesystem(args: argparse.Namespace) -> FileSystem:
+    sizes = [int(part) for part in args.fields.split(",") if part]
+    return FileSystem.of(*sizes, m=args.devices)
+
+
+def _add_filesystem_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fields",
+        required=True,
+        help="comma-separated field sizes (powers of two), e.g. 8,8,16",
+    )
+    parser.add_argument(
+        "--devices",
+        type=int,
+        required=True,
+        help="number of parallel devices M (a power of two)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    forwarded = ["--output", str(args.output)]
+    if args.no_exact_figures:
+        forwarded.append("--no-exact-figures")
+    if args.stdout:
+        forwarded.append("--stdout")
+    return runner_main(forwarded)
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.experiments.response_tables import reproduce_table
+
+    print(reproduce_table(args.which).render())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import reproduce_figure
+
+    series = reproduce_figure(args.which, p=args.p)
+    print(series.render())
+    if args.chart:
+        print()
+        print(render_series(series))
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    fs = _parse_filesystem(args)
+    kwargs: dict[str, object] = {}
+    if args.method == "gdm":
+        kwargs["multipliers"] = tuple(
+            int(part) for part in (args.multipliers or "").split(",") if part
+        ) or tuple(range(3, 3 + 2 * fs.n_fields, 2))
+    if args.method == "fx" and args.transforms:
+        kwargs["transforms"] = args.transforms.split(",")
+    method = create_method(args.method, fs, **kwargs)
+    report = optimality_report(method)
+    print(report.summary())
+    if report.failures and args.failures:
+        rows = [
+            [sorted(pattern), worst, bound]
+            for pattern, worst, bound in report.failures[: args.failures]
+        ]
+        print()
+        print(
+            format_table(
+                ["unspecified fields", "worst load", "allowed"],
+                rows,
+                title="worst failures",
+            )
+        )
+    return 0 if report.optimal_fraction == 1.0 else 1
+
+
+def _cmd_skew(args: argparse.Namespace) -> int:
+    from repro.analysis.skew import skew_summary
+    from repro.distribution.gdm import GDMDistribution
+    from repro.distribution.modulo import ModuloDistribution
+
+    fs = _parse_filesystem(args)
+    methods = [
+        FXDistribution(fs, policy="theorem9"),
+        FXDistribution(fs, policy="paper"),
+        ModuloDistribution(fs),
+        GDMDistribution(fs, multipliers=tuple(range(3, 3 + 2 * fs.n_fields, 2))),
+    ]
+    rows = [skew_summary(method, p=args.p).row() for method in methods]
+    rows[0][0] = "fx (theorem9)"
+    rows[1][0] = "fx (paper)"
+    print(
+        format_table(
+            ["method", "E[max load]", "E[load factor]", "worst factor",
+             "optimal queries"],
+            rows,
+            title=f"Skew profile on {fs.describe()} (p = {args.p})",
+        )
+    )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    fs = _parse_filesystem(args)
+    if args.space == "families":
+        if len(fs.small_fields()) <= 6:
+            result = exhaustive_assignment_search(fs, p=args.p)
+            how = f"exhaustive, {result.evaluations} assignments"
+        else:
+            result = hill_climb_assignment_search(fs, p=args.p, seed=args.seed)
+            how = f"hill climb, {result.evaluations} evaluations"
+        print(f"best assignment ({how}): {result.methods}")
+        print(f"exact optimal fraction: {100 * result.score:.2f}%")
+    else:
+        result = random_matrix_search(
+            fs, iterations=args.iterations, p=args.p, seed=args.seed
+        )
+        print(
+            f"best linear transforms after {result.evaluations} draws: "
+            f"{100 * result.score:.2f}% of queries strict optimal"
+        )
+        for i, transform in enumerate(result.transforms):
+            if transform.method == "LIN":
+                print(f"field {i} matrix:")
+                print(transform.matrix)
+    return 0
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    from repro.hashing.design import design_directory
+
+    probabilities = [float(p) for p in args.probabilities.split(",") if p]
+    design = design_directory(
+        probabilities,
+        total_bits=args.bits,
+        max_bits_per_field=args.max_bits,
+    )
+    rows = [
+        [i, p, b, 1 << b]
+        for i, (p, b) in enumerate(zip(probabilities, design.bits))
+    ]
+    print(
+        format_table(
+            ["field", "P(specified)", "bits", "directory size"],
+            rows,
+            title=f"Optimal directory for {args.bits} total bits",
+            float_digits=2,
+        )
+    )
+    print(f"expected qualified buckets: {design.expected_qualified():.2f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.distribution.gdm import GDMDistribution
+    from repro.distribution.modulo import ModuloDistribution
+    from repro.query.workload import QueryWorkload, WorkloadSpec
+    from repro.storage.costs import DiskCostModel
+    from repro.storage.simulator import ParallelQuerySimulator, poisson_arrivals
+
+    fs = _parse_filesystem(args)
+    workload = QueryWorkload(
+        fs,
+        WorkloadSpec(spec_probability=args.p, exclude_trivial=True,
+                     seed=args.seed),
+    )
+    arrivals = poisson_arrivals(
+        workload, args.queries, rate_qps=args.rate, seed=args.seed
+    )
+    methods = {
+        "FX": FXDistribution(fs, policy="paper"),
+        "Modulo": ModuloDistribution(fs),
+        "GDM": GDMDistribution(
+            fs, multipliers=tuple(range(3, 3 + 2 * fs.n_fields, 2))
+        ),
+    }
+    rows = []
+    for name, method in methods.items():
+        report = ParallelQuerySimulator(
+            method, cost_model=DiskCostModel()
+        ).run(arrivals)
+        rows.append(
+            [
+                name,
+                round(report.mean_latency_ms, 1),
+                round(report.max_latency_ms, 1),
+                round(report.mean_queueing_ms, 1),
+                round(report.throughput_qps, 2),
+            ]
+        )
+    print(
+        format_table(
+            ["method", "mean latency", "max latency", "mean queueing",
+             "throughput q/s"],
+            rows,
+            title=(
+                f"{args.queries} queries at {args.rate} q/s on "
+                f"{fs.describe()}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.experiments.verification import verify_method
+
+    fs = _parse_filesystem(args)
+    if args.method == "fx":
+        method = FXDistribution(fs, policy=args.policy)
+    else:
+        method = create_method(args.method, fs)
+    report = verify_method(method)
+    print(report.summary())
+    for pattern, engines in report.disagreements[:10]:
+        print(f"  pattern {sorted(pattern)}: {engines}")
+    return 0 if report.consistent else 1
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from repro.distribution.advisor import recommend_method
+
+    fs = _parse_filesystem(args)
+    recommendation = recommend_method(fs, p=args.p)
+    print(recommendation.render())
+    best = recommendation.best
+    print(
+        f"\nrecommended: {best.name} "
+        f"(E[largest response] = {best.expected_largest:.3f}, "
+        f"{100 * best.optimal_fraction:.1f}% of queries strict optimal)"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FX declustering for partial match retrieval "
+        "(Kim & Pramanik, SIGMOD 1988).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report.add_argument("--output", default="EXPERIMENTS.md")
+    report.add_argument("--no-exact-figures", action="store_true")
+    report.add_argument("--stdout", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    table = sub.add_parser("table", help="print one of Tables 7-9")
+    table.add_argument("which", choices=["table7", "table8", "table9"])
+    table.set_defaults(func=_cmd_table)
+
+    figure = sub.add_parser("figure", help="print one of Figures 1-4")
+    figure.add_argument(
+        "which", choices=["figure1", "figure2", "figure3", "figure4"]
+    )
+    figure.add_argument("--chart", action="store_true", help="ASCII chart too")
+    figure.add_argument("--p", type=float, default=0.5,
+                        help="per-field specification probability")
+    figure.set_defaults(func=_cmd_figure)
+
+    census = sub.add_parser(
+        "census", help="strict-optimality census of one method"
+    )
+    _add_filesystem_arguments(census)
+    census.add_argument(
+        "--method", default="fx", choices=sorted(available_methods())
+    )
+    census.add_argument(
+        "--transforms", help="fx only: comma-separated families, e.g. I,U,IU1"
+    )
+    census.add_argument(
+        "--multipliers", help="gdm only: comma-separated multipliers"
+    )
+    census.add_argument(
+        "--failures", type=int, default=5,
+        help="how many worst failures to list (0 = none)",
+    )
+    census.set_defaults(func=_cmd_census)
+
+    skew = sub.add_parser("skew", help="skew profile of standard methods")
+    _add_filesystem_arguments(skew)
+    skew.add_argument("--p", type=float, default=0.5)
+    skew.set_defaults(func=_cmd_skew)
+
+    search = sub.add_parser("search", help="search transform assignments")
+    _add_filesystem_arguments(search)
+    search.add_argument(
+        "--space", choices=["families", "linear"], default="families"
+    )
+    search.add_argument("--iterations", type=int, default=300,
+                        help="linear search draws")
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--p", type=float, default=0.5)
+    search.set_defaults(func=_cmd_search)
+
+    design = sub.add_parser(
+        "design", help="optimal directory bits from query statistics"
+    )
+    design.add_argument(
+        "--probabilities",
+        required=True,
+        help="per-field specification probabilities, e.g. 0.9,0.5,0.1",
+    )
+    design.add_argument("--bits", type=int, required=True,
+                        help="total directory bits (log2 of bucket count)")
+    design.add_argument("--max-bits", type=int, default=None,
+                        help="optional per-field bit cap")
+    design.set_defaults(func=_cmd_design)
+
+    simulate = sub.add_parser(
+        "simulate", help="concurrent workload latency comparison"
+    )
+    _add_filesystem_arguments(simulate)
+    simulate.add_argument("--queries", type=int, default=200)
+    simulate.add_argument("--rate", type=float, default=5.0,
+                          help="Poisson arrival rate (queries/s)")
+    simulate.add_argument("--p", type=float, default=0.5)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    recommend = sub.add_parser(
+        "recommend", help="rank declustering methods for a configuration"
+    )
+    _add_filesystem_arguments(recommend)
+    recommend.add_argument("--p", type=float, default=0.5)
+    recommend.set_defaults(func=_cmd_recommend)
+
+    verify = sub.add_parser(
+        "verify", help="cross-check the exact engines on a configuration"
+    )
+    _add_filesystem_arguments(verify)
+    verify.add_argument(
+        "--method", default="fx", choices=["fx", "modulo"]
+    )
+    verify.add_argument(
+        "--policy", default="paper", choices=["paper", "theorem9"]
+    )
+    verify.set_defaults(func=_cmd_verify)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        parser.exit(2, f"error: {error}\n")
+        return 2  # pragma: no cover - parser.exit raises

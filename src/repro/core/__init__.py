@@ -1,0 +1,80 @@
+"""The paper's primary contribution: FX distribution and its optimality theory.
+
+Contents
+--------
+
+``bitops``
+    The exclusive-or algebra of section 2 (XOR on integers and integer sets,
+    the ``T_M`` truncation operator) plus Lemmas 1.1 and 4.1 as executable
+    statements.
+``transforms``
+    The four field transformation functions of section 4.1 (I, U, IU1, IU2)
+    and policies for assigning them to fields.
+``fx``
+    Basic and Extended FX distribution (sections 3 and 4).
+``inverse``
+    Inverse mapping: enumerating, per device, the qualified buckets it holds.
+``theorems``
+    Theorems 1-9 and Corollaries 6.1 / 9.1 as sufficient-condition predicates,
+    including the consolidated section 4.2 rule.
+``optimality``
+    Empirical strict/k/perfect-optimality checkers used to validate the
+    theorem predicates and to evaluate arbitrary distribution methods.
+``gf2`` / ``linear``
+    Section 6 extension: GF(2) linear algebra, linear field transformations
+    generalising I/U/IU1/IU2, the exact rank-based optimality criterion and
+    random matrix search.
+"""
+
+from repro.core.bitops import truncate, xor_fold, xor_set
+from repro.core.fx import BasicFXDistribution, FXDistribution
+from repro.core.optimality import (
+    OptimalityReport,
+    is_k_optimal,
+    is_perfect_optimal,
+    is_strict_optimal,
+    response_histogram,
+)
+from repro.core.gf2 import GF2Matrix
+from repro.core.linear import (
+    LinearTransform,
+    linear_optimal_fraction,
+    linear_pattern_is_optimal,
+    linearize,
+    matrix_of_transform,
+    random_matrix_search,
+)
+from repro.core.transforms import (
+    IU1Transform,
+    IU2Transform,
+    IdentityTransform,
+    UTransform,
+    assign_transforms,
+    make_transform,
+)
+
+__all__ = [
+    "truncate",
+    "xor_fold",
+    "xor_set",
+    "BasicFXDistribution",
+    "FXDistribution",
+    "IdentityTransform",
+    "UTransform",
+    "IU1Transform",
+    "IU2Transform",
+    "make_transform",
+    "assign_transforms",
+    "GF2Matrix",
+    "LinearTransform",
+    "matrix_of_transform",
+    "linearize",
+    "linear_pattern_is_optimal",
+    "linear_optimal_fraction",
+    "random_matrix_search",
+    "OptimalityReport",
+    "is_strict_optimal",
+    "is_k_optimal",
+    "is_perfect_optimal",
+    "response_histogram",
+]

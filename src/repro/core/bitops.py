@@ -1,0 +1,122 @@
+"""The exclusive-or algebra of the paper (section 2) as executable code.
+
+The paper overloads ``[+]`` (bitwise XOR) to operate on integers, on an
+integer and a set of integers, and on two sets of integers.  ``xor_set``
+mirrors that overloading; ``truncate`` is the ``T_M`` operator that keeps the
+rightmost ``log2 M`` bits of a value; ``xor_fold`` is the n-ary
+``[+](Y_i)`` shorthand.
+
+Two lemmas from the paper live here as plain functions so that tests (and the
+theorem predicates in :mod:`repro.core.theorems`) can reference them
+directly:
+
+* **Lemma 1.1** — ``Z_M [+] k == Z_M`` for any ``0 <= k < M``: XOR by a
+  constant permutes the device address space.
+* **Lemma 4.1** — with ``W = {0..w-1}`` (``w`` a power of two) and
+  ``L = a*w + b`` (``0 <= b < w``), ``W [+] L == {a*w, ..., (a+1)*w - 1}``:
+  XOR by any value maps an aligned block onto an aligned block.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.util.numbers import is_power_of_two
+from repro.util.validation import check_power_of_two
+
+__all__ = [
+    "truncate",
+    "xor_set",
+    "xor_fold",
+    "z_m",
+    "lemma_1_1_holds",
+    "lemma_4_1_block",
+]
+
+
+def truncate(value: int, m: int) -> int:
+    """The paper's ``T_M``: keep the rightmost ``log2 M`` bits of *value*.
+
+    ``M`` must be a power of two, in which case ``T_M(x) == x & (M - 1)``
+    (equivalently ``x mod M``).  ``T_M`` distributes over XOR:
+    ``T_M(a ^ b) == T_M(a) ^ T_M(b)``, a fact Theorem 1's proof leans on.
+
+    >>> truncate(0b1101, 4)
+    1
+    """
+    check_power_of_two("M", m)
+    if value < 0:
+        raise ValueError(f"T_M is defined on non-negative integers, got {value}")
+    return value & (m - 1)
+
+
+def xor_set(left: int | Iterable[int], right: int | Iterable[int]) -> int | set[int]:
+    """The paper's overloaded ``[+]`` operator.
+
+    * int ``[+]`` int — plain bitwise XOR,
+    * int ``[+]`` set (or set ``[+]`` int) — XOR the integer into every
+      element,
+    * set ``[+]`` set — the set of all pairwise XORs.
+
+    >>> xor_set(2, 3)
+    1
+    >>> sorted(xor_set(2, {0, 1, 2, 3}))
+    [0, 1, 2, 3]
+    """
+    left_is_int = isinstance(left, int)
+    right_is_int = isinstance(right, int)
+    if left_is_int and right_is_int:
+        return left ^ right
+    if left_is_int:
+        return {left ^ y for y in right}
+    if right_is_int:
+        return {x ^ right for x in left}
+    return {x ^ y for x in left for y in right}
+
+
+def xor_fold(values: Iterable[int]) -> int:
+    """The n-ary shorthand ``[+](Y_i) = Y_1 [+] ... [+] Y_n`` for integers.
+
+    An empty iterable folds to 0, the XOR identity.
+
+    >>> xor_fold([1, 2, 4])
+    7
+    """
+    result = 0
+    for value in values:
+        result ^= value
+    return result
+
+
+def z_m(m: int) -> set[int]:
+    """The device address space ``Z_M = {0, 1, ..., M-1}``."""
+    check_power_of_two("M", m)
+    return set(range(m))
+
+
+def lemma_1_1_holds(m: int, k: int) -> bool:
+    """Check Lemma 1.1: ``Z_M [+] k == Z_M`` for ``0 <= k < M``.
+
+    Always ``True`` for valid inputs; exposed so property tests can assert
+    the lemma over its whole hypothesis space.
+    """
+    if not is_power_of_two(m) or not 0 <= k < m:
+        raise ValueError("Lemma 1.1 requires a power-of-two M and 0 <= k < M")
+    return xor_set(k, z_m(m)) == z_m(m)
+
+
+def lemma_4_1_block(w: int, value: int) -> set[int]:
+    """Lemma 4.1: image of the aligned block ``{0..w-1}`` under XOR by *value*.
+
+    Returns ``{0..w-1} [+] value`` which, per the lemma, equals the aligned
+    block ``{a*w, ..., (a+1)*w - 1}`` containing *value* (``a = value // w``).
+
+    >>> sorted(lemma_4_1_block(4, 6))
+    [4, 5, 6, 7]
+    """
+    check_power_of_two("w", w)
+    if value < 0:
+        raise ValueError("Lemma 4.1 is stated for non-negative L")
+    block = xor_set(value, set(range(w)))
+    assert isinstance(block, set)
+    return block

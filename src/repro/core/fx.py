@@ -1,0 +1,163 @@
+"""FX (Fieldwise eXclusive-or) distribution — the paper's contribution.
+
+Basic FX (section 3) places bucket ``<J_1, ..., J_n>`` on device
+``T_M(J_1 ^ ... ^ J_n)``.  Extended FX (section 4) first passes each field
+through a transformation ``X_j`` (identity for fields with ``F_j >= M``, one
+of I/U/IU1/IU2 otherwise)::
+
+    device = T_M( X_1(J_1) ^ X_2(J_2) ^ ... ^ X_n(J_n) )
+
+Because ``T_M`` distributes over XOR, the per-field contribution can be
+truncated eagerly; :class:`FXDistribution` is therefore a
+:class:`~repro.distribution.base.SeparableMethod` over the XOR group, which
+unlocks the exact convolution evaluator and the algebraic inverse mapping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.core.transforms import (
+    FieldTransform,
+    IdentityTransform,
+    assign_transforms,
+)
+from repro.distribution.base import SeparableMethod, register_method
+from repro.errors import ConfigurationError
+from repro.hashing.fields import Bucket, FileSystem
+from repro.query.partial_match import PartialMatchQuery
+
+__all__ = ["FXDistribution", "BasicFXDistribution"]
+
+
+@register_method
+class FXDistribution(SeparableMethod):
+    """Extended FX distribution with per-field transformations.
+
+    *transforms* may be:
+
+    * ``None`` — use the assignment *policy* (default the paper's
+      round-robin I/U/IU1 over small fields; pass ``variant="IU2"`` for the
+      IU2 flavour or ``policy="theorem9"`` for the size-sorted recipe that is
+      perfect optimal whenever at most three fields are small),
+    * a sequence of family names (``["I", "U", "IU1"]``), or
+    * a sequence of :class:`~repro.core.transforms.FieldTransform` objects.
+
+    >>> fs = FileSystem.of(2, 8, m=4)
+    >>> fx = FXDistribution(fs)          # both transforms identity here
+    >>> fx.device_of((1, 6))
+    3
+    """
+
+    name = "fx"
+    combine = "xor"
+
+    def __init__(
+        self,
+        filesystem: FileSystem,
+        transforms: Sequence[FieldTransform | str] | None = None,
+        policy: str = "paper",
+        variant: str = "IU1",
+    ):
+        super().__init__(filesystem)
+        self.transforms = _resolve_transforms(
+            filesystem, transforms, policy=policy, variant=variant
+        )
+        m = filesystem.m
+        # Contribution tables: T_M(X_j(v)) for every field value.  Small
+        # fields' transforms land inside Z_M already; identity on large
+        # fields is truncated here (T_M distributes over XOR).
+        self._tables = tuple(
+            tuple(t.apply(v) & (m - 1) for v in range(t.field_size))
+            for t in self.transforms
+        )
+
+    def field_contribution(self, field_index: int, value: int) -> int:
+        return self._tables[field_index][value]
+
+    def transform_methods(self) -> tuple[str, ...]:
+        """Effective family name per field (IU2 collapses to IU1 when
+        ``F**2 >= M``), as used by the section 4.2 optimality conditions."""
+        return tuple(t.effective_method for t in self.transforms)
+
+    def qualified_on_device(
+        self, device: int, query: PartialMatchQuery
+    ) -> Iterator[Bucket]:
+        """Algebraic inverse mapping: solve the XOR equation per device."""
+        from repro.core.inverse import separable_qualified_on_device
+
+        self._check_device(device)
+        self._check_query(query)
+        return separable_qualified_on_device(self, device, query)
+
+    def describe(self) -> str:
+        methods = ",".join(t.method for t in self.transforms)
+        return f"fx[{methods}] on {self.filesystem.describe()}"
+
+
+class BasicFXDistribution(FXDistribution):
+    """Basic FX (section 3): plain XOR of the untransformed field values.
+
+    Kept as its own class because the paper analyses it separately
+    (Theorems 1-3 hold for Basic FX with no assumptions on transforms).
+
+    >>> fs = FileSystem.of(2, 8, m=4)
+    >>> [BasicFXDistribution(fs).device_of((1, j)) for j in range(8)]
+    [1, 0, 3, 2, 1, 0, 3, 2]
+    """
+
+    name = "fx-basic"
+
+    def __init__(self, filesystem: FileSystem):
+        identities = [
+            IdentityTransform(size, filesystem.m)
+            for size in filesystem.field_sizes
+        ]
+        super().__init__(filesystem, identities)
+
+    def describe(self) -> str:
+        return f"fx-basic on {self.filesystem.describe()}"
+
+
+# register the subclass under its own name as well
+register_method(BasicFXDistribution)
+
+
+def _resolve_transforms(
+    filesystem: FileSystem,
+    transforms: Sequence[FieldTransform | str] | None,
+    policy: str,
+    variant: str,
+) -> tuple[FieldTransform, ...]:
+    """Normalise the flexible ``transforms`` argument to objects."""
+    if transforms is None:
+        return assign_transforms(
+            filesystem.field_sizes, filesystem.m, policy=policy, variant=variant
+        )
+    if len(transforms) != filesystem.n_fields:
+        raise ConfigurationError(
+            f"{len(transforms)} transforms for {filesystem.n_fields} fields"
+        )
+    if all(isinstance(t, str) for t in transforms):
+        return assign_transforms(
+            filesystem.field_sizes, filesystem.m, policy=list(transforms)  # type: ignore[arg-type]
+        )
+    resolved = []
+    for i, t in enumerate(transforms):
+        if not isinstance(t, FieldTransform):
+            raise ConfigurationError(
+                f"transform {i} is {t!r}; mixing names and objects is not "
+                "supported - pass all names or all FieldTransform instances"
+            )
+        if t.field_size != filesystem.field_sizes[i]:
+            raise ConfigurationError(
+                f"transform {i} built for field size {t.field_size}, "
+                f"field has size {filesystem.field_sizes[i]}"
+            )
+        if t.m != filesystem.m:
+            raise ConfigurationError(
+                f"transform {i} built for M={t.m}, file system has "
+                f"M={filesystem.m}"
+            )
+        resolved.append(t)
+    return tuple(resolved)

@@ -1,0 +1,231 @@
+"""Linear algebra over GF(2), sized for declustering analysis.
+
+Every field transformation the paper defines is a *linear* map on the bit
+representation of the field value: U multiplies by a power of two (a bit
+shift), and I/IU1/IU2 are sums (XORs) of shifts.  Representing transforms as
+GF(2) matrices therefore subsumes the whole section-4 toolkit and opens the
+paper's section-6 question — "more general transformation functions" — to
+systematic search (:mod:`repro.core.linear`).
+
+Matrices are stored row-wise as Python ints (bit ``j`` of ``rows[i]`` is the
+entry in row ``i``, column ``j``), which keeps rank/multiply loops tight
+without numpy round trips.  Vectors are plain ints (bit ``j`` is coordinate
+``j``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GF2Matrix", "parity"]
+
+
+def parity(word: int) -> int:
+    """Parity (mod-2 popcount) of a non-negative integer."""
+    return bin(word).count("1") & 1
+
+
+@dataclass(frozen=True)
+class GF2Matrix:
+    """An ``n_rows x n_cols`` matrix over GF(2).
+
+    Immutable and hashable; all operations return new matrices.
+
+    >>> m = GF2Matrix.identity(3)
+    >>> m.apply(0b101)
+    5
+    """
+
+    rows: tuple[int, ...]
+    n_cols: int
+
+    def __post_init__(self) -> None:
+        if self.n_cols < 0:
+            raise ConfigurationError("n_cols must be non-negative")
+        mask = (1 << self.n_cols) - 1
+        for i, row in enumerate(self.rows):
+            if row < 0 or row & ~mask:
+                raise ConfigurationError(
+                    f"row {i} ({row:#x}) has bits outside {self.n_cols} columns"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "GF2Matrix":
+        return cls(tuple(1 << j for j in range(n)), n)
+
+    @classmethod
+    def zero(cls, n_rows: int, n_cols: int) -> "GF2Matrix":
+        return cls((0,) * n_rows, n_cols)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence[int]]) -> "GF2Matrix":
+        """Build from nested 0/1 lists (row-major, column 0 leftmost bit 0).
+
+        >>> GF2Matrix.from_rows([[1, 0], [1, 1]]).rows
+        (1, 3)
+        """
+        packed = []
+        width = None
+        for row in rows:
+            if width is None:
+                width = len(row)
+            elif len(row) != width:
+                raise ConfigurationError("ragged rows")
+            value = 0
+            for j, bit in enumerate(row):
+                if bit not in (0, 1):
+                    raise ConfigurationError(f"entry {bit!r} is not a GF(2) value")
+                value |= bit << j
+            packed.append(value)
+        return cls(tuple(packed), width or 0)
+
+    @classmethod
+    def shift(cls, n_rows: int, n_cols: int, amount: int) -> "GF2Matrix":
+        """The matrix of ``x -> x << amount`` truncated to ``n_rows`` bits.
+
+        Row ``i`` picks input bit ``i - amount`` — exactly the paper's
+        multiply-by-``2**amount`` inside ``T_M``.
+        """
+        if amount < 0:
+            raise ConfigurationError("shift amount must be non-negative")
+        rows = []
+        for i in range(n_rows):
+            j = i - amount
+            rows.append(1 << j if 0 <= j < n_cols else 0)
+        return cls(tuple(rows), n_cols)
+
+    @classmethod
+    def random(cls, n_rows: int, n_cols: int, rng: random.Random) -> "GF2Matrix":
+        return cls(
+            tuple(rng.getrandbits(n_cols) if n_cols else 0 for __ in range(n_rows)),
+            n_cols,
+        )
+
+    @classmethod
+    def random_full_column_rank(
+        cls, n_rows: int, n_cols: int, rng: random.Random, max_tries: int = 1000
+    ) -> "GF2Matrix":
+        """Rejection-sample a matrix with rank ``n_cols`` (injective map).
+
+        Requires ``n_cols <= n_rows``; the success probability per draw is
+        at least ``prod (1 - 2^(i - n_rows))`` > 0.28, so a thousand tries
+        never realistically fail.
+        """
+        if n_cols > n_rows:
+            raise ConfigurationError(
+                f"injective map needs n_cols <= n_rows, got {n_cols} > {n_rows}"
+            )
+        for __ in range(max_tries):
+            candidate = cls.random(n_rows, n_cols, rng)
+            if candidate.rank() == n_cols:
+                return candidate
+        raise ConfigurationError("failed to sample a full-column-rank matrix")
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def apply(self, vector: int) -> int:
+        """Matrix-vector product: bit ``i`` of the result is
+        ``<row_i, vector>`` mod 2."""
+        if vector < 0 or vector >> self.n_cols:
+            raise ConfigurationError(
+                f"vector {vector} outside GF(2)^{self.n_cols}"
+            )
+        result = 0
+        for i, row in enumerate(self.rows):
+            result |= parity(row & vector) << i
+        return result
+
+    def add(self, other: "GF2Matrix") -> "GF2Matrix":
+        """Entrywise XOR (matrix addition over GF(2))."""
+        if self.shape != other.shape:
+            raise ConfigurationError(
+                f"shape mismatch: {self.shape} vs {other.shape}"
+            )
+        return GF2Matrix(
+            tuple(a ^ b for a, b in zip(self.rows, other.rows)), self.n_cols
+        )
+
+    def multiply(self, other: "GF2Matrix") -> "GF2Matrix":
+        """Matrix product ``self @ other``."""
+        if self.n_cols != other.n_rows:
+            raise ConfigurationError(
+                f"inner dimensions differ: {self.shape} @ {other.shape}"
+            )
+        # column j of the product = self.apply(column j of other)
+        other_cols = other._columns()
+        product_cols = [self.apply(col) for col in other_cols]
+        rows = []
+        for i in range(self.n_rows):
+            row = 0
+            for j, col in enumerate(product_cols):
+                row |= ((col >> i) & 1) << j
+            rows.append(row)
+        return GF2Matrix(tuple(rows), other.n_cols)
+
+    def hstack(self, other: "GF2Matrix") -> "GF2Matrix":
+        """Concatenate columns: ``[self | other]``."""
+        if self.n_rows != other.n_rows:
+            raise ConfigurationError(
+                f"row counts differ: {self.n_rows} vs {other.n_rows}"
+            )
+        return GF2Matrix(
+            tuple(
+                a | (b << self.n_cols) for a, b in zip(self.rows, other.rows)
+            ),
+            self.n_cols + other.n_cols,
+        )
+
+    def rank(self) -> int:
+        """Rank by Gaussian elimination on the rows."""
+        pivots: list[int] = []
+        for row in self.rows:
+            for pivot in pivots:
+                row = min(row, row ^ pivot)
+            if row:
+                pivots.append(row)
+        return len(pivots)
+
+    def is_injective(self) -> bool:
+        """Full column rank: distinct inputs map to distinct outputs."""
+        return self.rank() == self.n_cols
+
+    def column(self, j: int) -> int:
+        if not 0 <= j < self.n_cols:
+            raise ConfigurationError(f"no column {j}")
+        value = 0
+        for i, row in enumerate(self.rows):
+            value |= ((row >> j) & 1) << i
+        return value
+
+    def _columns(self) -> list[int]:
+        return [self.column(j) for j in range(self.n_cols)]
+
+    def to_lists(self) -> list[list[int]]:
+        """Dense 0/1 nested lists (for display and debugging)."""
+        return [
+            [(row >> j) & 1 for j in range(self.n_cols)] for row in self.rows
+        ]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "\n".join(
+            " ".join(str(bit) for bit in row) for row in self.to_lists()
+        )

@@ -1,0 +1,124 @@
+"""Inverse mapping: enumerate a device's qualified buckets algebraically.
+
+Section 5.2 of the paper stresses that each device must *find the qualified
+buckets residing in it* quickly ("inverse mapping"), since a device only
+holds a fraction of ``R(q)``.  For any separable method the device address is
+a group fold of per-field contributions, so inverse mapping reduces to
+solving one group equation: enumerate value choices for all unspecified
+fields but one, then solve the remaining field's contribution for the target
+device and invert it through a precomputed contribution index.
+
+Cost: ``|R(q)| / F_s`` fold evaluations where ``F_s`` is the size of the
+solved field — we always solve for the largest unspecified field, which for
+an optimal distribution is within a constant factor of the per-device output
+size, i.e. the enumeration is output-sensitive up to ``ceil`` effects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.hashing.fields import Bucket
+from repro.query.partial_match import PartialMatchQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.distribution.base import SeparableMethod
+
+__all__ = ["separable_qualified_on_device", "contribution_index"]
+
+
+def contribution_index(
+    method: "SeparableMethod", field_index: int
+) -> dict[int, list[int]]:
+    """Map each contribution value of a field to the field values producing it.
+
+    For injective transforms every list has length one; for an identity on a
+    large field (``F >= M``) each contribution is produced by ``F / M``
+    values.
+    """
+    index: dict[int, list[int]] = {}
+    for value, contribution in enumerate(method.contribution_table(field_index)):
+        index.setdefault(contribution, []).append(value)
+    return index
+
+
+def separable_qualified_on_device(
+    method: "SeparableMethod", device: int, query: PartialMatchQuery
+) -> Iterator[Bucket]:
+    """Yield the qualified buckets of *query* stored on *device*.
+
+    Works for any :class:`~repro.distribution.base.SeparableMethod`
+    (``combine`` is ``"xor"`` or ``"add"``).  Buckets are yielded in
+    row-major order over the enumerated fields.
+    """
+    fs = method.filesystem
+    m = fs.m
+    unspecified = list(query.unspecified_fields)
+
+    # Fold the specified fields' contributions once.
+    partial = _fold(
+        method,
+        (method.field_contribution(i, v) for i, v in query.specified_items()),
+    )
+
+    if not unspecified:
+        # Exact match: the single qualified bucket either is or is not here.
+        # Contributions are in Z_M by contract, so both folds land in Z_M.
+        if partial == device:
+            yield tuple(v for v in query.values)  # type: ignore[misc]
+        return
+
+    # Solve for the largest unspecified field; enumerate the others.
+    solve_field = max(unspecified, key=lambda i: fs.field_sizes[i])
+    enumerate_fields = [i for i in unspecified if i != solve_field]
+    solve_index = contribution_index(method, solve_field)
+    tables = {i: method.contribution_table(i) for i in enumerate_fields}
+
+    axes = [range(fs.field_sizes[i]) for i in enumerate_fields]
+    for choice in itertools.product(*axes):
+        acc = partial
+        if method.combine == "xor":
+            for i, value in zip(enumerate_fields, choice):
+                acc ^= tables[i][value]
+            needed = acc ^ device
+        else:
+            for i, value in zip(enumerate_fields, choice):
+                acc += tables[i][value]
+            needed = (device - acc) % m
+        for solve_value in solve_index.get(needed, ()):
+            yield _build_bucket(
+                query, dict(zip(enumerate_fields, choice)), solve_field, solve_value
+            )
+
+
+def _fold(method: "SeparableMethod", contributions: Iterator[int]) -> int:
+    """Fold contributions under the method's group operation."""
+    if method.combine == "xor":
+        acc = 0
+        for c in contributions:
+            acc ^= c
+        return acc
+    total = 0
+    for c in contributions:
+        total += c
+    return total % method.filesystem.m
+
+
+def _build_bucket(
+    query: PartialMatchQuery,
+    enumerated: dict[int, int],
+    solve_field: int,
+    solve_value: int,
+) -> Bucket:
+    """Assemble a full bucket address from the query plus solved values."""
+    values = []
+    for i, v in enumerate(query.values):
+        if v is not None:
+            values.append(v)
+        elif i == solve_field:
+            values.append(solve_value)
+        else:
+            values.append(enumerated[i])
+    return tuple(values)

@@ -1,0 +1,189 @@
+"""The paper's sufficient optimality conditions as executable predicates.
+
+Theorems 1-9 and Corollaries 6.1 / 9.1 identify classes of partial match
+queries for which FX distribution is provably strict optimal; section 4.2
+consolidates them into one five-case rule.  This module encodes that rule
+(:func:`fx_strict_optimal_sufficient`) plus the published sufficient
+condition for Modulo allocation, and exposes finer-grained per-theorem
+predicates so the test suite can confront each theorem with the empirical
+checkers in :mod:`repro.core.optimality`.
+
+All predicates are *sufficient*: ``True`` guarantees strict optimality,
+``False`` is silent (the distribution may still happen to be optimal).  The
+gap between the sufficient rule and exact optimality is itself measured by
+the ablation benchmark ``bench_ablation_sufficiency``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable
+
+from repro.core.fx import FXDistribution
+from repro.core.transforms import FieldTransform
+from repro.hashing.fields import FileSystem
+from repro.query.patterns import all_patterns
+
+__all__ = [
+    "methods_differ",
+    "theorem1_applies",
+    "theorem2_applies",
+    "pair_condition",
+    "triple_condition",
+    "fx_strict_optimal_sufficient",
+    "fx_perfect_optimal_sufficient",
+    "modulo_strict_optimal_sufficient",
+    "theorem3_uniform_subset_exists",
+]
+
+
+def methods_differ(a: FieldTransform, b: FieldTransform) -> bool:
+    """Do two transforms count as *different methods* for section 4.2?
+
+    Uses effective family names (an IU2 whose ``d2`` collapsed is an IU1)
+    and excludes the {IU1, IU2} pairing, which the paper explicitly rules
+    out of conditions (3), (4)-a and (5)-a.
+    """
+    first, second = a.effective_method, b.effective_method
+    if first == second:
+        return False
+    return {first, second} != {"IU1", "IU2"}
+
+
+def theorem1_applies(pattern: Iterable[int]) -> bool:
+    """Theorem 1: FX is 0-optimal and 1-optimal unconditionally."""
+    return len(set(pattern)) <= 1
+
+
+def theorem2_applies(filesystem: FileSystem, pattern: Iterable[int]) -> bool:
+    """Theorem 2: some unspecified field has ``F >= M``."""
+    sizes = filesystem.field_sizes
+    return any(sizes[i] >= filesystem.m for i in pattern)
+
+
+def pair_condition(
+    fx: FXDistribution, pattern: Iterable[int], require_product: bool
+) -> bool:
+    """Conditions (3)/(4)-a/(5)-a: a pair of unspecified fields with
+    different transformation methods (and, when *require_product*,
+    ``F_i * F_j >= M``)."""
+    fields = sorted(set(pattern))
+    sizes = fx.filesystem.field_sizes
+    m = fx.filesystem.m
+    for i, j in itertools.combinations(fields, 2):
+        if require_product and sizes[i] * sizes[j] < m:
+            continue
+        if methods_differ(fx.transforms[i], fx.transforms[j]):
+            return True
+    return False
+
+
+def triple_condition(
+    fx: FXDistribution, pattern: Iterable[int], require_product: bool
+) -> bool:
+    """Conditions (4)-b/(5)-b: an unspecified triple transformed by
+    {I, U, IU2} with ``F_IU2 >= F_U`` (Lemma 9.1's second condition; the
+    IU2 field's effective method being IU2 already encodes ``F**2 < M``),
+    and ``F_i F_j F_k >= M`` when *require_product*."""
+    fields = sorted(set(pattern))
+    sizes = fx.filesystem.field_sizes
+    m = fx.filesystem.m
+    for combo in itertools.combinations(fields, 3):
+        if require_product and math.prod(sizes[i] for i in combo) < m:
+            continue
+        by_method = {fx.transforms[i].effective_method: i for i in combo}
+        if set(by_method) != {"I", "U", "IU2"}:
+            continue
+        if sizes[by_method["IU2"]] >= sizes[by_method["U"]]:
+            return True
+    return False
+
+
+def fx_strict_optimal_sufficient(
+    fx: FXDistribution, pattern: Iterable[int]
+) -> bool:
+    """The consolidated section 4.2 rule for one query pattern.
+
+    FX is strict optimal for every query with unspecified set *pattern* if
+    any of the following holds:
+
+    1. at most one field is unspecified (Theorem 1),
+    2. some unspecified field has ``F >= M`` (Theorem 2),
+    3. exactly two are unspecified, with different methods (Theorems 4-8),
+    4. exactly three are unspecified and either (a) a pair has
+       ``F_i F_j >= M`` with different methods, or (b) the triple is
+       {I, U, IU2} with ``F_IU2 >= F_U`` (Lemma 9.1),
+    5. four or more are unspecified and either (a) as 4-a, or (b) a triple
+       has ``F_i F_j F_k >= M`` and is {I, U, IU2} with ``F_IU2 >= F_U``
+       (Corollary 9.1).
+    """
+    fields = frozenset(pattern)
+    if theorem1_applies(fields):
+        return True
+    if theorem2_applies(fx.filesystem, fields):
+        return True
+    if len(fields) == 2:
+        return pair_condition(fx, fields, require_product=False)
+    if len(fields) == 3:
+        return pair_condition(fx, fields, require_product=True) or triple_condition(
+            fx, fields, require_product=False
+        )
+    return pair_condition(fx, fields, require_product=True) or triple_condition(
+        fx, fields, require_product=True
+    )
+
+
+def fx_perfect_optimal_sufficient(fx: FXDistribution) -> bool:
+    """Does the section 4.2 rule certify *every* pattern (perfect optimal)?
+
+    Theorem 9 guarantees this is achievable whenever at most three fields
+    are smaller than ``M`` and the transforms follow its recipe.
+    """
+    return all(
+        fx_strict_optimal_sufficient(fx, pattern)
+        for pattern in all_patterns(fx.filesystem.n_fields)
+    )
+
+
+def modulo_strict_optimal_sufficient(
+    filesystem: FileSystem, pattern: Iterable[int]
+) -> bool:
+    """[DuSo82] sufficient condition for Modulo allocation (see
+    :meth:`repro.distribution.modulo.ModuloDistribution.sufficient_condition_holds`):
+    at most one unspecified field, or some unspecified ``F_i`` divisible by
+    ``M``."""
+    fields = frozenset(pattern)
+    if len(fields) <= 1:
+        return True
+    sizes = filesystem.field_sizes
+    return any(sizes[i] % filesystem.m == 0 for i in fields)
+
+
+def theorem3_uniform_subset_exists(
+    fx: FXDistribution, pattern: Iterable[int], max_subset: int = 3
+) -> bool:
+    """Theorem 3's condition, checked constructively.
+
+    Strict optimality follows when some subset of the unspecified fields has
+    a Cartesian product of size ``>= M`` whose projected buckets spread
+    uniformly over the devices.  We search subsets up to *max_subset* fields
+    and test uniformity exactly via the convolution engine — a strictly
+    stronger (but costlier) sufficient check than the closed-form rule.
+    """
+    from repro.analysis.histograms import evaluator_for
+
+    fields = sorted(set(pattern))
+    if theorem1_applies(fields):
+        return True
+    sizes = fx.filesystem.field_sizes
+    m = fx.filesystem.m
+    evaluator = evaluator_for(fx)
+    for subset_size in range(1, min(max_subset, len(fields)) + 1):
+        for combo in itertools.combinations(fields, subset_size):
+            if math.prod(sizes[i] for i in combo) < m:
+                continue
+            histogram = evaluator.histogram(frozenset(combo))
+            if int(histogram.max()) == int(histogram.min()):
+                return True
+    return False

@@ -1,0 +1,304 @@
+"""Field transformation functions (paper section 4.1).
+
+When a field's size ``F`` is smaller than the number of devices ``M``, Basic
+FX distribution cannot spread its values over all devices.  The paper fixes
+this by passing each small field through an injective map ``X : f -> Z_M``
+before XOR-ing.  Four families are defined (``d1 = M / F``; ``d2 = d1 / F``
+when ``F**2 < M`` and ``0`` otherwise):
+
+``I``    identity,
+``U``    ``l -> l * d1``              (equally spaced values),
+``IU1``  ``l -> l ^ (l * d1)``        (one element per ``d1``-interval,
+         Lemma 5.4),
+``IU2``  ``l -> l ^ (l * d1) ^ (l * d2)`` (degenerates to ``IU1`` when
+         ``F**2 >= M``, cf. the remark after Lemma 7.1).
+
+Fields with ``F >= M`` always use the identity; they never hurt optimality
+(Theorem 2).
+
+Two transformation functions are the *same transformation method* when they
+belong to the same family, regardless of their ``M`` and ``F`` parameters
+(section 4.1).  The optimality conditions of section 4.2 compare methods by
+family, with the caveat that an ``IU2`` whose ``d2`` collapsed to zero *is*
+an ``IU1`` — :attr:`FieldTransform.effective_method` captures that.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError, FieldValueError, TransformError
+from repro.util.validation import check_power_of_two
+
+__all__ = [
+    "FieldTransform",
+    "IdentityTransform",
+    "UTransform",
+    "IU1Transform",
+    "IU2Transform",
+    "TRANSFORM_FAMILIES",
+    "make_transform",
+    "assign_transforms",
+    "paper_assignment",
+    "theorem9_assignment",
+]
+
+
+class FieldTransform(ABC):
+    """An injective map from a field domain ``{0..F-1}`` into ``Z_M``.
+
+    Subclasses implement :meth:`apply`; inversion and the image are derived.
+    Instances are immutable and hashable so they can key caches.
+    """
+
+    #: Family name ("I", "U", "IU1", "IU2"); set by each subclass.
+    method: str = ""
+
+    def __init__(self, field_size: int, m: int):
+        check_power_of_two("field size F", field_size)
+        check_power_of_two("device count M", m)
+        self.field_size = field_size
+        self.m = m
+        self._inverse_table: dict[int, int] | None = None
+
+    @abstractmethod
+    def apply(self, value: int) -> int:
+        """Map one field value into the device address space."""
+
+    @property
+    def effective_method(self) -> str:
+        """Family name after degenerate collapses (``IU2`` -> ``IU1``)."""
+        return self.method
+
+    def image(self) -> tuple[int, ...]:
+        """Transformed values in field-value order: ``(X(0), ..., X(F-1))``."""
+        return tuple(self.apply(value) for value in range(self.field_size))
+
+    def inverse(self, transformed: int) -> int | None:
+        """Return the field value mapping to *transformed*, or ``None``.
+
+        Used by inverse mapping (section 5's "find qualified buckets residing
+        in a device") to solve for the last unspecified field.
+        """
+        if self._inverse_table is None:
+            self._inverse_table = {self.apply(v): v for v in range(self.field_size)}
+        return self._inverse_table.get(transformed)
+
+    def same_method(self, other: "FieldTransform") -> bool:
+        """True when both transforms belong to the same effective family."""
+        return self.effective_method == other.effective_method
+
+    def _check_value(self, value: int) -> None:
+        if not 0 <= value < self.field_size:
+            raise FieldValueError(
+                f"value {value} outside field domain [0, {self.field_size})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.method}(F={self.field_size}, M={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FieldTransform)
+            and type(self) is type(other)
+            and self.field_size == other.field_size
+            and self.m == other.m
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.field_size, self.m))
+
+
+class IdentityTransform(FieldTransform):
+    """``I(l) = l``.  Legal for any field; mandatory when ``F >= M``."""
+
+    method = "I"
+
+    def apply(self, value: int) -> int:
+        self._check_value(value)
+        return value
+
+
+class _SmallFieldTransform(FieldTransform):
+    """Common base for U/IU1/IU2: requires ``F < M`` and precomputes ``d1``."""
+
+    def __init__(self, field_size: int, m: int):
+        super().__init__(field_size, m)
+        if field_size >= m:
+            raise TransformError(
+                f"{self.method} transformation requires F < M, "
+                f"got F={field_size}, M={m}"
+            )
+        #: The paper's ``d`` (or ``d1``): spacing ``M / F``.
+        self.d1 = m // field_size
+
+
+class UTransform(_SmallFieldTransform):
+    """``U(l) = l * d1``: spreads the field values evenly over ``Z_M``."""
+
+    method = "U"
+
+    def apply(self, value: int) -> int:
+        self._check_value(value)
+        return value * self.d1
+
+
+class IU1Transform(_SmallFieldTransform):
+    """``IU1(l) = l ^ (l * d1)``.
+
+    Injective (Lemma 5.1), with exactly one image element in every aligned
+    interval of width ``d1`` (Lemma 5.4) — simultaneously "identity-like" in
+    the low bits and "U-like" in the high bits.
+    """
+
+    method = "IU1"
+
+    def apply(self, value: int) -> int:
+        self._check_value(value)
+        return value ^ (value * self.d1)
+
+
+class IU2Transform(_SmallFieldTransform):
+    """``IU2(l) = l ^ (l * d1) ^ (l * d2)`` with ``d2 = d1/F`` if ``F² < M``.
+
+    When ``F**2 >= M`` the paper sets ``d2 = 0`` and IU2 coincides with IU1;
+    :attr:`effective_method` then reports ``"IU1"`` so the section 4.2
+    conditions treat it correctly.
+    """
+
+    method = "IU2"
+
+    def __init__(self, field_size: int, m: int):
+        super().__init__(field_size, m)
+        #: The paper's ``d2``: ``d1 / F`` when ``F**2 < M``, else ``0``.
+        self.d2 = self.d1 // field_size if field_size * field_size < m else 0
+
+    @property
+    def effective_method(self) -> str:
+        return "IU1" if self.d2 == 0 else "IU2"
+
+    def apply(self, value: int) -> int:
+        self._check_value(value)
+        return value ^ (value * self.d1) ^ (value * self.d2)
+
+
+TRANSFORM_FAMILIES: dict[str, type[FieldTransform]] = {
+    "I": IdentityTransform,
+    "U": UTransform,
+    "IU1": IU1Transform,
+    "IU2": IU2Transform,
+}
+
+
+def make_transform(method: str, field_size: int, m: int) -> FieldTransform:
+    """Instantiate a transform by family name ("I", "U", "IU1" or "IU2").
+
+    >>> make_transform("IU1", 8, 16).image()
+    (0, 3, 6, 5, 12, 15, 10, 9)
+    """
+    try:
+        family = TRANSFORM_FAMILIES[method]
+    except KeyError:
+        raise TransformError(
+            f"unknown transformation method {method!r}; "
+            f"expected one of {sorted(TRANSFORM_FAMILIES)}"
+        ) from None
+    return family(field_size, m)
+
+
+def paper_assignment(
+    field_sizes: Sequence[int], m: int, variant: str = "IU1"
+) -> tuple[FieldTransform, ...]:
+    """The assignment used in the paper's experiments (section 5).
+
+    Fields with ``F >= M`` get the identity.  Fields with ``F < M`` cycle
+    through ``I, U, IU1`` (Tables 7 and 8, Figures 1-2) or ``I, U, IU2``
+    (Table 9, Figures 3-4) in field order, so fields 1 and 4 are I, 2 and 5
+    are U, 3 and 6 are IU1/IU2.
+    """
+    if variant not in ("IU1", "IU2"):
+        raise ConfigurationError(f"variant must be 'IU1' or 'IU2', got {variant!r}")
+    cycle = ("I", "U", variant)
+    transforms = []
+    small_index = 0
+    for field_size in field_sizes:
+        if field_size >= m:
+            transforms.append(IdentityTransform(field_size, m))
+        else:
+            transforms.append(make_transform(cycle[small_index % 3], field_size, m))
+            small_index += 1
+    return tuple(transforms)
+
+
+def theorem9_assignment(
+    field_sizes: Sequence[int], m: int
+) -> tuple[FieldTransform, ...]:
+    """Size-aware assignment following Theorem 9's recipe.
+
+    With at most three small fields this choice is *perfect optimal*: sort the
+    small fields by size, give the largest ``I``, the smallest ``U`` and the
+    middle one ``IU2`` (IU2's field must be at least as large as U's —
+    Lemma 9.1 condition 2).  With more than three small fields no perfect
+    optimal method exists [Sung87]; we extend the recipe by cycling
+    ``I, U, IU2`` down the size-sorted list, which keeps every 3-subset that
+    receives distinct methods well-ordered.
+    """
+    small = sorted(
+        (i for i, size in enumerate(field_sizes) if size < m),
+        key=lambda i: (-field_sizes[i], i),
+    )
+    cycle = ("I", "IU2", "U")  # size-descending: largest I, middle IU2, smallest U
+    methods: dict[int, str] = {}
+    if len(small) == 2:
+        methods[small[0]] = "I"
+        methods[small[1]] = "IU2"
+    else:
+        for rank, field_index in enumerate(small):
+            methods[field_index] = cycle[rank % 3]
+    transforms = []
+    for i, field_size in enumerate(field_sizes):
+        if field_size >= m:
+            transforms.append(IdentityTransform(field_size, m))
+        else:
+            transforms.append(make_transform(methods[i], field_size, m))
+    return tuple(transforms)
+
+
+def assign_transforms(
+    field_sizes: Sequence[int],
+    m: int,
+    policy: str | Sequence[str] = "paper",
+    variant: str = "IU1",
+) -> tuple[FieldTransform, ...]:
+    """Build one transform per field.
+
+    *policy* is either the string ``"paper"`` (round-robin I/U/IU1-or-IU2 in
+    field order, as in the paper's experiments), ``"theorem9"`` (size-sorted,
+    perfect optimal for up to three small fields), or an explicit sequence of
+    family names, one per field.  *variant* selects IU1 vs IU2 for the
+    ``"paper"`` policy.
+    """
+    check_power_of_two("device count M", m)
+    if isinstance(policy, str):
+        if policy == "paper":
+            return paper_assignment(field_sizes, m, variant=variant)
+        if policy == "theorem9":
+            return theorem9_assignment(field_sizes, m)
+        raise ConfigurationError(
+            f"unknown assignment policy {policy!r}; expected 'paper', "
+            f"'theorem9' or an explicit list of methods"
+        )
+    if len(policy) != len(field_sizes):
+        raise ConfigurationError(
+            f"explicit policy names {len(policy)} fields, file has {len(field_sizes)}"
+        )
+    transforms = []
+    for method, field_size in zip(policy, field_sizes):
+        if field_size >= m and method != "I":
+            raise TransformError(
+                f"field of size {field_size} >= M={m} must use the identity, "
+                f"got {method!r}"
+            )
+        transforms.append(make_transform(method, field_size, m))
+    return tuple(transforms)

@@ -1,0 +1,37 @@
+"""Bucket-to-device distribution methods.
+
+The FX method itself (the paper's contribution) lives in
+:mod:`repro.core.fx`; this package holds the abstract interface, the
+baselines the paper compares against (Modulo and GDM from Du & Sobolewski
+1982, plus a random allocator and a FaRC86-style spanning-path declusterer)
+and the section-6 extension: searching transform assignments.
+"""
+
+from repro.distribution.base import (
+    DistributionMethod,
+    SeparableMethod,
+    available_methods,
+    create_method,
+    register_method,
+)
+from repro.distribution.gdm import GDM_PRESETS, GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.random_alloc import RandomDistribution
+from repro.distribution.replicated import ChainedReplicaScheme
+from repro.distribution.spanning import SpanningPathDistribution
+from repro.distribution.zorder import ZOrderDistribution
+
+__all__ = [
+    "DistributionMethod",
+    "SeparableMethod",
+    "register_method",
+    "create_method",
+    "available_methods",
+    "ModuloDistribution",
+    "GDMDistribution",
+    "GDM_PRESETS",
+    "RandomDistribution",
+    "ChainedReplicaScheme",
+    "SpanningPathDistribution",
+    "ZOrderDistribution",
+]

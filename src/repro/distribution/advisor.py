@@ -1,0 +1,137 @@
+"""Method advisor: pick a declustering method from workload statistics.
+
+The operational question a user of this library faces: given my file-system
+shape and roughly how often each field is specified, which method (and
+which FX transforms) should I deploy?  The advisor scores candidates by the
+*expected largest response size* under the independence query model —
+computable exactly via the convolution engine — and reports a ranked
+recommendation with the evidence attached.
+
+Candidates: FX under the theorem-9 and paper policies, a searched family
+assignment when four or more fields are small (where the fixed policies
+lose their guarantee), Modulo, and GDM with the odd-multiplier default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.optim_prob import exact_fraction
+from repro.analysis.skew import expected_largest_response
+from repro.core.fx import FXDistribution
+from repro.distribution.base import SeparableMethod
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.search import exhaustive_assignment_search
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+from repro.util.tables import format_table
+
+__all__ = ["Recommendation", "recommend_method"]
+
+#: Small-field count above which exhaustive family search is added.
+_SEARCH_THRESHOLD = 4
+#: ... and above which it becomes too expensive to include.
+_SEARCH_CEILING = 6
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One scored option."""
+
+    name: str
+    method: SeparableMethod
+    expected_largest: float
+    optimal_fraction: float
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Ranked advice for one file system and workload."""
+
+    filesystem: FileSystem
+    p: float
+    candidates: tuple[Candidate, ...]
+
+    @property
+    def best(self) -> Candidate:
+        return self.candidates[0]
+
+    def render(self) -> str:
+        rows = [
+            [
+                c.name,
+                round(c.expected_largest, 3),
+                f"{100 * c.optimal_fraction:.1f}%",
+            ]
+            for c in self.candidates
+        ]
+        return format_table(
+            ["candidate", "E[largest response]", "optimal queries"],
+            rows,
+            title=(
+                f"Recommendation for {self.filesystem.describe()} "
+                f"(p = {self.p})"
+            ),
+        )
+
+
+def recommend_method(
+    filesystem: FileSystem,
+    p: float = 0.5,
+    include_search: bool | None = None,
+) -> Recommendation:
+    """Score the standard candidates and rank them.
+
+    Ranking key: expected largest response (primary), optimal-query
+    fraction (tiebreak).  *include_search* forces family search on or off;
+    by default it runs when 4-6 fields are small (below four the fixed
+    policies are already perfect, above six it costs 4^L evaluations).
+
+    >>> fs = FileSystem.of(4, 4, m=16)
+    >>> recommend_method(fs).best.name
+    'fx-theorem9'
+    """
+    if not 0.0 <= p <= 1.0:
+        raise AnalysisError(f"specification probability {p} outside [0, 1]")
+    small = len(filesystem.small_fields())
+    if include_search is None:
+        include_search = _SEARCH_THRESHOLD <= small <= _SEARCH_CEILING
+
+    options: dict[str, SeparableMethod] = {
+        "fx-theorem9": FXDistribution(filesystem, policy="theorem9"),
+        "fx-paper": FXDistribution(filesystem, policy="paper"),
+        "modulo": ModuloDistribution(filesystem),
+        "gdm-odd": GDMDistribution(
+            filesystem,
+            multipliers=tuple(range(3, 3 + 2 * filesystem.n_fields, 2)),
+        ),
+    }
+    if include_search:
+        searched = exhaustive_assignment_search(filesystem, p=p)
+        options["fx-searched"] = FXDistribution(
+            filesystem, transforms=list(searched.methods)
+        )
+
+    candidates = [
+        Candidate(
+            name=name,
+            method=method,
+            expected_largest=expected_largest_response(method, p=p),
+            optimal_fraction=exact_fraction(method, p=p),
+        )
+        for name, method in options.items()
+    ]
+    # On exact ties prefer the option with the strongest a-priori guarantee
+    # (theorem9 is provably perfect for <= 3 small fields), then searched.
+    preference = ["fx-theorem9", "fx-searched", "fx-paper", "gdm-odd", "modulo"]
+    candidates.sort(
+        key=lambda c: (
+            c.expected_largest,
+            -c.optimal_fraction,
+            preference.index(c.name) if c.name in preference else len(preference),
+        )
+    )
+    return Recommendation(
+        filesystem=filesystem, p=p, candidates=tuple(candidates)
+    )

@@ -1,0 +1,79 @@
+"""GDM (Generalized Disk Modulo) allocation — Du & Sobolewski [DuSo82].
+
+Bucket ``<J_1, ..., J_n>`` goes to device ``(c_1 J_1 + ... + c_n J_n) mod M``
+for a vector of multipliers ``c``.  GDM generalises Modulo (all ``c_i = 1``)
+and can be strict optimal where Modulo is not, but — as the paper stresses —
+no general recipe for good multipliers exists; they are found by trial and
+error.  Section 5 compares FX against the three multiplier sets below.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.distribution.base import SeparableMethod, register_method
+from repro.errors import ConfigurationError
+from repro.hashing.fields import FileSystem
+
+__all__ = ["GDMDistribution", "GDM_PRESETS"]
+
+#: The three multiplier sets used in the paper's Tables 7-9 (section 5.2.1).
+GDM_PRESETS: dict[str, tuple[int, ...]] = {
+    "GDM1": (2, 3, 5, 7, 11, 13),
+    "GDM2": (2, 5, 11, 43, 51, 57),
+    "GDM3": (41, 43, 47, 51, 53, 57),
+}
+
+
+@register_method
+class GDMDistribution(SeparableMethod):
+    """Generalized Disk Modulo: ``device = (sum c_i * J_i) mod M``.
+
+    >>> fs = FileSystem.of(8, 8, m=32)
+    >>> gdm = GDMDistribution(fs, multipliers=(3, 5))
+    >>> gdm.device_of((7, 7))
+    24
+    """
+
+    name = "gdm"
+    combine = "add"
+
+    def __init__(self, filesystem: FileSystem, multipliers: Sequence[int]):
+        super().__init__(filesystem)
+        multipliers = tuple(int(c) for c in multipliers)
+        if len(multipliers) != filesystem.n_fields:
+            raise ConfigurationError(
+                f"{len(multipliers)} multipliers for {filesystem.n_fields} fields"
+            )
+        if any(c <= 0 for c in multipliers):
+            raise ConfigurationError("GDM multipliers must be positive")
+        self.multipliers = multipliers
+        self._m = filesystem.m
+
+    @classmethod
+    def preset(cls, filesystem: FileSystem, which: str) -> "GDMDistribution":
+        """Instantiate GDM1/GDM2/GDM3 from the paper (prefixes are taken
+        when the file system has fewer than six fields)."""
+        try:
+            multipliers = GDM_PRESETS[which]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown GDM preset {which!r}; known: {sorted(GDM_PRESETS)}"
+            ) from None
+        n = filesystem.n_fields
+        if n > len(multipliers):
+            raise ConfigurationError(
+                f"preset {which} provides {len(multipliers)} multipliers, "
+                f"file system has {n} fields"
+            )
+        return cls(filesystem, multipliers[:n])
+
+    def field_contribution(self, field_index: int, value: int) -> int:
+        if not 0 <= value < self.filesystem.field_sizes[field_index]:
+            raise ValueError(f"field {field_index} value {value} outside domain")
+        return (self.multipliers[field_index] * value) % self._m
+
+    def describe(self) -> str:
+        return (
+            f"gdm{list(self.multipliers)} on {self.filesystem.describe()}"
+        )

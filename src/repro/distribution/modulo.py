@@ -1,0 +1,62 @@
+"""Modulo (Disk Modulo) allocation — Du & Sobolewski [DuSo82].
+
+Bucket ``<J_1, ..., J_n>`` goes to device ``(J_1 + ... + J_n) mod M``.
+Simple and strict optimal whenever at least one unspecified field's size is a
+multiple of ``M`` (with power-of-two sizes: ``F_i >= M``), but it degrades
+badly once all unspecified fields are smaller than ``M`` — the sum of small
+ranges piles up in a triangular histogram instead of spreading (this is
+exactly the failure mode Tables 7-9 of the paper quantify, and the reason the
+paper deems Modulo unsuited to large machines like the BBN Butterfly).
+"""
+
+from __future__ import annotations
+
+from repro.distribution.base import SeparableMethod, register_method
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+
+__all__ = ["ModuloDistribution"]
+
+
+@register_method
+class ModuloDistribution(SeparableMethod):
+    """Disk Modulo allocation: ``device = (sum of field values) mod M``.
+
+    >>> fs = FileSystem.of(4, 4, m=16)
+    >>> ModuloDistribution(fs).device_of((3, 3))
+    6
+    """
+
+    name = "modulo"
+    combine = "add"
+
+    def __init__(self, filesystem: FileSystem):
+        super().__init__(filesystem)
+        self._m = filesystem.m
+
+    def field_contribution(self, field_index: int, value: int) -> int:
+        if not 0 <= value < self.filesystem.field_sizes[field_index]:
+            raise ValueError(
+                f"field {field_index} value {value} outside domain"
+            )
+        return value % self._m
+
+    # ------------------------------------------------------------------
+    # Published sufficient condition (used for the Figure 1-4 comparison)
+    # ------------------------------------------------------------------
+    def sufficient_condition_holds(self, query: PartialMatchQuery) -> bool:
+        """[DuSo82]'s sufficient condition for strict optimality.
+
+        Modulo allocation is strict optimal when the query has at most one
+        unspecified field, or when some unspecified field's size is a
+        multiple of ``M`` (equivalently ``F_i >= M`` here, since sizes and
+        ``M`` are powers of two): that field alone cycles through all
+        residues uniformly, and the remaining fields only convolve a uniform
+        histogram with itself-shifted copies.
+        """
+        self._check_query(query)
+        unspecified = query.unspecified_fields
+        if len(unspecified) <= 1:
+            return True
+        sizes = self.filesystem.field_sizes
+        return any(sizes[i] % self._m == 0 for i in unspecified)

@@ -1,0 +1,40 @@
+"""Seeded pseudo-random bucket allocation.
+
+Not from the paper — included as the usual null baseline: random placement
+balances *expected* load but its maximum per-device load concentrates around
+``mean + O(sqrt(mean * log M))``, so it is essentially never strict optimal.
+Comparing FX against it quantifies how much the XOR structure buys beyond
+mere statistical balance.
+"""
+
+from __future__ import annotations
+
+from repro.distribution.base import DistributionMethod, register_method
+from repro.hashing.fields import Bucket, FileSystem
+from repro.util.numbers import mix64
+
+__all__ = ["RandomDistribution"]
+
+_MASK = (1 << 64) - 1
+
+
+@register_method
+class RandomDistribution(DistributionMethod):
+    """Stateless seeded random placement via splitmix64 on the bucket index.
+
+    Deterministic for a given seed, so experiments are reproducible, but
+    deliberately structure-free: it is *not* a separable method and gets no
+    fast evaluation path.
+    """
+
+    name = "random"
+    pattern_invariant = False
+
+    def __init__(self, filesystem: FileSystem, seed: int = 0):
+        super().__init__(filesystem)
+        self.seed = seed & _MASK
+
+    def device_of(self, bucket: Bucket) -> int:
+        index = self.filesystem.bucket_index(bucket)
+        word = mix64(index ^ self.seed)
+        return word % self.filesystem.m

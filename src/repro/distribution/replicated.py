@@ -1,0 +1,67 @@
+"""Chained replica placement on top of any distribution method.
+
+Declustering research immediately following the paper (e.g. Hsiao &
+DeWitt's chained declustering, 1990) added availability: store a *backup*
+copy of every bucket on the device "next" to its primary, so that any
+single device failure leaves every bucket readable and the failed device's
+read load lands on a neighbour instead of a single mirror.
+
+:class:`ChainedReplicaScheme` wraps a primary
+:class:`~repro.distribution.base.DistributionMethod` and derives backup
+placement by a fixed device offset.  It deliberately stays a *placement*
+object — the storage integration (dual writes, failure masking, degraded
+reads) lives in :mod:`repro.storage.replicated_file`.
+"""
+
+from __future__ import annotations
+
+from repro.distribution.base import DistributionMethod
+from repro.errors import ConfigurationError
+from repro.hashing.fields import Bucket
+
+__all__ = ["ChainedReplicaScheme"]
+
+
+class ChainedReplicaScheme:
+    """Primary placement by *base*, backup on ``(primary + offset) mod M``.
+
+    *offset* must not be a multiple of ``M`` (the backup must land on a
+    different device, or one failure loses data).
+
+    >>> from repro import FileSystem, FXDistribution
+    >>> fs = FileSystem.of(4, 4, m=4)
+    >>> scheme = ChainedReplicaScheme(FXDistribution(fs))
+    >>> scheme.primary_of((1, 2)) != scheme.backup_of((1, 2))
+    True
+    """
+
+    def __init__(self, base: DistributionMethod, offset: int = 1):
+        m = base.filesystem.m
+        if m < 2:
+            raise ConfigurationError(
+                "replication needs at least two devices"
+            )
+        if offset % m == 0:
+            raise ConfigurationError(
+                f"offset {offset} maps backups onto their primaries (M={m})"
+            )
+        self.base = base
+        self.offset = offset % m
+
+    @property
+    def filesystem(self):
+        return self.base.filesystem
+
+    def primary_of(self, bucket: Bucket) -> int:
+        return self.base.device_of(bucket)
+
+    def backup_of(self, bucket: Bucket) -> int:
+        return (self.base.device_of(bucket) + self.offset) % self.filesystem.m
+
+    def replicas_of(self, bucket: Bucket) -> tuple[int, int]:
+        """(primary, backup) device pair for one bucket."""
+        primary = self.primary_of(bucket)
+        return primary, (primary + self.offset) % self.filesystem.m
+
+    def describe(self) -> str:
+        return f"chained(+{self.offset}) over {self.base.describe()}"

@@ -1,0 +1,127 @@
+"""Similarity-based declustering via spanning structures — [FaRC86] style.
+
+Fang, Lee & Chang (VLDB 1986) proposed de-clustering a Cartesian product
+file by building a spanning structure over the buckets under a *similarity*
+measure and then dealing consecutive buckets to distinct devices.  Two
+buckets that differ in the field set ``D`` are co-retrieved by every query
+pattern whose unspecified set contains ``D`` — ``2**(n - |D|)`` patterns — so
+similarity decays exponentially in the Hamming distance between bucket
+addresses, and Hamming distance is the natural path metric.
+
+Two traversals are offered:
+
+* ``"path"`` — greedy nearest-neighbour short spanning path (the paper's
+  "short spanning paths"),
+* ``"mst"`` — Prim minimal spanning tree walked in DFS preorder (the
+  "minimal spanning trees" variant).
+
+Both enumerate the full bucket grid, so they only scale to the small grids
+used in examples and comparisons; the class enforces a grid-size cap rather
+than silently taking hours.
+"""
+
+from __future__ import annotations
+
+from repro.distribution.base import DistributionMethod, register_method
+from repro.errors import ConfigurationError
+from repro.hashing.fields import Bucket, FileSystem
+
+__all__ = ["SpanningPathDistribution"]
+
+#: Largest bucket grid the O(B^2) construction will accept.
+MAX_BUCKETS = 8192
+
+
+def _hamming(a: Bucket, b: Bucket) -> int:
+    """Number of fields in which two bucket addresses differ."""
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+@register_method
+class SpanningPathDistribution(DistributionMethod):
+    """Deal buckets to devices along a similarity-ordered spanning walk.
+
+    Construction cost is quadratic in the number of buckets; lookups are
+    O(1) from the precomputed map.
+    """
+
+    name = "spanning"
+    pattern_invariant = False
+
+    def __init__(self, filesystem: FileSystem, traversal: str = "path"):
+        super().__init__(filesystem)
+        if traversal not in ("path", "mst"):
+            raise ConfigurationError(
+                f"traversal must be 'path' or 'mst', got {traversal!r}"
+            )
+        if filesystem.bucket_count > MAX_BUCKETS:
+            raise ConfigurationError(
+                f"spanning declustering enumerates the grid; "
+                f"{filesystem.bucket_count} buckets exceeds the "
+                f"{MAX_BUCKETS}-bucket cap"
+            )
+        self.traversal = traversal
+        order = (
+            self._greedy_path() if traversal == "path" else self._mst_preorder()
+        )
+        m = filesystem.m
+        self._device_map: dict[Bucket, int] = {
+            bucket: position % m for position, bucket in enumerate(order)
+        }
+
+    def device_of(self, bucket: Bucket) -> int:
+        self.filesystem.check_bucket(bucket)
+        return self._device_map[tuple(bucket)]
+
+    # ------------------------------------------------------------------
+    # Spanning constructions
+    # ------------------------------------------------------------------
+    def _greedy_path(self) -> list[Bucket]:
+        """Nearest-neighbour walk: repeatedly hop to the closest unvisited
+        bucket (ties broken by bucket order for determinism)."""
+        remaining = list(self.filesystem.buckets())
+        path = [remaining.pop(0)]
+        while remaining:
+            current = path[-1]
+            best_index = min(
+                range(len(remaining)),
+                key=lambda i: (_hamming(current, remaining[i]), remaining[i]),
+            )
+            path.append(remaining.pop(best_index))
+        return path
+
+    def _mst_preorder(self) -> list[Bucket]:
+        """Prim MST under Hamming weights, then DFS preorder.
+
+        Prim is run directly (dense graph, so adjacency materialisation via
+        networkx would be strictly more work than the O(B^2) scan).
+        """
+        buckets = list(self.filesystem.buckets())
+        count = len(buckets)
+        in_tree = [False] * count
+        best_dist = [len(self.filesystem.field_sizes) + 1] * count
+        parent = [-1] * count
+        best_dist[0] = 0
+        children: dict[int, list[int]] = {i: [] for i in range(count)}
+        for __ in range(count):
+            node = min(
+                (i for i in range(count) if not in_tree[i]),
+                key=lambda i: (best_dist[i], i),
+            )
+            in_tree[node] = True
+            if parent[node] >= 0:
+                children[parent[node]].append(node)
+            for other in range(count):
+                if in_tree[other]:
+                    continue
+                dist = _hamming(buckets[node], buckets[other])
+                if dist < best_dist[other]:
+                    best_dist[other] = dist
+                    parent[other] = node
+        order: list[Bucket] = []
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            order.append(buckets[node])
+            stack.extend(reversed(children[node]))
+        return order

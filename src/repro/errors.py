@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to discriminate the finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "NotPowerOfTwoError",
+    "FieldValueError",
+    "TransformError",
+    "DistributionError",
+    "QueryError",
+    "StorageError",
+    "DeviceFullError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A file system, distribution method or cost model was mis-configured."""
+
+
+class NotPowerOfTwoError(ConfigurationError):
+    """A quantity the paper requires to be a power of two is not one.
+
+    The paper assumes both the number of devices ``M`` and every field size
+    ``F_i`` are powers of two (section 2); the FX transformation algebra
+    relies on it.
+    """
+
+    def __init__(self, name: str, value: int):
+        self.name = name
+        self.value = value
+        super().__init__(f"{name} must be a power of two, got {value!r}")
+
+
+class FieldValueError(ReproError, ValueError):
+    """A field value lies outside its declared domain ``{0, ..., F-1}``."""
+
+
+class TransformError(ReproError, ValueError):
+    """A field transformation was constructed or applied illegally."""
+
+
+class DistributionError(ReproError, ValueError):
+    """A distribution method rejected its configuration or an input bucket."""
+
+
+class QueryError(ReproError, ValueError):
+    """A partial match query is malformed for its file system."""
+
+
+class StorageError(ReproError, RuntimeError):
+    """The simulated storage layer hit an inconsistent state."""
+
+
+class DeviceFullError(StorageError):
+    """A simulated device exceeded its configured capacity."""
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """An analysis routine received inputs it cannot evaluate exactly."""

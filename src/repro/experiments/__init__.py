@@ -1,0 +1,54 @@
+"""Reproduction harness: one module per paper artefact.
+
+``filesystems``
+    The exact file-system scenarios of the evaluation section.
+``golden``
+    Tables 1-6 (worked examples in the paper body) with the published
+    device columns, as machine-checkable golden data.
+``response_tables``
+    Tables 7-9 (average largest response size) plus the paper's printed
+    values for side-by-side comparison.
+``figures``
+    Figures 1-4 (percentage of strict-optimal queries).
+``cpu_table``
+    Section 5.2.2 (address-computation cycle counts).
+``runner``
+    Regenerates everything and writes the EXPERIMENTS.md report
+    (``python -m repro.experiments``).
+"""
+
+from repro.experiments.filesystems import (
+    figure_scenario,
+    table7_setup,
+    table8_setup,
+    table9_setup,
+)
+from repro.experiments.golden import GOLDEN_TABLES, golden_table
+from repro.experiments.response_tables import (
+    PAPER_RESPONSE_TABLES,
+    reproduce_table,
+)
+from repro.experiments.figures import (
+    extension_figure,
+    reproduce_figure,
+    reproduce_figure_exact,
+)
+from repro.experiments.store import load_artifact, save_artifact
+from repro.experiments.verification import verify_method
+
+__all__ = [
+    "figure_scenario",
+    "table7_setup",
+    "table8_setup",
+    "table9_setup",
+    "GOLDEN_TABLES",
+    "golden_table",
+    "PAPER_RESPONSE_TABLES",
+    "reproduce_table",
+    "reproduce_figure",
+    "reproduce_figure_exact",
+    "extension_figure",
+    "save_artifact",
+    "load_artifact",
+    "verify_method",
+]

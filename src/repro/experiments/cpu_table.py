@@ -1,0 +1,74 @@
+"""Section 5.2.2: CPU address-computation cycles, FX vs GDM vs Modulo.
+
+The paper's claim: on an MC68000 (XOR 8, ADD 4, AND 4, n-bit shift 6+2n,
+MUL 70 cycles), FX address computation "takes about only one third" of
+GDM's, because FX's power-of-two multipliers compile to shifts while GDM's
+odd multipliers need true multiplies.  This module renders that comparison
+for the evaluation file systems and both cycle tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cpu_cost import CYCLE_TABLES, CpuCostModel
+from repro.experiments.filesystems import table7_setup, table9_setup
+from repro.util.tables import format_table
+
+__all__ = ["CpuComparison", "cpu_comparison", "render_cpu_table"]
+
+
+@dataclass(frozen=True)
+class CpuComparison:
+    """Cycle counts for one file system on one processor."""
+
+    processor: str
+    scenario: str
+    fx_cycles: int
+    gdm_cycles: int
+    modulo_cycles: int
+
+    @property
+    def fx_to_gdm(self) -> float:
+        """The paper's headline ratio (about 1/3 on the MC68000)."""
+        return self.fx_cycles / self.gdm_cycles
+
+
+def cpu_comparison(processor: str = "mc68000") -> list[CpuComparison]:
+    """Address-computation cycles on the Table 7 and Table 9 scenarios."""
+    model = CpuCostModel.for_processor(processor)
+    rows = []
+    for setup in (table7_setup(), table9_setup()):
+        fx = setup.methods["FX"]
+        gdm = setup.methods["GDM1"]
+        modulo = setup.methods["Modulo"]
+        rows.append(
+            CpuComparison(
+                processor=CYCLE_TABLES[processor].name,
+                scenario=setup.title,
+                fx_cycles=model.address_cycles(fx),
+                gdm_cycles=model.address_cycles(gdm),
+                modulo_cycles=model.address_cycles(modulo),
+            )
+        )
+    return rows
+
+
+def render_cpu_table(processor: str = "mc68000") -> str:
+    """Plain-text rendering of the section 5.2.2 comparison."""
+    rows = cpu_comparison(processor)
+    return format_table(
+        ["scenario", "FX cycles", "GDM cycles", "Modulo cycles", "FX/GDM"],
+        [
+            [
+                row.scenario,
+                row.fx_cycles,
+                row.gdm_cycles,
+                row.modulo_cycles,
+                round(row.fx_to_gdm, 2),
+            ]
+            for row in rows
+        ],
+        title=f"Address computation cycles ({rows[0].processor})",
+        float_digits=2,
+    )

@@ -1,0 +1,159 @@
+"""The evaluation scenarios of paper section 5, as constructors.
+
+Tables 7-9 fix one file system each and compare Modulo, three GDM parameter
+sets and FX; Figures 1-4 sweep the number of fields whose sizes are smaller
+than ``M`` inside two regimes (pairwise products of small sizes >= M with
+I/U/IU1, pairwise < M but triple >= M with I/U/IU2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.fx import FXDistribution
+from repro.distribution.base import DistributionMethod
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.errors import ConfigurationError
+from repro.hashing.fields import FileSystem
+from repro.util.numbers import is_power_of_two
+
+__all__ = [
+    "TableSetup",
+    "table7_setup",
+    "table8_setup",
+    "table9_setup",
+    "FigureScenario",
+    "figure_scenario",
+]
+
+
+@dataclass(frozen=True)
+class TableSetup:
+    """One response-size table: its file system, methods and k range."""
+
+    table_id: str
+    filesystem: FileSystem
+    methods: dict[str, DistributionMethod]
+    ks: tuple[int, ...]
+    title: str
+
+
+def _table_methods(
+    filesystem: FileSystem, fx_variant: str
+) -> dict[str, DistributionMethod]:
+    """The six columns of Tables 7-9, in the paper's order."""
+    return {
+        "Modulo": ModuloDistribution(filesystem),
+        "GDM1": GDMDistribution.preset(filesystem, "GDM1"),
+        "GDM2": GDMDistribution.preset(filesystem, "GDM2"),
+        "GDM3": GDMDistribution.preset(filesystem, "GDM3"),
+        "FX": FXDistribution(filesystem, policy="paper", variant=fx_variant),
+    }
+
+
+def table7_setup() -> TableSetup:
+    """Table 7: ``M = 32``, six fields of size 8, FX uses I/U/IU1."""
+    fs = FileSystem.uniform(6, 8, m=32)
+    return TableSetup(
+        table_id="table7",
+        filesystem=fs,
+        methods=_table_methods(fs, "IU1"),
+        ks=(2, 3, 4, 5, 6),
+        title="Table 7. M = 32, F1 = ... = F6 = 8",
+    )
+
+
+def table8_setup() -> TableSetup:
+    """Table 8: ``M = 64``, six fields of size 8, FX uses I/U/IU1."""
+    fs = FileSystem.uniform(6, 8, m=64)
+    return TableSetup(
+        table_id="table8",
+        filesystem=fs,
+        methods=_table_methods(fs, "IU1"),
+        ks=(2, 3, 4, 5, 6),
+        title="Table 8. M = 64, F1 = ... = F6 = 8",
+    )
+
+
+def table9_setup() -> TableSetup:
+    """Table 9: ``M = 512``, sizes (8,8,8,16,16,16), FX uses I/U/IU2."""
+    fs = FileSystem.of(8, 8, 8, 16, 16, 16, m=512)
+    return TableSetup(
+        table_id="table9",
+        filesystem=fs,
+        methods=_table_methods(fs, "IU2"),
+        ks=(2, 3, 4, 5, 6),
+        title="Table 9. M = 512, F1 = F2 = F3 = 8 and F4 = F5 = F6 = 16",
+    )
+
+
+@dataclass(frozen=True)
+class FigureScenario:
+    """One optimality-percentage figure: the x sweep plus the FX builder."""
+
+    figure_id: str
+    title: str
+    filesystems: tuple[FileSystem, ...]
+    x_values: tuple[int, ...]
+    fx_builder: Callable[[FileSystem], FXDistribution]
+
+
+def figure_scenario(figure_id: str) -> FigureScenario:
+    """Build Figures 1-4's sweeps.
+
+    * Figures 1/2 (n = 6 / 10): any two small fields have ``Fp Fq >= M``
+      (small size ``sqrt(M)``); FX uses I, U and IU1.
+    * Figures 3/4 (n = 6 / 10): pairwise products of small sizes < M but
+      any triple ``>= M`` (small size ``cbrt(M)``); FX uses I, U and IU2.
+
+    The x axis is the number of fields whose sizes are less than ``M``;
+    large fields have size exactly ``M``.
+    """
+    scenarios = {
+        "figure1": (6, 64, 8, "IU1", "Figure 1. n = 6, FpFq >= M (I/U/IU1)"),
+        "figure2": (10, 64, 8, "IU1", "Figure 2. n = 10, FpFq >= M (I/U/IU1)"),
+        "figure3": (6, 512, 8, "IU2",
+                    "Figure 3. n = 6, FpFq < M <= FpFqFr (I/U/IU2)"),
+        "figure4": (10, 512, 8, "IU2",
+                    "Figure 4. n = 10, FpFq < M <= FpFqFr (I/U/IU2)"),
+    }
+    try:
+        n_fields, m, small_size, variant, title = scenarios[figure_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown figure {figure_id!r}; known: {sorted(scenarios)}"
+        ) from None
+    filesystems = tuple(
+        small_field_sweep_filesystem(n_fields, m, small_size, num_small)
+        for num_small in range(n_fields + 1)
+    )
+
+    def build_fx(fs: FileSystem) -> FXDistribution:
+        return FXDistribution(fs, policy="paper", variant=variant)
+
+    return FigureScenario(
+        figure_id=figure_id,
+        title=title,
+        filesystems=filesystems,
+        x_values=tuple(range(n_fields + 1)),
+        fx_builder=build_fx,
+    )
+
+
+def small_field_sweep_filesystem(
+    n_fields: int, m: int, small_size: int, num_small: int
+) -> FileSystem:
+    """A file system whose first *num_small* fields have size *small_size*
+    (< M) and the rest size ``M``."""
+    if not 0 <= num_small <= n_fields:
+        raise ConfigurationError(
+            f"num_small={num_small} outside [0, {n_fields}]"
+        )
+    if not (is_power_of_two(small_size) and small_size < m):
+        raise ConfigurationError(
+            f"small size must be a power of two below M, got {small_size}"
+        )
+    sizes = [small_size] * num_small + [m] * (n_fields - num_small)
+    return FileSystem.of(*sizes, m=m)

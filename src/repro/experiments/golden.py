@@ -1,0 +1,154 @@
+"""Tables 1-6: the paper's worked example distributions, as golden data.
+
+Each table in the paper body prints the device number of every bucket of a
+tiny file system under a specific FX configuration (and, in Table 2, under
+Modulo as well).  The published device columns are recorded here verbatim;
+:func:`golden_table` recomputes them with this library so tests and the
+benchmark harness can diff reproduction against publication cell by cell.
+
+Bucket enumeration order is the paper's: row-major with the first field
+outermost (exactly :meth:`repro.hashing.fields.FileSystem.buckets`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.fx import BasicFXDistribution, FXDistribution
+from repro.distribution.base import DistributionMethod
+from repro.distribution.modulo import ModuloDistribution
+from repro.errors import ConfigurationError
+from repro.hashing.fields import FileSystem
+
+__all__ = ["GoldenTable", "GOLDEN_TABLES", "golden_table", "golden_report"]
+
+
+@dataclass(frozen=True)
+class GoldenTable:
+    """One worked example: configuration plus the published device column."""
+
+    table_id: str
+    caption: str
+    filesystem: FileSystem
+    #: Transform families per field; ``None`` means Basic FX.
+    transforms: tuple[str, ...] | None
+    #: Device number per bucket, in paper (row-major) order.
+    expected_devices: tuple[int, ...]
+    #: For Table 2 the paper also prints the Modulo column.
+    expected_modulo: tuple[int, ...] | None = None
+
+    def build_method(self) -> DistributionMethod:
+        if self.transforms is None:
+            return BasicFXDistribution(self.filesystem)
+        return FXDistribution(self.filesystem, transforms=list(self.transforms))
+
+    def computed_devices(self) -> tuple[int, ...]:
+        method = self.build_method()
+        return tuple(method.device_of(b) for b in self.filesystem.buckets())
+
+    def computed_modulo(self) -> tuple[int, ...]:
+        modulo = ModuloDistribution(self.filesystem)
+        return tuple(modulo.device_of(b) for b in self.filesystem.buckets())
+
+    def matches_paper(self) -> bool:
+        if self.computed_devices() != self.expected_devices:
+            return False
+        if self.expected_modulo is not None:
+            return self.computed_modulo() == self.expected_modulo
+        return True
+
+
+GOLDEN_TABLES: dict[str, GoldenTable] = {
+    "table1": GoldenTable(
+        table_id="table1",
+        caption="Table 1. Basic FX distribution (F = (2, 8), M = 4)",
+        filesystem=FileSystem.of(2, 8, m=4),
+        transforms=None,
+        expected_devices=(
+            0, 1, 2, 3, 0, 1, 2, 3,
+            1, 0, 3, 2, 1, 0, 3, 2,
+        ),
+    ),
+    "table2": GoldenTable(
+        table_id="table2",
+        caption="Table 2. FX with I and U transformation (F = (4, 4), M = 16)",
+        filesystem=FileSystem.of(4, 4, m=16),
+        transforms=("I", "U"),
+        expected_devices=(
+            0, 4, 8, 12,
+            1, 5, 9, 13,
+            2, 6, 10, 14,
+            3, 7, 11, 15,
+        ),
+        expected_modulo=(
+            0, 1, 2, 3,
+            1, 2, 3, 4,
+            2, 3, 4, 5,
+            3, 4, 5, 6,
+        ),
+    ),
+    "table3": GoldenTable(
+        table_id="table3",
+        caption="Table 3. FX with I and IU1 transformation (F = (4, 4), M = 16)",
+        filesystem=FileSystem.of(4, 4, m=16),
+        transforms=("I", "IU1"),
+        expected_devices=(
+            0, 5, 10, 15,
+            1, 4, 11, 14,
+            2, 7, 8, 13,
+            3, 6, 9, 12,
+        ),
+    ),
+    "table4": GoldenTable(
+        table_id="table4",
+        caption="Table 4. FX with I, U and IU1 transformation "
+                "(F = (2, 4, 2), M = 8)",
+        filesystem=FileSystem.of(2, 4, 2, m=8),
+        transforms=("I", "U", "IU1"),
+        expected_devices=(
+            0, 5, 2, 7, 4, 1, 6, 3,
+            1, 4, 3, 6, 5, 0, 7, 2,
+        ),
+    ),
+    "table5": GoldenTable(
+        table_id="table5",
+        caption="Table 5. FX with I and IU2 transformation (F = (8, 2), M = 16)",
+        filesystem=FileSystem.of(8, 2, m=16),
+        transforms=("I", "IU2"),
+        expected_devices=(
+            0, 13, 1, 12, 2, 15, 3, 14,
+            4, 9, 5, 8, 6, 11, 7, 10,
+        ),
+    ),
+    "table6": GoldenTable(
+        table_id="table6",
+        caption="Table 6. FX with I, U and IU2 transformation "
+                "(F = (4, 2, 2), M = 16)",
+        filesystem=FileSystem.of(4, 2, 2, m=16),
+        transforms=("I", "U", "IU2"),
+        expected_devices=(
+            0, 13, 8, 5,
+            1, 12, 9, 4,
+            2, 15, 10, 7,
+            3, 14, 11, 6,
+        ),
+    ),
+}
+
+
+def golden_table(table_id: str) -> GoldenTable:
+    """Fetch one golden table by id ("table1" .. "table6")."""
+    try:
+        return GOLDEN_TABLES[table_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown golden table {table_id!r}; known: {sorted(GOLDEN_TABLES)}"
+        ) from None
+
+
+def golden_report() -> list[tuple[str, bool]]:
+    """(table_id, matches_paper) for every worked example."""
+    return [
+        (table_id, table.matches_paper())
+        for table_id, table in sorted(GOLDEN_TABLES.items())
+    ]

@@ -1,0 +1,86 @@
+"""Tables 7-9: average largest response size, reproduced and compared.
+
+``PAPER_RESPONSE_TABLES`` records the values printed in the paper (rows are
+k = 2..6 unspecified fields).  Source caveat: the available scan of the
+paper garbles a few cells — in Table 7 row k = 3 the GDM2/FX cells read
+"16.0 / 18.9", which contradicts the paper's own prose ("FX distribution
+gives smaller largest-response-size than the other methods" outside the
+noted exceptions) and the arithmetic of the Optimal column; the values below
+keep the printed digits, and EXPERIMENTS.md flags every cell where the
+reproduction and the scan disagree.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.response import ResponseTable, largest_response_table
+from repro.errors import ConfigurationError
+from repro.experiments.filesystems import (
+    TableSetup,
+    table7_setup,
+    table8_setup,
+    table9_setup,
+)
+
+__all__ = ["PAPER_RESPONSE_TABLES", "reproduce_table", "table_setup"]
+
+#: Published values; column order (Modulo, GDM1, GDM2, GDM3, FX, Optimal).
+PAPER_RESPONSE_TABLES: dict[str, dict[str, tuple[float, ...]]] = {
+    "table7": {
+        "Modulo": (8.0, 48.0, 344.0, 2460.0, 18152.0),
+        "GDM1": (3.3, 18.1, 130.5, 1026.3, 8196.0),
+        "GDM2": (3.6, 16.0, 132.7, 1029.7, 8198.0),
+        "GDM3": (3.7, 18.9, 132.5, 1031.7, 8202.0),
+        "FX": (3.2, 18.9, 128.0, 1024.0, 8192.0),
+        "Optimal": (2.0, 16.0, 128.0, 1024.0, 8192.0),
+    },
+    "table8": {
+        "Modulo": (8.0, 48.0, 344.0, 2460.0, 18152.0),
+        "GDM1": (2.1, 10.2, 68.3, 520.5, 4114.0),
+        "GDM2": (2.2, 10.3, 68.1, 517.0, 4102.0),
+        "GDM3": (2.4, 10.6, 67.5, 517.3, 4102.0),
+        "FX": (2.4, 8.0, 64.0, 512.0, 4096.0),
+        "Optimal": (1.0, 8.0, 64.0, 512.0, 4096.0),
+    },
+    "table9": {
+        "Modulo": (9.6, 91.2, 911.2, 9076.0, 90404.0),
+        "GDM1": (1.7, 10.0, 90.3, 909.5, 9176.0),
+        "GDM2": (1.4, 3.2, 40.5, 397.3, 4144.0),
+        "GDM3": (1.3, 5.5, 42.2, 408.67, 4313.0),
+        "FX": (2.3, 5.6, 37.3, 384.0, 4096.0),
+        "Optimal": (1.0, 5.1, 35.2, 384.0, 4096.0),
+    },
+}
+
+
+def table_setup(table_id: str) -> TableSetup:
+    """The scenario behind one response table ("table7".."table9")."""
+    setups = {
+        "table7": table7_setup,
+        "table8": table8_setup,
+        "table9": table9_setup,
+    }
+    try:
+        return setups[table_id]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown response table {table_id!r}; known: {sorted(setups)}"
+        ) from None
+
+
+def reproduce_table(table_id: str, weighted: bool = False) -> ResponseTable:
+    """Recompute one of Tables 7-9 exactly.
+
+    *weighted* averages over all concrete queries; the default (unweighted,
+    every pattern counted once) is what the paper actually computed — its
+    Table 9 entries (e.g. Optimal 35.2 at k = 4, Modulo 9.6 at k = 2) match
+    the unweighted average exactly and the weighted one not at all.  With
+    the uniform field sizes of Tables 7-8 the flag is irrelevant.
+    """
+    setup = table_setup(table_id)
+    return largest_response_table(
+        setup.filesystem,
+        setup.methods,
+        ks=setup.ks,
+        title=setup.title,
+        weighted=weighted,
+    )

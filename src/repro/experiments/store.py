@@ -1,0 +1,139 @@
+"""JSON persistence for experiment artefacts.
+
+Long sweeps (figures, response tables, skew censuses, simulator runs) are
+cheap here but still worth persisting: the benchmark harness can diff a
+fresh run against a stored baseline, and downstream notebooks can consume
+the JSON without re-running anything.  The format is a tagged envelope::
+
+    {"kind": "response_table", "version": 1, "payload": {...}}
+
+so a file is self-describing and future schema changes stay detectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.optim_prob import OptimalitySeries
+from repro.analysis.response import ResponseTable
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+
+__all__ = [
+    "response_table_to_dict",
+    "response_table_from_dict",
+    "series_to_dict",
+    "series_from_dict",
+    "save_artifact",
+    "load_artifact",
+]
+
+_VERSION = 1
+
+
+def response_table_to_dict(table: ResponseTable) -> dict:
+    """Plain-JSON representation of a Tables-7-9-style result."""
+    return {
+        "kind": "response_table",
+        "version": _VERSION,
+        "payload": {
+            "title": table.title,
+            "field_sizes": list(table.filesystem.field_sizes),
+            "num_devices": table.filesystem.num_devices,
+            "ks": list(table.ks),
+            "columns": list(table.columns),
+            "rows": [list(row) for row in table.rows],
+        },
+    }
+
+
+def response_table_from_dict(data: dict) -> ResponseTable:
+    payload = _payload(data, "response_table")
+    return ResponseTable(
+        title=payload["title"],
+        filesystem=FileSystem.of(
+            *payload["field_sizes"], m=payload["num_devices"]
+        ),
+        ks=tuple(payload["ks"]),
+        columns=tuple(payload["columns"]),
+        rows=tuple(tuple(row) for row in payload["rows"]),
+    )
+
+
+def series_to_dict(series: OptimalitySeries) -> dict:
+    """Plain-JSON representation of a Figures-1-4-style result."""
+    return {
+        "kind": "optimality_series",
+        "version": _VERSION,
+        "payload": {
+            "title": series.title,
+            "x_label": series.x_label,
+            "x": list(series.x),
+            "series": {name: list(values) for name, values in series.series.items()},
+        },
+    }
+
+
+def series_from_dict(data: dict) -> OptimalitySeries:
+    payload = _payload(data, "optimality_series")
+    return OptimalitySeries(
+        title=payload["title"],
+        x_label=payload["x_label"],
+        x=tuple(payload["x"]),
+        series={
+            name: tuple(values) for name, values in payload["series"].items()
+        },
+    )
+
+
+_CODECS = {
+    "response_table": (response_table_to_dict, response_table_from_dict),
+    "optimality_series": (series_to_dict, series_from_dict),
+}
+
+
+def save_artifact(path: str | Path, artifact: ResponseTable | OptimalitySeries) -> None:
+    """Serialise one artefact to a JSON file.
+
+    >>> import tempfile, os
+    >>> from repro.experiments.response_tables import reproduce_table
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     p = os.path.join(d, "t7.json")
+    ...     save_artifact(p, reproduce_table("table7"))
+    ...     load_artifact(p).column("FX")[0]
+    3.2
+    """
+    if isinstance(artifact, ResponseTable):
+        data = response_table_to_dict(artifact)
+    elif isinstance(artifact, OptimalitySeries):
+        data = series_to_dict(artifact)
+    else:
+        raise AnalysisError(
+            f"cannot serialise {type(artifact).__name__}; supported: "
+            f"{sorted(_CODECS)}"
+        )
+    Path(path).write_text(json.dumps(data, indent=2), encoding="utf-8")
+
+
+def load_artifact(path: str | Path):
+    """Load a previously saved artefact, dispatching on its ``kind``."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    kind = data.get("kind")
+    if kind not in _CODECS:
+        raise AnalysisError(f"unknown artefact kind {kind!r} in {path}")
+    __, decode = _CODECS[kind]
+    return decode(data)
+
+
+def _payload(data: dict, expected_kind: str) -> dict:
+    if data.get("kind") != expected_kind:
+        raise AnalysisError(
+            f"expected a {expected_kind} artefact, got {data.get('kind')!r}"
+        )
+    if data.get("version") != _VERSION:
+        raise AnalysisError(
+            f"artefact version {data.get('version')!r} not supported "
+            f"(this build reads version {_VERSION})"
+        )
+    return data["payload"]

@@ -1,0 +1,111 @@
+"""Cross-engine verification: three independent evaluators must agree.
+
+The library contains three ways to decide strict optimality of an FX
+pattern, with no shared code on the hot path:
+
+1. brute force — enumerate the representative query's buckets,
+2. the convolution engine — FWHT over contribution histograms,
+3. the rank criterion — GF(2) rank of stacked transform matrices.
+
+:func:`verify_method` runs all applicable engines over every pattern of a
+file system and reports agreement.  It exists for trust: any future change
+that breaks one engine trips this immediately, and the CLI exposes it
+(``python -m repro verify``) so users can certify their own configurations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.histograms import evaluator_for
+from repro.core.fx import FXDistribution
+from repro.core.linear import linear_pattern_is_optimal, linearize
+from repro.distribution.base import SeparableMethod
+from repro.errors import AnalysisError
+from repro.query.patterns import all_patterns, representative_query
+from repro.util.numbers import ceil_div
+
+__all__ = ["VerificationReport", "verify_method"]
+
+#: Brute force is skipped for patterns needing more bucket visits than this.
+BRUTE_FORCE_LIMIT = 200_000
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one cross-engine verification run."""
+
+    method_description: str
+    patterns_checked: int = 0
+    brute_force_checked: int = 0
+    rank_checked: int = 0
+    disagreements: list[tuple[frozenset[int], str]] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        status = "CONSISTENT" if self.consistent else "DISAGREEMENT"
+        return (
+            f"{status}: {self.method_description} - "
+            f"{self.patterns_checked} patterns via convolution, "
+            f"{self.brute_force_checked} cross-checked by brute force, "
+            f"{self.rank_checked} by the rank criterion"
+        )
+
+
+def verify_method(
+    method: SeparableMethod,
+    brute_force_limit: int = BRUTE_FORCE_LIMIT,
+) -> VerificationReport:
+    """Check every pattern of *method*'s file system across all engines.
+
+    The convolution engine is the reference; brute force joins wherever the
+    pattern is small enough, and the rank criterion joins for FX methods
+    (which are always GF(2)-linear).  Disagreements are collected, not
+    raised, so a report can show the full extent of any breakage.
+    """
+    fs = method.filesystem
+    report = VerificationReport(method_description=method.describe())
+    evaluator = evaluator_for(method)
+    matrices = linearize(method) if isinstance(method, FXDistribution) else None
+
+    for pattern in all_patterns(fs.n_fields):
+        report.patterns_checked += 1
+        qualified = math.prod(fs.field_sizes[i] for i in pattern)
+        bound = ceil_div(qualified, fs.m)
+        convolution_verdict = evaluator.is_strict_optimal(pattern)
+
+        if qualified <= brute_force_limit:
+            report.brute_force_checked += 1
+            counts = [0] * fs.m
+            query = representative_query(fs, pattern)
+            for bucket in query.qualified_buckets():
+                counts[method.device_of(bucket)] += 1
+            brute_verdict = max(counts) <= bound
+            if brute_verdict != convolution_verdict:
+                report.disagreements.append(
+                    (pattern, "brute force vs convolution")
+                )
+
+        if matrices is not None:
+            report.rank_checked += 1
+            rank_verdict = linear_pattern_is_optimal(matrices, pattern, fs.m)
+            if rank_verdict != convolution_verdict:
+                report.disagreements.append(
+                    (pattern, "rank criterion vs convolution")
+                )
+    return report
+
+
+def verify_or_raise(method: SeparableMethod) -> VerificationReport:
+    """As :func:`verify_method`, but raising on any disagreement."""
+    report = verify_method(method)
+    if not report.consistent:
+        raise AnalysisError(
+            f"engines disagree on {len(report.disagreements)} patterns: "
+            f"{report.disagreements[:3]}"
+        )
+    return report

@@ -1,0 +1,38 @@
+"""Multi-key hashing substrate (paper section 1-2 background).
+
+A *file system* here is the paper's abstraction: ``n`` fields, field ``i``
+hashed into ``F_i`` values, stored across ``M`` parallel devices.  The
+``multikey`` module supplies concrete per-field hash functions so real
+records (tuples of Python values) can be mapped to bucket addresses, which is
+what Rivest [Rive76] / Rothnie & Lozano [RoLo74] style multi-key hashing
+does.
+"""
+
+from repro.hashing.design import (
+    DirectoryDesign,
+    design_directory,
+    design_directory_exhaustive,
+    expected_qualified_buckets,
+)
+from repro.hashing.fields import FieldSpec, FileSystem
+from repro.hashing.hash_functions import (
+    FieldHash,
+    FibonacciFieldHash,
+    IntegerRangeHash,
+    StringFieldHash,
+)
+from repro.hashing.multikey import MultiKeyHash
+
+__all__ = [
+    "FieldSpec",
+    "FileSystem",
+    "FieldHash",
+    "FibonacciFieldHash",
+    "IntegerRangeHash",
+    "StringFieldHash",
+    "MultiKeyHash",
+    "DirectoryDesign",
+    "design_directory",
+    "design_directory_exhaustive",
+    "expected_qualified_buckets",
+]

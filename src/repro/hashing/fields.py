@@ -1,0 +1,166 @@
+"""Field and file-system specifications (paper section 2).
+
+A :class:`FileSystem` is the bucket grid ``f_1 x ... x f_n`` together with
+the device count ``M``.  The paper assumes every ``F_i`` and ``M`` are powers
+of two (standard for partitioned / dynamic / extendible hashing directories);
+the constructors enforce that, because every optimality result downstream
+depends on it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, FieldValueError
+from repro.util.validation import check_power_of_two
+
+__all__ = ["FieldSpec", "FileSystem", "Bucket"]
+
+#: A bucket address: one hashed value per field.
+Bucket = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a multi-key hashed file.
+
+    ``size`` is the paper's ``F_i`` (the number of hashed values, a power of
+    two); ``name`` is optional and purely descriptive.
+    """
+
+    size: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        check_power_of_two("field size", self.size)
+
+    @property
+    def bits(self) -> int:
+        """Number of bits of the hashed value (``log2 F``)."""
+        return self.size.bit_length() - 1
+
+    def domain(self) -> range:
+        """The hashed-value domain ``f_i = {0, ..., F_i - 1}``."""
+        return range(self.size)
+
+
+@dataclass(frozen=True)
+class FileSystem:
+    """The bucket grid of a multi-key hashed file plus its device count.
+
+    >>> fs = FileSystem.of(2, 8, m=4)
+    >>> fs.bucket_count
+    16
+    >>> fs.small_fields()   # fields with F < M
+    (0,)
+    """
+
+    fields: tuple[FieldSpec, ...]
+    num_devices: int
+    _sizes: tuple[int, ...] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.fields:
+            raise ConfigurationError("a file system needs at least one field")
+        check_power_of_two("device count M", self.num_devices)
+        object.__setattr__(self, "_sizes", tuple(f.size for f in self.fields))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *sizes: int, m: int) -> "FileSystem":
+        """Build a file system from bare field sizes.
+
+        >>> FileSystem.of(8, 8, 8, m=32).field_sizes
+        (8, 8, 8)
+        """
+        return cls(tuple(FieldSpec(size) for size in sizes), m)
+
+    @classmethod
+    def uniform(cls, n_fields: int, size: int, m: int) -> "FileSystem":
+        """Build an ``n``-field file system with every field the same size."""
+        if n_fields <= 0:
+            raise ConfigurationError("n_fields must be positive")
+        return cls.of(*([size] * n_fields), m=m)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_fields(self) -> int:
+        return len(self.fields)
+
+    @property
+    def field_sizes(self) -> tuple[int, ...]:
+        return self._sizes
+
+    @property
+    def m(self) -> int:
+        """Paper notation alias for :attr:`num_devices`."""
+        return self.num_devices
+
+    @property
+    def bucket_count(self) -> int:
+        """Total number of buckets, ``prod F_i``."""
+        return math.prod(self._sizes)
+
+    def small_fields(self) -> tuple[int, ...]:
+        """Indices of fields with ``F_i < M`` (the problematic ones)."""
+        return tuple(i for i, s in enumerate(self._sizes) if s < self.num_devices)
+
+    def large_fields(self) -> tuple[int, ...]:
+        """Indices of fields with ``F_i >= M``."""
+        return tuple(i for i, s in enumerate(self._sizes) if s >= self.num_devices)
+
+    # ------------------------------------------------------------------
+    # Buckets
+    # ------------------------------------------------------------------
+    def buckets(self) -> Iterator[Bucket]:
+        """Iterate over every bucket address in row-major order."""
+        return itertools.product(*(range(s) for s in self._sizes))
+
+    def check_bucket(self, bucket: Sequence[int]) -> Bucket:
+        """Validate a bucket address and return it as a tuple.
+
+        Raises :class:`~repro.errors.FieldValueError` on arity or range
+        violations.
+        """
+        if len(bucket) != self.n_fields:
+            raise FieldValueError(
+                f"bucket has {len(bucket)} components, file system has "
+                f"{self.n_fields} fields"
+            )
+        for i, (value, size) in enumerate(zip(bucket, self._sizes)):
+            if not 0 <= value < size:
+                raise FieldValueError(
+                    f"field {i} value {value} outside domain [0, {size})"
+                )
+        return tuple(bucket)
+
+    def bucket_index(self, bucket: Sequence[int]) -> int:
+        """Row-major linear index of a bucket (used by array-backed stores)."""
+        self.check_bucket(bucket)
+        index = 0
+        for value, size in zip(bucket, self._sizes):
+            index = index * size + value
+        return index
+
+    def bucket_from_index(self, index: int) -> Bucket:
+        """Inverse of :meth:`bucket_index`."""
+        if not 0 <= index < self.bucket_count:
+            raise FieldValueError(
+                f"bucket index {index} outside [0, {self.bucket_count})"
+            )
+        values = []
+        for size in reversed(self._sizes):
+            values.append(index % size)
+            index //= size
+        return tuple(reversed(values))
+
+    def describe(self) -> str:
+        """One-line human description, e.g. ``F=(8, 8, 16), M=32``."""
+        return f"F={self._sizes}, M={self.num_devices}"

@@ -1,0 +1,121 @@
+"""Per-field hash functions for multi-key hashing.
+
+The paper treats the per-field hash functions ``H_i`` abstractly: each maps
+an attribute value into the field domain ``{0, ..., F_i - 1}``.  This module
+provides deterministic, seed-stable families so that examples and the storage
+layer can hash real attribute values (ints, strings) into bucket coordinates
+reproducibly across runs and platforms — Python's builtin ``hash`` is
+deliberately avoided because it is salted per process.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import ConfigurationError, FieldValueError
+from repro.util.validation import check_power_of_two
+
+__all__ = [
+    "FieldHash",
+    "FibonacciFieldHash",
+    "IntegerRangeHash",
+    "StringFieldHash",
+]
+
+#: 64-bit Fibonacci hashing constant: 2**64 / golden ratio, forced odd.
+_FIB64 = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+class FieldHash(ABC):
+    """A hash function ``H_i`` from attribute values into ``{0..F-1}``."""
+
+    def __init__(self, field_size: int):
+        check_power_of_two("field size", field_size)
+        self.field_size = field_size
+
+    @abstractmethod
+    def __call__(self, value: object) -> int:
+        """Hash *value* into the field domain."""
+
+    def _fold(self, word: int) -> int:
+        """Reduce a 64-bit word to ``log2 F`` bits via Fibonacci hashing."""
+        bits = self.field_size.bit_length() - 1
+        if bits == 0:
+            return 0
+        return ((word * _FIB64) & _MASK64) >> (64 - bits)
+
+
+class FibonacciFieldHash(FieldHash):
+    """Multiplicative (Fibonacci) hashing for arbitrary-width integers.
+
+    Good avalanche in the high bits, which :meth:`FieldHash._fold` extracts.
+    A *seed* decorrelates the per-field functions of one multi-key hash.
+    """
+
+    def __init__(self, field_size: int, seed: int = 0):
+        super().__init__(field_size)
+        self.seed = seed & _MASK64
+
+    def __call__(self, value: object) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise FieldValueError(
+                f"FibonacciFieldHash hashes integers, got {type(value).__name__}"
+            )
+        word = (value ^ self.seed) & _MASK64
+        # One xorshift round before the multiply so low-entropy inputs
+        # (small consecutive ints) still spread over the whole word.
+        word ^= word >> 33
+        return self._fold(word)
+
+
+class IntegerRangeHash(FieldHash):
+    """Order-preserving hash for integers known to lie in ``[low, high)``.
+
+    Partitions the range into ``F`` equal slices, which is the classic
+    choice when the field doubles as a crude range index.
+    """
+
+    def __init__(self, field_size: int, low: int, high: int):
+        super().__init__(field_size)
+        if high <= low:
+            raise ConfigurationError(f"empty range [{low}, {high})")
+        self.low = low
+        self.high = high
+
+    def __call__(self, value: object) -> int:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise FieldValueError(
+                f"IntegerRangeHash hashes integers, got {type(value).__name__}"
+            )
+        if not self.low <= value < self.high:
+            raise FieldValueError(
+                f"value {value} outside hash range [{self.low}, {self.high})"
+            )
+        span = self.high - self.low
+        return (value - self.low) * self.field_size // span
+
+
+class StringFieldHash(FieldHash):
+    """FNV-1a over UTF-8 bytes, folded into the field domain.
+
+    Deterministic across processes (unlike builtin ``hash`` on str).
+    """
+
+    _FNV_OFFSET = 0xCBF29CE484222325
+    _FNV_PRIME = 0x100000001B3
+
+    def __init__(self, field_size: int, seed: int = 0):
+        super().__init__(field_size)
+        self.seed = seed & _MASK64
+
+    def __call__(self, value: object) -> int:
+        if not isinstance(value, str):
+            raise FieldValueError(
+                f"StringFieldHash hashes strings, got {type(value).__name__}"
+            )
+        word = (self._FNV_OFFSET ^ self.seed) & _MASK64
+        for byte in value.encode("utf-8"):
+            word ^= byte
+            word = (word * self._FNV_PRIME) & _MASK64
+        return self._fold(word)

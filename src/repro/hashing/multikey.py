@@ -1,0 +1,102 @@
+"""Multi-key hash functions: records to bucket addresses.
+
+Rivest [Rive76] and Rothnie & Lozano [RoLo74] proposed hashing each field of
+a record independently and concatenating the results into a bucket address.
+:class:`MultiKeyHash` bundles one :class:`~repro.hashing.hash_functions.FieldHash`
+per field of a :class:`~repro.hashing.fields.FileSystem` and exposes both the
+record-level map and the per-field map (the latter is what partial match
+queries need: hash only the specified attributes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ConfigurationError, FieldValueError
+from repro.hashing.fields import Bucket, FileSystem
+from repro.hashing.hash_functions import FibonacciFieldHash, FieldHash, StringFieldHash
+
+__all__ = ["MultiKeyHash"]
+
+
+class MultiKeyHash:
+    """A set ``H = {H_1, ..., H_n}`` of per-field hash functions.
+
+    >>> fs = FileSystem.of(4, 8, m=4)
+    >>> mkh = MultiKeyHash.default(fs, seed=7)
+    >>> bucket = mkh.bucket_of((123, "ann"))
+    >>> len(bucket) == 2 and all(isinstance(v, int) for v in bucket)
+    True
+    """
+
+    def __init__(self, filesystem: FileSystem, field_hashes: Sequence[FieldHash]):
+        if len(field_hashes) != filesystem.n_fields:
+            raise ConfigurationError(
+                f"need {filesystem.n_fields} field hashes, got {len(field_hashes)}"
+            )
+        for i, (fh, spec) in enumerate(zip(field_hashes, filesystem.fields)):
+            if fh.field_size != spec.size:
+                raise ConfigurationError(
+                    f"field {i}: hash targets {fh.field_size} values, "
+                    f"field size is {spec.size}"
+                )
+        self.filesystem = filesystem
+        self.field_hashes = tuple(field_hashes)
+
+    @classmethod
+    def default(cls, filesystem: FileSystem, seed: int = 0) -> "MultiKeyHash":
+        """Fibonacci hashing on every field, seeds decorrelated per field.
+
+        String attribute values are accepted too: a per-field FNV fallback is
+        consulted when the value is a ``str``.
+        """
+        hashes = [
+            _PolymorphicFieldHash(spec.size, seed=seed * 1_000_003 + i)
+            for i, spec in enumerate(filesystem.fields)
+        ]
+        return cls(filesystem, hashes)
+
+    def hash_field(self, field_index: int, value: object) -> int:
+        """Hash one attribute value with ``H_i``."""
+        if not 0 <= field_index < len(self.field_hashes):
+            raise FieldValueError(f"no field {field_index}")
+        return self.field_hashes[field_index](value)
+
+    def bucket_of(self, record: Sequence[object]) -> Bucket:
+        """Hash a whole record: ``H(r) = <H_1(r_1), ..., H_n(r_n)>``."""
+        if len(record) != self.filesystem.n_fields:
+            raise FieldValueError(
+                f"record has {len(record)} attributes, file system has "
+                f"{self.filesystem.n_fields} fields"
+            )
+        return tuple(h(value) for h, value in zip(self.field_hashes, record))
+
+    def partial_bucket(self, specified: Mapping[int, object]) -> dict[int, int]:
+        """Hash only the specified attributes of a partial match query.
+
+        Returns ``{field_index: hashed_value}`` ready to build a
+        :class:`~repro.query.partial_match.PartialMatchQuery`.
+        """
+        return {
+            field_index: self.hash_field(field_index, value)
+            for field_index, value in specified.items()
+        }
+
+
+class _PolymorphicFieldHash(FieldHash):
+    """Routes ints to Fibonacci hashing and strings to FNV-1a."""
+
+    def __init__(self, field_size: int, seed: int = 0):
+        super().__init__(field_size)
+        self._int_hash = FibonacciFieldHash(field_size, seed=seed)
+        self._str_hash = StringFieldHash(field_size, seed=seed)
+
+    def __call__(self, value: object) -> int:
+        if isinstance(value, str):
+            return self._str_hash(value)
+        if isinstance(value, int) and not isinstance(value, bool):
+            return self._int_hash(value)
+        raise FieldValueError(
+            f"cannot hash attribute of type {type(value).__name__}; "
+            "provide a custom FieldHash"
+        )

@@ -1,0 +1,33 @@
+"""Partial match queries, specification patterns and workload generators."""
+
+from repro.query.algebra import are_disjoint, intersect, subsumes
+from repro.query.box import BoxQuery
+from repro.query.estimator import WorkloadEstimate, estimate_workload
+from repro.query.partial_match import PartialMatchQuery
+from repro.query.trace import dump_trace, load_trace, parse_trace
+from repro.query.patterns import (
+    SpecPattern,
+    all_patterns,
+    patterns_with_k_unspecified,
+    queries_for_pattern,
+)
+from repro.query.workload import QueryWorkload, WorkloadSpec
+
+__all__ = [
+    "PartialMatchQuery",
+    "BoxQuery",
+    "SpecPattern",
+    "all_patterns",
+    "patterns_with_k_unspecified",
+    "queries_for_pattern",
+    "QueryWorkload",
+    "WorkloadSpec",
+    "subsumes",
+    "intersect",
+    "are_disjoint",
+    "parse_trace",
+    "load_trace",
+    "dump_trace",
+    "estimate_workload",
+    "WorkloadEstimate",
+]

@@ -1,0 +1,76 @@
+"""Query algebra: containment and intersection of partial match queries.
+
+Partial match queries over one file system form a meet-semilattice: `q1`
+*subsumes* `q2` when every bucket qualifying for `q2` also qualifies for
+`q1` (so a cache holding `q1`'s result can answer `q2` locally), and the
+*intersection* of two queries is the most general query qualifying exactly
+the buckets both do — or nothing, when they pin the same field to different
+values.  Batch executors and result caches are the consumers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query.partial_match import PartialMatchQuery
+
+__all__ = ["subsumes", "intersect", "are_disjoint"]
+
+
+def _check_same_filesystem(
+    first: PartialMatchQuery, second: PartialMatchQuery
+) -> None:
+    if first.filesystem != second.filesystem:
+        raise QueryError("queries target different file systems")
+
+
+def subsumes(general: PartialMatchQuery, specific: PartialMatchQuery) -> bool:
+    """Does every bucket of *specific* qualify for *general*?
+
+    True exactly when *general* leaves free every field *specific* leaves
+    free, and agrees on every field both specify.
+
+    >>> from repro.hashing.fields import FileSystem
+    >>> fs = FileSystem.of(4, 4, m=4)
+    >>> broad = PartialMatchQuery.from_dict(fs, {0: 1})
+    >>> narrow = PartialMatchQuery.from_dict(fs, {0: 1, 1: 2})
+    >>> subsumes(broad, narrow)
+    True
+    >>> subsumes(narrow, broad)
+    False
+    """
+    _check_same_filesystem(general, specific)
+    for general_value, specific_value in zip(general.values, specific.values):
+        if general_value is None:
+            continue
+        if general_value != specific_value:
+            return False
+    return True
+
+
+def intersect(
+    first: PartialMatchQuery, second: PartialMatchQuery
+) -> PartialMatchQuery | None:
+    """The query qualifying exactly the buckets both do, or ``None``.
+
+    >>> from repro.hashing.fields import FileSystem
+    >>> fs = FileSystem.of(4, 4, m=4)
+    >>> a = PartialMatchQuery.from_dict(fs, {0: 1})
+    >>> b = PartialMatchQuery.from_dict(fs, {1: 2})
+    >>> intersect(a, b).describe()
+    '<1, 2>'
+    """
+    _check_same_filesystem(first, second)
+    merged: list[int | None] = []
+    for left, right in zip(first.values, second.values):
+        if left is None:
+            merged.append(right)
+        elif right is None or right == left:
+            merged.append(left)
+        else:
+            return None
+    return PartialMatchQuery(first.filesystem, tuple(merged))
+
+
+def are_disjoint(first: PartialMatchQuery, second: PartialMatchQuery) -> bool:
+    """No bucket qualifies for both (some field pinned to different values)."""
+    return intersect(first, second) is None

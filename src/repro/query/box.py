@@ -1,0 +1,157 @@
+"""Box queries: the "more general type of queries" of the paper's §6.
+
+A partial match query restricts each field to either one value or all
+values.  A *box query* generalises both ends: each field carries an
+arbitrary non-empty set of allowed hashed values — a range (order-
+preserving hashes make attribute ranges contiguous in hash space), an
+IN-list, or everything.  The qualified buckets form the Cartesian product
+of the per-field sets (a "box" in the grid), which is exactly the query
+class the paper's conclusion points at for future distribution work.
+
+Everything downstream generalises cleanly: the per-device histogram is the
+group convolution of *restricted* contribution histograms
+(:mod:`repro.analysis.box`), and inverse mapping solves the last field
+against the restricted contribution index.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.hashing.fields import Bucket, FileSystem
+from repro.query.partial_match import PartialMatchQuery
+
+__all__ = ["BoxQuery"]
+
+
+@dataclass(frozen=True)
+class BoxQuery:
+    """A Cartesian-product query: one allowed-value set per field.
+
+    ``allowed[i]`` is a sorted tuple of permitted hashed values for field
+    ``i`` (never empty; the full domain means the field is unconstrained).
+
+    >>> fs = FileSystem.of(4, 8, m=4)
+    >>> box = BoxQuery.from_spec(fs, {0: (1, 3), 1: [2, 5]})
+    >>> box.qualified_count        # field 0 in {1,2,3}, field 1 in {2,5}
+    6
+    """
+
+    filesystem: FileSystem
+    allowed: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.allowed) != self.filesystem.n_fields:
+            raise QueryError(
+                f"{len(self.allowed)} field sets for "
+                f"{self.filesystem.n_fields} fields"
+            )
+        for i, values in enumerate(self.allowed):
+            size = self.filesystem.field_sizes[i]
+            if not values:
+                raise QueryError(f"field {i}: empty allowed set")
+            if list(values) != sorted(set(values)):
+                raise QueryError(
+                    f"field {i}: allowed set must be sorted and duplicate-free"
+                )
+            if values[0] < 0 or values[-1] >= size:
+                raise QueryError(
+                    f"field {i}: values outside domain [0, {size})"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        filesystem: FileSystem,
+        spec: Mapping[int, int | tuple[int, int] | Iterable[int]],
+    ) -> "BoxQuery":
+        """Build from a per-field spec; unmentioned fields are unconstrained.
+
+        Per field: a single int (exact), a ``(lo, hi)`` 2-tuple (inclusive
+        range of hashed values), or any other iterable of values (IN-list).
+        """
+        allowed: list[tuple[int, ...]] = []
+        for i, size in enumerate(filesystem.field_sizes):
+            if i not in spec:
+                allowed.append(tuple(range(size)))
+                continue
+            constraint = spec[i]
+            if isinstance(constraint, int):
+                allowed.append((constraint,))
+            elif (
+                isinstance(constraint, tuple)
+                and len(constraint) == 2
+                and all(isinstance(v, int) for v in constraint)
+            ):
+                lo, hi = constraint
+                if lo > hi:
+                    raise QueryError(f"field {i}: empty range ({lo}, {hi})")
+                allowed.append(tuple(range(lo, hi + 1)))
+            else:
+                allowed.append(tuple(sorted(set(constraint))))
+        return cls(filesystem, tuple(allowed))
+
+    @classmethod
+    def from_partial_match(cls, query: PartialMatchQuery) -> "BoxQuery":
+        """Embed a partial match query (the degenerate box)."""
+        allowed = []
+        for value, size in zip(query.values, query.filesystem.field_sizes):
+            if value is None:
+                allowed.append(tuple(range(size)))
+            else:
+                allowed.append((value,))
+        return cls(query.filesystem, tuple(allowed))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def qualified_count(self) -> int:
+        return math.prod(len(values) for values in self.allowed)
+
+    def constrained_fields(self) -> tuple[int, ...]:
+        """Fields whose allowed set is a proper subset of the domain."""
+        return tuple(
+            i
+            for i, values in enumerate(self.allowed)
+            if len(values) < self.filesystem.field_sizes[i]
+        )
+
+    def is_partial_match(self) -> bool:
+        """True when every field is either exact or unconstrained."""
+        return all(
+            len(values) in (1, self.filesystem.field_sizes[i])
+            for i, values in enumerate(self.allowed)
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def qualified_buckets(self) -> Iterator[Bucket]:
+        return itertools.product(*self.allowed)
+
+    def matches(self, bucket: Bucket) -> bool:
+        self.filesystem.check_bucket(bucket)
+        return all(
+            value in values for value, values in zip(bucket, self.allowed)
+        )
+
+    def describe(self) -> str:
+        """Compact rendering, e.g. ``<1, {2,5}, *>``."""
+        cells = []
+        for i, values in enumerate(self.allowed):
+            size = self.filesystem.field_sizes[i]
+            if len(values) == size:
+                cells.append("*")
+            elif len(values) == 1:
+                cells.append(str(values[0]))
+            else:
+                cells.append("{" + ",".join(map(str, values)) + "}")
+        return "<" + ", ".join(cells) + ">"

@@ -1,0 +1,123 @@
+"""Workload statistics estimation from observed queries.
+
+The design optimiser and the method advisor both consume per-field
+specification probabilities.  This module estimates them from a sample of
+queries (e.g. a parsed trace), with Wilson-score confidence intervals so a
+thin trace is visibly thin, plus an independence diagnostic: the paper's
+query model assumes fields are specified independently, and a trace can be
+checked against that assumption before its estimates are trusted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.query.partial_match import PartialMatchQuery
+
+__all__ = ["FieldEstimate", "WorkloadEstimate", "estimate_workload"]
+
+#: z for 95% two-sided confidence.
+_Z95 = 1.959963984540054
+
+
+def _wilson(successes: int, trials: int, z: float = _Z95) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials == 0:
+        return (0.0, 1.0)
+    p_hat = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials**2))
+        / denominator
+    )
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+@dataclass(frozen=True)
+class FieldEstimate:
+    """Specification-probability estimate of one field."""
+
+    field_index: int
+    probability: float
+    low: float
+    high: float
+    samples: int
+
+
+@dataclass(frozen=True)
+class WorkloadEstimate:
+    """Estimates for all fields plus an independence diagnostic."""
+
+    fields: tuple[FieldEstimate, ...]
+    samples: int
+    #: Largest |P(i and j specified) - P(i)P(j)| over field pairs; values
+    #: near 0 are consistent with the paper's independence assumption.
+    max_pairwise_dependence: float
+
+    def probabilities(self) -> tuple[float, ...]:
+        """Point estimates, ready for design_directory / recommend_method."""
+        return tuple(estimate.probability for estimate in self.fields)
+
+    def looks_independent(self, tolerance: float = 0.1) -> bool:
+        return self.max_pairwise_dependence <= tolerance
+
+
+def estimate_workload(queries: Sequence[PartialMatchQuery]) -> WorkloadEstimate:
+    """Estimate per-field specification probabilities from *queries*.
+
+    >>> from repro.hashing.fields import FileSystem
+    >>> fs = FileSystem.of(4, 4, m=4)
+    >>> qs = [PartialMatchQuery.from_dict(fs, {0: 1})] * 10
+    >>> estimate_workload(qs).probabilities()
+    (1.0, 0.0)
+    """
+    if not queries:
+        raise AnalysisError("cannot estimate from an empty sample")
+    fs = queries[0].filesystem
+    for query in queries:
+        if query.filesystem != fs:
+            raise AnalysisError("queries target different file systems")
+    n = len(queries)
+    n_fields = fs.n_fields
+
+    specified_counts = [0] * n_fields
+    joint_counts = [[0] * n_fields for __ in range(n_fields)]
+    for query in queries:
+        flags = [value is not None for value in query.values]
+        for i in range(n_fields):
+            if flags[i]:
+                specified_counts[i] += 1
+                for j in range(i + 1, n_fields):
+                    if flags[j]:
+                        joint_counts[i][j] += 1
+
+    fields = []
+    for i in range(n_fields):
+        low, high = _wilson(specified_counts[i], n)
+        fields.append(
+            FieldEstimate(
+                field_index=i,
+                probability=specified_counts[i] / n,
+                low=low,
+                high=high,
+                samples=n,
+            )
+        )
+
+    max_dependence = 0.0
+    for i in range(n_fields):
+        for j in range(i + 1, n_fields):
+            joint = joint_counts[i][j] / n
+            product = fields[i].probability * fields[j].probability
+            max_dependence = max(max_dependence, abs(joint - product))
+
+    return WorkloadEstimate(
+        fields=tuple(fields),
+        samples=n,
+        max_pairwise_dependence=max_dependence,
+    )

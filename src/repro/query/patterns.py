@@ -1,0 +1,84 @@
+"""Specification patterns: which fields of a query are unspecified.
+
+For every distribution method in this library whose device address is a
+group operation over per-field contributions (FX, Modulo, GDM), the *shape*
+of a query's per-device histogram depends only on its pattern — the set of
+unspecified fields — and not on the specified values (the specified part
+merely permutes device labels; see DESIGN.md).  The evaluation section of the
+paper therefore sweeps patterns, and this module provides the enumerators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+
+from repro.errors import QueryError
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+
+__all__ = [
+    "SpecPattern",
+    "all_patterns",
+    "patterns_with_k_unspecified",
+    "queries_for_pattern",
+    "representative_query",
+]
+
+#: A pattern is the frozen set of *unspecified* field indices.
+SpecPattern = frozenset[int]
+
+
+def all_patterns(n_fields: int) -> Iterator[SpecPattern]:
+    """All ``2**n`` specification patterns, by increasing unspecified count.
+
+    Includes the exact match (empty set) and the full scan (all fields),
+    matching the paper's inclusive definition of partial match queries.
+    """
+    for k in range(n_fields + 1):
+        yield from patterns_with_k_unspecified(n_fields, k)
+
+
+def patterns_with_k_unspecified(n_fields: int, k: int) -> Iterator[SpecPattern]:
+    """The ``C(n, k)`` patterns with exactly *k* unspecified fields."""
+    if not 0 <= k <= n_fields:
+        raise QueryError(f"k={k} outside [0, {n_fields}]")
+    for combo in itertools.combinations(range(n_fields), k):
+        yield frozenset(combo)
+
+
+def queries_for_pattern(
+    filesystem: FileSystem, pattern: Iterable[int]
+) -> Iterator[PartialMatchQuery]:
+    """Every concrete query with the given unspecified set.
+
+    Iterates over all combinations of values for the *specified* fields —
+    ``prod F_i`` over specified ``i`` queries in total.
+    """
+    unspecified = frozenset(pattern)
+    for i in unspecified:
+        if not 0 <= i < filesystem.n_fields:
+            raise QueryError(f"pattern names field {i}, file system has "
+                             f"{filesystem.n_fields} fields")
+    specified = [i for i in range(filesystem.n_fields) if i not in unspecified]
+    axes = [range(filesystem.field_sizes[i]) for i in specified]
+    for values in itertools.product(*axes):
+        yield PartialMatchQuery.from_dict(
+            filesystem, dict(zip(specified, values))
+        )
+
+
+def representative_query(
+    filesystem: FileSystem, pattern: Iterable[int]
+) -> PartialMatchQuery:
+    """One concrete query for *pattern* with all specified fields at 0.
+
+    Sufficient for methods whose histogram shape is pattern-only; the
+    empirical checkers use it as a fast path when the method declares that
+    property.
+    """
+    unspecified = frozenset(pattern)
+    specified = {
+        i: 0 for i in range(filesystem.n_fields) if i not in unspecified
+    }
+    return PartialMatchQuery.from_dict(filesystem, specified)

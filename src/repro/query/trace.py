@@ -1,0 +1,115 @@
+"""Trace-driven workloads: parse and serialise query logs.
+
+Real evaluations replay logged workloads.  The trace format here is one
+query per line, whitespace-separated ``field=value`` terms with ``*`` for
+unspecified fields, ``#`` comments and blank lines ignored::
+
+    # parts catalog trace
+    f0=3 f1=* f2=1
+    f0=* f1=7 f2=*
+
+Field indices must cover every field of the target file system exactly
+once, which catches silently-truncated traces at load time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import QueryError
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+
+__all__ = ["parse_trace", "load_trace", "dump_trace", "format_query"]
+
+
+def parse_trace(
+    filesystem: FileSystem, lines: Iterable[str]
+) -> Iterator[PartialMatchQuery]:
+    """Parse trace *lines* into queries (lazily, line by line)."""
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        yield _parse_line(filesystem, line, line_number)
+
+
+def _parse_line(
+    filesystem: FileSystem, line: str, line_number: int
+) -> PartialMatchQuery:
+    values: list[int | None] = [None] * filesystem.n_fields
+    seen: set[int] = set()
+    for term in line.split():
+        name, __, value_text = term.partition("=")
+        if not name.startswith("f") or not value_text:
+            raise QueryError(
+                f"trace line {line_number}: malformed term {term!r} "
+                "(expected fN=value or fN=*)"
+            )
+        try:
+            index = int(name[1:])
+        except ValueError:
+            raise QueryError(
+                f"trace line {line_number}: bad field name {name!r}"
+            ) from None
+        if not 0 <= index < filesystem.n_fields:
+            raise QueryError(
+                f"trace line {line_number}: no field {index} "
+                f"(file has {filesystem.n_fields})"
+            )
+        if index in seen:
+            raise QueryError(
+                f"trace line {line_number}: field {index} given twice"
+            )
+        seen.add(index)
+        if value_text == "*":
+            values[index] = None
+        else:
+            try:
+                values[index] = int(value_text)
+            except ValueError:
+                raise QueryError(
+                    f"trace line {line_number}: non-integer value "
+                    f"{value_text!r}"
+                ) from None
+    if seen != set(range(filesystem.n_fields)):
+        missing = sorted(set(range(filesystem.n_fields)) - seen)
+        raise QueryError(
+            f"trace line {line_number}: fields {missing} not mentioned"
+        )
+    try:
+        return PartialMatchQuery(filesystem, tuple(values))
+    except QueryError as error:
+        raise QueryError(f"trace line {line_number}: {error}") from None
+
+
+def load_trace(filesystem: FileSystem, path: str | Path) -> list[PartialMatchQuery]:
+    """Load a whole trace file.
+
+    >>> import tempfile, os
+    >>> fs = FileSystem.of(4, 8, m=4)
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     p = os.path.join(d, "trace.txt")
+    ...     __ = Path(p).write_text("f0=1 f1=*\\nf0=* f1=5\\n")
+    ...     [q.describe() for q in load_trace(fs, p)]
+    ['<1, *>', '<*, 5>']
+    """
+    with open(path, encoding="utf-8") as handle:
+        return list(parse_trace(filesystem, handle))
+
+
+def format_query(query: PartialMatchQuery) -> str:
+    """One trace line for *query* (inverse of parsing)."""
+    terms = []
+    for i, value in enumerate(query.values):
+        terms.append(f"f{i}=*" if value is None else f"f{i}={value}")
+    return " ".join(terms)
+
+
+def dump_trace(
+    queries: Iterable[PartialMatchQuery], path: str | Path
+) -> None:
+    """Write queries to a trace file, one per line."""
+    lines = [format_query(query) for query in queries]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

@@ -1,0 +1,104 @@
+"""Random partial-match workload generation.
+
+Section 5 of the paper assumes "the probability of each field being specified
+is the same for all fields and some field being specified is independent of
+each other".  :class:`QueryWorkload` realises exactly that model (independent
+Bernoulli per field, uniform specified values), with a seedable RNG so
+experiments are reproducible, plus a skewed variant for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, QueryError
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+
+__all__ = ["WorkloadSpec", "QueryWorkload"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a random workload.
+
+    ``spec_probability`` may be a single float (the paper's uniform model) or
+    one probability per field for skewed workloads.  ``exclude_trivial``
+    rejects exact-match and full-scan queries, matching the authors who
+    "exclude cases where the number of unspecified fields is 0 ... or n".
+    """
+
+    spec_probability: float | tuple[float, ...] = 0.5
+    exclude_trivial: bool = False
+    seed: int = 0
+
+    def probabilities(self, n_fields: int) -> tuple[float, ...]:
+        """Expand to one specification probability per field."""
+        if isinstance(self.spec_probability, (int, float)):
+            probs = (float(self.spec_probability),) * n_fields
+        else:
+            probs = tuple(float(p) for p in self.spec_probability)
+            if len(probs) != n_fields:
+                raise ConfigurationError(
+                    f"{len(probs)} probabilities for {n_fields} fields"
+                )
+        for p in probs:
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"probability {p} outside [0, 1]")
+        return probs
+
+
+class QueryWorkload:
+    """A reproducible stream of random partial match queries.
+
+    >>> fs = FileSystem.of(4, 4, 8, m=8)
+    >>> wl = QueryWorkload(fs, WorkloadSpec(seed=42))
+    >>> queries = wl.take(100)
+    >>> len(queries)
+    100
+    >>> all(q.filesystem is fs for q in queries)
+    True
+    """
+
+    def __init__(self, filesystem: FileSystem, spec: WorkloadSpec | None = None):
+        self.filesystem = filesystem
+        self.spec = spec or WorkloadSpec()
+        self._probs = self.spec.probabilities(filesystem.n_fields)
+        self._rng = random.Random(self.spec.seed)
+
+    def __iter__(self) -> Iterator[PartialMatchQuery]:
+        while True:
+            yield self.next_query()
+
+    def next_query(self) -> PartialMatchQuery:
+        """Draw the next query (rejection-samples trivial ones if asked)."""
+        for __ in range(10_000):
+            values: list[int | None] = []
+            for p, size in zip(self._probs, self.filesystem.field_sizes):
+                if self._rng.random() < p:
+                    values.append(self._rng.randrange(size))
+                else:
+                    values.append(None)
+            query = PartialMatchQuery(self.filesystem, tuple(values))
+            if self.spec.exclude_trivial and query.num_unspecified in (
+                0,
+                self.filesystem.n_fields,
+            ):
+                continue
+            return query
+        raise QueryError(
+            "could not draw a non-trivial query; specification probabilities "
+            "make them vanishingly rare"
+        )
+
+    def take(self, count: int) -> list[PartialMatchQuery]:
+        """Materialise the next *count* queries."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        return [self.next_query() for __ in range(count)]
+
+    def reset(self) -> None:
+        """Rewind the RNG to the seed, replaying the same stream."""
+        self._rng = random.Random(self.spec.seed)

@@ -1,0 +1,358 @@
+"""A B-tree for the local "data construction" stage.
+
+The paper's two-stage model [PrKi88] pairs *data distribution* (its topic)
+with *data construction* — how each device organises its share locally.
+The authors' own companion work is a parallel B-tree variant (HCB_tree
+[PrKi87]); this module supplies the per-device ordered structure: a classic
+CLRS-style B-tree of minimum degree ``t`` mapping comparable keys to lists
+of values (duplicate keys allowed), with range scans.
+
+The implementation favours auditability: every invariant the structure
+promises (sorted keys, node occupancy bounds, uniform leaf depth, key/child
+counts) is checkable via :meth:`BTree.check_invariants`, which the property
+tests call after every mutation sequence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, StorageError
+
+__all__ = ["BTree"]
+
+
+@dataclass
+class _Node:
+    leaf: bool
+    keys: list = field(default_factory=list)
+    values: list = field(default_factory=list)      # list of lists
+    children: list = field(default_factory=list)    # list of _Node
+
+
+class BTree:
+    """A B-tree map from comparable keys to lists of values.
+
+    ``t`` is the minimum degree: every node except the root holds between
+    ``t - 1`` and ``2t - 1`` keys.
+
+    >>> tree = BTree(t=2)
+    >>> for k in [5, 1, 9, 3, 7]:
+    ...     tree.insert(k, str(k))
+    >>> list(tree.range(3, 8))
+    [(3, ('3',)), (5, ('5',)), (7, ('7',))]
+    """
+
+    def __init__(self, t: int = 16):
+        if t < 2:
+            raise ConfigurationError("B-tree minimum degree must be >= 2")
+        self.t = t
+        self._root = _Node(leaf=True)
+        self._size = 0          # number of (key, value) pairs
+        self._key_count = 0     # number of distinct keys
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key) -> tuple:
+        """Values stored under *key* (empty tuple when absent)."""
+        node = self._root
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return tuple(node.values[index])
+            if node.leaf:
+                return ()
+            node = node.children[index]
+
+    def __contains__(self, key) -> bool:
+        return bool(self.get(key))
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def key_count(self) -> int:
+        return self._key_count
+
+    def items(self) -> Iterator[tuple]:
+        """All ``(key, values)`` pairs in key order."""
+        yield from self._walk(self._root)
+
+    def range(self, low, high) -> Iterator[tuple]:
+        """``(key, values)`` pairs with ``low <= key < high``, in order.
+
+        The per-device use case: a bucket's records are one key, a run of
+        buckets is one contiguous scan.
+        """
+        yield from self._walk_range(self._root, low, high)
+
+    def height(self) -> int:
+        """Number of levels (1 for a lone root leaf)."""
+        levels = 1
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    # ------------------------------------------------------------------
+    # Insertion (single-pass with preemptive splits)
+    # ------------------------------------------------------------------
+    def insert(self, key, value) -> None:
+        """Add one ``(key, value)`` pair; duplicates accumulate per key."""
+        root = self._root
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = _Node(leaf=False, children=[root])
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, value)
+        self._size += 1
+
+    def _insert_nonfull(self, node: _Node, key, value) -> None:
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(value)
+                return
+            if node.leaf:
+                node.keys.insert(index, key)
+                node.values.insert(index, [value])
+                self._key_count += 1
+                return
+            child = node.children[index]
+            if len(child.keys) == 2 * self.t - 1:
+                self._split_child(node, index)
+                if node.keys[index] == key:
+                    node.values[index].append(value)
+                    return
+                if key > node.keys[index]:
+                    index += 1
+            node = node.children[index]
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self.t
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+        parent.children.insert(index + 1, sibling)
+
+    # ------------------------------------------------------------------
+    # Deletion (CLRS cases, value-level first)
+    # ------------------------------------------------------------------
+    def delete(self, key, value) -> bool:
+        """Remove one occurrence of *value* under *key*.
+
+        Returns ``False`` when the pair is absent.  The key disappears from
+        the tree once its last value is removed.
+        """
+        values = self.get(key)
+        if value not in values:
+            return False
+        if len(values) > 1:
+            self._remove_one_value(self._root, key, value)
+            self._size -= 1
+            return True
+        self._delete_key(self._root, key)
+        if not self._root.leaf and not self._root.keys:
+            self._root = self._root.children[0]
+        self._size -= 1
+        self._key_count -= 1
+        return True
+
+    def _remove_one_value(self, node: _Node, key, value) -> None:
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].remove(value)
+                return
+            node = node.children[index]
+
+    def _delete_key(self, node: _Node, key) -> None:
+        t = self.t
+        index = _lower_bound(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                return
+            left, right = node.children[index], node.children[index + 1]
+            if len(left.keys) >= t:
+                pred_key, pred_values = self._max_entry(left)
+                node.keys[index] = pred_key
+                node.values[index] = pred_values
+                self._delete_key(left, pred_key)
+            elif len(right.keys) >= t:
+                succ_key, succ_values = self._min_entry(right)
+                node.keys[index] = succ_key
+                node.values[index] = succ_values
+                self._delete_key(right, succ_key)
+            else:
+                self._merge_children(node, index)
+                self._delete_key(left, key)
+            return
+        if node.leaf:
+            raise StorageError(f"delete: key {key!r} vanished mid-descent")
+        child = node.children[index]
+        if len(child.keys) == t - 1:
+            index = self._fill_child(node, index)
+            child = node.children[index] if index < len(node.children) else node.children[-1]
+            # after a merge the key may now live in this node
+            self._delete_key(node, key)
+            return
+        self._delete_key(child, key)
+
+    def _fill_child(self, node: _Node, index: int) -> int:
+        """Ensure child *index* has >= t keys; returns possibly new index."""
+        t = self.t
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            self._rotate_from_left(node, index)
+            return index
+        if (
+            index + 1 < len(node.children)
+            and len(node.children[index + 1].keys) >= t
+        ):
+            self._rotate_from_right(node, index)
+            return index
+        if index + 1 < len(node.children):
+            self._merge_children(node, index)
+            return index
+        self._merge_children(node, index - 1)
+        return index - 1
+
+    def _rotate_from_left(self, node: _Node, index: int) -> None:
+        child = node.children[index]
+        left = node.children[index - 1]
+        child.keys.insert(0, node.keys[index - 1])
+        child.values.insert(0, node.values[index - 1])
+        node.keys[index - 1] = left.keys.pop()
+        node.values[index - 1] = left.values.pop()
+        if not child.leaf:
+            child.children.insert(0, left.children.pop())
+
+    def _rotate_from_right(self, node: _Node, index: int) -> None:
+        child = node.children[index]
+        right = node.children[index + 1]
+        child.keys.append(node.keys[index])
+        child.values.append(node.values[index])
+        node.keys[index] = right.keys.pop(0)
+        node.values[index] = right.values.pop(0)
+        if not child.leaf:
+            child.children.append(right.children.pop(0))
+
+    def _merge_children(self, node: _Node, index: int) -> None:
+        left = node.children[index]
+        right = node.children[index + 1]
+        left.keys.append(node.keys.pop(index))
+        left.values.append(node.values.pop(index))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        if not left.leaf:
+            left.children.extend(right.children)
+        node.children.pop(index + 1)
+
+    def _max_entry(self, node: _Node) -> tuple:
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def _min_entry(self, node: _Node) -> tuple:
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    # ------------------------------------------------------------------
+    # Traversal helpers
+    # ------------------------------------------------------------------
+    def _walk(self, node: _Node) -> Iterator[tuple]:
+        if node.leaf:
+            for key, values in zip(node.keys, node.values):
+                yield key, tuple(values)
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._walk(node.children[i])
+            yield key, tuple(node.values[i])
+        yield from self._walk(node.children[-1])
+
+    def _walk_range(self, node: _Node, low, high) -> Iterator[tuple]:
+        start = _lower_bound(node.keys, low)
+        if node.leaf:
+            for i in range(start, len(node.keys)):
+                if node.keys[i] >= high:
+                    return
+                yield node.keys[i], tuple(node.values[i])
+            return
+        for i in range(start, len(node.keys)):
+            yield from self._walk_range(node.children[i], low, high)
+            if node.keys[i] >= high:
+                return
+            if node.keys[i] >= low:
+                yield node.keys[i], tuple(node.values[i])
+        yield from self._walk_range(node.children[-1], low, high)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Verify structure: occupancy, ordering, depth, counters."""
+        leaf_depths: set[int] = set()
+        pair_count = 0
+        key_count = 0
+        stack = [(self._root, 0, None, None)]
+        while stack:
+            node, depth, low, high = stack.pop()
+            if node is not self._root and len(node.keys) < self.t - 1:
+                raise StorageError("underfull node")
+            if len(node.keys) > 2 * self.t - 1:
+                raise StorageError("overfull node")
+            if sorted(node.keys) != node.keys:
+                raise StorageError("unsorted keys in node")
+            for key, values in zip(node.keys, node.values):
+                if low is not None and key <= low:
+                    raise StorageError("key below subtree bound")
+                if high is not None and key >= high:
+                    raise StorageError("key above subtree bound")
+                if not values:
+                    raise StorageError(f"key {key!r} with no values")
+                pair_count += len(values)
+                key_count += 1
+            if node.leaf:
+                if node.children:
+                    raise StorageError("leaf with children")
+                leaf_depths.add(depth)
+                continue
+            if len(node.children) != len(node.keys) + 1:
+                raise StorageError("child count != key count + 1")
+            bounds = [low, *node.keys, high]
+            for i, child in enumerate(node.children):
+                stack.append((child, depth + 1, bounds[i], bounds[i + 1]))
+        if len(leaf_depths) > 1:
+            raise StorageError(f"leaves at mixed depths {leaf_depths}")
+        if pair_count != self._size:
+            raise StorageError(f"size drift: {pair_count} != {self._size}")
+        if key_count != self._key_count:
+            raise StorageError(
+                f"key-count drift: {key_count} != {self._key_count}"
+            )
+
+
+def _lower_bound(keys: list, key) -> int:
+    """First index whose key is >= *key* (binary search)."""
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,92 @@
+"""Per-device local bucket storage (the "data construction" stage).
+
+The paper deliberately leaves local organisation open; this store is a plain
+hash directory from bucket address to its records — the natural companion of
+multi-key hashing — instrumented enough for the executor to account accesses.
+Records are arbitrary immutable Python objects (tuples in the examples).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import StorageError
+from repro.hashing.fields import Bucket
+
+__all__ = ["BucketStore"]
+
+
+class BucketStore:
+    """Maps bucket addresses to lists of records on one device."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[Bucket, list[object]] = {}
+        self._record_count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, bucket: Bucket, record: object) -> None:
+        """Append *record* to *bucket* (created on first use)."""
+        self._buckets.setdefault(tuple(bucket), []).append(record)
+        self._record_count += 1
+
+    def delete(self, bucket: Bucket, record: object) -> bool:
+        """Remove one occurrence of *record* from *bucket*.
+
+        Returns ``True`` when a record was removed, ``False`` when it was
+        not present.  Empty buckets are dropped so iteration stays tight.
+        """
+        key = tuple(bucket)
+        records = self._buckets.get(key)
+        if not records:
+            return False
+        try:
+            records.remove(record)
+        except ValueError:
+            return False
+        self._record_count -= 1
+        if not records:
+            del self._buckets[key]
+        return True
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._record_count = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def records_in(self, bucket: Bucket) -> tuple[object, ...]:
+        """Records of one bucket (empty tuple when the bucket is absent)."""
+        return tuple(self._buckets.get(tuple(bucket), ()))
+
+    def has_bucket(self, bucket: Bucket) -> bool:
+        return tuple(bucket) in self._buckets
+
+    def buckets(self) -> Iterator[Bucket]:
+        """Iterate over the non-empty bucket addresses held here."""
+        return iter(self._buckets)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of non-empty buckets."""
+        return len(self._buckets)
+
+    def check_invariants(self) -> None:
+        """Internal consistency check used by tests and failure injection."""
+        actual = sum(len(records) for records in self._buckets.values())
+        if actual != self._record_count:
+            raise StorageError(
+                f"record count drifted: cached {self._record_count}, "
+                f"actual {actual}"
+            )
+        if any(not records for records in self._buckets.values()):
+            raise StorageError("empty bucket left behind after delete")

@@ -1,0 +1,133 @@
+"""Subsumption-aware query result cache.
+
+Partial match workloads are repetitive, and their queries order naturally
+by containment: a cached broad result can answer any narrower query locally
+(filter by bucket membership) without touching the devices.  This executor
+wraps :class:`~repro.storage.executor.QueryExecutor` with an LRU cache keyed
+by query and consulted through :func:`repro.query.algebra.subsumes`.
+
+Cache entries store ``(bucket, records)`` pairs, so answering a subsumed
+query is a dictionary-free scan of the cached buckets against the narrower
+predicate — no rehashing of records required.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hashing.fields import Bucket
+from repro.query.algebra import subsumes
+from repro.query.partial_match import PartialMatchQuery
+from repro.storage.parallel_file import PartitionedFile
+
+__all__ = ["CacheStats", "CachedExecutor"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cached executor."""
+
+    exact_hits: int = 0
+    subsumption_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.exact_hits + self.subsumption_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return (self.exact_hits + self.subsumption_hits) / self.lookups
+
+
+@dataclass
+class _Entry:
+    """One cached result: the qualified buckets with their records."""
+
+    buckets: dict[Bucket, tuple[object, ...]] = field(default_factory=dict)
+
+
+class CachedExecutor:
+    """LRU, subsumption-aware caching front for partial match execution.
+
+    Correctness caveat shared by every result cache: entries reflect the
+    file at execution time; call :meth:`invalidate` after writes.
+
+    >>> from repro import FileSystem, FXDistribution
+    >>> fs = FileSystem.of(4, 4, m=4)
+    >>> pf = PartitionedFile(FXDistribution(fs))
+    >>> __ = pf.insert((1, 2))
+    >>> cached = CachedExecutor(pf, capacity=8)
+    >>> broad = PartialMatchQuery.from_dict(fs, {})
+    >>> narrow = pf.query({0: 1})
+    >>> __ = cached.execute(broad)       # miss: hits the devices
+    >>> __ = cached.execute(narrow)      # answered from the broad entry
+    >>> cached.stats.subsumption_hits
+    1
+    """
+
+    def __init__(self, partitioned_file: PartitionedFile, capacity: int = 32):
+        if capacity < 1:
+            raise ConfigurationError("cache capacity must be at least 1")
+        self.file = partitioned_file
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[PartialMatchQuery, _Entry] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query: PartialMatchQuery) -> list[object]:
+        """Records of *query*'s qualified buckets, cached when possible."""
+        entry = self._entries.get(query)
+        if entry is not None:
+            self._entries.move_to_end(query)
+            self.stats.exact_hits += 1
+            return self._collect(entry, query)
+        for cached_query in reversed(self._entries):
+            if subsumes(cached_query, query):
+                self._entries.move_to_end(cached_query)
+                self.stats.subsumption_hits += 1
+                return self._collect(self._entries[cached_query], query)
+        self.stats.misses += 1
+        entry = self._fetch(query)
+        self._entries[query] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return self._collect(entry, query)
+
+    def _fetch(self, query: PartialMatchQuery) -> _Entry:
+        """Read the query from the devices, keeping per-bucket grouping."""
+        entry = _Entry()
+        method = self.file.method
+        for device in self.file.devices:
+            assigned = list(
+                method.qualified_on_device(device.device_id, query)
+            )
+            device.read_buckets(assigned)
+            for bucket in assigned:
+                entry.buckets[bucket] = device.store.records_in(bucket)
+        return entry
+
+    def _collect(self, entry: _Entry, query: PartialMatchQuery) -> list[object]:
+        records: list[object] = []
+        for bucket, bucket_records in entry.buckets.items():
+            if query.matches(bucket):
+                records.extend(bucket_records)
+        return records
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every entry (call after any write to the file)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

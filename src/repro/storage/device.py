@@ -1,0 +1,115 @@
+"""One simulated parallel device with access accounting.
+
+Devices are deliberately dumb: they store buckets, serve bucket reads and
+track counters.  The intelligence (which buckets live where, which buckets a
+query needs from this device) sits in the distribution method and the
+executor — mirroring the paper's claim that each device performs its own
+inverse mapping and local retrieval independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceFullError
+from repro.hashing.fields import Bucket
+from repro.storage.bucket_store import BucketStore
+from repro.storage.costs import DeviceCostModel, UnitCostModel
+
+__all__ = ["SimulatedDevice", "DeviceStats"]
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative counters of one device."""
+
+    inserts: int = 0
+    deletes: int = 0
+    bucket_reads: int = 0
+    records_returned: int = 0
+    busy_time_ms: float = 0.0
+
+    def reset(self) -> None:
+        self.inserts = 0
+        self.deletes = 0
+        self.bucket_reads = 0
+        self.records_returned = 0
+        self.busy_time_ms = 0.0
+
+
+class SimulatedDevice:
+    """A storage node: a bucket store plus a service-time model.
+
+    *capacity* optionally bounds the record count so tests can exercise the
+    overflow path (a real array of 1988 Winchester disks was finite, after
+    all).
+    """
+
+    def __init__(
+        self,
+        device_id: int,
+        cost_model: DeviceCostModel | None = None,
+        capacity: int | None = None,
+        store: BucketStore | None = None,
+    ):
+        self.device_id = device_id
+        self.cost_model = cost_model or UnitCostModel()
+        self.capacity = capacity
+        # Any object with the BucketStore interface works; the B-tree store
+        # (repro.storage.btree_store) is the ordered alternative.
+        self.store = store if store is not None else BucketStore()
+        self.stats = DeviceStats()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, bucket: Bucket, record: object) -> None:
+        if self.capacity is not None and self.store.record_count >= self.capacity:
+            raise DeviceFullError(
+                f"device {self.device_id} at capacity ({self.capacity} records)"
+            )
+        self.store.insert(bucket, record)
+        self.stats.inserts += 1
+
+    def delete(self, bucket: Bucket, record: object) -> bool:
+        removed = self.store.delete(bucket, record)
+        if removed:
+            self.stats.deletes += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def read_buckets(self, buckets: list[Bucket]) -> list[object]:
+        """Serve one retrieval request: return all records of *buckets*.
+
+        Accounts the service time of the whole batch (one logical request,
+        as in the paper's one-query-at-a-time model).  With a page-aware
+        store (:class:`~repro.storage.paged_store.PagedBucketStore`) the
+        cost unit is pages read — overflow chains cost extra — otherwise
+        it is buckets touched.
+        """
+        records: list[object] = []
+        cost_units = 0
+        page_aware = hasattr(self.store, "pages_in")
+        for bucket in buckets:
+            records.extend(self.store.records_in(bucket))
+            if page_aware:
+                cost_units += self.store.pages_in(bucket)
+        if not page_aware:
+            cost_units = len(buckets)
+        self.stats.bucket_reads += len(buckets)
+        self.stats.records_returned += len(records)
+        self.stats.busy_time_ms += self.cost_model.service_time(cost_units)
+        return records
+
+    @property
+    def record_count(self) -> int:
+        return self.store.record_count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulatedDevice(id={self.device_id}, "
+            f"records={self.store.record_count}, "
+            f"buckets={self.store.bucket_count})"
+        )

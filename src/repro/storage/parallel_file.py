@@ -1,0 +1,131 @@
+"""A multi-key hashed file partitioned over M simulated devices.
+
+:class:`PartitionedFile` ties the substrate together: records are hashed to
+bucket addresses by a :class:`~repro.hashing.multikey.MultiKeyHash`, bucket
+addresses are mapped to devices by a
+:class:`~repro.distribution.base.DistributionMethod`, and each device stores
+its share locally.  Partial match search goes through
+:class:`~repro.storage.executor.QueryExecutor`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+
+from repro.distribution.base import DistributionMethod
+from repro.errors import ConfigurationError, StorageError
+from repro.hashing.fields import Bucket
+from repro.hashing.multikey import MultiKeyHash
+from repro.query.partial_match import PartialMatchQuery
+from repro.storage.costs import DeviceCostModel
+from repro.storage.device import SimulatedDevice
+
+__all__ = ["PartitionedFile"]
+
+
+class PartitionedFile:
+    """Records distributed over parallel devices for partial match retrieval.
+
+    >>> from repro import FileSystem, FXDistribution
+    >>> fs = FileSystem.of(4, 8, m=4)
+    >>> pf = PartitionedFile(FXDistribution(fs))
+    >>> bucket = pf.insert((17, "widget"))
+    >>> pf.record_count
+    1
+    """
+
+    def __init__(
+        self,
+        method: DistributionMethod,
+        multikey_hash: MultiKeyHash | None = None,
+        cost_model: DeviceCostModel | None = None,
+        device_capacity: int | None = None,
+        store_factory: "Callable[[], object] | None" = None,
+    ):
+        self.method = method
+        self.filesystem = method.filesystem
+        self.multikey_hash = multikey_hash or MultiKeyHash.default(self.filesystem)
+        if self.multikey_hash.filesystem != self.filesystem:
+            raise ConfigurationError(
+                "multi-key hash and distribution method target different "
+                "file systems"
+            )
+        self.devices = [
+            SimulatedDevice(
+                d,
+                cost_model=cost_model,
+                capacity=device_capacity,
+                store=store_factory() if store_factory else None,
+            )
+            for d in range(self.filesystem.m)
+        ]
+
+    # ------------------------------------------------------------------
+    # Record operations
+    # ------------------------------------------------------------------
+    def insert(self, record: Sequence[object]) -> Bucket:
+        """Hash *record*, route its bucket to a device, store it there.
+
+        Returns the bucket address for callers that want to track placement.
+        """
+        bucket = self.multikey_hash.bucket_of(record)
+        device = self.method.device_of(bucket)
+        self.devices[device].insert(bucket, tuple(record))
+        return bucket
+
+    def insert_all(self, records: Sequence[Sequence[object]]) -> None:
+        for record in records:
+            self.insert(record)
+
+    def delete(self, record: Sequence[object]) -> bool:
+        """Remove one stored copy of *record*; ``True`` when found."""
+        bucket = self.multikey_hash.bucket_of(record)
+        device = self.method.device_of(bucket)
+        return self.devices[device].delete(bucket, tuple(record))
+
+    # ------------------------------------------------------------------
+    # Query construction
+    # ------------------------------------------------------------------
+    def query(self, specified: Mapping[int, object]) -> PartialMatchQuery:
+        """Build a partial match query from raw attribute values.
+
+        The specified attributes are hashed with the file's own per-field
+        hash functions, exactly as at insert time.
+        """
+        hashed = self.multikey_hash.partial_bucket(specified)
+        return PartialMatchQuery.from_dict(self.filesystem, hashed)
+
+    def search(self, specified: Mapping[int, object]):
+        """Convenience: build the query and execute it.
+
+        Returns an :class:`~repro.storage.executor.ExecutionResult`.  Note
+        that, as with any hashed partial match scheme, the devices return
+        every record in the qualified buckets; exact attribute comparison
+        against false hash matches is the caller's (cheap) postfilter.
+        """
+        from repro.storage.executor import QueryExecutor
+
+        return QueryExecutor(self).execute(self.query(specified))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def record_count(self) -> int:
+        return sum(device.record_count for device in self.devices)
+
+    def device_loads(self) -> list[int]:
+        """Record count per device (static storage balance)."""
+        return [device.record_count for device in self.devices]
+
+    def check_invariants(self) -> None:
+        """Verify placement: every stored bucket maps back to its device."""
+        for device in self.devices:
+            device.store.check_invariants()
+            for bucket in device.store.buckets():
+                expected = self.method.device_of(bucket)
+                if expected != device.device_id:
+                    raise StorageError(
+                        f"bucket {bucket} stored on device "
+                        f"{device.device_id}, method says {expected}"
+                    )

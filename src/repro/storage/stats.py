@@ -1,0 +1,100 @@
+"""File-level statistics snapshots.
+
+One call collects everything an operator dashboards about a partitioned
+file: per-device record/bucket counts, accumulated busy time, read
+counters, page occupancy where the store is page-aware, and balance
+aggregates (max/mean ratio and Gini of the record distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.skew import gini
+from repro.storage.parallel_file import PartitionedFile
+from repro.util.tables import format_table
+
+__all__ = ["DeviceSnapshot", "FileStats", "collect_stats"]
+
+
+@dataclass(frozen=True)
+class DeviceSnapshot:
+    """Point-in-time counters of one device."""
+
+    device_id: int
+    records: int
+    buckets: int
+    bucket_reads: int
+    records_returned: int
+    busy_time_ms: float
+    pages: int | None  # None when the local store is not page-aware
+
+
+@dataclass(frozen=True)
+class FileStats:
+    """Aggregate statistics of one partitioned file."""
+
+    devices: tuple[DeviceSnapshot, ...]
+    total_records: int
+    max_over_mean_records: float
+    record_gini: float
+
+    def render(self) -> str:
+        rows = []
+        for snap in self.devices:
+            rows.append(
+                [
+                    snap.device_id,
+                    snap.records,
+                    snap.buckets,
+                    snap.pages if snap.pages is not None else "-",
+                    snap.bucket_reads,
+                    round(snap.busy_time_ms, 2),
+                ]
+            )
+        table = format_table(
+            ["device", "records", "buckets", "pages", "reads", "busy ms"],
+            rows,
+            title=(
+                f"{self.total_records} records; balance max/mean = "
+                f"{self.max_over_mean_records:.2f}, gini = "
+                f"{self.record_gini:.3f}"
+            ),
+        )
+        return table
+
+
+def collect_stats(partitioned_file: PartitionedFile) -> FileStats:
+    """Snapshot a file's devices and balance aggregates.
+
+    >>> from repro import FileSystem, FXDistribution
+    >>> pf = PartitionedFile(FXDistribution(FileSystem.of(4, 4, m=4)))
+    >>> pf.insert_all([(i, i) for i in range(40)])
+    >>> stats = collect_stats(pf)
+    >>> stats.total_records
+    40
+    """
+    snapshots = []
+    for device in partitioned_file.devices:
+        store = device.store
+        pages = store.page_count if hasattr(store, "page_count") else None
+        snapshots.append(
+            DeviceSnapshot(
+                device_id=device.device_id,
+                records=device.record_count,
+                buckets=store.bucket_count,
+                bucket_reads=device.stats.bucket_reads,
+                records_returned=device.stats.records_returned,
+                busy_time_ms=device.stats.busy_time_ms,
+                pages=pages,
+            )
+        )
+    records = [snap.records for snap in snapshots]
+    total = sum(records)
+    mean = total / len(records) if records else 0.0
+    return FileStats(
+        devices=tuple(snapshots),
+        total_records=total,
+        max_over_mean_records=(max(records) / mean) if mean else 0.0,
+        record_gini=gini(records) if records else 0.0,
+    )

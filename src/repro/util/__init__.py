@@ -1,0 +1,24 @@
+"""Shared low-level utilities: integer math, validation and text rendering."""
+
+from repro.util.numbers import (
+    ceil_div,
+    egcd,
+    ilog2,
+    is_power_of_two,
+    modinv,
+    solve_linear_congruence,
+)
+from repro.util.tables import format_table
+from repro.util.validation import check_power_of_two, check_range
+
+__all__ = [
+    "ceil_div",
+    "egcd",
+    "ilog2",
+    "is_power_of_two",
+    "modinv",
+    "solve_linear_congruence",
+    "format_table",
+    "check_power_of_two",
+    "check_range",
+]

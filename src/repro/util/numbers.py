@@ -1,0 +1,144 @@
+"""Elementary integer arithmetic used throughout the library.
+
+Everything in the paper lives in power-of-two arithmetic (field sizes and the
+device count are powers of two), and the baseline methods (Modulo, GDM)
+require solving linear congruences for inverse mapping.  This module collects
+those primitives so the rest of the code can stay declarative.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "ceil_div",
+    "egcd",
+    "modinv",
+    "solve_linear_congruence",
+    "mix64",
+]
+
+#: splitmix64 constants (public-domain PRNG finaliser).
+_MIX_GAMMA = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(word: int) -> int:
+    """splitmix64 finalisation: a high-quality 64-bit mixer.
+
+    Every output bit — including the low ones — avalanches, which matters
+    for extendible-hashing-style schemes that consume hash values from the
+    least significant bit upward.
+
+    >>> mix64(0) != 0
+    True
+    """
+    word = (word + _MIX_GAMMA) & _MASK64
+    word = ((word ^ (word >> 30)) * _MIX1) & _MASK64
+    word = ((word ^ (word >> 27)) * _MIX2) & _MASK64
+    return word ^ (word >> 31)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when *value* is a positive integral power of two.
+
+    >>> [v for v in range(1, 10) if is_power_of_two(v)]
+    [1, 2, 4, 8]
+    """
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Return ``log2(value)`` for a power of two *value*.
+
+    Raises :class:`ValueError` when *value* is not a power of two, because a
+    silent floor would hide configuration bugs in callers that rely on exact
+    bit widths.
+
+    >>> ilog2(8)
+    3
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"ilog2 expects a power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Return ``ceil(numerator / denominator)`` using exact integer math.
+
+    This implements the paper's optimality bound ``ceil(|R(q)| / M)``.
+
+    >>> ceil_div(7, 4)
+    2
+    >>> ceil_div(8, 4)
+    2
+    """
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    if numerator < 0:
+        raise ValueError("numerator must be non-negative")
+    return -(-numerator // denominator)
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: return ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``.
+
+    >>> egcd(6, 10)
+    (2, 2, -1)
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def modinv(a: int, modulus: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo *modulus*.
+
+    Raises :class:`ValueError` when the inverse does not exist (``a`` and the
+    modulus share a factor).  Needed to invert GDM multipliers during inverse
+    mapping.
+
+    >>> modinv(3, 16)
+    11
+    """
+    g, x, __ = egcd(a % modulus, modulus)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {modulus}")
+    return x % modulus
+
+
+def solve_linear_congruence(a: int, b: int, modulus: int) -> list[int]:
+    """Solve ``a * x == b (mod modulus)`` for ``x`` in ``[0, modulus)``.
+
+    Returns the (possibly empty) sorted list of solutions.  The general case
+    with ``gcd(a, modulus) > 1`` matters for GDM configurations with even
+    multipliers.
+
+    >>> solve_linear_congruence(4, 8, 16)
+    [2, 6, 10, 14]
+    >>> solve_linear_congruence(4, 6, 16)
+    []
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    a %= modulus
+    b %= modulus
+    g, x, __ = egcd(a, modulus)
+    if g == 0:
+        # a == 0 (mod modulus): either every x works or none does.
+        return list(range(modulus)) if b == 0 else []
+    if b % g:
+        return []
+    step = modulus // g
+    base = (x * (b // g)) % modulus % step
+    return [base + k * step for k in range(g)]

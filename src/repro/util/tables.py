@@ -1,0 +1,61 @@
+"""Minimal plain-text table rendering for experiment reports.
+
+The benchmark harness prints every reproduced table in the same row/column
+layout as the paper; this renderer keeps that output dependency-free and
+stable enough to diff between runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["format_table", "format_cell"]
+
+
+def format_cell(value: object, float_digits: int = 1) -> str:
+    """Render one table cell.
+
+    Floats use a fixed number of digits (the paper prints one decimal for
+    response sizes); everything else falls back to ``str``.
+    """
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_digits: int = 1,
+) -> str:
+    """Render *rows* under *headers* as an aligned plain-text table.
+
+    >>> print(format_table(["k", "FX"], [[2, 3.2], [3, 18.9]]))
+    k  FX
+    -  ----
+    2  3.2
+    3  18.9
+    """
+    str_rows = [[format_cell(cell, float_digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Argument validation helpers shared by the public constructors."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, NotPowerOfTwoError
+from repro.util.numbers import is_power_of_two
+
+__all__ = ["check_power_of_two", "check_range", "check_positive"]
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Validate that *value* is a power of two and return it.
+
+    Raises :class:`~repro.errors.NotPowerOfTwoError` otherwise, naming the
+    offending parameter so configuration mistakes read clearly.
+    """
+    if not is_power_of_two(value):
+        raise NotPowerOfTwoError(name, value)
+    return value
+
+
+def check_positive(name: str, value: int) -> int:
+    """Validate that *value* is a positive integer and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_range(name: str, value: int, upper: int) -> int:
+    """Validate ``0 <= value < upper`` and return *value*.
+
+    Used for field values (``0 <= J_i < F_i``) and device indices
+    (``0 <= d < M``).
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if not 0 <= value < upper:
+        raise ConfigurationError(f"{name} must be in [0, {upper}), got {value}")
+    return value

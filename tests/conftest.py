@@ -1,0 +1,33 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+Default profile keeps the suite fast; ``HYPOTHESIS_PROFILE=thorough`` (used
+in scheduled CI) multiplies example counts for the property tests, and
+``HYPOTHESIS_PROFILE=smoke`` trims them for pre-commit runs.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    settings(deadline=None, suppress_health_check=[HealthCheck.too_slow]),
+)
+settings.register_profile(
+    "thorough",
+    settings(
+        max_examples=400,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    ),
+)
+settings.register_profile(
+    "smoke",
+    settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    ),
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -1,0 +1,75 @@
+"""Tests for the adversarial box search."""
+
+import pytest
+
+from repro.analysis.adversary import load_factor, worst_box_search
+from repro.analysis.box import box_is_strict_optimal
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.zorder import ZOrderDistribution
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+from repro.query.box import BoxQuery
+
+FS = FileSystem.of(16, 16, m=8)
+
+
+class TestLoadFactor:
+    def test_optimal_box_factor_one(self):
+        fx = FXDistribution(FS)
+        box = BoxQuery.from_spec(FS, {})  # full scan: uniform
+        assert load_factor(fx, box) == 1.0
+        assert box_is_strict_optimal(fx, box)
+
+    def test_factor_at_least_one_always(self):
+        fx = FXDistribution(FS)
+        for spec in ({}, {0: (3, 9)}, {0: 5, 1: (0, 2)}):
+            assert load_factor(fx, BoxQuery.from_spec(FS, spec)) >= 1.0
+
+
+class TestWorstBoxSearch:
+    def test_finds_a_genuinely_bad_box_for_zorder(self):
+        # Z-order's device ignores high field bits; an adversary exploits it.
+        result = worst_box_search(ZOrderDistribution(FS), restarts=4, seed=1)
+        assert result.factor > 1.5
+
+    def test_deterministic_per_seed(self):
+        a = worst_box_search(ModuloDistribution(FS), restarts=2, seed=7)
+        b = worst_box_search(ModuloDistribution(FS), restarts=2, seed=7)
+        assert a.factor == b.factor
+        assert a.box == b.box
+
+    def test_reported_factor_matches_reported_box(self):
+        result = worst_box_search(FXDistribution(FS), restarts=3, seed=2)
+        assert load_factor(FXDistribution(FS), result.box) == pytest.approx(
+            result.factor
+        )
+
+    def test_history_monotone(self):
+        result = worst_box_search(ModuloDistribution(FS), restarts=3, seed=3)
+        scores = [score for __, score in result.history]
+        assert scores == sorted(scores)
+
+    def test_restarts_validated(self):
+        with pytest.raises(AnalysisError):
+            worst_box_search(FXDistribution(FS), restarts=0)
+
+    def test_search_beats_random_sampling(self):
+        """Hill climbing must find at least as bad a box as the random
+        starting points alone (its first evaluations)."""
+        import random
+
+        method = ModuloDistribution(FS)
+        rng = random.Random(11)
+        random_worst = 1.0
+        for __ in range(30):
+            spec = {}
+            for i, size in enumerate(FS.field_sizes):
+                width = rng.randint(1, size)
+                start = rng.randint(0, size - width)
+                spec[i] = (start, start + width - 1)
+            random_worst = max(
+                random_worst, load_factor(method, BoxQuery.from_spec(FS, spec))
+            )
+        searched = worst_box_search(method, restarts=5, seed=11)
+        assert searched.factor >= random_worst - 1e-9

@@ -1,0 +1,141 @@
+"""Tests for the method advisor, total-time model and trace workloads."""
+
+import pytest
+
+from repro.analysis.cpu_cost import CpuCostModel
+from repro.analysis.total_time import TotalTimeModel, total_time_table
+from repro.core.fx import FXDistribution
+from repro.distribution.advisor import recommend_method
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.random_alloc import RandomDistribution
+from repro.errors import AnalysisError, QueryError
+from repro.hashing.fields import FileSystem
+from repro.query.trace import dump_trace, format_query, load_trace, parse_trace
+from repro.query.workload import QueryWorkload, WorkloadSpec
+
+
+class TestAdvisor:
+    def test_fx_wins_on_small_field_systems(self):
+        fs = FileSystem.of(4, 4, m=16)
+        rec = recommend_method(fs)
+        assert rec.best.name == "fx-theorem9"
+        assert rec.best.optimal_fraction == 1.0
+
+    def test_candidates_sorted_by_expected_largest(self):
+        fs = FileSystem.of(4, 4, 8, m=16)
+        rec = recommend_method(fs)
+        values = [c.expected_largest for c in rec.candidates]
+        assert values == sorted(values)
+
+    def test_search_included_for_four_small_fields(self):
+        fs = FileSystem.uniform(4, 4, m=32)
+        rec = recommend_method(fs)
+        names = {c.name for c in rec.candidates}
+        assert "fx-searched" in names
+        searched = next(c for c in rec.candidates if c.name == "fx-searched")
+        paper = next(c for c in rec.candidates if c.name == "fx-paper")
+        assert searched.expected_largest <= paper.expected_largest
+
+    def test_search_excluded_below_threshold(self):
+        fs = FileSystem.of(4, 4, m=16)
+        names = {c.name for c in recommend_method(fs).candidates}
+        assert "fx-searched" not in names
+
+    def test_render(self):
+        fs = FileSystem.of(4, 4, m=16)
+        text = recommend_method(fs).render()
+        assert "fx-theorem9" in text
+        assert "E[largest response]" in text
+
+    def test_bad_probability(self):
+        with pytest.raises(AnalysisError):
+            recommend_method(FileSystem.of(4, 4, m=16), p=2.0)
+
+
+class TestTotalTimeModel:
+    FS = FileSystem.uniform(6, 8, m=32)
+
+    def test_requires_separable(self):
+        with pytest.raises(AnalysisError):
+            TotalTimeModel(RandomDistribution(self.FS))
+
+    def test_inverse_steps(self):
+        model = TotalTimeModel(FXDistribution(self.FS))
+        # 3 unspecified fields of size 8: enumerate two, solve one -> 64
+        assert model.inverse_steps(frozenset({0, 1, 2})) == 64
+        assert model.inverse_steps(frozenset()) == 1
+
+    def test_exact_match_cost_is_address_only_plus_bucket(self):
+        fx = FXDistribution(self.FS)
+        model = TotalTimeModel(fx, bucket_cycles=0.0)
+        cpu = CpuCostModel.for_processor("mc68000")
+        expected = cpu.address_cycles(fx) + cpu.inverse_step_cycles(fx)
+        assert model.query_cycles(frozenset()) == expected
+
+    def test_fx_beats_gdm_and_gap_grows_with_k(self):
+        fx_model = TotalTimeModel(FXDistribution(self.FS))
+        gdm_model = TotalTimeModel(GDMDistribution.preset(self.FS, "GDM1"))
+        gaps = []
+        for k in (1, 2, 3, 4):
+            fx_cycles = fx_model.average_cycles(k)
+            gdm_cycles = gdm_model.average_cycles(k)
+            assert fx_cycles < gdm_cycles
+            gaps.append(gdm_cycles - fx_cycles)
+        assert gaps == sorted(gaps)  # absolute gap grows with response size
+
+    def test_table_renders(self):
+        methods = {
+            "FX": FXDistribution(self.FS),
+            "Modulo": ModuloDistribution(self.FS),
+        }
+        text = total_time_table(self.FS, methods, ks=(1, 2))
+        assert "MC68000" in text
+        assert "FX" in text
+
+
+class TestTrace:
+    FS = FileSystem.of(4, 8, m=4)
+
+    def test_round_trip(self, tmp_path):
+        workload = QueryWorkload(self.FS, WorkloadSpec(seed=3))
+        queries = workload.take(25)
+        path = tmp_path / "trace.txt"
+        dump_trace(queries, path)
+        assert load_trace(self.FS, path) == queries
+
+    def test_comments_and_blanks_ignored(self):
+        lines = ["# header", "", "f0=1 f1=2  # inline", "   ", "f0=* f1=*"]
+        queries = list(parse_trace(self.FS, lines))
+        assert len(queries) == 2
+        assert queries[0].values == (1, 2)
+        assert queries[1].values == (None, None)
+
+    def test_format_query(self):
+        from repro.query.partial_match import PartialMatchQuery
+
+        q = PartialMatchQuery.from_dict(self.FS, {1: 5})
+        assert format_query(q) == "f0=* f1=5"
+
+    @pytest.mark.parametrize(
+        "line,fragment",
+        [
+            ("f0=1", "not mentioned"),
+            ("f0=1 f1=2 f0=3", "twice"),
+            ("f0=1 f9=2", "no field 9"),
+            ("f0=x f1=2", "non-integer"),
+            ("g0=1 f1=2", "malformed"),
+            ("f0=9 f1=2", "outside domain"),
+        ],
+    )
+    def test_malformed_lines_rejected_with_location(self, line, fragment):
+        with pytest.raises(QueryError) as excinfo:
+            list(parse_trace(self.FS, [line]))
+        message = str(excinfo.value)
+        assert "line 1" in message
+        assert fragment in message
+
+    def test_error_reports_correct_line_number(self):
+        with pytest.raises(QueryError) as excinfo:
+            list(parse_trace(self.FS, ["f0=1 f1=2", "broken"]))
+        assert "line 2" in str(excinfo.value)

@@ -1,0 +1,91 @@
+"""Odds-and-ends coverage for the analysis layer.
+
+Angles not covered by the per-module suites: probability weighting against
+hand computations, GDM even-multiplier histograms, weighted response
+averages, chart edge behaviour under custom y ranges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ascii_chart import render_chart
+from repro.analysis.histograms import contribution_histogram, evaluator_for
+from repro.analysis.optim_prob import optimal_pattern_fraction
+from repro.analysis.response import average_largest_response
+from repro.core.fx import FXDistribution
+from repro.distribution.gdm import GDMDistribution
+from repro.hashing.fields import FileSystem
+
+
+class TestProbabilityWeighting:
+    def test_hand_computed_weighted_fraction(self):
+        # n=2, predicate true for patterns {}, {0} only.
+        predicate = lambda pattern: pattern in (frozenset(), frozenset({0}))
+        # p = 0.8: P({}) = 0.64, P({0}) = 0.8 * 0.2 = 0.16
+        value = optimal_pattern_fraction(2, predicate, p=0.8)
+        assert value == pytest.approx(0.64 + 0.16)
+
+    def test_p_zero_only_full_scan_matters(self):
+        n = 3
+        full = frozenset(range(n))
+        assert optimal_pattern_fraction(n, lambda s: s == full, p=0.0) == 1.0
+        assert optimal_pattern_fraction(n, lambda s: s != full, p=0.0) == 0.0
+
+
+class TestGdmEvenMultipliers:
+    def test_even_multiplier_contribution_not_uniform(self):
+        # c=2 on a field of size M: image is even residues only.
+        fs = FileSystem.of(8, 8, m=8)
+        gdm = GDMDistribution(fs, multipliers=(2, 1))
+        histogram = contribution_histogram(gdm, 0)
+        assert histogram.tolist() == [2, 0, 2, 0, 2, 0, 2, 0]
+
+    def test_engine_handles_degenerate_image(self):
+        fs = FileSystem.of(8, 8, m=8)
+        gdm = GDMDistribution(fs, multipliers=(2, 2))
+        evaluator = evaluator_for(gdm)
+        histogram = evaluator.histogram(frozenset({0, 1}))
+        # all mass on even devices
+        assert all(histogram[d] == 0 for d in (1, 3, 5, 7))
+        assert int(histogram.sum()) == 64
+        assert not evaluator.is_strict_optimal(frozenset({0, 1}))
+
+
+class TestWeightedResponseAverages:
+    def test_weighted_equals_unweighted_for_uniform_sizes(self):
+        fs = FileSystem.uniform(4, 8, m=16)
+        fx = FXDistribution(fs)
+        for k in (1, 2, 3):
+            assert average_largest_response(
+                fx, k, weighted=True
+            ) == pytest.approx(average_largest_response(fx, k, weighted=False))
+
+    def test_weighted_differs_for_mixed_sizes(self):
+        fs = FileSystem.of(2, 16, 4, m=8)
+        fx = FXDistribution(fs)
+        weighted = average_largest_response(fx, 2, weighted=True)
+        unweighted = average_largest_response(fx, 2, weighted=False)
+        assert weighted != unweighted
+
+
+class TestChartRanges:
+    def test_custom_y_range_clamps_markers(self):
+        text = render_chart(
+            [0, 1], {"A": [50.0, 150.0]}, height=6, y_min=0.0, y_max=100.0
+        )
+        # the out-of-range point renders on the top row rather than crashing
+        assert text.splitlines()[0].strip().startswith("100.0")
+        assert "*" in text
+
+    def test_single_point_series(self):
+        text = render_chart([7], {"A": [3.0]}, height=5)
+        assert "7" in text.splitlines()[-2]
+
+
+class TestEvaluatorIntegrity:
+    def test_histogram_values_non_negative_int64(self):
+        fs = FileSystem.of(8, 8, 8, m=16)
+        evaluator = evaluator_for(FXDistribution(fs))
+        histogram = evaluator.histogram(frozenset({0, 1, 2}))
+        assert histogram.dtype == np.int64
+        assert histogram.min() >= 0

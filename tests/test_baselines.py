@@ -1,0 +1,54 @@
+"""Regression guard: fresh runs must match the stored baseline artefacts.
+
+``data/baselines/*.json`` hold the reproduced tables and figures as of the
+repository's release.  Any code change that silently shifts a number in the
+evaluation fails here first, with a per-cell diff.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.figures import reproduce_figure
+from repro.experiments.response_tables import reproduce_table
+from repro.experiments.store import load_artifact
+
+BASELINE_DIR = (
+    pathlib.Path(__file__).resolve().parent.parent / "data" / "baselines"
+)
+
+
+def test_baselines_present():
+    names = {path.stem for path in BASELINE_DIR.glob("*.json")}
+    assert {"table7", "table8", "table9"} <= names
+    assert {"figure1", "figure2", "figure3", "figure4"} <= names
+
+
+@pytest.mark.parametrize("table_id", ["table7", "table8", "table9"])
+def test_tables_match_baseline(table_id):
+    stored = load_artifact(BASELINE_DIR / f"{table_id}.json")
+    fresh = reproduce_table(table_id)
+    assert fresh.columns == stored.columns
+    assert fresh.ks == stored.ks
+    for row_index, (fresh_row, stored_row) in enumerate(
+        zip(fresh.rows, stored.rows)
+    ):
+        for column, fresh_value, stored_value in zip(
+            fresh.columns, fresh_row, stored_row
+        ):
+            assert fresh_value == pytest.approx(stored_value, rel=1e-12), (
+                f"{table_id} k={fresh.ks[row_index]} column {column}: "
+                f"{fresh_value} != baseline {stored_value}"
+            )
+
+
+@pytest.mark.parametrize(
+    "figure_id", ["figure1", "figure2", "figure3", "figure4"]
+)
+def test_figures_match_baseline(figure_id):
+    stored = load_artifact(BASELINE_DIR / f"{figure_id}.json")
+    fresh = reproduce_figure(figure_id)
+    assert fresh.x == stored.x
+    assert set(fresh.series) == set(stored.series)
+    for name, values in fresh.series.items():
+        assert values == pytest.approx(stored.series[name], rel=1e-12), name

@@ -1,0 +1,111 @@
+"""Tests for the XOR algebra of section 2 (repro.core.bitops)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitops import (
+    lemma_1_1_holds,
+    lemma_4_1_block,
+    truncate,
+    xor_fold,
+    xor_set,
+    z_m,
+)
+
+powers_of_two = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128, 256, 512])
+
+
+class TestTruncate:
+    def test_keeps_low_bits(self):
+        assert truncate(0b101101, 8) == 0b101
+
+    def test_identity_below_m(self):
+        assert truncate(5, 8) == 5
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(Exception):
+            truncate(5, 6)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            truncate(-1, 8)
+
+    @given(st.integers(0, 10**9), powers_of_two)
+    def test_equals_mod(self, value, m):
+        assert truncate(value, m) == value % m
+
+    @given(st.integers(0, 2**20), st.integers(0, 2**20), powers_of_two)
+    def test_distributes_over_xor(self, a, b, m):
+        # The identity Theorem 1's proof relies on.
+        assert truncate(a ^ b, m) == truncate(a, m) ^ truncate(b, m)
+
+
+class TestXorSet:
+    def test_int_int(self):
+        assert xor_set(2, 3) == 1
+
+    def test_int_set(self):
+        assert xor_set(2, {0, 1, 2, 3}) == {0, 1, 2, 3}
+
+    def test_set_int(self):
+        assert xor_set({0, 1}, 4) == {4, 5}
+
+    def test_set_set(self):
+        assert xor_set({0, 1}, {0, 2}) == {0, 1, 2, 3}
+
+    def test_paper_example_x1_y1(self):
+        # Section 2: X1 = 2, Y1 = 3 -> 1.
+        assert xor_set(2, 3) == 1
+
+    @given(st.sets(st.integers(0, 255), min_size=1, max_size=8),
+           st.integers(0, 255))
+    def test_int_set_cardinality_preserved(self, values, k):
+        # XOR by a constant is injective.
+        assert len(xor_set(k, values)) == len(values)
+
+
+class TestXorFold:
+    def test_empty_is_zero(self):
+        assert xor_fold([]) == 0
+
+    def test_fold(self):
+        assert xor_fold([1, 2, 4]) == 7
+
+    @given(st.lists(st.integers(0, 2**16), max_size=10))
+    def test_order_independent(self, values):
+        assert xor_fold(values) == xor_fold(list(reversed(values)))
+
+
+class TestLemma11:
+    """Lemma 1.1: Z_M [+] k == Z_M (XOR permutes the device space)."""
+
+    @given(powers_of_two.filter(lambda m: m >= 2), st.data())
+    def test_holds_over_hypothesis_space(self, m, data):
+        k = data.draw(st.integers(0, m - 1))
+        assert lemma_1_1_holds(m, k)
+
+    def test_paper_example_2(self):
+        # Z_8 [+] 3 == Z_8.
+        assert xor_set(3, z_m(8)) == z_m(8)
+
+    def test_rejects_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            lemma_1_1_holds(8, 8)
+
+
+class TestLemma41:
+    """Lemma 4.1: {0..w-1} [+] L is the aligned w-block containing L."""
+
+    @given(st.sampled_from([1, 2, 4, 8, 16, 32]), st.integers(0, 10**6))
+    def test_block_alignment(self, w, value):
+        block = lemma_4_1_block(w, value)
+        a = value // w
+        assert block == set(range(a * w, (a + 1) * w))
+
+    def test_paper_statement_example(self):
+        assert lemma_4_1_block(4, 6) == {4, 5, 6, 7}
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            lemma_4_1_block(4, -1)

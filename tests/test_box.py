@@ -1,0 +1,224 @@
+"""Tests for box queries (ranges / IN-lists) and their exact analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.box import (
+    box_is_strict_optimal,
+    box_largest_response,
+    box_qualified_on_device,
+    box_response_histogram,
+)
+from repro.core.fx import FXDistribution
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.errors import AnalysisError, QueryError
+from repro.hashing.fields import FileSystem
+from repro.query.box import BoxQuery
+from repro.query.partial_match import PartialMatchQuery
+
+FS = FileSystem.of(4, 8, m=8)
+
+
+class TestBoxQueryConstruction:
+    def test_from_spec_range(self):
+        box = BoxQuery.from_spec(FS, {1: (2, 5)})
+        assert box.allowed[0] == (0, 1, 2, 3)
+        assert box.allowed[1] == (2, 3, 4, 5)
+        assert box.qualified_count == 16
+
+    def test_from_spec_exact_and_list(self):
+        box = BoxQuery.from_spec(FS, {0: 3, 1: [7, 1, 1]})
+        assert box.allowed[0] == (3,)
+        assert box.allowed[1] == (1, 7)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(QueryError):
+            BoxQuery.from_spec(FS, {0: (3, 1)})
+
+    def test_out_of_domain_rejected(self):
+        with pytest.raises(QueryError):
+            BoxQuery.from_spec(FS, {0: 4})
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(QueryError):
+            BoxQuery(FS, ((), (0,)))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(QueryError):
+            BoxQuery(FS, ((1, 0), (0,)))
+
+    def test_arity_rejected(self):
+        with pytest.raises(QueryError):
+            BoxQuery(FS, ((0,),))
+
+    def test_from_partial_match_round_trip(self):
+        query = PartialMatchQuery.from_dict(FS, {0: 2})
+        box = BoxQuery.from_partial_match(query)
+        assert box.is_partial_match()
+        assert sorted(box.qualified_buckets()) == sorted(
+            query.qualified_buckets()
+        )
+
+    def test_describe(self):
+        box = BoxQuery.from_spec(FS, {0: 1, 1: [2, 5]})
+        assert box.describe() == "<1, {2,5}>"
+        assert BoxQuery.from_spec(FS, {}).describe() == "<*, *>"
+
+    def test_constrained_fields(self):
+        box = BoxQuery.from_spec(FS, {1: (0, 3)})
+        assert box.constrained_fields() == (1,)
+
+    def test_matches(self):
+        box = BoxQuery.from_spec(FS, {0: [1, 2], 1: (4, 6)})
+        assert box.matches((1, 5))
+        assert not box.matches((0, 5))
+        assert not box.matches((1, 7))
+
+
+def _methods(fs):
+    return [
+        FXDistribution(fs),
+        ModuloDistribution(fs),
+        GDMDistribution(fs, multipliers=tuple(3 + 2 * i for i in range(fs.n_fields))),
+    ]
+
+
+@st.composite
+def boxes(draw):
+    allowed = []
+    for size in FS.field_sizes:
+        count = draw(st.integers(1, size))
+        values = draw(
+            st.sets(st.integers(0, size - 1), min_size=count, max_size=count)
+        )
+        allowed.append(tuple(sorted(values)))
+    return BoxQuery(FS, tuple(allowed))
+
+
+class TestBoxHistogram:
+    @given(boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_matches_enumeration(self, box):
+        for method in _methods(FS):
+            naive = [0] * FS.m
+            for bucket in box.qualified_buckets():
+                naive[method.device_of(bucket)] += 1
+            assert box_response_histogram(method, box) == naive
+
+    def test_wrong_filesystem_rejected(self):
+        other = FileSystem.of(4, 8, m=4)
+        box = BoxQuery.from_spec(other, {})
+        with pytest.raises(AnalysisError):
+            box_response_histogram(FXDistribution(FS), box)
+
+    def test_partial_match_box_agrees_with_query_engine(self):
+        fx = FXDistribution(FS)
+        query = PartialMatchQuery.from_dict(FS, {0: 2})
+        box = BoxQuery.from_partial_match(query)
+        assert box_response_histogram(fx, box) == fx.response_histogram(query)
+
+    def test_largest_and_optimality(self):
+        fx = FXDistribution(FS)
+        box = BoxQuery.from_spec(FS, {0: (0, 1)})
+        assert box_largest_response(fx, box) == max(
+            box_response_histogram(fx, box)
+        )
+        assert isinstance(box_is_strict_optimal(fx, box), bool)
+
+
+class TestBoxInverseMapping:
+    @given(boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_matches_naive_filter(self, box):
+        for method in _methods(FS):
+            for device in range(FS.m):
+                algebraic = sorted(
+                    box_qualified_on_device(method, device, box)
+                )
+                naive = sorted(
+                    b
+                    for b in box.qualified_buckets()
+                    if method.device_of(b) == device
+                )
+                assert algebraic == naive
+
+    def test_device_validated(self):
+        box = BoxQuery.from_spec(FS, {})
+        with pytest.raises(AnalysisError):
+            list(box_qualified_on_device(FXDistribution(FS), 99, box))
+
+
+class TestBoxExecution:
+    def test_executor_returns_range_records(self):
+        from repro.storage.executor import QueryExecutor
+        from repro.storage.parallel_file import PartitionedFile
+
+        fx = FXDistribution(FS)
+        pf = PartitionedFile(fx)
+        pf.insert_all([(i, f"n{i}") for i in range(100)])
+        box = BoxQuery.from_spec(FS, {1: (0, 3)})
+        result = QueryExecutor(pf).execute_box(box)
+        expected = []
+        for device in pf.devices:
+            for bucket in device.store.buckets():
+                if box.matches(bucket):
+                    expected.extend(device.store.records_in(bucket))
+        assert sorted(map(str, result.records)) == sorted(map(str, expected))
+        assert sum(result.buckets_per_device) == box.qualified_count
+
+    def test_range_vs_partial_match_consistency(self):
+        """A degenerate box must execute identically to its partial match."""
+        from repro.storage.executor import QueryExecutor
+        from repro.storage.parallel_file import PartitionedFile
+
+        pf = PartitionedFile(FXDistribution(FS))
+        pf.insert_all([(i, f"n{i}") for i in range(50)])
+        query = PartialMatchQuery.from_dict(FS, {0: 1})
+        box = BoxQuery.from_partial_match(query)
+        executor = QueryExecutor(pf)
+        plain = executor.execute(query)
+        boxed = executor.execute_box(box)
+        assert sorted(map(str, plain.records)) == sorted(
+            map(str, boxed.records)
+        )
+        assert plain.largest_response == boxed.largest_response
+
+
+class TestBoxSufficientCondition:
+    def test_aligned_block_on_large_field_certified(self):
+        from repro.analysis.box import box_sufficient_optimal
+
+        fs = FileSystem.of(16, 4, m=8)
+        fx = FXDistribution(fs)
+        # field 0 restricted to one aligned block of length M = 8
+        box = BoxQuery.from_spec(fs, {0: (0, 7), 1: 2})
+        assert box_sufficient_optimal(fx, box)
+        assert box_is_strict_optimal(fx, box)
+
+    def test_unaligned_range_not_certified(self):
+        from repro.analysis.box import box_sufficient_optimal
+
+        fs = FileSystem.of(16, 4, m=8)
+        fx = FXDistribution(fs)
+        box = BoxQuery.from_spec(fs, {0: (1, 5), 1: 2})
+        assert not box_sufficient_optimal(fx, box)
+
+    @given(boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_never_overclaims(self, box):
+        from repro.analysis.box import box_sufficient_optimal
+
+        for method in _methods(FS):
+            if box_sufficient_optimal(method, box):
+                assert box_is_strict_optimal(method, box)
+
+    def test_filesystem_mismatch(self):
+        from repro.analysis.box import box_sufficient_optimal
+
+        other = FileSystem.of(4, 8, m=4)
+        with pytest.raises(AnalysisError):
+            box_sufficient_optimal(
+                FXDistribution(FS), BoxQuery.from_spec(other, {})
+            )

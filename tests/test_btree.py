@@ -1,0 +1,232 @@
+"""Tests for the B-tree and its bucket-store adapter.
+
+The heavy lifting is a hypothesis model test: arbitrary interleavings of
+inserts and deletes are mirrored into a dict-of-lists model; after every
+batch the tree must agree with the model on content, order and range
+queries, and pass its own structural invariant check.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.storage.btree import BTree
+from repro.storage.btree_store import BTreeBucketStore
+
+
+class TestBasics:
+    def test_min_degree_validated(self):
+        with pytest.raises(ConfigurationError):
+            BTree(t=1)
+
+    def test_empty_tree(self):
+        tree = BTree(t=2)
+        assert len(tree) == 0
+        assert tree.get(1) == ()
+        assert list(tree.items()) == []
+        tree.check_invariants()
+
+    def test_insert_and_get(self):
+        tree = BTree(t=2)
+        tree.insert(5, "a")
+        tree.insert(5, "b")
+        assert tree.get(5) == ("a", "b")
+        assert len(tree) == 2
+        assert tree.key_count == 1
+
+    def test_items_sorted(self):
+        tree = BTree(t=2)
+        for k in [9, 2, 7, 4, 1, 8, 3, 6, 5, 0]:
+            tree.insert(k, k)
+        assert [k for k, __ in tree.items()] == list(range(10))
+        tree.check_invariants()
+
+    def test_range_half_open(self):
+        tree = BTree(t=2)
+        for k in range(10):
+            tree.insert(k, k)
+        assert [k for k, __ in tree.range(3, 7)] == [3, 4, 5, 6]
+        assert [k for k, __ in tree.range(100, 200)] == []
+
+    def test_contains(self):
+        tree = BTree(t=3)
+        tree.insert("x", 1)
+        assert "x" in tree
+        assert "y" not in tree
+
+    def test_height_grows_logarithmically(self):
+        tree = BTree(t=2)
+        for k in range(100):
+            tree.insert(k, k)
+        assert tree.height() <= 7  # 2t-1 = 3 keys/node -> height <= log2(100)
+        tree.check_invariants()
+
+    def test_delete_missing_pair(self):
+        tree = BTree(t=2)
+        tree.insert(1, "a")
+        assert not tree.delete(1, "b")
+        assert not tree.delete(2, "a")
+        assert len(tree) == 1
+
+    def test_delete_one_of_many_values(self):
+        tree = BTree(t=2)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a")
+        assert tree.get(1) == ("b",)
+        assert tree.key_count == 1
+
+    def test_delete_last_value_removes_key(self):
+        tree = BTree(t=2)
+        tree.insert(1, "a")
+        assert tree.delete(1, "a")
+        assert 1 not in tree
+        assert tree.key_count == 0
+        tree.check_invariants()
+
+    def test_delete_everything_sequential(self):
+        tree = BTree(t=2)
+        keys = list(range(50))
+        for k in keys:
+            tree.insert(k, k)
+        for k in keys:
+            assert tree.delete(k, k)
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_delete_everything_reverse(self):
+        tree = BTree(t=3)
+        keys = list(range(60))
+        for k in keys:
+            tree.insert(k, k)
+        for k in reversed(keys):
+            assert tree.delete(k, k)
+        tree.check_invariants()
+        assert len(tree) == 0
+
+
+@st.composite
+def operation_sequences(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.integers(0, 30),
+                st.integers(0, 3),
+            ),
+            max_size=150,
+        )
+    )
+    t = draw(st.sampled_from([2, 3, 5]))
+    return t, ops
+
+
+class TestModelBased:
+    @given(operation_sequences())
+    @settings(max_examples=80, deadline=None)
+    def test_tree_matches_dict_model(self, case):
+        t, ops = case
+        tree = BTree(t=t)
+        model: dict[int, list[int]] = {}
+        for op, key, value in ops:
+            if op == "insert":
+                tree.insert(key, value)
+                model.setdefault(key, []).append(value)
+            else:
+                expected = key in model and value in model[key]
+                assert tree.delete(key, value) == expected
+                if expected:
+                    model[key].remove(value)
+                    if not model[key]:
+                        del model[key]
+        tree.check_invariants()
+        assert len(tree) == sum(len(v) for v in model.values())
+        assert tree.key_count == len(model)
+        assert [k for k, __ in tree.items()] == sorted(model)
+        for key, values in model.items():
+            assert sorted(tree.get(key)) == sorted(values)
+
+    @given(operation_sequences(), st.integers(0, 30), st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_range_matches_model(self, case, low, high):
+        t, ops = case
+        tree = BTree(t=t)
+        model: dict[int, list[int]] = {}
+        for op, key, value in ops:
+            if op == "insert":
+                tree.insert(key, value)
+                model.setdefault(key, []).append(value)
+            elif key in model and value in model[key]:
+                tree.delete(key, value)
+                model[key].remove(value)
+                if not model[key]:
+                    del model[key]
+        got = [k for k, __ in tree.range(low, high)]
+        assert got == sorted(k for k in model if low <= k < high)
+
+
+class TestBTreeBucketStore:
+    def test_bucketstore_interface_parity(self):
+        """Same behaviour as the hash-directory store on a shared script."""
+        from repro.storage.bucket_store import BucketStore
+
+        stores = [BucketStore(), BTreeBucketStore(t=2)]
+        script = [
+            ("insert", (0, 1), "a"),
+            ("insert", (0, 1), "b"),
+            ("insert", (2, 3), "c"),
+            ("delete", (0, 1), "a"),
+            ("delete", (9, 9), "zzz"),
+        ]
+        for store in stores:
+            for op, bucket, record in script:
+                if op == "insert":
+                    store.insert(bucket, record)
+                else:
+                    store.delete(bucket, record)
+        a, b = stores
+        assert a.record_count == b.record_count == 2
+        assert a.bucket_count == b.bucket_count == 2
+        assert a.records_in((0, 1)) == b.records_in((0, 1)) == ("b",)
+        assert sorted(a.buckets()) == sorted(b.buckets())
+        b.check_invariants()
+
+    def test_ordered_bucket_iteration(self):
+        store = BTreeBucketStore(t=2)
+        for bucket in [(3, 0), (1, 2), (2, 1), (1, 0)]:
+            store.insert(bucket, "x")
+        assert list(store.buckets()) == [(1, 0), (1, 2), (2, 1), (3, 0)]
+
+    def test_range_records(self):
+        store = BTreeBucketStore(t=2)
+        for i in range(6):
+            store.insert((i, 0), f"r{i}")
+        scanned = list(store.range_records((2, 0), (5, 0)))
+        assert [bucket for bucket, __ in scanned] == [(2, 0), (3, 0), (4, 0)]
+
+    def test_clear(self):
+        store = BTreeBucketStore()
+        store.insert((1, 1), "x")
+        store.clear()
+        assert store.record_count == 0
+
+    def test_plugs_into_partitioned_file(self):
+        from repro.core.fx import FXDistribution
+        from repro.hashing.fields import FileSystem
+        from repro.storage.parallel_file import PartitionedFile
+
+        fs = FileSystem.of(4, 8, m=4)
+        pf = PartitionedFile(
+            FXDistribution(fs), store_factory=lambda: BTreeBucketStore(t=4)
+        )
+        pf.insert_all([(i, f"v{i}") for i in range(60)])
+        pf.check_invariants()
+        result = pf.search({0: 10})
+        assert any(record[0] == 10 for record in result.records)
+
+    def test_height_property(self):
+        store = BTreeBucketStore(t=2)
+        for i in range(64):
+            store.insert((i,), i)
+        assert store.height >= 3

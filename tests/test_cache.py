@@ -1,0 +1,113 @@
+"""Tests for the subsumption-aware query result cache."""
+
+import pytest
+
+from repro.core.fx import FXDistribution
+from repro.errors import ConfigurationError
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+from repro.storage.cache import CachedExecutor
+from repro.storage.parallel_file import PartitionedFile
+
+FS = FileSystem.of(4, 4, m=4)
+
+
+def _loaded():
+    pf = PartitionedFile(FXDistribution(FS))
+    pf.insert_all([(i, f"t{i % 7}") for i in range(60)])
+    return pf
+
+
+def _ground_truth(pf, query):
+    records = []
+    for device in pf.devices:
+        for bucket in device.store.buckets():
+            if query.matches(bucket):
+                records.extend(device.store.records_in(bucket))
+    return sorted(map(str, records))
+
+
+class TestCorrectness:
+    def test_miss_returns_correct_records(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        query = pf.query({0: 5})
+        assert sorted(map(str, cached.execute(query))) == _ground_truth(
+            pf, query
+        )
+
+    def test_exact_hit_returns_same_records(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        query = pf.query({0: 5})
+        first = cached.execute(query)
+        second = cached.execute(query)
+        assert sorted(map(str, first)) == sorted(map(str, second))
+        assert cached.stats.exact_hits == 1
+
+    def test_subsumption_hit_correct(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        cached.execute(PartialMatchQuery.full_scan(FS))
+        narrow = pf.query({0: 5, 1: "t3"})
+        got = cached.execute(narrow)
+        assert cached.stats.subsumption_hits == 1
+        assert sorted(map(str, got)) == _ground_truth(pf, narrow)
+
+    def test_subsumption_hit_avoids_device_reads(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        cached.execute(PartialMatchQuery.full_scan(FS))
+        reads_before = sum(d.stats.bucket_reads for d in pf.devices)
+        cached.execute(pf.query({0: 2}))
+        reads_after = sum(d.stats.bucket_reads for d in pf.devices)
+        assert reads_after == reads_before
+
+    def test_narrow_entry_does_not_answer_broad_query(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        cached.execute(pf.query({0: 1}))
+        broad = PartialMatchQuery.full_scan(FS)
+        got = cached.execute(broad)
+        assert cached.stats.misses == 2  # both executions hit the devices
+        assert sorted(map(str, got)) == _ground_truth(pf, broad)
+
+
+class TestLifecycle:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            CachedExecutor(_loaded(), capacity=0)
+
+    def test_lru_eviction(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf, capacity=2)
+        q1, q2, q3 = (
+            PartialMatchQuery.from_dict(FS, {0: v}) for v in (0, 1, 2)
+        )
+        cached.execute(q1)
+        cached.execute(q2)
+        cached.execute(q3)  # evicts q1
+        assert cached.stats.evictions == 1
+        assert len(cached) == 2
+        cached.execute(q1)
+        assert cached.stats.misses == 4
+
+    def test_invalidate_forces_refetch(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        query = pf.query({0: 3})
+        cached.execute(query)
+        pf.insert((99, "fresh"))
+        cached.invalidate()
+        got = cached.execute(query)
+        assert cached.stats.misses == 2
+        assert sorted(map(str, got)) == _ground_truth(pf, query)
+
+    def test_hit_rate(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        query = pf.query({0: 3})
+        assert cached.stats.hit_rate == 0.0
+        cached.execute(query)
+        cached.execute(query)
+        assert cached.stats.hit_rate == pytest.approx(0.5)

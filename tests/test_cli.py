@@ -1,0 +1,160 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTableCommand:
+    def test_table7_prints_golden_row(self, capsys):
+        assert main(["table", "table7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out
+        assert "18152.0" in out  # Modulo k=6
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "table42"])
+
+
+class TestFigureCommand:
+    def test_figure_renders_series(self, capsys):
+        assert main(["figure", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "FD (FX)" in out
+        assert "MD (Modulo)" in out
+
+    def test_chart_flag(self, capsys):
+        assert main(["figure", "figure1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "% strict optimal" in out
+
+
+class TestCensusCommand:
+    def test_perfect_census_exit_zero(self, capsys):
+        code = main(
+            [
+                "census", "--fields", "4,4", "--devices", "16",
+                "--method", "fx", "--transforms", "I,U",
+            ]
+        )
+        assert code == 0
+        assert "100.0%" in capsys.readouterr().out
+
+    def test_imperfect_census_exit_one(self, capsys):
+        code = main(
+            ["census", "--fields", "4,4", "--devices", "16",
+             "--method", "modulo"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "worst failures" in out
+
+    def test_failures_suppressed(self, capsys):
+        main(
+            ["census", "--fields", "4,4", "--devices", "16",
+             "--method", "modulo", "--failures", "0"]
+        )
+        assert "worst failures" not in capsys.readouterr().out
+
+    def test_gdm_with_multipliers(self, capsys):
+        code = main(
+            ["census", "--fields", "4,4", "--devices", "4",
+             "--method", "gdm", "--multipliers", "1,3"]
+        )
+        assert code in (0, 1)
+        assert "gdm" in capsys.readouterr().out
+
+    def test_bad_filesystem_reports_error(self):
+        with pytest.raises(SystemExit):
+            main(["census", "--fields", "3,4", "--devices", "16"])
+
+
+class TestSkewCommand:
+    def test_skew_table(self, capsys):
+        assert main(["skew", "--fields", "4,4", "--devices", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "fx (theorem9)" in out
+        assert "modulo" in out
+
+
+class TestSearchCommand:
+    def test_families_search(self, capsys):
+        assert main(
+            ["search", "--fields", "4,4", "--devices", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best assignment" in out
+        assert "100.00%" in out
+
+    def test_linear_search(self, capsys):
+        assert main(
+            ["search", "--fields", "4,4,4,4", "--devices", "32",
+             "--space", "linear", "--iterations", "200", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "linear transforms" in out
+        assert "matrix" in out
+
+
+class TestReportCommand:
+    def test_report_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "exp.md"
+        assert main(
+            ["report", "--output", str(out_file), "--no-exact-figures"]
+        ) == 0
+        assert out_file.exists()
+        assert "Tables 1-6" in out_file.read_text()
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_help_exits_cleanly(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+
+
+class TestDesignCommand:
+    def test_design_allocation(self, capsys):
+        assert main(
+            ["design", "--probabilities", "0.9,0.1", "--bits", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "expected qualified buckets" in out
+        assert "directory size" in out
+
+    def test_design_with_cap(self, capsys):
+        assert main(
+            ["design", "--probabilities", "0.9,0.1", "--bits", "4",
+             "--max-bits", "3"]
+        ) == 0
+
+    def test_design_bad_probability(self):
+        with pytest.raises(SystemExit):
+            main(["design", "--probabilities", "2.0", "--bits", "4"])
+
+
+class TestSimulateCommand:
+    def test_simulate_prints_comparison(self, capsys):
+        code = main(
+            ["simulate", "--fields", "4,4", "--devices", "8",
+             "--queries", "20", "--rate", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean latency" in out
+        assert "FX" in out and "Modulo" in out
+
+
+class TestRecommendCommand:
+    def test_recommend_ranks_methods(self, capsys):
+        assert main(
+            ["recommend", "--fields", "4,4", "--devices", "16"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recommended: fx-theorem9" in out
+        assert "Modulo".lower() in out.lower()

@@ -1,0 +1,56 @@
+"""Edge-path tests for the CLI: error handling and less-travelled flags."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestErrorHandling:
+    def test_repro_error_exits_with_code_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["census", "--fields", "6,4", "--devices", "16"])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_search_rejects_bad_devices(self):
+        with pytest.raises(SystemExit):
+            main(["search", "--fields", "4,4", "--devices", "7"])
+
+
+class TestLessTravelledFlags:
+    def test_figure_with_custom_p(self, capsys):
+        assert main(["figure", "figure1", "--p", "0.8"]) == 0
+        assert "FD (FX)" in capsys.readouterr().out
+
+    def test_report_stdout(self, capsys):
+        assert main(["report", "--stdout", "--no-exact-figures"]) == 0
+        out = capsys.readouterr().out
+        assert "EXPERIMENTS" in out
+        assert "Tables 1-6" in out
+
+    def test_search_families_hill_climb_for_many_small_fields(self, capsys):
+        # seven small fields: exhaustive (4^7) is skipped for hill climbing
+        code = main(
+            ["search", "--fields", "2,2,2,2,2,2,2", "--devices", "16"]
+        )
+        assert code == 0
+        assert "hill climb" in capsys.readouterr().out
+
+    def test_verify_with_theorem9_policy(self, capsys):
+        assert main(
+            ["verify", "--fields", "4,8,2", "--devices", "16",
+             "--policy", "theorem9"]
+        ) == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_census_fx_with_default_transforms(self, capsys):
+        code = main(
+            ["census", "--fields", "8,8,32", "--devices", "16"]
+        )
+        assert code == 0
+
+    def test_simulate_custom_seed_and_p(self, capsys):
+        assert main(
+            ["simulate", "--fields", "4,4", "--devices", "4",
+             "--queries", "15", "--rate", "20", "--p", "0.7", "--seed", "3"]
+        ) == 0

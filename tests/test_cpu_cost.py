@@ -1,0 +1,104 @@
+"""Tests for the CPU cycle cost model (paper section 5.2.2)."""
+
+import pytest
+
+from repro.analysis.cpu_cost import CYCLE_TABLES, CpuCostModel
+from repro.core.fx import FXDistribution
+from repro.core.transforms import make_transform
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.random_alloc import RandomDistribution
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+
+
+MC68000 = CpuCostModel.for_processor("mc68000")
+FS6 = FileSystem.uniform(6, 8, m=32)
+
+
+class TestInstructionCosts:
+    def test_mc68000_values_match_paper(self):
+        costs = CYCLE_TABLES["mc68000"]
+        assert costs.xor == 8
+        assert costs.add == 4
+        assert costs.and_ == 4
+        assert costs.mul == 70
+        assert costs.shift(3) == 6 + 2 * 3  # "n bit shift takes 6 + 2n"
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(AnalysisError):
+            CYCLE_TABLES["mc68000"].shift(-1)
+
+    def test_unknown_processor(self):
+        with pytest.raises(AnalysisError):
+            CpuCostModel.for_processor("z80")
+
+
+class TestTransformCycles:
+    def test_identity_free(self):
+        assert MC68000.transform_cycles(make_transform("I", 8, 32)) == 0
+
+    def test_u_is_one_shift(self):
+        # d1 = 4 -> 2-bit shift -> 10 cycles.
+        assert MC68000.transform_cycles(make_transform("U", 8, 32)) == 10
+
+    def test_iu1_is_shift_plus_xor(self):
+        assert MC68000.transform_cycles(make_transform("IU1", 8, 32)) == 10 + 8
+
+    def test_iu2_with_active_d2(self):
+        t = make_transform("IU2", 2, 16)  # d1 = 8, d2 = 4
+        expected = (6 + 2 * 3) + 8 + (6 + 2 * 2) + 8
+        assert MC68000.transform_cycles(t) == expected
+
+    def test_iu2_collapsed_costs_like_iu1(self):
+        collapsed = make_transform("IU2", 8, 16)  # d2 == 0
+        iu1 = make_transform("IU1", 8, 16)
+        assert MC68000.transform_cycles(collapsed) == MC68000.transform_cycles(iu1)
+
+
+class TestAddressCycles:
+    def test_modulo_is_adds_plus_and(self):
+        assert MC68000.address_cycles(ModuloDistribution(FS6)) == 5 * 4 + 4
+
+    def test_gdm_uses_multiplies(self):
+        gdm = GDMDistribution.preset(FS6, "GDM1")
+        assert MC68000.address_cycles(gdm) == 6 * 70 + 5 * 4 + 4
+
+    def test_fx_about_a_third_of_gdm(self):
+        """The paper's headline claim for the MC68000."""
+        fx = FXDistribution(FS6)
+        gdm = GDMDistribution.preset(FS6, "GDM1")
+        ratio = MC68000.ratio(fx, gdm)
+        assert ratio < 0.40
+
+    def test_modulo_cheapest(self):
+        fx = FXDistribution(FS6)
+        modulo = ModuloDistribution(FS6)
+        assert MC68000.address_cycles(modulo) < MC68000.address_cycles(fx)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(AnalysisError):
+            MC68000.address_cycles(RandomDistribution(FS6))
+
+
+class TestInverseStepCycles:
+    def test_fx_cheaper_than_gdm(self):
+        fx = FXDistribution(FS6)
+        gdm = GDMDistribution.preset(FS6, "GDM1")
+        assert MC68000.inverse_step_cycles(fx) < MC68000.inverse_step_cycles(gdm)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(AnalysisError):
+            MC68000.inverse_step_cycles(RandomDistribution(FS6))
+
+
+class TestCpuComparisonTable:
+    def test_rows_and_rendering(self):
+        from repro.experiments.cpu_table import cpu_comparison, render_cpu_table
+
+        rows = cpu_comparison("mc68000")
+        assert len(rows) == 2
+        assert all(row.fx_to_gdm < 0.5 for row in rows)
+        text = render_cpu_table("mc68000")
+        assert "MC68000" in text
+        assert "FX/GDM" in text

@@ -1,0 +1,47 @@
+"""Cross-engine verification on the paper's own evaluation scenarios.
+
+Runs the three-way verifier (brute force / convolution / rank criterion)
+over the exact file systems and methods behind Tables 7-9 and the figure
+sweeps — if the reproduction's engines ever drift apart on the scenarios
+the numbers in EXPERIMENTS.md come from, these tests fail first.
+"""
+
+import pytest
+
+from repro.distribution.zorder import ZOrderDistribution
+from repro.experiments.filesystems import (
+    figure_scenario,
+    table7_setup,
+    table8_setup,
+    table9_setup,
+)
+from repro.experiments.verification import verify_method
+
+
+@pytest.mark.parametrize(
+    "setup_factory", [table7_setup, table8_setup, table9_setup],
+    ids=["table7", "table8", "table9"],
+)
+def test_table_scenarios_consistent(setup_factory):
+    setup = setup_factory()
+    for name, method in setup.methods.items():
+        report = verify_method(method, brute_force_limit=50_000)
+        assert report.consistent, f"{setup.table_id}/{name}: {report.summary()}"
+
+
+@pytest.mark.parametrize("figure_id", ["figure1", "figure3"])
+def test_figure_scenarios_consistent(figure_id):
+    scenario = figure_scenario(figure_id)
+    # endpoints of the sweep: all-large and all-small
+    for fs in (scenario.filesystems[0], scenario.filesystems[-1]):
+        report = verify_method(
+            scenario.fx_builder(fs), brute_force_limit=10_000
+        )
+        assert report.consistent
+
+
+def test_zorder_consistent_on_table7_grid():
+    fs = table7_setup().filesystem
+    report = verify_method(ZOrderDistribution(fs), brute_force_limit=50_000)
+    assert report.consistent
+    assert report.rank_checked == 0  # zorder is separable but not FX-typed

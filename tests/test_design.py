@@ -1,0 +1,124 @@
+"""Tests for the directory-design optimiser (repro.hashing.design)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hashing.design import (
+    DirectoryDesign,
+    design_directory,
+    design_directory_exhaustive,
+    expected_qualified_buckets,
+)
+
+
+class TestExpectedQualifiedBuckets:
+    def test_always_specified_field_costs_nothing(self):
+        # p = 1: the field contributes a single slice regardless of bits.
+        assert expected_qualified_buckets([5], [1.0]) == 1.0
+
+    def test_never_specified_field_costs_full_size(self):
+        assert expected_qualified_buckets([3], [0.0]) == 8.0
+
+    def test_product_form(self):
+        assert expected_qualified_buckets([1, 2], [0.5, 0.5]) == pytest.approx(
+            (0.5 + 0.5 * 2) * (0.5 + 0.5 * 4)
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            expected_qualified_buckets([1], [0.5, 0.5])
+
+    def test_negative_bits(self):
+        with pytest.raises(ConfigurationError):
+            expected_qualified_buckets([-1], [0.5])
+
+    def test_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            expected_qualified_buckets([1], [1.5])
+
+
+class TestGreedyDesign:
+    def test_bits_go_to_frequently_specified_fields(self):
+        design = design_directory([0.9, 0.1], total_bits=4)
+        assert design.bits == (4, 0)
+
+    def test_symmetric_probabilities_split_evenly(self):
+        design = design_directory([0.5, 0.5], total_bits=4)
+        assert sorted(design.bits) == [2, 2]
+
+    def test_total_bits_respected(self):
+        design = design_directory([0.3, 0.6, 0.9], total_bits=10)
+        assert design.total_bits == 10
+
+    def test_cap_respected(self):
+        design = design_directory([0.9, 0.1], total_bits=4, max_bits_per_field=3)
+        assert max(design.bits) <= 3
+        assert design.total_bits == 4
+
+    def test_infeasible_cap(self):
+        with pytest.raises(ConfigurationError):
+            design_directory([0.5], total_bits=4, max_bits_per_field=3)
+
+    def test_zero_bits(self):
+        design = design_directory([0.5, 0.5], total_bits=0)
+        assert design.bits == (0, 0)
+        assert design.field_sizes == (1, 1)
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            design_directory([], total_bits=2)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            design_directory([0.5], total_bits=-1)
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=4),
+        st.integers(0, 10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_matches_exhaustive(self, probabilities, total_bits):
+        """The convexity argument, checked: greedy cost == optimal cost."""
+        greedy = design_directory(probabilities, total_bits)
+        optimal = design_directory_exhaustive(probabilities, total_bits)
+        assert greedy.expected_qualified() == pytest.approx(
+            optimal.expected_qualified(), rel=1e-9
+        )
+
+
+class TestExhaustiveDesign:
+    def test_small_space(self):
+        design = design_directory_exhaustive([0.8, 0.2], total_bits=3)
+        assert design.total_bits == 3
+
+    def test_space_guard(self):
+        with pytest.raises(ConfigurationError):
+            design_directory_exhaustive([0.5] * 9, total_bits=2)
+
+    def test_infeasible_cap(self):
+        with pytest.raises(ConfigurationError):
+            design_directory_exhaustive([0.5], total_bits=4, max_bits_per_field=3)
+
+
+class TestDirectoryDesignObject:
+    def test_field_sizes(self):
+        design = DirectoryDesign(bits=(2, 0, 3), spec_probabilities=(0.5,) * 3)
+        assert design.field_sizes == (4, 1, 8)
+
+    def test_filesystem_integration(self):
+        design = design_directory([0.7, 0.7, 0.3], total_bits=6)
+        fs = design.filesystem(m=8)
+        assert fs.bucket_count == 64
+        assert fs.m == 8
+
+    def test_designed_directory_beats_naive_split(self):
+        """The point of the optimiser: expected retrieval work drops versus
+        an even split when probabilities are skewed."""
+        probabilities = [0.95, 0.95, 0.05, 0.05]
+        designed = design_directory(probabilities, total_bits=8)
+        even = DirectoryDesign(
+            bits=(2, 2, 2, 2), spec_probabilities=tuple(probabilities)
+        )
+        assert designed.expected_qualified() < even.expected_qualified()

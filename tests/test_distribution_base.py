@@ -1,0 +1,231 @@
+"""Tests for the DistributionMethod interface, registry and baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution.base import (
+    available_methods,
+    create_method,
+    register_method,
+)
+from repro.distribution.gdm import GDM_PRESETS, GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.random_alloc import RandomDistribution
+from repro.distribution.spanning import SpanningPathDistribution
+from repro.core.fx import FXDistribution
+from repro.errors import ConfigurationError, DistributionError
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+
+
+FS = FileSystem.of(4, 8, m=8)
+
+ALL_METHOD_FACTORIES = [
+    lambda fs: FXDistribution(fs),
+    lambda fs: ModuloDistribution(fs),
+    lambda fs: GDMDistribution(fs, multipliers=tuple(range(3, 3 + fs.n_fields * 2, 2))),
+    lambda fs: RandomDistribution(fs, seed=5),
+    lambda fs: SpanningPathDistribution(fs),
+]
+
+
+class TestRegistry:
+    def test_known_methods_registered(self):
+        names = available_methods()
+        for expected in ("fx", "fx-basic", "modulo", "gdm", "random", "spanning"):
+            assert expected in names
+
+    def test_create_method(self):
+        method = create_method("modulo", FS)
+        assert isinstance(method, ModuloDistribution)
+
+    def test_create_with_kwargs(self):
+        method = create_method("gdm", FS, multipliers=(3, 5))
+        assert isinstance(method, GDMDistribution)
+
+    def test_create_unknown(self):
+        with pytest.raises(ConfigurationError):
+            create_method("nope", FS)
+
+    def test_register_requires_name(self):
+        class Anonymous(ModuloDistribution):
+            name = ""
+
+        with pytest.raises(ConfigurationError):
+            register_method(Anonymous)
+
+    def test_register_rejects_duplicate(self):
+        class Impostor(ModuloDistribution):
+            name = "modulo"
+
+        with pytest.raises(ConfigurationError):
+            register_method(Impostor)
+
+
+class TestDeviceRange:
+    @pytest.mark.parametrize("factory", ALL_METHOD_FACTORIES)
+    def test_all_devices_in_range(self, factory):
+        method = factory(FS)
+        for bucket in FS.buckets():
+            assert 0 <= method.device_of(bucket) < FS.m
+
+
+class TestDistribute:
+    def test_partition_covers_every_bucket_once(self):
+        allocation = ModuloDistribution(FS).distribute()
+        seen = [b for device_buckets in allocation for b in device_buckets]
+        assert sorted(seen) == sorted(FS.buckets())
+
+    def test_distribute_respects_device_of(self):
+        method = FXDistribution(FS)
+        for device, buckets in enumerate(method.distribute()):
+            assert all(method.device_of(b) == device for b in buckets)
+
+
+class TestResponseHistogram:
+    @pytest.mark.parametrize("factory", ALL_METHOD_FACTORIES)
+    def test_histogram_sums_to_qualified_count(self, factory):
+        method = factory(FS)
+        query = PartialMatchQuery.from_dict(FS, {0: 1})
+        histogram = method.response_histogram(query)
+        assert sum(histogram) == query.qualified_count
+
+    def test_separable_matches_naive_enumeration(self):
+        method = FXDistribution(FS)
+        for specified in ({}, {0: 2}, {1: 7}, {0: 3, 1: 0}):
+            query = PartialMatchQuery.from_dict(FS, specified)
+            naive = [0] * FS.m
+            for bucket in query.qualified_buckets():
+                naive[method.device_of(bucket)] += 1
+            assert method.response_histogram(query) == naive
+
+    def test_query_for_other_filesystem_rejected(self):
+        method = ModuloDistribution(FS)
+        other = FileSystem.of(4, 8, m=4)
+        query = PartialMatchQuery.full_scan(other)
+        with pytest.raises(DistributionError):
+            method.response_histogram(query)
+
+
+class TestModulo:
+    def test_device_formula(self):
+        modulo = ModuloDistribution(FS)
+        assert modulo.device_of((3, 7)) == (3 + 7) % 8
+
+    def test_sufficient_condition_one_unspecified(self):
+        modulo = ModuloDistribution(FS)
+        q = PartialMatchQuery.from_dict(FS, {1: 0})
+        assert modulo.sufficient_condition_holds(q)
+
+    def test_sufficient_condition_large_field(self):
+        fs = FileSystem.of(4, 16, m=8)
+        modulo = ModuloDistribution(fs)
+        q = PartialMatchQuery.full_scan(fs)
+        assert modulo.sufficient_condition_holds(q)
+
+    def test_sufficient_condition_fails_small_fields(self):
+        fs = FileSystem.of(4, 4, m=8)
+        modulo = ModuloDistribution(fs)
+        q = PartialMatchQuery.full_scan(fs)
+        assert not modulo.sufficient_condition_holds(q)
+
+    @given(st.sampled_from([2, 4, 8, 16]), st.sampled_from([2, 4, 8]))
+    @settings(max_examples=20)
+    def test_sufficient_condition_implies_optimal(self, f2, m):
+        fs = FileSystem.of(4, f2, 8, m=m)
+        modulo = ModuloDistribution(fs)
+        from repro.query.patterns import all_patterns, representative_query
+
+        for pattern in all_patterns(fs.n_fields):
+            q = representative_query(fs, pattern)
+            if modulo.sufficient_condition_holds(q):
+                assert modulo.is_strict_optimal_for(q)
+
+
+class TestGDM:
+    def test_presets_exist(self):
+        assert set(GDM_PRESETS) == {"GDM1", "GDM2", "GDM3"}
+
+    def test_preset_prefix_for_fewer_fields(self):
+        gdm = GDMDistribution.preset(FS, "GDM1")
+        assert gdm.multipliers == (2, 3)
+
+    def test_preset_unknown(self):
+        with pytest.raises(ConfigurationError):
+            GDMDistribution.preset(FS, "GDM9")
+
+    def test_preset_too_many_fields(self):
+        fs = FileSystem.uniform(7, 2, m=2)
+        with pytest.raises(ConfigurationError):
+            GDMDistribution.preset(fs, "GDM1")
+
+    def test_multiplier_count_checked(self):
+        with pytest.raises(ConfigurationError):
+            GDMDistribution(FS, multipliers=(3,))
+
+    def test_non_positive_multiplier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GDMDistribution(FS, multipliers=(0, 3))
+
+    def test_device_formula(self):
+        gdm = GDMDistribution(FS, multipliers=(3, 5))
+        assert gdm.device_of((2, 7)) == (3 * 2 + 5 * 7) % 8
+
+    def test_all_ones_equals_modulo(self):
+        gdm = GDMDistribution(FS, multipliers=(1, 1))
+        modulo = ModuloDistribution(FS)
+        assert all(
+            gdm.device_of(b) == modulo.device_of(b) for b in FS.buckets()
+        )
+
+
+class TestRandomDistribution:
+    def test_deterministic_per_seed(self):
+        a = RandomDistribution(FS, seed=1)
+        b = RandomDistribution(FS, seed=1)
+        assert all(a.device_of(x) == b.device_of(x) for x in FS.buckets())
+
+    def test_seed_changes_layout(self):
+        a = RandomDistribution(FS, seed=1)
+        b = RandomDistribution(FS, seed=2)
+        assert any(a.device_of(x) != b.device_of(x) for x in FS.buckets())
+
+    def test_roughly_balanced(self):
+        fs = FileSystem.of(32, 32, m=4)
+        allocation = RandomDistribution(fs, seed=0).distribute()
+        loads = [len(buckets) for buckets in allocation]
+        mean = fs.bucket_count / fs.m
+        assert all(0.5 * mean < load < 1.5 * mean for load in loads)
+
+
+class TestSpanningPath:
+    @pytest.mark.parametrize("traversal", ["path", "mst"])
+    def test_partition_complete(self, traversal):
+        fs = FileSystem.of(4, 4, m=4)
+        method = SpanningPathDistribution(fs, traversal=traversal)
+        allocation = method.distribute()
+        assert sum(len(b) for b in allocation) == fs.bucket_count
+        # round-robin dealing balances the static load perfectly
+        assert max(len(b) for b in allocation) - min(len(b) for b in allocation) == 0
+
+    def test_bad_traversal(self):
+        with pytest.raises(ConfigurationError):
+            SpanningPathDistribution(FS, traversal="bfs")
+
+    def test_grid_cap(self):
+        fs = FileSystem.of(256, 64, m=4)
+        with pytest.raises(ConfigurationError):
+            SpanningPathDistribution(fs)
+
+    def test_walk_neighbours_land_on_distinct_devices(self):
+        # The device map preserves walk order; round-robin dealing means
+        # consecutive walk positions (the most similar buckets) never share
+        # a device when M > 1.
+        fs = FileSystem.of(4, 4, m=4)
+        method = SpanningPathDistribution(fs)
+        devices_in_walk_order = list(method._device_map.values())
+        assert all(
+            a != b
+            for a, b in zip(devices_in_walk_order, devices_in_walk_order[1:])
+        )

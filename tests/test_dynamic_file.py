@@ -1,0 +1,150 @@
+"""Tests for the dynamic (directory-doubling) partitioned file."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.errors import ConfigurationError
+from repro.hashing.fields import FileSystem
+from repro.storage.dynamic_file import DynamicPartitionedFile
+
+
+def _records(count, stride=3):
+    return [(i, i * stride) for i in range(count)]
+
+
+class TestGrowth:
+    def test_directories_double_under_load(self):
+        dyn = DynamicPartitionedFile(
+            FileSystem.of(2, 2, m=4), max_occupancy=2.0
+        )
+        dyn.insert_all(_records(100))
+        assert dyn.filesystem.bucket_count > 4
+        assert dyn.doublings
+        assert dyn.occupancy() <= 2.0
+
+    def test_no_growth_below_threshold(self):
+        dyn = DynamicPartitionedFile(
+            FileSystem.of(8, 8, m=4), max_occupancy=10.0
+        )
+        dyn.insert_all(_records(50))
+        assert dyn.doublings == []
+        assert dyn.filesystem.field_sizes == (8, 8)
+
+    def test_smallest_field_doubles_first(self):
+        dyn = DynamicPartitionedFile(
+            FileSystem.of(2, 8, m=4), max_occupancy=1.0
+        )
+        dyn.insert_all(_records(20))
+        assert dyn.doublings[0].field_index == 0
+        assert dyn.doublings[0].old_size == 2
+        assert dyn.doublings[0].new_size == 4
+
+    def test_max_field_size_caps_growth(self):
+        dyn = DynamicPartitionedFile(
+            FileSystem.of(2, 2, m=4), max_occupancy=0.5, max_field_size=4
+        )
+        dyn.insert_all(_records(200))
+        assert all(size <= 4 for size in dyn.filesystem.field_sizes)
+        # occupancy exceeds the threshold once growth is exhausted
+        assert dyn.occupancy() > 0.5
+
+    def test_occupancy_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            DynamicPartitionedFile(FileSystem.of(2, 2, m=4), max_occupancy=0)
+
+    def test_doubling_event_bookkeeping(self):
+        dyn = DynamicPartitionedFile(
+            FileSystem.of(2, 2, m=4), max_occupancy=2.0
+        )
+        dyn.insert_all(_records(64))
+        for event in dyn.doublings:
+            assert event.new_size == 2 * event.old_size
+            assert 0 <= event.records_moved <= event.records_total
+            assert 0.0 <= event.moved_fraction <= 1.0
+
+
+class TestCorrectnessAcrossGrowth:
+    def test_all_records_retained(self):
+        dyn = DynamicPartitionedFile(
+            FileSystem.of(2, 2, m=4), max_occupancy=2.0
+        )
+        dyn.insert_all(_records(150))
+        assert dyn.record_count == 150
+        assert sum(dyn.device_loads()) == 150
+
+    def test_search_finds_every_record_after_growth(self):
+        dyn = DynamicPartitionedFile(
+            FileSystem.of(2, 2, m=4), max_occupancy=2.0, seed=5
+        )
+        dyn.insert_all(_records(120))
+        for i in (0, 17, 65, 119):
+            assert (i, i * 3) in dyn.search({0: i})
+
+    def test_search_respects_all_specified_fields(self):
+        dyn = DynamicPartitionedFile(FileSystem.of(4, 4, m=4))
+        dyn.insert_all(_records(60))
+        hits = dyn.search({0: 10, 1: 30})
+        assert hits == [(10, 30)]
+
+    def test_placement_matches_method_after_growth(self):
+        dyn = DynamicPartitionedFile(
+            FileSystem.of(2, 2, m=4), max_occupancy=2.0
+        )
+        dyn.insert_all(_records(100))
+        for device in dyn.devices:
+            for bucket in device.store.buckets():
+                assert dyn.method.device_of(bucket) == device.device_id
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_bucket_of_is_stable_per_value(self, value):
+        dyn = DynamicPartitionedFile(FileSystem.of(8, 8, m=4), seed=1)
+        assert dyn.bucket_of((value, value)) == dyn.bucket_of((value, value))
+
+    def test_split_refines_partition(self):
+        """Doubling a directory must split each bucket in two, never
+        reshuffle: the old bucket index is the new one mod the old size."""
+        small = DynamicPartitionedFile(FileSystem.of(4, 4, m=4), seed=2)
+        big = DynamicPartitionedFile(FileSystem.of(8, 4, m=4), seed=2)
+        for value in range(200):
+            before = small.bucket_of((value, value))
+            after = big.bucket_of((value, value))
+            assert after[0] % 4 == before[0]
+            assert after[1] == before[1]
+
+
+class TestConfiguration:
+    def test_custom_method_factory(self):
+        dyn = DynamicPartitionedFile(
+            FileSystem.of(4, 4, m=4),
+            method_factory=ModuloDistribution,
+        )
+        assert isinstance(dyn.method, ModuloDistribution)
+        dyn.insert_all(_records(10))
+        assert dyn.record_count == 10
+
+    def test_default_method_is_fx(self):
+        dyn = DynamicPartitionedFile(FileSystem.of(4, 4, m=4))
+        assert isinstance(dyn.method, FXDistribution)
+
+    def test_record_arity_checked(self):
+        dyn = DynamicPartitionedFile(FileSystem.of(4, 4, m=4))
+        with pytest.raises(ConfigurationError):
+            dyn.insert((1,))
+
+    def test_negative_attribute_rejected(self):
+        dyn = DynamicPartitionedFile(FileSystem.of(4, 4, m=4))
+        with pytest.raises(ConfigurationError):
+            dyn.insert((-1, 2))
+
+    def test_loads_reasonably_balanced(self):
+        dyn = DynamicPartitionedFile(
+            FileSystem.of(2, 2, m=4), max_occupancy=2.0, seed=3
+        )
+        dyn.insert_all(_records(300))
+        loads = dyn.device_loads()
+        mean = sum(loads) / len(loads)
+        assert max(loads) < 1.5 * mean

@@ -1,0 +1,136 @@
+"""Multi-subsystem integration scenarios.
+
+Each test exercises a realistic flow across several subsystems — the kind
+of composition bugs (stale caches after migration, stats after paged
+growth, replication after re-declustering) that unit tests cannot see.
+"""
+
+import pytest
+
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.replicated import ChainedReplicaScheme
+from repro.hashing.fields import FileSystem
+from repro.query.box import BoxQuery
+from repro.query.partial_match import PartialMatchQuery
+from repro.query.workload import QueryWorkload, WorkloadSpec
+from repro.storage.batch import BatchExecutor
+from repro.storage.btree_store import BTreeBucketStore
+from repro.storage.cache import CachedExecutor
+from repro.storage.executor import QueryExecutor
+from repro.storage.migration import Migration
+from repro.storage.paged_store import PagedBucketStore
+from repro.storage.parallel_file import PartitionedFile
+from repro.storage.replicated_file import ReplicatedFile
+from repro.storage.stats import collect_stats
+
+FS = FileSystem.of(4, 8, m=8)
+RECORDS = [(i, f"name-{i % 11}") for i in range(250)]
+
+
+class TestMigrationWithCache:
+    def test_cache_invalidation_after_migration_keeps_results_correct(self):
+        pf = PartitionedFile(ModuloDistribution(FS))
+        pf.insert_all(RECORDS)
+        cached = CachedExecutor(pf, capacity=8)
+        query = pf.query({0: 13})
+        before = sorted(map(str, cached.execute(query)))
+        Migration(pf, FXDistribution(FS)).apply()
+        cached.invalidate()
+        after = sorted(map(str, cached.execute(query)))
+        assert before == after
+        pf.check_invariants()
+
+    def test_batch_execution_after_migration(self):
+        pf = PartitionedFile(ModuloDistribution(FS))
+        pf.insert_all(RECORDS)
+        queries = [pf.query({0: v}) for v in (1, 5, 13)]
+        single_before = [
+            sorted(map(str, QueryExecutor(pf).execute(q).records))
+            for q in queries
+        ]
+        Migration(pf, FXDistribution(FS)).apply()
+        report = BatchExecutor(pf).execute(queries)
+        for expected, got in zip(single_before, report.records_per_query):
+            assert sorted(map(str, got)) == expected
+
+
+class TestStoresUnderLoad:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            None,
+            lambda: BTreeBucketStore(t=3),
+            lambda: PagedBucketStore(page_capacity=3),
+        ],
+        ids=["hash-dir", "btree", "paged"],
+    )
+    def test_all_local_stores_serve_identical_results(self, factory):
+        pf = PartitionedFile(FXDistribution(FS), store_factory=factory)
+        pf.insert_all(RECORDS)
+        result = pf.search({1: "name-7"})
+        reference = PartitionedFile(FXDistribution(FS))
+        reference.insert_all(RECORDS)
+        expected = reference.search({1: "name-7"})
+        assert sorted(map(str, result.records)) == sorted(
+            map(str, expected.records)
+        )
+        pf.check_invariants()
+
+    def test_stats_snapshot_reflects_paged_store(self):
+        pf = PartitionedFile(
+            FXDistribution(FS),
+            store_factory=lambda: PagedBucketStore(page_capacity=2),
+        )
+        pf.insert_all(RECORDS)
+        stats = collect_stats(pf)
+        assert stats.total_records == len(RECORDS)
+        assert all(snap.pages is not None for snap in stats.devices)
+        assert 0.0 <= stats.record_gini < 1.0
+        assert "records" in stats.render()
+
+    def test_stats_snapshot_plain_store_has_no_pages(self):
+        pf = PartitionedFile(FXDistribution(FS))
+        pf.insert_all(RECORDS)
+        stats = collect_stats(pf)
+        assert all(snap.pages is None for snap in stats.devices)
+
+
+class TestReplicationOverMigratedLayout:
+    def test_replicated_file_with_zorder_base(self):
+        from repro.distribution.zorder import ZOrderDistribution
+
+        rf = ReplicatedFile(ChainedReplicaScheme(ZOrderDistribution(FS)))
+        rf.insert_all(RECORDS)
+        rf.fail_device(5)
+        result = rf.execute(PartialMatchQuery.full_scan(FS))
+        assert len(result.records) == len(RECORDS)
+        rf.check_invariants()
+
+
+class TestWorkloadAcrossQueryClasses:
+    def test_partial_match_and_box_agree_on_shared_semantics(self):
+        pf = PartitionedFile(FXDistribution(FS))
+        pf.insert_all(RECORDS)
+        executor = QueryExecutor(pf)
+        workload = QueryWorkload(FS, WorkloadSpec(seed=21))
+        for query in workload.take(30):
+            plain = executor.execute(query)
+            boxed = executor.execute_box(BoxQuery.from_partial_match(query))
+            assert sorted(map(str, plain.records)) == sorted(
+                map(str, boxed.records)
+            )
+            assert plain.buckets_per_device == boxed.buckets_per_device
+
+    def test_mixed_pipeline_cache_then_box_then_stats(self):
+        pf = PartitionedFile(FXDistribution(FS))
+        pf.insert_all(RECORDS)
+        cached = CachedExecutor(pf, capacity=4)
+        cached.execute(PartialMatchQuery.full_scan(FS))
+        cached.execute(pf.query({0: 3}))
+        assert cached.stats.hit_rate > 0.0
+        box = BoxQuery.from_spec(FS, {1: (0, 3)})
+        result = QueryExecutor(pf).execute_box(box)
+        assert sum(result.buckets_per_device) == box.qualified_count
+        stats = collect_stats(pf)
+        assert stats.total_records == len(RECORDS)

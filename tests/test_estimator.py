@@ -1,0 +1,98 @@
+"""Tests for workload estimation (repro.query.estimator)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+from repro.query.estimator import estimate_workload
+from repro.query.partial_match import PartialMatchQuery
+from repro.query.workload import QueryWorkload, WorkloadSpec
+
+FS = FileSystem.of(4, 4, 8, m=4)
+
+
+class TestEstimation:
+    def test_point_estimates(self):
+        queries = [
+            PartialMatchQuery.from_dict(FS, {0: 1}),
+            PartialMatchQuery.from_dict(FS, {0: 2, 1: 3}),
+            PartialMatchQuery.from_dict(FS, {0: 3}),
+            PartialMatchQuery.from_dict(FS, {}),
+        ]
+        estimate = estimate_workload(queries)
+        assert estimate.probabilities() == (0.75, 0.25, 0.0)
+        assert estimate.samples == 4
+
+    def test_intervals_contain_point_estimate(self):
+        workload = QueryWorkload(FS, WorkloadSpec(seed=5))
+        estimate = estimate_workload(workload.take(100))
+        for f in estimate.fields:
+            assert f.low <= f.probability <= f.high
+
+    def test_intervals_shrink_with_samples(self):
+        workload = QueryWorkload(FS, WorkloadSpec(seed=5))
+        small = estimate_workload(workload.take(20))
+        workload.reset()
+        large = estimate_workload(workload.take(500))
+        for s, l in zip(small.fields, large.fields):
+            assert (l.high - l.low) < (s.high - s.low)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            estimate_workload([])
+
+    def test_mixed_filesystems_rejected(self):
+        other = FileSystem.of(4, 4, m=4)
+        with pytest.raises(AnalysisError):
+            estimate_workload(
+                [
+                    PartialMatchQuery.full_scan(FS),
+                    PartialMatchQuery.full_scan(other),
+                ]
+            )
+
+
+class TestIndependenceDiagnostic:
+    def test_independent_workload_passes(self):
+        workload = QueryWorkload(
+            FS, WorkloadSpec(spec_probability=0.5, seed=9)
+        )
+        estimate = estimate_workload(workload.take(800))
+        assert estimate.looks_independent(tolerance=0.08)
+
+    def test_perfectly_correlated_fields_flagged(self):
+        # fields 0 and 1 always specified together or not at all
+        queries = []
+        for i in range(50):
+            if i % 2:
+                queries.append(PartialMatchQuery.from_dict(FS, {0: 1, 1: 1}))
+            else:
+                queries.append(PartialMatchQuery.from_dict(FS, {2: 0}))
+        estimate = estimate_workload(queries)
+        assert not estimate.looks_independent(tolerance=0.1)
+        assert estimate.max_pairwise_dependence == pytest.approx(0.25)
+
+    @given(st.floats(0.1, 0.9))
+    @settings(max_examples=10, deadline=None)
+    def test_recovers_generator_probability(self, p):
+        workload = QueryWorkload(
+            FS, WorkloadSpec(spec_probability=p, seed=3)
+        )
+        estimate = estimate_workload(workload.take(600))
+        for f in estimate.fields:
+            assert f.low <= p <= f.high or abs(f.probability - p) < 0.08
+
+
+class TestEndToEndWithDesign:
+    def test_estimates_feed_the_optimiser(self):
+        from repro.hashing.design import design_directory
+
+        workload = QueryWorkload(
+            FS, WorkloadSpec(spec_probability=(0.9, 0.5, 0.1), seed=7)
+        )
+        estimate = estimate_workload(workload.take(400))
+        design = design_directory(estimate.probabilities(), total_bits=9)
+        # the most-specified field gets the most bits
+        assert design.bits[0] >= design.bits[1] >= design.bits[2]

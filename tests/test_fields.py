@@ -1,0 +1,96 @@
+"""Tests for FieldSpec / FileSystem (repro.hashing.fields)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, FieldValueError, NotPowerOfTwoError
+from repro.hashing.fields import FieldSpec, FileSystem
+
+
+filesystem_strategy = st.builds(
+    lambda sizes, m: FileSystem.of(*sizes, m=m),
+    st.lists(st.sampled_from([2, 4, 8, 16]), min_size=1, max_size=4),
+    st.sampled_from([2, 4, 8, 16, 32]),
+)
+
+
+class TestFieldSpec:
+    def test_bits(self):
+        assert FieldSpec(8).bits == 3
+
+    def test_domain(self):
+        assert list(FieldSpec(4).domain()) == [0, 1, 2, 3]
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(NotPowerOfTwoError):
+            FieldSpec(6)
+
+
+class TestFileSystemConstruction:
+    def test_of(self):
+        fs = FileSystem.of(2, 8, m=4)
+        assert fs.field_sizes == (2, 8)
+        assert fs.m == 4
+
+    def test_uniform(self):
+        fs = FileSystem.uniform(6, 8, m=32)
+        assert fs.field_sizes == (8,) * 6
+
+    def test_uniform_rejects_zero_fields(self):
+        with pytest.raises(ConfigurationError):
+            FileSystem.uniform(0, 8, m=32)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            FileSystem(fields=(), num_devices=4)
+
+    def test_rejects_non_power_of_two_m(self):
+        with pytest.raises(NotPowerOfTwoError):
+            FileSystem.of(4, m=6)
+
+    def test_equality(self):
+        assert FileSystem.of(2, 8, m=4) == FileSystem.of(2, 8, m=4)
+        assert FileSystem.of(2, 8, m=4) != FileSystem.of(2, 8, m=8)
+
+
+class TestFileSystemProperties:
+    def test_bucket_count(self):
+        assert FileSystem.of(2, 8, 4, m=4).bucket_count == 64
+
+    def test_small_and_large_fields(self):
+        fs = FileSystem.of(2, 32, 8, m=16)
+        assert fs.small_fields() == (0, 2)
+        assert fs.large_fields() == (1,)
+
+    def test_describe(self):
+        assert FileSystem.of(2, 8, m=4).describe() == "F=(2, 8), M=4"
+
+
+class TestBuckets:
+    def test_enumeration_row_major(self):
+        fs = FileSystem.of(2, 2, m=2)
+        assert list(fs.buckets()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_check_bucket_arity(self):
+        with pytest.raises(FieldValueError):
+            FileSystem.of(2, 2, m=2).check_bucket((0,))
+
+    def test_check_bucket_range(self):
+        with pytest.raises(FieldValueError):
+            FileSystem.of(2, 2, m=2).check_bucket((0, 2))
+
+    @given(filesystem_strategy, st.data())
+    def test_bucket_index_round_trip(self, fs, data):
+        index = data.draw(st.integers(0, fs.bucket_count - 1))
+        bucket = fs.bucket_from_index(index)
+        assert fs.bucket_index(bucket) == index
+
+    @given(filesystem_strategy)
+    def test_indices_are_a_bijection(self, fs):
+        indices = {fs.bucket_index(b) for b in fs.buckets()}
+        assert indices == set(range(fs.bucket_count))
+
+    def test_bucket_from_index_out_of_range(self):
+        with pytest.raises(FieldValueError):
+            FileSystem.of(2, 2, m=2).bucket_from_index(4)

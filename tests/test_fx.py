@@ -1,0 +1,168 @@
+"""Tests for Basic and Extended FX distribution (paper sections 3-4)."""
+
+import pytest
+
+from repro.core.fx import BasicFXDistribution, FXDistribution
+from repro.core.transforms import IU1Transform, IdentityTransform
+from repro.errors import ConfigurationError
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+from repro.query.patterns import all_patterns, representative_query
+from repro.util.numbers import ceil_div
+
+
+class TestBasicFX:
+    def test_paper_table1(self):
+        fs = FileSystem.of(2, 8, m=4)
+        fx = BasicFXDistribution(fs)
+        expected = [0, 1, 2, 3, 0, 1, 2, 3, 1, 0, 3, 2, 1, 0, 3, 2]
+        assert [fx.device_of(b) for b in fs.buckets()] == expected
+
+    def test_device_is_truncated_xor(self):
+        fs = FileSystem.of(8, 8, m=4)
+        fx = BasicFXDistribution(fs)
+        assert fx.device_of((5, 6)) == (5 ^ 6) & 3
+
+    def test_example_1_strict_optimality(self):
+        # Section 3: first field (001), second unspecified -> 2 per device.
+        fs = FileSystem.of(2, 8, m=4)
+        fx = BasicFXDistribution(fs)
+        q = PartialMatchQuery.from_dict(fs, {0: 1})
+        assert fx.response_histogram(q) == [2, 2, 2, 2]
+
+    def test_theorem1_zero_and_one_optimal(self):
+        """Theorem 1: Basic FX is always 0-optimal and 1-optimal."""
+        for sizes, m in [((2, 8), 4), ((4, 4, 2), 16), ((8, 2, 4), 8)]:
+            fs = FileSystem.of(*sizes, m=m)
+            fx = BasicFXDistribution(fs)
+            for pattern in all_patterns(fs.n_fields):
+                if len(pattern) > 1:
+                    continue
+                q = representative_query(fs, pattern)
+                assert fx.is_strict_optimal_for(q)
+
+    def test_theorem2_large_unspecified_field(self):
+        """Theorem 2: any unspecified field with F >= M makes FX optimal."""
+        fs = FileSystem.of(2, 2, 16, m=16)
+        fx = BasicFXDistribution(fs)
+        for pattern in all_patterns(fs.n_fields):
+            if 2 not in pattern:
+                continue
+            q = representative_query(fs, pattern)
+            assert fx.is_strict_optimal_for(q)
+
+    def test_not_optimal_when_all_unspecified_small(self):
+        # Section 3's counterexample: example 1's file system with M = 16.
+        fs = FileSystem.of(2, 8, m=16)
+        fx = BasicFXDistribution(fs)
+        q = PartialMatchQuery.full_scan(fs)
+        assert not fx.is_strict_optimal_for(q)
+
+
+class TestExtendedFX:
+    def test_default_policy_is_paper(self):
+        fs = FileSystem.uniform(6, 8, m=32)
+        fx = FXDistribution(fs)
+        assert fx.transform_methods() == ("I", "U", "IU1", "I", "U", "IU1")
+
+    def test_field_transformation_fixes_small_fields(self):
+        # Section 3's closing example: X(f1) = {0, 8} makes F=(2,8), M=16
+        # perfect optimal.  U transformation realises exactly that map.
+        fs = FileSystem.of(2, 8, m=16)
+        fx = FXDistribution(fs, transforms=["U", "I"])
+        from repro.core.optimality import is_perfect_optimal
+
+        assert is_perfect_optimal(fx)
+
+    def test_transform_objects_accepted(self):
+        fs = FileSystem.of(4, 4, m=16)
+        fx = FXDistribution(
+            fs,
+            transforms=[IdentityTransform(4, 16), IU1Transform(4, 16)],
+        )
+        assert fx.transform_methods() == ("I", "IU1")
+
+    def test_transform_object_wrong_field_size(self):
+        fs = FileSystem.of(4, 4, m=16)
+        with pytest.raises(ConfigurationError):
+            FXDistribution(fs, transforms=[IdentityTransform(8, 16),
+                                           IU1Transform(4, 16)])
+
+    def test_transform_object_wrong_m(self):
+        fs = FileSystem.of(4, 4, m=16)
+        with pytest.raises(ConfigurationError):
+            FXDistribution(fs, transforms=[IdentityTransform(4, 8),
+                                           IU1Transform(4, 8)])
+
+    def test_transform_count_checked(self):
+        fs = FileSystem.of(4, 4, m=16)
+        with pytest.raises(ConfigurationError):
+            FXDistribution(fs, transforms=["I"])
+
+    def test_mixed_names_and_objects_rejected(self):
+        fs = FileSystem.of(4, 4, m=16)
+        with pytest.raises(ConfigurationError):
+            FXDistribution(fs, transforms=["I", IU1Transform(4, 16)])
+
+    def test_effective_methods_reported(self):
+        # IU2 on F=8, M=16 collapses to IU1.
+        fs = FileSystem.of(8, 8, m=16)
+        fx = FXDistribution(fs, transforms=["I", "IU2"])
+        assert fx.transform_methods() == ("I", "IU1")
+
+    def test_describe_mentions_transforms(self):
+        fs = FileSystem.of(4, 4, m=16)
+        fx = FXDistribution(fs, transforms=["I", "U"])
+        assert "I,U" in fx.describe()
+
+
+class TestFXPerfectOptimality:
+    """Theorems 4-9: perfect optimality of the two- and three-small-field
+    configurations, verified empirically over every pattern and value."""
+
+    @pytest.mark.parametrize(
+        "sizes,m,transforms",
+        [
+            ((4, 4), 16, ("I", "U")),       # Theorem 4
+            ((4, 4), 16, ("I", "IU1")),     # Theorem 5
+            ((4, 8), 16, ("U", "IU1")),     # Theorem 6
+            ((8, 2), 16, ("I", "IU2")),     # Theorem 7
+            ((4, 2), 16, ("U", "IU2")),     # Theorem 8
+            ((4, 2, 2), 16, ("I", "U", "IU2")),  # Theorem 9 / Lemma 9.1
+            ((8, 2, 4), 32, ("I", "U", "IU2")),  # Theorem 9, mixed sizes
+        ],
+    )
+    def test_configuration_is_perfect_optimal(self, sizes, m, transforms):
+        fs = FileSystem.of(*sizes, m=m)
+        fx = FXDistribution(fs, transforms=list(transforms))
+        for pattern in all_patterns(fs.n_fields):
+            qualified = 1
+            for i in pattern:
+                qualified *= sizes[i]
+            bound = ceil_div(qualified, m)
+            worst = max(
+                fx.largest_response(q)
+                for q in _queries(fs, pattern)
+            )
+            assert worst <= bound, (pattern, worst, bound)
+
+    def test_theorem9_policy_perfect_optimal_three_small(self):
+        from repro.core.optimality import is_perfect_optimal
+
+        fs = FileSystem.of(8, 2, 4, 32, m=32)
+        fx = FXDistribution(fs, policy="theorem9")
+        assert is_perfect_optimal(fx)
+
+    def test_same_transform_twice_not_optimal(self):
+        # Two I-transformed small fields collide: XOR of equal sets piles
+        # onto device 0.
+        fs = FileSystem.of(4, 4, m=16)
+        fx = FXDistribution(fs, transforms=["I", "I"])
+        q = PartialMatchQuery.full_scan(fs)
+        assert not fx.is_strict_optimal_for(q)
+
+
+def _queries(fs, pattern):
+    from repro.query.patterns import queries_for_pattern
+
+    return queries_for_pattern(fs, pattern)

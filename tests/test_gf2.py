@@ -1,0 +1,160 @@
+"""Tests for GF(2) linear algebra (repro.core.gf2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gf2 import GF2Matrix, parity
+from repro.errors import ConfigurationError
+
+
+def random_matrix(draw, max_dim=6):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(0, max_dim))
+    rows = tuple(
+        draw(st.integers(0, (1 << n_cols) - 1)) if n_cols else 0
+        for __ in range(n_rows)
+    )
+    return GF2Matrix(rows, n_cols)
+
+
+matrices = st.composite(random_matrix)()
+
+
+class TestParity:
+    @given(st.integers(0, 2**30))
+    def test_matches_popcount(self, word):
+        assert parity(word) == bin(word).count("1") % 2
+
+
+class TestConstruction:
+    def test_identity(self):
+        eye = GF2Matrix.identity(3)
+        assert eye.to_lists() == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_zero(self):
+        assert GF2Matrix.zero(2, 3).rows == (0, 0)
+
+    def test_from_rows(self):
+        m = GF2Matrix.from_rows([[1, 0], [1, 1]])
+        assert m.rows == (1, 3)
+
+    def test_from_rows_ragged(self):
+        with pytest.raises(ConfigurationError):
+            GF2Matrix.from_rows([[1], [1, 0]])
+
+    def test_from_rows_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            GF2Matrix.from_rows([[2]])
+
+    def test_row_outside_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GF2Matrix((4,), 2)
+
+    def test_shift_matrix_is_multiplication_by_power_of_two(self):
+        shift = GF2Matrix.shift(5, 3, 2)
+        for v in range(8):
+            assert shift.apply(v) == (v << 2) & 0b11111
+
+    def test_shift_negative(self):
+        with pytest.raises(ConfigurationError):
+            GF2Matrix.shift(4, 4, -1)
+
+
+class TestApply:
+    @given(matrices, st.data())
+    @settings(max_examples=50)
+    def test_linearity(self, m, data):
+        x = data.draw(st.integers(0, (1 << m.n_cols) - 1)) if m.n_cols else 0
+        y = data.draw(st.integers(0, (1 << m.n_cols) - 1)) if m.n_cols else 0
+        assert m.apply(x ^ y) == m.apply(x) ^ m.apply(y)
+
+    def test_vector_out_of_space(self):
+        with pytest.raises(ConfigurationError):
+            GF2Matrix.identity(2).apply(4)
+
+    def test_identity_acts_trivially(self):
+        eye = GF2Matrix.identity(4)
+        assert all(eye.apply(v) == v for v in range(16))
+
+
+class TestAlgebra:
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_add_self_is_zero(self, m):
+        assert m.add(m).rows == (0,) * m.n_rows
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            GF2Matrix.identity(2).add(GF2Matrix.identity(3))
+
+    @given(matrices, st.data())
+    @settings(max_examples=50)
+    def test_multiply_matches_composition(self, m, data):
+        inner = random_matrix(data.draw, max_dim=5)
+        # align shapes: inner must map into m's domain
+        if inner.n_rows != m.n_cols:
+            inner = GF2Matrix.random(
+                m.n_cols, inner.n_cols, random.Random(7)
+            )
+        product = m.multiply(inner)
+        for v in range(1 << min(inner.n_cols, 6)):
+            assert product.apply(v) == m.apply(inner.apply(v))
+
+    def test_multiply_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            GF2Matrix.identity(2).multiply(GF2Matrix.identity(3))
+
+    def test_hstack(self):
+        left = GF2Matrix.from_rows([[1], [0]])
+        right = GF2Matrix.from_rows([[0], [1]])
+        assert left.hstack(right).to_lists() == [[1, 0], [0, 1]]
+
+    def test_hstack_row_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            GF2Matrix.identity(2).hstack(GF2Matrix.identity(3))
+
+
+class TestRank:
+    def test_identity_full_rank(self):
+        assert GF2Matrix.identity(5).rank() == 5
+
+    def test_zero_rank(self):
+        assert GF2Matrix.zero(3, 3).rank() == 0
+
+    def test_dependent_rows(self):
+        m = GF2Matrix.from_rows([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert m.rank() == 2  # third row is the sum of the first two
+
+    @given(matrices)
+    @settings(max_examples=50)
+    def test_rank_matches_brute_force_row_span(self, m):
+        span = {0}
+        for row in m.rows:
+            span |= {row ^ s for s in span}
+        assert 1 << m.rank() == len(span)
+
+    def test_is_injective(self):
+        assert GF2Matrix.from_rows([[1, 0], [1, 1], [0, 0]]).is_injective()
+        assert not GF2Matrix.from_rows([[1, 1], [0, 0]]).is_injective()
+
+
+class TestRandomSampling:
+    def test_full_column_rank_sampler(self):
+        rng = random.Random(3)
+        for __ in range(20):
+            m = GF2Matrix.random_full_column_rank(5, 3, rng)
+            assert m.rank() == 3
+
+    def test_sampler_rejects_impossible_shape(self):
+        with pytest.raises(ConfigurationError):
+            GF2Matrix.random_full_column_rank(2, 3, random.Random(0))
+
+    def test_column_accessor(self):
+        m = GF2Matrix.from_rows([[1, 0], [1, 1]])
+        assert m.column(0) == 0b11
+        assert m.column(1) == 0b10
+        with pytest.raises(ConfigurationError):
+            m.column(2)

@@ -1,0 +1,130 @@
+"""Tests for per-field hash functions and multi-key hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, FieldValueError
+from repro.hashing.fields import FileSystem
+from repro.hashing.hash_functions import (
+    FibonacciFieldHash,
+    IntegerRangeHash,
+    StringFieldHash,
+)
+from repro.hashing.multikey import MultiKeyHash
+
+
+class TestFibonacciFieldHash:
+    @given(st.integers(-(2**40), 2**40))
+    def test_in_range(self, value):
+        h = FibonacciFieldHash(16, seed=3)
+        assert 0 <= h(value) < 16
+
+    def test_deterministic(self):
+        assert FibonacciFieldHash(16, seed=1)(42) == FibonacciFieldHash(16, seed=1)(42)
+
+    def test_seed_changes_output_somewhere(self):
+        a = FibonacciFieldHash(256, seed=1)
+        b = FibonacciFieldHash(256, seed=2)
+        assert any(a(v) != b(v) for v in range(100))
+
+    def test_spreads_consecutive_keys(self):
+        # Small consecutive inputs should hit many distinct slots.
+        h = FibonacciFieldHash(64)
+        slots = {h(v) for v in range(256)}
+        assert len(slots) >= 48
+
+    def test_field_size_one(self):
+        assert FibonacciFieldHash(1)(123456) == 0
+
+    def test_rejects_non_int(self):
+        with pytest.raises(FieldValueError):
+            FibonacciFieldHash(16)("text")
+
+    def test_rejects_bool(self):
+        with pytest.raises(FieldValueError):
+            FibonacciFieldHash(16)(True)
+
+
+class TestIntegerRangeHash:
+    def test_order_preserving(self):
+        h = IntegerRangeHash(4, low=0, high=100)
+        values = [h(v) for v in range(0, 100, 10)]
+        assert values == sorted(values)
+
+    def test_slices_evenly(self):
+        h = IntegerRangeHash(4, low=0, high=8)
+        assert [h(v) for v in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_out_of_range_rejected(self):
+        h = IntegerRangeHash(4, low=10, high=20)
+        with pytest.raises(FieldValueError):
+            h(20)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IntegerRangeHash(4, low=5, high=5)
+
+
+class TestStringFieldHash:
+    @given(st.text(max_size=50))
+    def test_in_range(self, text):
+        assert 0 <= StringFieldHash(32)(text) < 32
+
+    def test_deterministic_across_instances(self):
+        assert StringFieldHash(64, seed=9)("abc") == StringFieldHash(64, seed=9)("abc")
+
+    def test_rejects_non_str(self):
+        with pytest.raises(FieldValueError):
+            StringFieldHash(16)(5)
+
+
+class TestMultiKeyHash:
+    def test_bucket_of_shape(self):
+        fs = FileSystem.of(4, 8, m=4)
+        mkh = MultiKeyHash.default(fs, seed=7)
+        bucket = mkh.bucket_of((10, "ann"))
+        fs.check_bucket(bucket)
+
+    def test_record_arity_checked(self):
+        fs = FileSystem.of(4, 8, m=4)
+        mkh = MultiKeyHash.default(fs)
+        with pytest.raises(FieldValueError):
+            mkh.bucket_of((1,))
+
+    def test_partial_bucket(self):
+        fs = FileSystem.of(4, 8, m=4)
+        mkh = MultiKeyHash.default(fs)
+        partial = mkh.partial_bucket({1: "xyz"})
+        assert set(partial) == {1}
+        assert 0 <= partial[1] < 8
+
+    def test_partial_consistent_with_full(self):
+        fs = FileSystem.of(4, 8, m=4)
+        mkh = MultiKeyHash.default(fs, seed=5)
+        record = (99, "item")
+        bucket = mkh.bucket_of(record)
+        assert mkh.partial_bucket({0: 99})[0] == bucket[0]
+        assert mkh.partial_bucket({1: "item"})[1] == bucket[1]
+
+    def test_mismatched_hash_sizes_rejected(self):
+        fs = FileSystem.of(4, 8, m=4)
+        with pytest.raises(ConfigurationError):
+            MultiKeyHash(fs, [FibonacciFieldHash(4), FibonacciFieldHash(4)])
+
+    def test_wrong_hash_count_rejected(self):
+        fs = FileSystem.of(4, 8, m=4)
+        with pytest.raises(ConfigurationError):
+            MultiKeyHash(fs, [FibonacciFieldHash(4)])
+
+    def test_unhashable_type_rejected(self):
+        fs = FileSystem.of(4, 8, m=4)
+        mkh = MultiKeyHash.default(fs)
+        with pytest.raises(FieldValueError):
+            mkh.bucket_of((1.5, "ok"))
+
+    def test_unknown_field_rejected(self):
+        fs = FileSystem.of(4, 8, m=4)
+        mkh = MultiKeyHash.default(fs)
+        with pytest.raises(FieldValueError):
+            mkh.hash_field(2, 1)

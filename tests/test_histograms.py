@@ -1,0 +1,200 @@
+"""Tests for the convolution engine (repro.analysis.histograms).
+
+The central correctness claims:
+
+1. XOR/cyclic convolutions match their O(M^2) definitions,
+2. the spectral (FWHT/FFT) fast path matches direct convolution,
+3. a query's histogram from the engine equals brute-force enumeration,
+4. histogram *shape* is pattern-invariant for separable methods.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.histograms import (
+    PatternEvaluator,
+    contribution_histogram,
+    cyclic_convolve,
+    evaluator_for,
+    fwht,
+    pattern_histogram,
+    separable_response_histogram,
+    xor_convolve,
+)
+from repro.core.fx import FXDistribution
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+
+
+def _vectors(max_len_bits=5):
+    return st.integers(1, max_len_bits).flatmap(
+        lambda bits: st.lists(
+            st.integers(0, 100), min_size=1 << bits, max_size=1 << bits
+        )
+    )
+
+
+class TestConvolutions:
+    @given(_vectors(), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_xor_convolve_matches_definition(self, a, rng):
+        m = len(a)
+        b = [rng.randrange(50) for __ in range(m)]
+        expected = [0] * m
+        for i, av in enumerate(a):
+            for j, bv in enumerate(b):
+                expected[i ^ j] += av * bv
+        assert xor_convolve(np.array(a), np.array(b)).tolist() == expected
+
+    @given(_vectors(), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_cyclic_convolve_matches_definition(self, a, rng):
+        m = len(a)
+        b = [rng.randrange(50) for __ in range(m)]
+        expected = [0] * m
+        for i, av in enumerate(a):
+            for j, bv in enumerate(b):
+                expected[(i + j) % m] += av * bv
+        assert cyclic_convolve(np.array(a), np.array(b)).tolist() == expected
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AnalysisError):
+            xor_convolve(np.zeros(4), np.zeros(8))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(AnalysisError):
+            cyclic_convolve(np.zeros(6), np.zeros(6))
+
+
+class TestFWHT:
+    @given(_vectors())
+    @settings(max_examples=30, deadline=None)
+    def test_self_inverse_up_to_length(self, a):
+        vec = np.array(a, dtype=np.float64)
+        round_trip = fwht(fwht(vec)) / len(a)
+        assert np.allclose(round_trip, vec)
+
+    @given(_vectors(), st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_diagonalises_xor_convolution(self, a, rng):
+        m = len(a)
+        b = np.array([rng.randrange(50) for __ in range(m)], dtype=np.int64)
+        a = np.array(a, dtype=np.int64)
+        direct = xor_convolve(a, b).astype(np.float64)
+        spectral = fwht(fwht(a) * fwht(b)) / m
+        assert np.allclose(direct, spectral)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(AnalysisError):
+            fwht(np.zeros(5))
+
+
+class TestContributionHistogram:
+    def test_injective_small_field_is_zero_one(self):
+        fs = FileSystem.of(4, 4, m=16)
+        fx = FXDistribution(fs, transforms=["I", "U"])
+        hist = contribution_histogram(fx, 1)
+        assert sorted(hist.tolist(), reverse=True)[:4] == [1, 1, 1, 1]
+        assert hist.sum() == 4
+
+    def test_large_identity_field_is_uniform(self):
+        fs = FileSystem.of(32, 4, m=8)
+        fx = FXDistribution(fs)
+        hist = contribution_histogram(fx, 0)
+        assert hist.tolist() == [4] * 8
+
+
+class TestEngineVsBruteForce:
+    FILESYSTEMS = [
+        FileSystem.of(4, 8, m=8),
+        FileSystem.of(2, 4, 8, m=4),
+        FileSystem.of(16, 4, m=8),
+        FileSystem.of(4, 4, 4, m=16),
+    ]
+
+    def _methods(self, fs):
+        return [
+            FXDistribution(fs),
+            ModuloDistribution(fs),
+            GDMDistribution(fs, multipliers=tuple(2 * i + 2 for i in range(fs.n_fields))),
+        ]
+
+    @pytest.mark.parametrize("fs", FILESYSTEMS, ids=lambda fs: fs.describe())
+    def test_histogram_matches_enumeration(self, fs):
+        from repro.query.patterns import all_patterns, queries_for_pattern
+
+        for method in self._methods(fs):
+            for pattern in all_patterns(fs.n_fields):
+                for query in list(queries_for_pattern(fs, pattern))[:3]:
+                    naive = [0] * fs.m
+                    for bucket in query.qualified_buckets():
+                        naive[method.device_of(bucket)] += 1
+                    engine = separable_response_histogram(method, query)
+                    assert engine == naive, (method.name, query.describe())
+
+    @pytest.mark.parametrize("fs", FILESYSTEMS, ids=lambda fs: fs.describe())
+    def test_shape_is_pattern_invariant(self, fs):
+        """Specified values permute devices but never change the sorted
+        histogram — the structural fact the whole evaluation leans on."""
+        from repro.query.patterns import all_patterns, queries_for_pattern
+
+        for method in self._methods(fs):
+            for pattern in all_patterns(fs.n_fields):
+                shapes = {
+                    tuple(sorted(method.response_histogram(query)))
+                    for query in queries_for_pattern(fs, pattern)
+                }
+                assert len(shapes) == 1
+
+
+class TestPatternEvaluator:
+    def test_exact_match_pattern(self):
+        fs = FileSystem.of(4, 4, m=16)
+        evaluator = PatternEvaluator(FXDistribution(fs, transforms=["I", "U"]))
+        hist = evaluator.histogram(frozenset())
+        assert hist.sum() == 1
+        assert evaluator.largest_response(frozenset()) == 1
+
+    def test_uniform_short_circuit(self):
+        fs = FileSystem.of(64, 4, m=8)
+        evaluator = PatternEvaluator(FXDistribution(fs))
+        hist = evaluator.histogram(frozenset({0}))
+        assert hist.tolist() == [8] * 8
+
+    def test_huge_uniform_pattern_uses_big_ints(self):
+        # 512**10 / 512 per device: far beyond int64.
+        fs = FileSystem.uniform(10, 512, m=512)
+        evaluator = PatternEvaluator(FXDistribution(fs))
+        load = evaluator.largest_response(frozenset(range(10)))
+        assert load == 512**10 // 512
+        assert evaluator.is_strict_optimal(frozenset(range(10)))
+
+    def test_magnitude_guard(self):
+        # Ten non-uniform fields of size 64 with M=128: product 64**10
+        # exceeds the float-exact range, so the evaluator must refuse
+        # rather than silently round.
+        fs = FileSystem.uniform(10, 64, m=128)
+        evaluator = PatternEvaluator(FXDistribution(fs))
+        with pytest.raises(AnalysisError):
+            evaluator.histogram(frozenset(range(10)))
+
+    def test_pattern_field_validation(self):
+        fs = FileSystem.of(4, 4, m=16)
+        evaluator = PatternEvaluator(FXDistribution(fs))
+        with pytest.raises(AnalysisError):
+            evaluator.histogram(frozenset({7}))
+
+    def test_evaluator_for_caches(self):
+        fs = FileSystem.of(4, 4, m=16)
+        fx = FXDistribution(fs)
+        assert evaluator_for(fx) is evaluator_for(fx)
+
+    def test_pattern_histogram_helper(self):
+        fs = FileSystem.of(4, 4, m=16)
+        fx = FXDistribution(fs, transforms=["I", "U"])
+        hist = pattern_histogram(fx, {0, 1})
+        assert hist.tolist() == [1] * 16

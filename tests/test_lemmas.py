@@ -1,0 +1,186 @@
+"""The paper's lemma inventory as executable property tests.
+
+Each lemma of sections 3-4 is restated against this library's primitives
+and checked over its full (power-of-two bounded) hypothesis space.  Lemmas
+1.1 and 4.1 also live in :mod:`repro.core.bitops`; the rest are stated here
+directly in terms of transforms and distributions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitops import xor_set, z_m
+from repro.core.fx import FXDistribution
+from repro.core.optimality import is_perfect_optimal
+from repro.core.transforms import IU1Transform, IU2Transform, UTransform
+from repro.hashing.fields import FileSystem
+
+
+def _small_cases(max_m_bits=9):
+    cases = []
+    for m_bits in range(1, max_m_bits + 1):
+        for f_bits in range(0, m_bits):
+            cases.append((1 << f_bits, 1 << m_bits))
+    return cases
+
+
+small_cases = st.sampled_from(_small_cases())
+
+
+class TestLemma11:
+    """Z_M [+] k == Z_M (restated here for completeness; see test_bitops)."""
+
+    @given(st.sampled_from([2, 4, 8, 16, 32, 64]), st.data())
+    def test_xor_permutes_device_space(self, m, data):
+        k = data.draw(st.integers(0, m - 1))
+        assert xor_set(k, z_m(m)) == z_m(m)
+
+
+class TestLemma51:
+    """IU1 is an injective function into Z_M."""
+
+    @given(small_cases)
+    def test_injective(self, case):
+        f, m = case
+        image = IU1Transform(f, m).image()
+        assert len(set(image)) == f and all(0 <= v < m for v in image)
+
+
+class TestLemma52:
+    """I + IU1 on two small fields with F_i >= F_k is perfect optimal."""
+
+    @pytest.mark.parametrize(
+        "fi,fk,m", [(4, 2, 8), (4, 4, 16), (8, 2, 16), (8, 8, 32)]
+    )
+    def test_perfect_optimal(self, fi, fk, m):
+        fs = FileSystem.of(fi, fk, m=m)
+        assert is_perfect_optimal(FXDistribution(fs, transforms=["I", "IU1"]))
+
+
+class TestLemma53And54:
+    """Exactly one IU1 image element per aligned interval of width M/F."""
+
+    @given(small_cases)
+    def test_one_per_interval(self, case):
+        f, m = case
+        d = m // f
+        image = IU1Transform(f, m).image()
+        assert sorted(v // d for v in image) == list(range(f))
+
+
+class TestLemma61:
+    """U(f_j) [+] (J*d_j + c) == U(f_j) + c for 0 <= c < d_j."""
+
+    @given(small_cases, st.data())
+    @settings(max_examples=60)
+    def test_shifted_coset(self, case, data):
+        f, m = case
+        d = m // f
+        j_value = data.draw(st.integers(0, f - 1))
+        c = data.draw(st.integers(0, d - 1))
+        u_image = set(UTransform(f, m).image())
+        shifted = xor_set(j_value * d + c, u_image)
+        expected = {v + c for v in u_image}
+        assert shifted == expected
+
+
+class TestLemma62:
+    """K1 = K2 (mod d_j) <=> K1 ^ K1*d_k = K2 ^ K2*d_k (mod d_j)."""
+
+    @given(
+        st.sampled_from([2, 4, 8, 16, 32]),
+        st.sampled_from([2, 4, 8, 16, 32]),
+        st.integers(0, 63),
+        st.integers(0, 63),
+    )
+    @settings(max_examples=100)
+    def test_equivalence(self, dj, dk, k1, k2):
+        lhs = (k1 % dj) == (k2 % dj)
+        rhs = ((k1 ^ (k1 * dk)) % dj) == ((k2 ^ (k2 * dk)) % dj)
+        assert lhs == rhs
+
+
+class TestLemma71And72:
+    """IU2 is injective into Z_M with one element per d1-interval."""
+
+    @given(small_cases)
+    def test_injective_and_spread(self, case):
+        f, m = case
+        transform = IU2Transform(f, m)
+        image = transform.image()
+        assert len(set(image)) == f
+        d1 = m // f
+        assert sorted(v // d1 for v in image) == list(range(f))
+
+    @given(small_cases)
+    def test_collapses_to_iu1_iff_square_large(self, case):
+        f, m = case
+        transform = IU2Transform(f, m)
+        if f * f >= m:
+            assert transform.image() == IU1Transform(f, m).image()
+        elif f > 1:
+            assert transform.image() != IU1Transform(f, m).image()
+
+
+class TestLemma81:
+    """K1 = K2 (mod d_j) <=> IU2-style double shift preserves residues:
+    K1 ^ K1*d_k2 ^ K1*d_k1 = K2 ^ K2*d_k2 ^ K2*d_k1 (mod d_j)."""
+
+    @given(
+        st.sampled_from([2, 4, 8, 16]),
+        st.sampled_from(_small_cases(max_m_bits=7)),
+        st.data(),
+    )
+    @settings(max_examples=100)
+    def test_equivalence(self, dj, case, data):
+        f, m = case
+        d_k1 = m // f
+        d_k2 = d_k1 // f if f * f < m else 0
+        k1 = data.draw(st.integers(0, f - 1))
+        k2 = data.draw(st.integers(0, f - 1))
+        lhs = (k1 % dj) == (k2 % dj)
+        left = (k1 ^ (k1 * d_k2) ^ (k1 * d_k1)) % dj
+        right = (k2 ^ (k2 * d_k2) ^ (k2 * d_k1)) % dj
+        assert lhs == (left == right)
+
+
+class TestLemma91:
+    """I + U + IU2 on three small fields is perfect optimal when (1) some
+    pair's product reaches M, or (2) F_IU2 >= F_U and F_IU2^2 < M."""
+
+    @pytest.mark.parametrize(
+        "sizes,transforms",
+        [
+            # condition (1): F_i * F_j >= M
+            ((8, 4, 4), ("I", "U", "IU2")),   # 8*4 = 32 >= 16? M=16 below
+            # condition (2): F_k >= F_j, F_k^2 < M
+            ((4, 2, 2), ("I", "U", "IU2")),
+            ((8, 2, 4), ("I", "U", "IU2")),
+        ],
+    )
+    def test_perfect_optimal_m16(self, sizes, transforms):
+        fs = FileSystem.of(*sizes, m=16)
+        fx = FXDistribution(fs, transforms=list(transforms))
+        assert is_perfect_optimal(fx)
+
+    def test_ordering_violation_can_fail(self):
+        """Putting IU2 on a *smaller* field than U can break optimality —
+        the ordering in Lemma 9.1's second condition is essential."""
+        fs = FileSystem.of(8, 4, 2, m=64)
+        violating = FXDistribution(fs, transforms=["I", "IU2", "U"])
+        conforming = FXDistribution(fs, transforms=["I", "U", "IU2"])
+        # the conforming assignment puts IU2 on the size-2 field, which is
+        # smaller than U's size-4 field -> it is the violating one; swap:
+        assert is_perfect_optimal(violating)   # IU2 on 4 >= U on 2: fine
+        assert not is_perfect_optimal(conforming)  # IU2 on 2 < U on 4
+
+
+class TestSung87Boundary:
+    """Four small fields: the all-unspecified pattern defeats the paper's
+    round-robin assignment (consistent with [Sung87])."""
+
+    def test_round_robin_fails_somewhere(self):
+        fs = FileSystem.uniform(4, 4, m=32)
+        fx = FXDistribution(fs, policy="paper")
+        assert not is_perfect_optimal(fx)

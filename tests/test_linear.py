@@ -1,0 +1,182 @@
+"""Tests for linear field transformations and the rank criterion."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.histograms import evaluator_for
+from repro.analysis.optim_prob import exact_fraction
+from repro.core.fx import FXDistribution
+from repro.core.gf2 import GF2Matrix
+from repro.core.linear import (
+    LinearTransform,
+    linear_optimal_fraction,
+    linear_pattern_is_optimal,
+    linearize,
+    matrix_of_transform,
+    random_matrix_search,
+)
+from repro.core.transforms import make_transform
+from repro.errors import ConfigurationError, TransformError
+from repro.hashing.fields import FileSystem
+from repro.query.patterns import all_patterns
+
+
+class TestMatrixOfTransform:
+    @pytest.mark.parametrize(
+        "family,f,m",
+        [
+            ("I", 4, 16),
+            ("U", 4, 16),
+            ("U", 2, 32),
+            ("IU1", 8, 16),
+            ("IU1", 4, 64),
+            ("IU2", 2, 16),
+            ("IU2", 4, 64),
+            ("IU2", 8, 16),  # collapsed to IU1
+        ],
+    )
+    def test_matrix_equals_function(self, family, f, m):
+        """Every paper transform IS a linear map: matrix == function."""
+        transform = make_transform(family, f, m)
+        matrix = matrix_of_transform(transform)
+        assert all(
+            matrix.apply(v) == transform.apply(v) for v in range(f)
+        )
+
+    def test_large_field_identity_is_projection(self):
+        transform = make_transform("I", 64, 8)
+        matrix = matrix_of_transform(transform)
+        assert all(matrix.apply(v) == (v & 7) for v in range(64))
+
+    def test_linearize_covers_all_fields(self):
+        fs = FileSystem.of(4, 32, 8, m=16)
+        fx = FXDistribution(fs)
+        matrices = linearize(fx)
+        assert len(matrices) == 3
+        assert all(m.n_rows == 4 for m in matrices)  # log2 16
+
+
+class TestLinearTransform:
+    def test_acts_like_its_matrix(self):
+        matrix = GF2Matrix.from_rows([[1, 0], [1, 1], [0, 1], [0, 0]])
+        t = LinearTransform(4, 16, matrix)
+        assert t.image() == tuple(matrix.apply(v) for v in range(4))
+
+    def test_injectivity_required(self):
+        singular = GF2Matrix.from_rows([[1, 1], [0, 0], [0, 0], [0, 0]])
+        with pytest.raises(TransformError):
+            LinearTransform(4, 16, singular)
+
+    def test_shape_checked(self):
+        with pytest.raises(TransformError):
+            LinearTransform(4, 16, GF2Matrix.identity(3))
+
+    def test_random_is_injective(self):
+        rng = random.Random(11)
+        for __ in range(10):
+            t = LinearTransform.random(8, 32, rng)
+            assert len(set(t.image())) == 8
+
+    def test_usable_inside_fx(self):
+        fs = FileSystem.of(4, 4, m=16)
+        rng = random.Random(5)
+        fx = FXDistribution(
+            fs,
+            transforms=[
+                LinearTransform.random(4, 16, rng),
+                LinearTransform.random(4, 16, rng),
+            ],
+        )
+        histogram = evaluator_for(fx).histogram(frozenset({0}))
+        assert int(histogram.sum()) == 4
+
+    def test_equality_and_hash(self):
+        matrix = GF2Matrix.from_rows([[1, 0], [0, 1], [0, 0], [0, 0]])
+        a = LinearTransform(4, 16, matrix)
+        b = LinearTransform(4, 16, matrix)
+        assert a == b and hash(a) == hash(b)
+
+
+# Randomised agreement between the rank criterion and the engine ------------
+
+_SIZES = st.sampled_from([2, 4, 8, 16])
+
+
+@st.composite
+def fx_instances(draw):
+    n = draw(st.integers(2, 5))
+    m = draw(st.sampled_from([4, 8, 16, 32]))
+    sizes = [draw(_SIZES) for __ in range(n)]
+    methods = [
+        "I" if size >= m else draw(st.sampled_from(["I", "U", "IU1", "IU2"]))
+        for size in sizes
+    ]
+    fs = FileSystem.of(*sizes, m=m)
+    return FXDistribution(fs, transforms=methods)
+
+
+class TestRankCriterion:
+    @given(fx_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_rank_criterion_equals_convolution_engine(self, fx):
+        """Two fully independent exact evaluators must agree everywhere."""
+        matrices = linearize(fx)
+        evaluator = evaluator_for(fx)
+        m = fx.filesystem.m
+        for pattern in all_patterns(fx.filesystem.n_fields):
+            assert linear_pattern_is_optimal(
+                matrices, pattern, m
+            ) == evaluator.is_strict_optimal(pattern)
+
+    def test_empty_pattern_optimal(self):
+        assert linear_pattern_is_optimal([], frozenset(), 8)
+
+    def test_fraction_matches_exact_fraction(self):
+        fs = FileSystem.of(4, 4, 8, m=16)
+        fx = FXDistribution(fs, policy="paper")
+        assert linear_optimal_fraction(fs, linearize(fx)) == pytest.approx(
+            exact_fraction(fx)
+        )
+
+    def test_fraction_matrix_count_checked(self):
+        fs = FileSystem.of(4, 4, m=16)
+        with pytest.raises(ConfigurationError):
+            linear_optimal_fraction(fs, [GF2Matrix.identity(4)])
+
+
+class TestRandomMatrixSearch:
+    def test_beats_paper_families_on_uniform_four_small(self):
+        """Headline extension result: linear transforms reach perfect
+        optimality where no I/U/IU1/IU2 assignment can (best 0.9375)."""
+        fs = FileSystem.uniform(4, 4, m=32)
+        result = random_matrix_search(fs, iterations=500, seed=1)
+        assert result.score == 1.0
+        # verified with the independent convolution engine:
+        assert exact_fraction(result.build(fs)) == 1.0
+
+    def test_large_fields_keep_identity(self):
+        fs = FileSystem.of(4, 32, m=16)
+        result = random_matrix_search(fs, iterations=5, seed=0)
+        assert result.transforms[1].method == "I"
+
+    def test_deterministic(self):
+        fs = FileSystem.of(4, 4, m=16)
+        a = random_matrix_search(fs, iterations=20, seed=9)
+        b = random_matrix_search(fs, iterations=20, seed=9)
+        assert a.score == b.score
+        assert [t.matrix for t in a.transforms] == [
+            t.matrix for t in b.transforms
+        ]
+
+    def test_iterations_positive(self):
+        with pytest.raises(ConfigurationError):
+            random_matrix_search(FileSystem.of(4, 4, m=16), iterations=0)
+
+    def test_history_monotone(self):
+        fs = FileSystem.uniform(4, 4, m=32)
+        result = random_matrix_search(fs, iterations=100, seed=4)
+        scores = [score for __, score in result.history]
+        assert scores == sorted(scores)

@@ -1,0 +1,114 @@
+"""Unit and property tests for repro.util.numbers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.numbers import (
+    ceil_div,
+    egcd,
+    ilog2,
+    is_power_of_two,
+    modinv,
+    solve_linear_congruence,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers_accepted(self):
+        assert all(is_power_of_two(1 << k) for k in range(20))
+
+    def test_non_powers_rejected(self):
+        assert not any(is_power_of_two(v) for v in (0, 3, 5, 6, 7, 9, 12, 100))
+
+    def test_negative_rejected(self):
+        assert not is_power_of_two(-4)
+
+    def test_non_int_rejected(self):
+        assert not is_power_of_two(4.0)
+
+
+class TestIlog2:
+    @pytest.mark.parametrize("exponent", range(0, 16))
+    def test_exact_log(self, exponent):
+        assert ilog2(1 << exponent) == exponent
+
+    @pytest.mark.parametrize("value", [0, 3, -8, 12])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            ilog2(value)
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_float_ceil(self, a, b):
+        import math
+
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestEgcd:
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        import math
+
+        assert g == math.gcd(a, b)
+
+
+class TestModinv:
+    @given(st.integers(1, 10**4).filter(lambda v: v % 2 == 1),
+           st.integers(1, 12))
+    def test_inverse_of_odd_mod_power_of_two(self, a, bits):
+        modulus = 1 << bits
+        inv = modinv(a, modulus)
+        assert (a * inv) % modulus == 1
+
+    def test_missing_inverse_raises(self):
+        with pytest.raises(ValueError):
+            modinv(4, 16)
+
+
+class TestSolveLinearCongruence:
+    def test_known_solutions(self):
+        assert solve_linear_congruence(4, 8, 16) == [2, 6, 10, 14]
+
+    def test_no_solution(self):
+        assert solve_linear_congruence(4, 6, 16) == []
+
+    def test_zero_coefficient_all_solutions(self):
+        assert solve_linear_congruence(0, 0, 4) == [0, 1, 2, 3]
+
+    def test_zero_coefficient_no_solution(self):
+        assert solve_linear_congruence(0, 3, 4) == []
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            solve_linear_congruence(1, 1, 0)
+
+    @given(
+        st.integers(0, 255),
+        st.integers(0, 255),
+        st.sampled_from([2, 4, 8, 16, 32, 64, 128, 256]),
+    )
+    def test_matches_brute_force(self, a, b, modulus):
+        expected = [x for x in range(modulus) if (a * x) % modulus == b % modulus]
+        assert solve_linear_congruence(a, b, modulus) == expected

@@ -1,0 +1,116 @@
+"""Tests for the optimality-probability analysis (Figures 1-4 engine)."""
+
+import pytest
+
+from repro.analysis.optim_prob import (
+    exact_fraction,
+    exact_optimality_series,
+    fx_sufficient_fraction,
+    modulo_sufficient_fraction,
+    optimal_pattern_fraction,
+    pattern_probability,
+    sufficient_optimality_series,
+)
+from repro.core.fx import FXDistribution
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+
+
+class TestPatternProbability:
+    def test_uniform_at_half(self):
+        assert pattern_probability(frozenset({0, 2}), 4, 0.5) == pytest.approx(
+            1 / 16
+        )
+
+    def test_sums_to_one(self):
+        from repro.query.patterns import all_patterns
+
+        for p in (0.0, 0.3, 0.5, 0.9, 1.0):
+            total = sum(
+                pattern_probability(pattern, 5, p) for pattern in all_patterns(5)
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(AnalysisError):
+            pattern_probability(frozenset(), 3, 1.5)
+
+
+class TestFractions:
+    def test_always_true_predicate(self):
+        assert optimal_pattern_fraction(4, lambda __: True) == pytest.approx(1.0)
+
+    def test_exact_equals_sufficient_when_conditions_tight(self):
+        # Two small fields with distinct transforms: both 100%.
+        fs = FileSystem.of(4, 4, m=16)
+        fx = FXDistribution(fs, transforms=["I", "U"])
+        assert fx_sufficient_fraction(fx) == pytest.approx(1.0)
+        assert exact_fraction(fx) == pytest.approx(1.0)
+
+    def test_sufficient_never_exceeds_exact_for_fx(self):
+        """Soundness at the aggregate level: the certified fraction is a
+        lower bound on the true fraction."""
+        for sizes, m in [((4, 4, 4, 4), 16), ((8, 8, 2, 2), 32), ((4, 8, 16), 16)]:
+            fs = FileSystem.of(*sizes, m=m)
+            fx = FXDistribution(fs, policy="paper")
+            assert fx_sufficient_fraction(fx) <= exact_fraction(fx) + 1e-12
+
+    def test_modulo_fraction_known_value(self):
+        # n=2 small fields: optimal patterns are {}, {0}, {1} of 4 -> 75%.
+        fs = FileSystem.of(4, 4, m=16)
+        assert modulo_sufficient_fraction(fs) == pytest.approx(0.75)
+
+    def test_p_weighting_moves_mass(self):
+        # With p -> 1 almost every query is an exact match: fraction -> 1.
+        fs = FileSystem.of(4, 4, m=16)
+        fraction = modulo_sufficient_fraction(fs, p=0.99)
+        assert fraction > 0.97
+
+
+class TestSeries:
+    def _sweep(self):
+        return [
+            FileSystem.of(*([4] * k + [16] * (3 - k)), m=16) for k in range(4)
+        ]
+
+    def test_sufficient_series_shape(self):
+        series = sufficient_optimality_series(
+            self._sweep(), lambda fs: FXDistribution(fs, policy="paper")
+        )
+        assert series.x == (0, 1, 2, 3)
+        assert set(series.series) == {"FD (FX)", "MD (Modulo)"}
+        assert all(len(v) == 4 for v in series.series.values())
+
+    def test_fx_dominates_modulo_in_series(self):
+        series = sufficient_optimality_series(
+            self._sweep(), lambda fs: FXDistribution(fs, policy="paper")
+        )
+        fd = series.series["FD (FX)"]
+        md = series.series["MD (Modulo)"]
+        assert all(f >= m_val for f, m_val in zip(fd, md))
+
+    def test_exact_series_bounds_sufficient(self):
+        sweep = self._sweep()
+        build = lambda fs: FXDistribution(fs, policy="paper")
+        sufficient = sufficient_optimality_series(sweep, build)
+        exact = exact_optimality_series(sweep, build)
+        for s_val, e_val in zip(
+            sufficient.series["FD (FX)"], exact.series["FD (FX)"]
+        ):
+            assert s_val <= e_val + 1e-9
+
+    def test_x_values_length_checked(self):
+        with pytest.raises(AnalysisError):
+            sufficient_optimality_series(
+                self._sweep(),
+                lambda fs: FXDistribution(fs),
+                x_values=[0, 1],
+            )
+
+    def test_render(self):
+        series = sufficient_optimality_series(
+            self._sweep(), lambda fs: FXDistribution(fs), title="demo"
+        )
+        text = series.render()
+        assert "demo" in text
+        assert "FD (FX)" in text

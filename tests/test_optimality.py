@@ -1,0 +1,114 @@
+"""Tests for the empirical optimality checkers (repro.core.optimality)."""
+
+import pytest
+
+from repro.core.fx import FXDistribution
+from repro.core.optimality import (
+    is_k_optimal,
+    is_perfect_optimal,
+    is_strict_optimal,
+    optimality_report,
+    pattern_is_strict_optimal,
+)
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.random_alloc import RandomDistribution
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+
+
+class TestStrictOptimal:
+    def test_single_query(self):
+        fs = FileSystem.of(2, 8, m=4)
+        fx = FXDistribution(fs)
+        q = PartialMatchQuery.from_dict(fs, {0: 1})
+        assert is_strict_optimal(fx, q)
+
+    def test_pattern_level_separable(self):
+        fs = FileSystem.of(4, 4, m=16)
+        good = FXDistribution(fs, transforms=["I", "U"])
+        bad = FXDistribution(fs, transforms=["I", "I"])
+        assert pattern_is_strict_optimal(good, {0, 1})
+        assert not pattern_is_strict_optimal(bad, {0, 1})
+
+    def test_pattern_level_non_separable(self):
+        fs = FileSystem.of(4, 4, m=4)
+        random_method = RandomDistribution(fs, seed=3)
+        # brute-force path must run and produce a boolean
+        result = pattern_is_strict_optimal(random_method, {0})
+        assert isinstance(result, bool)
+
+    def test_work_limit_enforced(self):
+        fs = FileSystem.of(16, 16, 16, m=4)
+        random_method = RandomDistribution(fs)
+        with pytest.raises(AnalysisError):
+            pattern_is_strict_optimal(random_method, {0, 1}, work_limit=10)
+
+
+class TestKOptimal:
+    def test_k0_and_k1_always_hold_for_fx(self):
+        # Theorem 1 via the public checker.
+        fs = FileSystem.of(2, 4, 8, m=16)
+        fx = FXDistribution(fs)
+        assert is_k_optimal(fx, 0)
+        assert is_k_optimal(fx, 1)
+
+    def test_k2_fails_for_conflicting_transforms(self):
+        fs = FileSystem.of(4, 4, m=16)
+        fx = FXDistribution(fs, transforms=["U", "U"])
+        assert not is_k_optimal(fx, 2)
+
+
+class TestPerfectOptimal:
+    def test_perfect_optimal_theorem4_config(self):
+        fs = FileSystem.of(4, 4, m=16)
+        assert is_perfect_optimal(FXDistribution(fs, transforms=["I", "U"]))
+
+    def test_modulo_small_fields_not_perfect(self):
+        fs = FileSystem.of(4, 4, m=16)
+        assert not is_perfect_optimal(ModuloDistribution(fs))
+
+
+class TestOptimalityReport:
+    def test_counts_and_fraction(self):
+        fs = FileSystem.of(4, 4, m=16)
+        fx = FXDistribution(fs, transforms=["I", "U"])
+        report = optimality_report(fx)
+        assert report.total_patterns == 4
+        assert report.optimal_patterns == 4
+        assert report.optimal_fraction == 1.0
+        assert report.failures == []
+
+    def test_failures_listed_worst_first(self):
+        fs = FileSystem.of(8, 8, 8, m=16)
+        fx = FXDistribution(fs, transforms=["I", "I", "I"])
+        report = optimality_report(fx)
+        assert report.optimal_fraction < 1.0
+        overloads = [worst - bound for __, worst, bound in report.failures]
+        assert overloads == sorted(overloads, reverse=True)
+
+    def test_summary_text(self):
+        fs = FileSystem.of(4, 4, m=16)
+        report = optimality_report(ModuloDistribution(fs))
+        assert "modulo" in report.summary()
+        assert "%" in report.summary()
+
+    def test_explicit_pattern_subset(self):
+        fs = FileSystem.of(4, 4, m=16)
+        fx = FXDistribution(fs, transforms=["I", "U"])
+        report = optimality_report(fx, patterns=[frozenset({0})])
+        assert report.total_patterns == 1
+
+    def test_non_separable_method_report(self):
+        fs = FileSystem.of(4, 4, m=4)
+        report = optimality_report(RandomDistribution(fs, seed=1))
+        assert report.total_patterns == 4
+        # random placement essentially never survives the full census
+        assert report.optimal_fraction < 1.0
+
+    def test_empty_report_fraction(self):
+        fs = FileSystem.of(4, 4, m=16)
+        report = optimality_report(
+            FXDistribution(fs, transforms=["I", "U"]), patterns=[]
+        )
+        assert report.optimal_fraction == 1.0

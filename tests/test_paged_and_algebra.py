@@ -1,0 +1,202 @@
+"""Tests for paged bucket storage and the query algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, QueryError, StorageError
+from repro.hashing.fields import FileSystem
+from repro.query.algebra import are_disjoint, intersect, subsumes
+from repro.query.partial_match import PartialMatchQuery
+from repro.storage.paged_store import PagedBucketStore
+
+
+class TestPagedStoreBasics:
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            PagedBucketStore(page_capacity=0)
+
+    def test_insert_fills_then_overflows(self):
+        store = PagedBucketStore(page_capacity=2)
+        for i in range(5):
+            store.insert((0,), i)
+        assert store.pages_in((0,)) == 3
+        assert store.records_in((0,)) == (0, 1, 2, 3, 4)
+        assert store.record_count == 5
+        store.check_invariants()
+
+    def test_absent_bucket(self):
+        store = PagedBucketStore()
+        assert store.pages_in((9,)) == 0
+        assert store.records_in((9,)) == ()
+        assert not store.has_bucket((9,))
+
+    def test_delete_leaves_hole_until_compaction(self):
+        store = PagedBucketStore(page_capacity=2)
+        for i in range(6):
+            store.insert((0,), i)
+        assert store.pages_in((0,)) == 3
+        assert store.delete((0,), 0)
+        assert store.delete((0,), 1)
+        # first page now empty but still allocated
+        assert store.pages_in((0,)) == 3
+        assert store.occupancy() == pytest.approx(4 / 6)
+        freed = store.compact()
+        assert freed == 1
+        assert store.pages_in((0,)) == 2
+        store.check_invariants()
+
+    def test_delete_last_record_drops_bucket(self):
+        store = PagedBucketStore(page_capacity=2)
+        store.insert((1,), "a")
+        assert store.delete((1,), "a")
+        assert not store.has_bucket((1,))
+        assert store.bucket_count == 0
+
+    def test_delete_missing(self):
+        store = PagedBucketStore()
+        store.insert((0,), "a")
+        assert not store.delete((0,), "b")
+        assert not store.delete((1,), "a")
+
+    def test_holes_reused_by_insert(self):
+        store = PagedBucketStore(page_capacity=2)
+        for i in range(4):
+            store.insert((0,), i)
+        store.delete((0,), 0)
+        store.insert((0,), 99)  # lands in the hole, no new page
+        assert store.pages_in((0,)) == 2
+
+    def test_average_chain_length(self):
+        store = PagedBucketStore(page_capacity=2)
+        for i in range(4):
+            store.insert((0,), i)   # 2 pages
+        store.insert((1,), "x")     # 1 page
+        assert store.average_chain_length() == pytest.approx(1.5)
+        assert PagedBucketStore().average_chain_length() == 0.0
+
+    def test_clear(self):
+        store = PagedBucketStore()
+        store.insert((0,), "a")
+        store.clear()
+        assert store.record_count == 0
+        assert store.page_count == 0
+
+    def test_invariant_violation_detected(self):
+        store = PagedBucketStore()
+        store.insert((0,), "a")
+        store._record_count = 7
+        with pytest.raises(StorageError):
+            store.check_invariants()
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 5)), max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_model_equivalence(self, ops):
+        store = PagedBucketStore(page_capacity=3)
+        model: dict[tuple, list[int]] = {}
+        for is_insert, key in ops:
+            bucket = (key,)
+            if is_insert:
+                store.insert(bucket, key)
+                model.setdefault(bucket, []).append(key)
+            else:
+                expected = bool(model.get(bucket))
+                assert store.delete(bucket, key) == expected
+                if expected:
+                    model[bucket].remove(key)
+                    if not model[bucket]:
+                        del model[bucket]
+        store.check_invariants()
+        assert store.record_count == sum(len(v) for v in model.values())
+        for bucket, values in model.items():
+            assert sorted(store.records_in(bucket)) == sorted(values)
+
+
+class TestPagedDeviceIntegration:
+    def test_device_cost_counts_pages(self):
+        from repro.storage.costs import UnitCostModel
+        from repro.storage.device import SimulatedDevice
+
+        device = SimulatedDevice(
+            0,
+            cost_model=UnitCostModel(),
+            store=PagedBucketStore(page_capacity=2),
+        )
+        for i in range(5):
+            device.insert((0,), i)
+        device.read_buckets([(0,)])
+        assert device.stats.busy_time_ms == 3.0  # 3 pages, not 1 bucket
+
+    def test_partitioned_file_with_paged_stores(self):
+        from repro.core.fx import FXDistribution
+        from repro.storage.parallel_file import PartitionedFile
+
+        fs = FileSystem.of(4, 8, m=4)
+        pf = PartitionedFile(
+            FXDistribution(fs),
+            store_factory=lambda: PagedBucketStore(page_capacity=4),
+        )
+        pf.insert_all([(i, f"v{i}") for i in range(100)])
+        pf.check_invariants()
+        result = pf.search({0: 3})
+        assert result.records
+
+
+FS = FileSystem.of(4, 4, m=4)
+
+
+def _query(**kwargs):
+    return PartialMatchQuery.from_dict(FS, kwargs)
+
+
+class TestQueryAlgebra:
+    def test_subsumes_reflexive(self):
+        q = PartialMatchQuery.from_dict(FS, {0: 1})
+        assert subsumes(q, q)
+
+    def test_full_scan_subsumes_everything(self):
+        scan = PartialMatchQuery.full_scan(FS)
+        assert subsumes(scan, PartialMatchQuery.from_dict(FS, {0: 1, 1: 2}))
+
+    def test_subsumption_matches_bucket_semantics(self):
+        queries = [
+            PartialMatchQuery.full_scan(FS),
+            PartialMatchQuery.from_dict(FS, {0: 1}),
+            PartialMatchQuery.from_dict(FS, {1: 2}),
+            PartialMatchQuery.from_dict(FS, {0: 1, 1: 2}),
+            PartialMatchQuery.from_dict(FS, {0: 3}),
+        ]
+        for general in queries:
+            general_buckets = set(general.qualified_buckets())
+            for specific in queries:
+                specific_buckets = set(specific.qualified_buckets())
+                assert subsumes(general, specific) == (
+                    specific_buckets <= general_buckets
+                )
+
+    def test_intersection_matches_bucket_semantics(self):
+        a = PartialMatchQuery.from_dict(FS, {0: 1})
+        b = PartialMatchQuery.from_dict(FS, {1: 2})
+        both = intersect(a, b)
+        assert set(both.qualified_buckets()) == set(
+            a.qualified_buckets()
+        ) & set(b.qualified_buckets())
+
+    def test_conflicting_queries_disjoint(self):
+        a = PartialMatchQuery.from_dict(FS, {0: 1})
+        b = PartialMatchQuery.from_dict(FS, {0: 2})
+        assert intersect(a, b) is None
+        assert are_disjoint(a, b)
+
+    def test_intersection_commutative(self):
+        a = PartialMatchQuery.from_dict(FS, {0: 1})
+        b = PartialMatchQuery.from_dict(FS, {1: 3})
+        assert intersect(a, b) == intersect(b, a)
+
+    def test_cross_filesystem_rejected(self):
+        other = FileSystem.of(4, 4, m=8)
+        with pytest.raises(QueryError):
+            subsumes(
+                PartialMatchQuery.full_scan(FS),
+                PartialMatchQuery.full_scan(other),
+            )

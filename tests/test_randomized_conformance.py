@@ -1,0 +1,110 @@
+"""Seeded randomized conformance sweep at larger scale.
+
+A deterministic stress complement to the hypothesis suites: wider file
+systems (up to six fields, M up to 64) and sampled concrete queries, with
+every core contract checked against brute force — response histograms,
+strict optimality, the section 4.2 certificate, inverse mapping, and the
+rank criterion — under one reproducible RNG.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.histograms import evaluator_for
+from repro.core.fx import FXDistribution
+from repro.core.linear import linear_pattern_is_optimal, linearize
+from repro.core.theorems import fx_strict_optimal_sufficient
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+from repro.util.numbers import ceil_div
+
+SEEDS = [1, 7, 42, 1988]
+
+
+def _random_configuration(rng):
+    n = rng.randint(2, 6)
+    m = rng.choice([8, 16, 32, 64])
+    sizes = [rng.choice([2, 4, 8, 16, 32]) for __ in range(n)]
+    fs = FileSystem.of(*sizes, m=m)
+    methods = [
+        "I" if size >= m else rng.choice(["I", "U", "IU1", "IU2"])
+        for size in sizes
+    ]
+    return fs, FXDistribution(fs, transforms=methods)
+
+
+def _random_query(rng, fs):
+    values = []
+    for size in fs.field_sizes:
+        values.append(rng.randrange(size) if rng.random() < 0.5 else None)
+    return PartialMatchQuery(fs, tuple(values))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fx_conformance_sweep(seed):
+    rng = random.Random(seed)
+    for __ in range(8):
+        fs, fx = _random_configuration(rng)
+        evaluator = evaluator_for(fx)
+        matrices = linearize(fx)
+        for __ in range(6):
+            query = _random_query(rng, fs)
+            if query.qualified_count > 20_000:
+                continue
+            # 1. histogram vs brute force
+            naive = [0] * fs.m
+            for bucket in query.qualified_buckets():
+                naive[fx.device_of(bucket)] += 1
+            assert fx.response_histogram(query) == naive
+            # 2. strict optimality agrees between count and engine
+            bound = ceil_div(query.qualified_count, fs.m)
+            assert (max(naive) <= bound) == evaluator.is_strict_optimal(
+                query.pattern
+            )
+            # 3. the certificate never overclaims
+            if fx_strict_optimal_sufficient(fx, query.pattern):
+                assert max(naive) <= bound
+            # 4. the rank criterion agrees with ground truth
+            assert linear_pattern_is_optimal(
+                matrices, query.pattern, fs.m
+            ) == (max(naive) <= bound)
+            # 5. inverse mapping partitions R(q)
+            collected = []
+            for device in range(fs.m):
+                for bucket in fx.qualified_on_device(device, query):
+                    assert fx.device_of(bucket) == device
+                    collected.append(bucket)
+            assert sorted(collected) == sorted(query.qualified_buckets())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_baseline_conformance_sweep(seed):
+    rng = random.Random(seed)
+    for __ in range(6):
+        n = rng.randint(2, 5)
+        m = rng.choice([8, 16, 32])
+        sizes = [rng.choice([2, 4, 8, 16]) for __ in range(n)]
+        fs = FileSystem.of(*sizes, m=m)
+        for method in (
+            ModuloDistribution(fs),
+            GDMDistribution(
+                fs, multipliers=tuple(rng.randrange(1, 60) for __ in range(n))
+            ),
+        ):
+            for __ in range(4):
+                query = _random_query(rng, fs)
+                if query.qualified_count > 20_000:
+                    continue
+                naive = [0] * fs.m
+                for bucket in query.qualified_buckets():
+                    naive[method.device_of(bucket)] += 1
+                assert method.response_histogram(query) == naive
+                collected = []
+                for device in range(fs.m):
+                    collected.extend(
+                        method.qualified_on_device(device, query)
+                    )
+                assert sorted(collected) == sorted(query.qualified_buckets())

@@ -1,0 +1,121 @@
+"""Tests for the largest-response-size analysis (Tables 7-9 engine)."""
+
+import pytest
+
+from repro.analysis.response import (
+    average_largest_response,
+    largest_response_table,
+    optimal_largest_response,
+)
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.random_alloc import RandomDistribution
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+from repro.query.patterns import patterns_with_k_unspecified, queries_for_pattern
+
+
+class TestOptimalColumn:
+    def test_uniform_sizes(self):
+        fs = FileSystem.uniform(6, 8, m=32)
+        # every 3-subset qualifies 512 buckets -> ceil(512/32) = 16
+        assert optimal_largest_response(fs, 3) == 16.0
+
+    def test_mixed_sizes_unweighted_matches_paper_table9(self):
+        fs = FileSystem.of(8, 8, 8, 16, 16, 16, m=512)
+        assert optimal_largest_response(fs, 4, weighted=False) == pytest.approx(35.2)
+        assert optimal_largest_response(fs, 2, weighted=False) == 1.0
+
+    def test_weighted_vs_unweighted_differ_on_mixed_sizes(self):
+        fs = FileSystem.of(8, 8, 8, 16, 16, 16, m=512)
+        weighted = optimal_largest_response(fs, 3, weighted=True)
+        unweighted = optimal_largest_response(fs, 3, weighted=False)
+        assert weighted != unweighted
+
+
+class TestAverageLargestResponse:
+    def test_matches_manual_average_separable(self):
+        fs = FileSystem.of(4, 4, 4, m=8)
+        fx = FXDistribution(fs)
+        manual = []
+        for pattern in patterns_with_k_unspecified(3, 2):
+            worsts = [
+                fx.largest_response(q) for q in queries_for_pattern(fs, pattern)
+            ]
+            # pattern-invariance: all queries in a pattern agree
+            assert len(set(worsts)) == 1
+            manual.append(worsts[0])
+        expected = sum(manual) / len(manual)
+        assert average_largest_response(fx, 2, weighted=False) == expected
+
+    def test_non_separable_brute_force_path(self):
+        fs = FileSystem.of(4, 4, m=4)
+        method = RandomDistribution(fs, seed=9)
+        value = average_largest_response(method, 1)
+        manual = []
+        for pattern in patterns_with_k_unspecified(2, 1):
+            for q in queries_for_pattern(fs, pattern):
+                manual.append(method.largest_response(q))
+        assert value == pytest.approx(sum(manual) / len(manual))
+
+    def test_work_limit(self):
+        fs = FileSystem.of(16, 16, 16, m=4)
+        with pytest.raises(AnalysisError):
+            average_largest_response(
+                RandomDistribution(fs), 2, work_limit=10
+            )
+
+    def test_never_below_optimal(self):
+        fs = FileSystem.uniform(4, 8, m=16)
+        for k in range(1, 5):
+            for method in (
+                FXDistribution(fs),
+                ModuloDistribution(fs),
+            ):
+                assert (
+                    average_largest_response(method, k, weighted=False)
+                    >= optimal_largest_response(fs, k, weighted=False)
+                )
+
+
+class TestResponseTable:
+    def _table(self):
+        fs = FileSystem.uniform(4, 8, m=16)
+        methods = {
+            "Modulo": ModuloDistribution(fs),
+            "FX": FXDistribution(fs),
+        }
+        return largest_response_table(fs, methods, ks=(2, 3), title="T")
+
+    def test_layout(self):
+        table = self._table()
+        assert table.columns == ("Modulo", "FX", "Optimal")
+        assert table.ks == (2, 3)
+        assert len(table.rows) == 2
+
+    def test_column_accessor(self):
+        table = self._table()
+        assert len(table.column("FX")) == 2
+        with pytest.raises(AnalysisError):
+            table.column("GDM9")
+
+    def test_render_contains_title_and_ks(self):
+        text = self._table().render()
+        assert text.startswith("T")
+        assert "k unspecified" in text
+
+    def test_rejects_method_on_other_filesystem(self):
+        fs = FileSystem.uniform(4, 8, m=16)
+        other = FileSystem.uniform(4, 8, m=8)
+        with pytest.raises(AnalysisError):
+            largest_response_table(
+                fs, {"FX": FXDistribution(other)}, ks=(2,)
+            )
+
+    def test_fx_dominates_modulo_everywhere(self):
+        """The paper's qualitative claim on these scenarios."""
+        table = self._table()
+        for row in table.rows:
+            modulo_value, fx_value, optimal_value = row
+            assert fx_value <= modulo_value
+            assert optimal_value <= fx_value

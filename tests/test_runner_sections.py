@@ -1,0 +1,71 @@
+"""Granular tests of the EXPERIMENTS.md report sections."""
+
+from repro.experiments.runner import (
+    _cpu_section,
+    _extensions_section,
+    _figure_section,
+    _golden_section,
+    _response_section,
+    build_report,
+)
+
+
+class TestGoldenSection:
+    def test_lists_all_six_tables_as_matching(self):
+        text = "\n".join(_golden_section())
+        for table_id in ("table1", "table2", "table3", "table4", "table5",
+                         "table6"):
+            assert table_id in text
+        assert "| yes |" in text
+        assert "| NO |" not in text
+
+
+class TestResponseSection:
+    def test_contains_paper_and_measured_cells(self):
+        text = "\n".join(_response_section())
+        assert "Table 7" in text and "Table 9" in text
+        # Modulo k=6 cell of Table 7, paper and ours
+        assert "18152 / 18152.0" in text
+        # the deviation marker appears only on flagged cells
+        assert "(*)" in text
+
+
+class TestFigureSection:
+    def test_without_exact_series(self):
+        text = "\n".join(_figure_section(exact=False))
+        assert "sufficient conditions" in text
+        assert "- exact" not in text
+
+    def test_with_exact_series_notes_tightness(self):
+        text = "\n".join(_figure_section(exact=True))
+        assert "tight" in text
+        assert "% strict optimal" in text  # ASCII chart present
+
+
+class TestCpuSection:
+    def test_has_both_processors_and_claim(self):
+        text = "\n".join(_cpu_section())
+        assert "MC68000" in text and "i80286" in text
+        assert "one third" in text
+
+
+class TestExtensionsSection:
+    def test_reports_both_findings_and_figure5(self):
+        text = "\n".join(_extensions_section())
+        assert "GF(2) linear transforms" in text
+        assert "93.75%" in text
+        assert "Figure 5" in text
+        assert "LD (linear, searched)" in text
+
+
+class TestFullReport:
+    def test_sections_in_order(self):
+        report = build_report(exact_figures=False)
+        positions = [
+            report.index("Tables 1-6"),
+            report.index("Tables 7-9"),
+            report.index("Figures 1-4"),
+            report.index("CPU address computation"),
+            report.index("Section 6 extensions"),
+        ]
+        assert positions == sorted(positions)

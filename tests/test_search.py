@@ -1,0 +1,87 @@
+"""Tests for the transform-assignment search (section 6 extension)."""
+
+import pytest
+
+from repro.core.fx import FXDistribution
+from repro.distribution.search import (
+    assignment_score,
+    exhaustive_assignment_search,
+    hill_climb_assignment_search,
+)
+from repro.analysis.optim_prob import exact_fraction
+from repro.errors import ConfigurationError
+from repro.hashing.fields import FileSystem
+
+
+class TestAssignmentScore:
+    def test_perfect_configuration_scores_one(self):
+        fs = FileSystem.of(4, 4, m=16)
+        assert assignment_score(fs, ["I", "U"]) == pytest.approx(1.0)
+
+    def test_bad_configuration_scores_below_one(self):
+        fs = FileSystem.of(4, 4, m=16)
+        assert assignment_score(fs, ["I", "I"]) < 1.0
+
+
+class TestExhaustiveSearch:
+    def test_finds_perfect_assignment_for_two_small_fields(self):
+        fs = FileSystem.of(4, 4, m=16)
+        result = exhaustive_assignment_search(fs)
+        assert result.score == pytest.approx(1.0)
+        assert result.evaluations == 16  # 4 families ** 2 fields
+
+    def test_large_field_kept_identity(self):
+        fs = FileSystem.of(4, 32, 4, m=16)
+        result = exhaustive_assignment_search(fs)
+        assert result.methods[1] == "I"
+
+    def test_history_monotone(self):
+        fs = FileSystem.of(4, 4, 4, m=16)
+        result = exhaustive_assignment_search(fs)
+        scores = [score for __, score in result.history]
+        assert scores == sorted(scores)
+
+    def test_too_many_small_fields_rejected(self):
+        fs = FileSystem.uniform(9, 2, m=16)
+        with pytest.raises(ConfigurationError):
+            exhaustive_assignment_search(fs)
+
+    def test_build_returns_fx(self):
+        fs = FileSystem.of(4, 4, m=16)
+        fx = exhaustive_assignment_search(fs).build(fs)
+        assert isinstance(fx, FXDistribution)
+
+    def test_search_never_below_paper_assignment(self):
+        """The searched assignment must dominate the paper's round-robin."""
+        for sizes, m in [((4, 4, 4, 4), 32), ((2, 2, 4, 4), 16)]:
+            fs = FileSystem.of(*sizes, m=m)
+            searched = exhaustive_assignment_search(fs)
+            paper = exact_fraction(FXDistribution(fs, policy="paper"))
+            assert searched.score >= paper - 1e-12
+
+
+class TestHillClimb:
+    def test_no_small_fields_trivial(self):
+        fs = FileSystem.of(32, 32, m=16)
+        result = hill_climb_assignment_search(fs)
+        assert result.score == pytest.approx(1.0)
+        assert result.methods == ("I", "I")
+
+    def test_deterministic_for_seed(self):
+        fs = FileSystem.of(4, 4, 4, 4, m=32)
+        a = hill_climb_assignment_search(fs, seed=7, restarts=2)
+        b = hill_climb_assignment_search(fs, seed=7, restarts=2)
+        assert a.methods == b.methods
+        assert a.score == b.score
+
+    def test_never_below_paper_start(self):
+        fs = FileSystem.of(4, 4, 4, 4, m=32)
+        paper = exact_fraction(FXDistribution(fs, policy="paper"))
+        result = hill_climb_assignment_search(fs, restarts=1)
+        assert result.score >= paper - 1e-12
+
+    def test_matches_exhaustive_on_small_instance(self):
+        fs = FileSystem.of(4, 4, 4, m=16)
+        exhaustive = exhaustive_assignment_search(fs)
+        climbed = hill_climb_assignment_search(fs, restarts=4, seed=1)
+        assert climbed.score == pytest.approx(exhaustive.score)

@@ -1,0 +1,118 @@
+"""Algebraic laws every separable method must satisfy.
+
+One parametrised suite over all five separable families (Basic FX,
+Extended FX, Modulo, GDM, Z-order): fold consistency, histogram mass,
+translation structure, bulk-path parity and uniform-field detection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histograms import evaluator_for, separable_response_histogram
+from repro.core.fx import BasicFXDistribution, FXDistribution
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.zorder import ZOrderDistribution
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+from repro.query.patterns import all_patterns, queries_for_pattern
+
+FS = FileSystem.of(4, 16, 2, m=8)
+
+SEPARABLE_FACTORIES = [
+    ("fx-basic", BasicFXDistribution),
+    ("fx-paper", lambda fs: FXDistribution(fs, policy="paper")),
+    ("fx-theorem9", lambda fs: FXDistribution(fs, policy="theorem9")),
+    ("modulo", ModuloDistribution),
+    ("gdm", lambda fs: GDMDistribution(fs, multipliers=(3, 5, 7))),
+    ("zorder", ZOrderDistribution),
+]
+
+IDS = [name for name, __ in SEPARABLE_FACTORIES]
+FACTORIES = [factory for __, factory in SEPARABLE_FACTORIES]
+
+
+@pytest.fixture(params=FACTORIES, ids=IDS)
+def method(request):
+    return request.param(FS)
+
+
+class TestFoldConsistency:
+    def test_device_of_equals_contribution_fold(self, method):
+        m = FS.m
+        for bucket in FS.buckets():
+            contributions = [
+                method.field_contribution(i, v) for i, v in enumerate(bucket)
+            ]
+            if method.combine == "xor":
+                folded = 0
+                for c in contributions:
+                    folded ^= c
+                folded &= m - 1
+            else:
+                folded = sum(contributions) % m
+            assert method.device_of(bucket) == folded
+
+    def test_contributions_in_device_space(self, method):
+        for i, size in enumerate(FS.field_sizes):
+            table = method.contribution_table(i)
+            assert len(table) == size
+            assert all(0 <= c < FS.m for c in table)
+
+
+class TestHistogramLaws:
+    def test_mass_conservation(self, method):
+        for pattern in all_patterns(FS.n_fields):
+            histogram = evaluator_for(method).histogram(pattern)
+            expected = 1
+            for i in pattern:
+                expected *= FS.field_sizes[i]
+            assert int(histogram.sum()) == expected
+
+    def test_translation_structure(self, method):
+        """Concrete queries of one pattern are translations of the base
+        histogram — the exact statement behind pattern invariance."""
+        pattern = frozenset({1, 2})
+        base = evaluator_for(method).histogram(pattern)
+        for query in queries_for_pattern(FS, pattern):
+            histogram = np.asarray(method.response_histogram(query))
+            assert sorted(histogram.tolist()) == sorted(base.tolist())
+
+    def test_uniform_large_identity_field_detected(self, method):
+        # field 1 has F = 16 >= M = 8; for methods whose contribution on it
+        # covers Z_M uniformly, the single-field pattern must be uniform
+        histogram = evaluator_for(method).histogram(frozenset({1}))
+        table = method.contribution_table(1)
+        counts = np.bincount(np.array(table), minlength=FS.m)
+        assert histogram.tolist() == counts.tolist()
+
+
+class TestBulkParity:
+    def test_devices_of_array_matches_scalar(self, method):
+        buckets = np.array(list(FS.buckets()), dtype=np.int64)
+        vectorised = method.devices_of_array(buckets)
+        scalar = [method.device_of(tuple(int(x) for x in b)) for b in buckets]
+        assert vectorised.tolist() == scalar
+
+
+class TestInverseMappingParity:
+    def test_qualified_on_device_partitions(self, method):
+        from repro.core.inverse import separable_qualified_on_device
+
+        query = PartialMatchQuery.from_dict(FS, {0: 2})
+        collected = []
+        for device in range(FS.m):
+            for bucket in separable_qualified_on_device(method, device, query):
+                assert method.device_of(bucket) == device
+                collected.append(bucket)
+        assert sorted(collected) == sorted(query.qualified_buckets())
+
+
+class TestSingleQueryHistogram:
+    def test_separable_histogram_function(self, method):
+        query = PartialMatchQuery.from_dict(FS, {1: 9})
+        histogram = separable_response_histogram(method, query)
+        naive = [0] * FS.m
+        for bucket in query.qualified_buckets():
+            naive[method.device_of(bucket)] += 1
+        assert histogram == naive

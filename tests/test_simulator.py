@@ -1,0 +1,225 @@
+"""Tests for the discrete-event workload simulator."""
+
+import pytest
+
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.errors import ConfigurationError
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+from repro.query.workload import QueryWorkload, WorkloadSpec
+from repro.storage.costs import DiskCostModel, UnitCostModel
+from repro.storage.simulator import (
+    ParallelQuerySimulator,
+    QueryArrival,
+    poisson_arrivals,
+)
+
+FS = FileSystem.of(4, 4, m=4)
+
+
+def _fx():
+    return FXDistribution(FS)
+
+
+class TestSingleQuery:
+    def test_idle_array_latency_is_service_time(self):
+        sim = ParallelQuerySimulator(_fx(), cost_model=UnitCostModel())
+        query = PartialMatchQuery.full_scan(FS)
+        report = sim.run([QueryArrival(query, 5.0)])
+        (outcome,) = report.queries
+        assert outcome.latency_ms == outcome.service_ms
+        assert outcome.queueing_ms == 0.0
+        assert outcome.largest_response == 4  # 16 buckets over 4 devices
+
+    def test_exact_match_touches_one_device(self):
+        sim = ParallelQuerySimulator(_fx())
+        query = PartialMatchQuery.exact(FS, (1, 2))
+        report = sim.run([QueryArrival(query, 0.0)])
+        busy_devices = sum(1 for busy in report.device_busy_ms if busy > 0)
+        assert busy_devices == 1
+
+    def test_negative_arrival_rejected(self):
+        sim = ParallelQuerySimulator(_fx())
+        query = PartialMatchQuery.full_scan(FS)
+        with pytest.raises(ConfigurationError):
+            sim.run([QueryArrival(query, -1.0)])
+
+
+class TestQueueing:
+    def test_back_to_back_queries_queue(self):
+        sim = ParallelQuerySimulator(_fx(), cost_model=UnitCostModel())
+        query = PartialMatchQuery.full_scan(FS)  # 4 units on every device
+        report = sim.run([QueryArrival(query, 0.0), QueryArrival(query, 0.0)])
+        first, second = report.queries
+        assert first.latency_ms == 4.0
+        assert second.latency_ms == 8.0
+        assert second.queueing_ms == 4.0
+
+    def test_disjoint_queries_do_not_interfere(self):
+        # Two exact matches homed on different devices overlap fully.
+        fx = _fx()
+        buckets = [(0, 0), (0, 1)]
+        devices = [fx.device_of(b) for b in buckets]
+        assert devices[0] != devices[1]
+        sim = ParallelQuerySimulator(fx, cost_model=UnitCostModel())
+        arrivals = [
+            QueryArrival(PartialMatchQuery.exact(FS, b), 0.0) for b in buckets
+        ]
+        report = sim.run(arrivals)
+        assert all(q.queueing_ms == 0.0 for q in report.queries)
+
+    def test_arrivals_sorted_internally(self):
+        sim = ParallelQuerySimulator(_fx())
+        query = PartialMatchQuery.full_scan(FS)
+        report = sim.run(
+            [QueryArrival(query, 10.0), QueryArrival(query, 0.0)]
+        )
+        assert report.queries[0].arrival_ms == 0.0
+
+    def test_skewed_method_queues_more(self):
+        """The second-order cost of skew: Modulo's hot device inflates mean
+        latency under concurrency relative to FX on the same workload."""
+        fs = FileSystem.of(4, 4, m=16)
+        queries = [PartialMatchQuery.full_scan(fs)] * 8
+        arrivals = [QueryArrival(q, 0.0) for q in queries]
+        fx_report = ParallelQuerySimulator(
+            FXDistribution(fs, transforms=["I", "U"])
+        ).run(arrivals)
+        modulo_report = ParallelQuerySimulator(ModuloDistribution(fs)).run(
+            arrivals
+        )
+        assert fx_report.mean_latency_ms < modulo_report.mean_latency_ms
+
+
+class TestReportAggregates:
+    def test_empty_run(self):
+        report = ParallelQuerySimulator(_fx()).run([])
+        assert report.mean_latency_ms == 0.0
+        assert report.max_latency_ms == 0.0
+        assert report.throughput_qps == 0.0
+
+    def test_utilisation_bounds(self):
+        sim = ParallelQuerySimulator(_fx(), cost_model=DiskCostModel())
+        workload = QueryWorkload(FS, WorkloadSpec(seed=4))
+        report = sim.run(poisson_arrivals(workload, 50, rate_qps=10.0, seed=1))
+        for u in report.utilisation():
+            assert 0.0 <= u <= 1.0
+
+    def test_throughput_positive_under_load(self):
+        sim = ParallelQuerySimulator(_fx())
+        workload = QueryWorkload(FS, WorkloadSpec(seed=4))
+        report = sim.run(poisson_arrivals(workload, 30, rate_qps=50.0))
+        assert report.throughput_qps > 0.0
+        assert len(report.queries) == 30
+
+    def test_makespan_at_least_last_completion(self):
+        sim = ParallelQuerySimulator(_fx())
+        workload = QueryWorkload(FS, WorkloadSpec(seed=9))
+        report = sim.run(poisson_arrivals(workload, 20, rate_qps=5.0))
+        assert report.makespan_ms == max(
+            q.completion_ms for q in report.queries
+        )
+
+
+class TestPoissonArrivals:
+    def test_deterministic_per_seed(self):
+        workload = QueryWorkload(FS, WorkloadSpec(seed=1))
+        a = poisson_arrivals(workload, 20, rate_qps=10.0, seed=5)
+        workload.reset()
+        b = poisson_arrivals(workload, 20, rate_qps=10.0, seed=5)
+        assert [x.arrival_ms for x in a] == [x.arrival_ms for x in b]
+
+    def test_monotone_times(self):
+        workload = QueryWorkload(FS, WorkloadSpec(seed=1))
+        arrivals = poisson_arrivals(workload, 50, rate_qps=100.0)
+        times = [a.arrival_ms for a in arrivals]
+        assert times == sorted(times)
+
+    def test_fixed_sequence_cycles(self):
+        queries = [PartialMatchQuery.full_scan(FS)]
+        arrivals = poisson_arrivals(queries, 5, rate_qps=1.0)
+        assert all(a.query is queries[0] for a in arrivals)
+
+    def test_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals([], 1, rate_qps=0.0)
+
+    def test_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals([], -1, rate_qps=1.0)
+
+
+class TestSpeedFactors:
+    def test_straggler_slows_its_own_tasks(self):
+        sim_uniform = ParallelQuerySimulator(_fx(), cost_model=UnitCostModel())
+        sim_straggler = ParallelQuerySimulator(
+            _fx(),
+            cost_model=UnitCostModel(),
+            speed_factors=[1.0, 1.0, 0.5, 1.0],
+        )
+        query = PartialMatchQuery.full_scan(FS)
+        fast = sim_uniform.run([QueryArrival(query, 0.0)])
+        slow = sim_straggler.run([QueryArrival(query, 0.0)])
+        # the half-speed device doubles the balanced query's completion
+        assert slow.queries[0].latency_ms == 2 * fast.queries[0].latency_ms
+
+    def test_speed_factor_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParallelQuerySimulator(_fx(), speed_factors=[1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            ParallelQuerySimulator(_fx(), speed_factors=[1.0, 1.0, 0.0, 1.0])
+
+
+class TestLatencyPercentile:
+    def test_percentiles_ordered(self):
+        sim = ParallelQuerySimulator(_fx())
+        workload = QueryWorkload(FS, WorkloadSpec(seed=2))
+        report = sim.run(poisson_arrivals(workload, 40, rate_qps=50.0))
+        p50 = report.latency_percentile(0.5)
+        p95 = report.latency_percentile(0.95)
+        assert p50 <= p95 <= report.max_latency_ms
+
+    def test_empty_report(self):
+        report = ParallelQuerySimulator(_fx()).run([])
+        assert report.latency_percentile(0.9) == 0.0
+
+    def test_quantile_validated(self):
+        report = ParallelQuerySimulator(_fx()).run([])
+        with pytest.raises(ConfigurationError):
+            report.latency_percentile(1.5)
+
+
+class TestBoxArrivals:
+    def test_box_queries_flow_through_the_simulator(self):
+        from repro.query.box import BoxQuery
+
+        sim = ParallelQuerySimulator(_fx(), cost_model=UnitCostModel())
+        box = BoxQuery.from_spec(FS, {0: (0, 1)})  # 8 qualified buckets
+        report = sim.run([QueryArrival(box, 0.0)])
+        (outcome,) = report.queries
+        assert outcome.largest_response == max(
+            __import__("repro.analysis.box", fromlist=["x"]).box_response_histogram(
+                _fx(), box
+            )
+        )
+        assert sum(report.device_busy_ms) > 0
+
+    def test_mixed_arrival_stream(self):
+        from repro.query.box import BoxQuery
+
+        sim = ParallelQuerySimulator(_fx())
+        arrivals = [
+            QueryArrival(PartialMatchQuery.full_scan(FS), 0.0),
+            QueryArrival(BoxQuery.from_spec(FS, {1: (1, 2)}), 1.0),
+        ]
+        report = sim.run(arrivals)
+        assert len(report.queries) == 2
+
+    def test_box_on_non_separable_method_rejected(self):
+        from repro.distribution.random_alloc import RandomDistribution
+        from repro.query.box import BoxQuery
+
+        sim = ParallelQuerySimulator(RandomDistribution(FS))
+        with pytest.raises(ConfigurationError):
+            sim.run([QueryArrival(BoxQuery.from_spec(FS, {}), 0.0)])

@@ -1,0 +1,154 @@
+"""Tests for skew metrics and the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.ascii_chart import render_chart, render_series
+from repro.analysis.skew import (
+    expected_largest_response,
+    expected_load_factor,
+    gini,
+    pattern_load_factor,
+    skew_summary,
+    static_balance,
+)
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.errors import AnalysisError
+from repro.hashing.fields import FileSystem
+from repro.util.numbers import mix64
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_low_bits_avalanche(self):
+        # consecutive inputs should not produce a fixed-stride pattern in
+        # the low 4 bits (the bug class this mixer replaced)
+        lows = [mix64(v) % 16 for v in range(64)]
+        strides = {(b - a) % 16 for a, b in zip(lows, lows[1:])}
+        assert len(strides) > 4
+
+    def test_balanced_mod_small_powers(self):
+        counts = [0] * 8
+        for v in range(4096):
+            counts[mix64(v) % 8] += 1
+        assert max(counts) - min(counts) < 150
+
+
+class TestGini:
+    def test_equal_distribution_zero(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0)
+
+    def test_concentrated_distribution_high(self):
+        assert gini([0, 0, 0, 100]) == pytest.approx(0.75)
+
+    def test_all_zero(self):
+        assert gini([0, 0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            gini([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            gini([-1, 2])
+
+    def test_scale_invariant(self):
+        assert gini([1, 2, 3]) == pytest.approx(gini([10, 20, 30]))
+
+
+class TestLoadFactors:
+    FS = FileSystem.of(4, 4, m=16)
+
+    def test_perfect_method_factor_one(self):
+        fx = FXDistribution(self.FS, transforms=["I", "U"])
+        assert pattern_load_factor(fx, frozenset({0, 1})) == 1.0
+        assert expected_load_factor(fx) == pytest.approx(1.0)
+
+    def test_skewed_method_factor_above_one(self):
+        modulo = ModuloDistribution(self.FS)
+        assert pattern_load_factor(modulo, frozenset({0, 1})) > 1.0
+        assert expected_load_factor(modulo) > 1.0
+
+    def test_expected_largest_response_orders_methods(self):
+        fx = FXDistribution(self.FS, transforms=["I", "U"])
+        modulo = ModuloDistribution(self.FS)
+        assert expected_largest_response(fx) < expected_largest_response(modulo)
+
+    def test_p_extremes(self):
+        fx = FXDistribution(self.FS, transforms=["I", "U"])
+        # p = 1: always exact match -> largest response 1
+        assert expected_largest_response(fx, p=1.0) == pytest.approx(1.0)
+        # p = 0: always full scan -> 16/16 = 1 per device
+        assert expected_largest_response(fx, p=0.0) == pytest.approx(1.0)
+
+
+class TestStaticBalance:
+    def test_separable_methods_perfectly_balanced(self):
+        fs = FileSystem.of(8, 8, m=8)
+        for method in (FXDistribution(fs), ModuloDistribution(fs)):
+            ratio, g = static_balance(method)
+            assert ratio == pytest.approx(1.0)
+            assert g == pytest.approx(0.0)
+
+
+class TestSkewSummary:
+    def test_summary_fields(self):
+        fs = FileSystem.of(4, 4, m=16)
+        summary = skew_summary(FXDistribution(fs, transforms=["I", "U"]))
+        assert summary.method_name == "fx"
+        assert summary.worst_load_factor == 1.0
+        assert summary.optimal_fraction == 1.0
+        row = summary.row()
+        assert row[0] == "fx"
+        assert row[-1] == "100.0%"
+
+    def test_modulo_summary_shows_skew(self):
+        fs = FileSystem.of(4, 4, m=16)
+        summary = skew_summary(ModuloDistribution(fs))
+        assert summary.worst_load_factor > 1.0
+        assert summary.optimal_fraction < 1.0
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = render_chart([0, 1, 2], {"A": [0.0, 50.0, 100.0]}, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 8 + 3  # grid + axis + ticks + legend
+        assert "* A" in lines[-1]
+        assert "100.0" in lines[0]
+
+    def test_two_series_get_distinct_markers(self):
+        text = render_chart(
+            [0, 1], {"A": [0.0, 1.0], "B": [1.0, 0.0]}, height=6
+        )
+        assert "* A" in text and "o B" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            render_chart([0, 1], {"A": [1.0]})
+
+    def test_empty_series(self):
+        with pytest.raises(AnalysisError):
+            render_chart([0], {})
+
+    def test_height_minimum(self):
+        with pytest.raises(AnalysisError):
+            render_chart([0], {"A": [1.0]}, height=2)
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [0.0] for i in range(7)}
+        with pytest.raises(AnalysisError):
+            render_chart([0], series)
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        text = render_chart([0, 1], {"A": [5.0, 5.0]}, height=6)
+        assert "*" in text
+
+    def test_render_optimality_series(self):
+        from repro.experiments.figures import reproduce_figure
+
+        text = render_series(reproduce_figure("figure1"))
+        assert "% strict optimal" in text
+        assert "FD (FX)" in text

@@ -1,0 +1,61 @@
+"""Stateful testing of the dynamic (directory-doubling) file.
+
+Hypothesis interleaves inserts and searches while the directories double
+underneath; a plain list model provides ground truth throughout.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.hashing.fields import FileSystem
+from repro.storage.dynamic_file import DynamicPartitionedFile
+
+
+class DynamicFileMachine(RuleBasedStateMachine):
+    @initialize(seed=st.integers(0, 100))
+    def setup(self, seed):
+        self.file = DynamicPartitionedFile(
+            FileSystem.of(2, 2, m=4), max_occupancy=2.0, seed=seed
+        )
+        self.model: list[tuple[int, int]] = []
+        self.next_key = 0
+
+    @rule(payload=st.integers(0, 1000), count=st.integers(1, 15))
+    def insert_batch(self, payload, count):
+        for __ in range(count):
+            record = (self.next_key, payload)
+            self.file.insert(record)
+            self.model.append(record)
+            self.next_key += 1
+
+    @rule()
+    def search_random_existing(self):
+        if not self.model:
+            return
+        key = self.model[len(self.model) // 2][0]
+        expected = [record for record in self.model if record[0] == key]
+        found = self.file.search({0: key})
+        for record in expected:
+            assert record in found
+
+    @invariant()
+    def accounting_and_placement_hold(self):
+        assert self.file.record_count == len(self.model)
+        assert sum(self.file.device_loads()) == len(self.model)
+        # every stored bucket sits where the current method routes it
+        for device in self.file.devices:
+            for bucket in device.store.buckets():
+                assert self.file.method.device_of(bucket) == device.device_id
+
+    @invariant()
+    def occupancy_bounded_while_growable(self):
+        fs = self.file.filesystem
+        if all(size * 2 <= self.file.max_field_size for size in fs.field_sizes):
+            assert self.file.occupancy() <= self.file.max_occupancy + 1e-9
+
+
+DynamicFileMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)
+TestDynamicFileStateful = DynamicFileMachine.TestCase

@@ -1,0 +1,86 @@
+"""Stateful (rule-based) testing of the storage layer.
+
+Hypothesis drives arbitrary interleavings of inserts, deletes, searches and
+invariant checks against a :class:`PartitionedFile`, mirrored into a plain
+list model.  Catches cross-operation bugs (lost records after delete,
+misrouting after repeated mutation) that example-based tests miss.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.fx import FXDistribution
+from repro.hashing.fields import FileSystem
+from repro.storage.btree_store import BTreeBucketStore
+from repro.storage.executor import QueryExecutor
+from repro.storage.parallel_file import PartitionedFile
+
+
+class PartitionedFileMachine(RuleBasedStateMachine):
+    """Model-checks PartitionedFile against a list of live records."""
+
+    records = Bundle("records")
+
+    @initialize(use_btree=st.booleans())
+    def setup(self, use_btree):
+        fs = FileSystem.of(4, 8, m=4)
+        factory = (lambda: BTreeBucketStore(t=2)) if use_btree else None
+        self.file = PartitionedFile(FXDistribution(fs), store_factory=factory)
+        self.model: list[tuple] = []
+
+    @rule(
+        target=records,
+        key=st.integers(0, 50),
+        tag=st.sampled_from(["a", "b", "c"]),
+    )
+    def insert(self, key, tag):
+        record = (key, tag)
+        self.file.insert(record)
+        self.model.append(record)
+        return record
+
+    @rule(record=records)
+    def delete(self, record):
+        expected = record in self.model
+        assert self.file.delete(record) == expected
+        if expected:
+            self.model.remove(record)
+
+    @rule(key=st.integers(0, 50))
+    def search_by_first_attribute(self, key):
+        result = self.file.search({0: key})
+        # every live record with this attribute must be found (hash
+        # collisions may add extra candidates, never remove true matches)
+        for record in self.model:
+            if record[0] == key:
+                assert record in result.records
+
+    @rule()
+    def full_scan_finds_everything(self):
+        fs = self.file.filesystem
+        from repro.query.partial_match import PartialMatchQuery
+
+        result = QueryExecutor(self.file).execute(
+            PartialMatchQuery.full_scan(fs)
+        )
+        assert sorted(map(str, result.records)) == sorted(
+            map(str, self.model)
+        )
+
+    @invariant()
+    def counts_and_placement_consistent(self):
+        assert self.file.record_count == len(self.model)
+        self.file.check_invariants()
+
+
+PartitionedFileMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestPartitionedFileStateful = PartitionedFileMachine.TestCase

@@ -1,0 +1,63 @@
+"""Tests for file-level statistics snapshots (repro.storage.stats)."""
+
+from repro.core.fx import FXDistribution
+from repro.hashing.fields import FileSystem
+from repro.storage.paged_store import PagedBucketStore
+from repro.storage.parallel_file import PartitionedFile
+from repro.storage.stats import collect_stats
+
+FS = FileSystem.of(4, 8, m=4)
+
+
+def _loaded(store_factory=None, count=120):
+    pf = PartitionedFile(FXDistribution(FS), store_factory=store_factory)
+    pf.insert_all([(i, f"r{i}") for i in range(count)])
+    return pf
+
+
+class TestCollectStats:
+    def test_totals_and_ordering(self):
+        pf = _loaded()
+        stats = collect_stats(pf)
+        assert stats.total_records == 120
+        assert [s.device_id for s in stats.devices] == list(range(FS.m))
+        assert sum(s.records for s in stats.devices) == 120
+
+    def test_balance_aggregates(self):
+        pf = _loaded()
+        stats = collect_stats(pf)
+        assert stats.max_over_mean_records >= 1.0
+        assert 0.0 <= stats.record_gini < 1.0
+
+    def test_empty_file(self):
+        pf = PartitionedFile(FXDistribution(FS))
+        stats = collect_stats(pf)
+        assert stats.total_records == 0
+        assert stats.max_over_mean_records == 0.0
+        assert stats.record_gini == 0.0
+
+    def test_read_counters_flow_through(self):
+        pf = _loaded()
+        pf.search({0: 1})
+        stats = collect_stats(pf)
+        assert sum(s.bucket_reads for s in stats.devices) > 0
+        assert sum(s.busy_time_ms for s in stats.devices) > 0.0
+
+    def test_paged_store_reports_pages(self):
+        pf = _loaded(store_factory=lambda: PagedBucketStore(page_capacity=2))
+        stats = collect_stats(pf)
+        assert all(s.pages is not None and s.pages > 0 for s in stats.devices)
+
+    def test_plain_store_pages_none(self):
+        stats = collect_stats(_loaded())
+        assert all(s.pages is None for s in stats.devices)
+
+    def test_render(self):
+        pf = _loaded(store_factory=lambda: PagedBucketStore(page_capacity=2))
+        text = collect_stats(pf).render()
+        assert "balance max/mean" in text
+        assert "pages" in text
+
+    def test_render_plain_store_uses_dash(self):
+        text = collect_stats(_loaded()).render()
+        assert " -" in text

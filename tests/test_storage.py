@@ -1,0 +1,168 @@
+"""Tests for the simulated storage substrate (stores, devices, files)."""
+
+import pytest
+
+from repro.core.fx import FXDistribution
+from repro.errors import ConfigurationError, DeviceFullError, StorageError
+from repro.hashing.fields import FileSystem
+from repro.hashing.multikey import MultiKeyHash
+from repro.storage.bucket_store import BucketStore
+from repro.storage.costs import DiskCostModel, MainMemoryCostModel, UnitCostModel
+from repro.storage.device import SimulatedDevice
+from repro.storage.parallel_file import PartitionedFile
+
+
+class TestBucketStore:
+    def test_insert_and_lookup(self):
+        store = BucketStore()
+        store.insert((0, 1), "a")
+        store.insert((0, 1), "b")
+        assert store.records_in((0, 1)) == ("a", "b")
+        assert store.record_count == 2
+        assert store.bucket_count == 1
+
+    def test_missing_bucket_empty(self):
+        assert BucketStore().records_in((9, 9)) == ()
+
+    def test_delete(self):
+        store = BucketStore()
+        store.insert((0,), "a")
+        assert store.delete((0,), "a")
+        assert not store.delete((0,), "a")
+        assert store.record_count == 0
+        assert not store.has_bucket((0,))
+
+    def test_delete_absent_bucket(self):
+        assert not BucketStore().delete((1,), "x")
+
+    def test_clear(self):
+        store = BucketStore()
+        store.insert((0,), "a")
+        store.clear()
+        assert store.record_count == 0
+        assert store.bucket_count == 0
+
+    def test_invariants_pass(self):
+        store = BucketStore()
+        store.insert((0,), "a")
+        store.delete((0,), "a")
+        store.check_invariants()
+
+    def test_invariant_violation_detected(self):
+        store = BucketStore()
+        store.insert((0,), "a")
+        store._record_count = 5  # corrupt deliberately
+        with pytest.raises(StorageError):
+            store.check_invariants()
+
+
+class TestCostModels:
+    def test_disk_seek_plus_transfer(self):
+        model = DiskCostModel(seek_ms=10.0, transfer_ms_per_bucket=2.0)
+        assert model.service_time(0) == 0.0
+        assert model.service_time(5) == 10.0 + 10.0
+
+    def test_memory_scales_with_cycles(self):
+        model = MainMemoryCostModel(cycles_per_bucket=100, clock_mhz=10.0)
+        assert model.service_time(10) == pytest.approx(0.1)
+
+    def test_unit_model(self):
+        assert UnitCostModel().service_time(7) == 7.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UnitCostModel().service_time(-1)
+
+
+class TestSimulatedDevice:
+    def test_insert_read_accounting(self):
+        device = SimulatedDevice(0, cost_model=UnitCostModel())
+        device.insert((0, 0), "r1")
+        device.insert((0, 1), "r2")
+        records = device.read_buckets([(0, 0), (0, 1), (1, 1)])
+        assert sorted(records) == ["r1", "r2"]
+        assert device.stats.bucket_reads == 3
+        assert device.stats.records_returned == 2
+        assert device.stats.busy_time_ms == 3.0
+
+    def test_capacity_enforced(self):
+        device = SimulatedDevice(0, capacity=1)
+        device.insert((0,), "a")
+        with pytest.raises(DeviceFullError):
+            device.insert((0,), "b")
+
+    def test_delete_accounting(self):
+        device = SimulatedDevice(0)
+        device.insert((0,), "a")
+        assert device.delete((0,), "a")
+        assert device.stats.deletes == 1
+        assert not device.delete((0,), "a")
+        assert device.stats.deletes == 1
+
+    def test_stats_reset(self):
+        device = SimulatedDevice(0)
+        device.insert((0,), "a")
+        device.stats.reset()
+        assert device.stats.inserts == 0
+
+
+class TestPartitionedFile:
+    def _file(self, m=4):
+        fs = FileSystem.of(4, 8, m=m)
+        return PartitionedFile(FXDistribution(fs))
+
+    def test_insert_places_on_method_device(self):
+        pf = self._file()
+        bucket = pf.insert((123, "gadget"))
+        device = pf.method.device_of(bucket)
+        assert pf.devices[device].record_count == 1
+        assert pf.record_count == 1
+
+    def test_insert_all_and_loads(self):
+        pf = self._file()
+        pf.insert_all([(i, f"name-{i}") for i in range(100)])
+        assert pf.record_count == 100
+        assert sum(pf.device_loads()) == 100
+
+    def test_delete_round_trip(self):
+        pf = self._file()
+        pf.insert((7, "x"))
+        assert pf.delete((7, "x"))
+        assert not pf.delete((7, "x"))
+        assert pf.record_count == 0
+
+    def test_query_hashes_with_same_functions(self):
+        pf = self._file()
+        bucket = pf.insert((55, "thing"))
+        query = pf.query({0: 55})
+        assert query.values[0] == bucket[0]
+        assert query.values[1] is None
+
+    def test_check_invariants_clean(self):
+        pf = self._file()
+        pf.insert_all([(i, str(i)) for i in range(50)])
+        pf.check_invariants()
+
+    def test_check_invariants_detects_misplacement(self):
+        pf = self._file()
+        # Bypass routing: put a bucket on a device the method disagrees with.
+        fs = pf.filesystem
+        bucket = (0, 0)
+        wrong = (pf.method.device_of(bucket) + 1) % fs.m
+        pf.devices[wrong].insert(bucket, ("rogue",))
+        with pytest.raises(StorageError):
+            pf.check_invariants()
+
+    def test_mismatched_multikey_hash_rejected(self):
+        fs = FileSystem.of(4, 8, m=4)
+        other = FileSystem.of(4, 8, m=8)
+        with pytest.raises(ConfigurationError):
+            PartitionedFile(
+                FXDistribution(fs), multikey_hash=MultiKeyHash.default(other)
+            )
+
+    def test_device_capacity_propagates(self):
+        fs = FileSystem.of(4, 8, m=4)
+        pf = PartitionedFile(FXDistribution(fs), device_capacity=0)
+        with pytest.raises(DeviceFullError):
+            pf.insert((1, "x"))

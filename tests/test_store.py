@@ -1,0 +1,81 @@
+"""Tests for experiment artefact persistence (repro.experiments.store)."""
+
+import json
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.figures import reproduce_figure
+from repro.experiments.response_tables import reproduce_table
+from repro.experiments.store import (
+    load_artifact,
+    response_table_from_dict,
+    response_table_to_dict,
+    save_artifact,
+    series_from_dict,
+    series_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def table7():
+    return reproduce_table("table7")
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return reproduce_figure("figure1")
+
+
+class TestResponseTableRoundTrip:
+    def test_dict_round_trip(self, table7):
+        restored = response_table_from_dict(response_table_to_dict(table7))
+        assert restored == table7
+
+    def test_file_round_trip(self, tmp_path, table7):
+        path = tmp_path / "table7.json"
+        save_artifact(path, table7)
+        restored = load_artifact(path)
+        assert restored.column("FX") == table7.column("FX")
+        assert restored.filesystem == table7.filesystem
+
+    def test_json_is_plain(self, table7):
+        # must survive a strict json round trip (no custom types)
+        data = json.loads(json.dumps(response_table_to_dict(table7)))
+        assert data["kind"] == "response_table"
+
+    def test_kind_mismatch_rejected(self, table7):
+        data = response_table_to_dict(table7)
+        data["kind"] = "optimality_series"
+        with pytest.raises(AnalysisError):
+            response_table_from_dict(data)
+
+    def test_version_mismatch_rejected(self, table7):
+        data = response_table_to_dict(table7)
+        data["version"] = 99
+        with pytest.raises(AnalysisError):
+            response_table_from_dict(data)
+
+
+class TestSeriesRoundTrip:
+    def test_dict_round_trip(self, figure1):
+        restored = series_from_dict(series_to_dict(figure1))
+        assert restored == figure1
+
+    def test_file_round_trip(self, tmp_path, figure1):
+        path = tmp_path / "figure1.json"
+        save_artifact(path, figure1)
+        restored = load_artifact(path)
+        assert restored.series == figure1.series
+
+
+class TestDispatch:
+    def test_unknown_kind_on_load(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "mystery", "version": 1}))
+        with pytest.raises(AnalysisError):
+            load_artifact(path)
+
+    def test_unsupported_object_on_save(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            save_artifact(tmp_path / "x.json", object())

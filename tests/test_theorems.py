@@ -1,0 +1,188 @@
+"""Tests confronting the theorem predicates with empirical ground truth.
+
+The key soundness property: whenever the section 4.2 sufficient rule claims
+a pattern is strict optimal, the exact convolution evaluator must agree —
+across randomly drawn file systems and transform assignments.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.histograms import evaluator_for
+from repro.core.fx import FXDistribution
+from repro.core.theorems import (
+    fx_perfect_optimal_sufficient,
+    fx_strict_optimal_sufficient,
+    methods_differ,
+    modulo_strict_optimal_sufficient,
+    pair_condition,
+    theorem1_applies,
+    theorem2_applies,
+    theorem3_uniform_subset_exists,
+    triple_condition,
+)
+from repro.core.transforms import make_transform
+from repro.distribution.modulo import ModuloDistribution
+from repro.hashing.fields import FileSystem
+from repro.query.patterns import all_patterns
+
+
+class TestMethodsDiffer:
+    def test_same_family_not_different(self):
+        a = make_transform("U", 4, 16)
+        b = make_transform("U", 2, 16)
+        assert not methods_differ(a, b)
+
+    def test_distinct_families_differ(self):
+        a = make_transform("I", 4, 16)
+        b = make_transform("U", 4, 16)
+        assert methods_differ(a, b)
+
+    def test_iu1_iu2_pair_excluded(self):
+        a = make_transform("IU1", 4, 64)
+        b = make_transform("IU2", 2, 64)
+        assert b.effective_method == "IU2"
+        assert not methods_differ(a, b)
+
+    def test_collapsed_iu2_counts_as_iu1(self):
+        # IU2 on F=8, M=16 degenerates to IU1; against a true IU1 the pair
+        # is same-method.
+        a = make_transform("IU2", 8, 16)
+        b = make_transform("IU1", 4, 16)
+        assert not methods_differ(a, b)
+
+
+class TestBasicPredicates:
+    def test_theorem1(self):
+        assert theorem1_applies(set())
+        assert theorem1_applies({3})
+        assert not theorem1_applies({1, 2})
+
+    def test_theorem2(self):
+        fs = FileSystem.of(4, 32, m=16)
+        assert theorem2_applies(fs, {1})
+        assert not theorem2_applies(fs, {0})
+
+    def test_pair_condition_product_requirement(self):
+        fs = FileSystem.of(4, 4, m=32)
+        fx = FXDistribution(fs, transforms=["I", "U"])
+        assert pair_condition(fx, {0, 1}, require_product=False)
+        assert not pair_condition(fx, {0, 1}, require_product=True)
+
+    def test_triple_condition_requires_iu2_at_least_u(self):
+        # IU2 field smaller than U field violates Lemma 9.1's ordering.
+        fs = FileSystem.of(8, 4, 2, m=64)
+        good = FXDistribution(fs, transforms=["I", "U", "IU2"])
+        assert not triple_condition(good, {0, 1, 2}, require_product=False)
+        swapped = FXDistribution(fs, transforms=["I", "IU2", "U"])
+        assert triple_condition(swapped, {0, 1, 2}, require_product=False)
+
+
+# Randomised soundness check -------------------------------------------------
+
+_SIZES = st.sampled_from([2, 4, 8, 16])
+_FAMILY = st.sampled_from(["I", "U", "IU1", "IU2"])
+
+
+@st.composite
+def fx_instances(draw):
+    n = draw(st.integers(2, 5))
+    m = draw(st.sampled_from([4, 8, 16, 32]))
+    sizes = [draw(_SIZES) for __ in range(n)]
+    methods = [
+        "I" if size >= m else draw(_FAMILY) for size in sizes
+    ]
+    fs = FileSystem.of(*sizes, m=m)
+    return FXDistribution(fs, transforms=methods)
+
+
+class TestSufficiencySoundness:
+    @given(fx_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_sufficient_rule_never_overclaims(self, fx):
+        """Section 4.2 rule => exact strict optimality, every pattern."""
+        evaluator = evaluator_for(fx)
+        for pattern in all_patterns(fx.filesystem.n_fields):
+            if fx_strict_optimal_sufficient(fx, pattern):
+                assert evaluator.is_strict_optimal(pattern), (
+                    fx.describe(),
+                    sorted(pattern),
+                )
+
+    @given(fx_instances())
+    @settings(max_examples=30, deadline=None)
+    def test_theorem3_check_never_overclaims(self, fx):
+        evaluator = evaluator_for(fx)
+        for pattern in all_patterns(fx.filesystem.n_fields):
+            if theorem3_uniform_subset_exists(fx, pattern):
+                assert evaluator.is_strict_optimal(pattern)
+
+    def test_theorem3_catches_case_closed_form_excludes(self):
+        """The constructive Theorem 3 search certifies an IU1+IU2 pair the
+        closed-form rule must skip (section 4.2 bars the IU1/IU2 pairing
+        from its pair conditions), because the pair's projection happens to
+        spread uniformly: IU1(f,8|16) XOR 13 is disjoint from IU1(f,8|16).
+        """
+        fs = FileSystem.of(8, 2, m=16)
+        fx = FXDistribution(fs, transforms=["IU1", "IU2"])
+        pattern = frozenset({0, 1})
+        assert not fx_strict_optimal_sufficient(fx, pattern)
+        assert theorem3_uniform_subset_exists(fx, pattern)
+        assert evaluator_for(fx).is_strict_optimal(pattern)
+
+
+class TestModuloSufficiency:
+    @given(
+        st.lists(_SIZES, min_size=2, max_size=5),
+        st.sampled_from([4, 8, 16]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_modulo_condition_never_overclaims(self, sizes, m):
+        fs = FileSystem.of(*sizes, m=m)
+        modulo = ModuloDistribution(fs)
+        evaluator = evaluator_for(modulo)
+        for pattern in all_patterns(fs.n_fields):
+            if modulo_strict_optimal_sufficient(fs, pattern):
+                assert evaluator.is_strict_optimal(pattern)
+
+
+class TestPerfectOptimalitySummary:
+    """Section 4.2: FX can always be perfect optimal when L <= 3."""
+
+    @pytest.mark.parametrize(
+        "sizes,m",
+        [
+            ((32, 32), 32),          # L = 0
+            ((4, 32), 32),           # L = 1
+            ((4, 8, 32), 32),        # L = 2
+            ((4, 8, 16, 32), 32),    # L = 3
+            ((2, 4, 8), 16),         # L = 3, no large fields
+        ],
+    )
+    def test_theorem9_policy_certified_perfect(self, sizes, m):
+        fs = FileSystem.of(*sizes, m=m)
+        fx = FXDistribution(fs, policy="theorem9")
+        assert fx_perfect_optimal_sufficient(fx)
+        # and the certificate is truthful:
+        evaluator = evaluator_for(fx)
+        assert all(
+            evaluator.is_strict_optimal(p) for p in all_patterns(fs.n_fields)
+        )
+
+    def test_four_small_fields_not_certified(self):
+        # [Sung87]: no method is perfect optimal with L >= 4; the rule
+        # correctly refuses to certify the all-unspecified pattern.
+        fs = FileSystem.uniform(4, 4, m=32)
+        fx = FXDistribution(fs, policy="paper")
+        assert not fx_perfect_optimal_sufficient(fx)
+
+    def test_fx_superset_of_modulo_claim(self):
+        """Section 4.2's closing claim: the FX-optimal query set contains
+        the Modulo-optimal set (power-of-two sizes and M)."""
+        for sizes, m in [((4, 8, 32), 16), ((8, 8, 8), 32), ((2, 16, 4, 8), 8)]:
+            fs = FileSystem.of(*sizes, m=m)
+            fx = FXDistribution(fs, policy="paper")
+            for pattern in all_patterns(fs.n_fields):
+                if modulo_strict_optimal_sufficient(fs, pattern):
+                    assert fx_strict_optimal_sufficient(fx, pattern)

@@ -1,0 +1,203 @@
+"""Tests for the field transformation functions (paper section 4.1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, FieldValueError, TransformError
+from repro.core.transforms import (
+    IU1Transform,
+    IU2Transform,
+    IdentityTransform,
+    UTransform,
+    assign_transforms,
+    make_transform,
+    paper_assignment,
+    theorem9_assignment,
+)
+
+
+def small_field_cases():
+    """(F, M) pairs with F < M, both powers of two."""
+    cases = []
+    for m_bits in range(1, 10):
+        for f_bits in range(0, m_bits):
+            cases.append((1 << f_bits, 1 << m_bits))
+    return cases
+
+
+small_case_strategy = st.sampled_from(small_field_cases())
+
+
+class TestIdentity:
+    def test_identity_values(self):
+        t = IdentityTransform(8, 4)
+        assert t.image() == tuple(range(8))
+
+    def test_large_field_allowed(self):
+        # Identity is the mandatory choice for F >= M.
+        IdentityTransform(64, 4)
+
+    def test_value_out_of_domain(self):
+        with pytest.raises(FieldValueError):
+            IdentityTransform(4, 16).apply(4)
+
+
+class TestUTransform:
+    def test_paper_table2_image(self):
+        # U(f2) = {0, 4, 8, 12} for F = 4, M = 16.
+        assert UTransform(4, 16).image() == (0, 4, 8, 12)
+
+    def test_requires_small_field(self):
+        with pytest.raises(TransformError):
+            UTransform(16, 16)
+
+    @given(small_case_strategy)
+    def test_equally_spaced(self, case):
+        f, m = case
+        image = UTransform(f, m).image()
+        d = m // f
+        assert image == tuple(i * d for i in range(f))
+
+
+class TestIU1Transform:
+    def test_paper_example_4(self):
+        # F = 8, M = 16 -> {0, 3, 6, 5, 12, 15, 10, 9}.
+        assert IU1Transform(8, 16).image() == (0, 3, 6, 5, 12, 15, 10, 9)
+
+    def test_paper_example_5(self):
+        # F = 4, M = 16 -> {0, 5, 10, 15}.
+        assert IU1Transform(4, 16).image() == (0, 5, 10, 15)
+
+    @given(small_case_strategy)
+    def test_injective_into_zm(self, case):
+        """Lemma 5.1: IU1 is injective into Z_M."""
+        f, m = case
+        image = IU1Transform(f, m).image()
+        assert len(set(image)) == f
+        assert all(0 <= v < m for v in image)
+
+    @given(small_case_strategy)
+    def test_one_element_per_interval(self, case):
+        """Lemma 5.4: exactly one image element per d-aligned interval."""
+        f, m = case
+        d = m // f
+        intervals = {v // d for v in IU1Transform(f, m).image()}
+        assert intervals == set(range(f))
+
+
+class TestIU2Transform:
+    def test_paper_example_7(self):
+        # F = 2, M = 16 -> {0, 13}.
+        assert IU2Transform(2, 16).image() == (0, 13)
+
+    def test_collapses_to_iu1_when_square_large(self):
+        # F = 8, M = 16: F**2 >= M, so IU2 == IU1 and d2 == 0.
+        iu2 = IU2Transform(8, 16)
+        assert iu2.d2 == 0
+        assert iu2.effective_method == "IU1"
+        assert iu2.image() == IU1Transform(8, 16).image()
+
+    def test_effective_method_iu2_when_square_small(self):
+        iu2 = IU2Transform(2, 16)
+        assert iu2.d2 == 4
+        assert iu2.effective_method == "IU2"
+
+    @given(small_case_strategy)
+    def test_injective_into_zm(self, case):
+        """Lemma 7.1: IU2 is injective into Z_M."""
+        f, m = case
+        image = IU2Transform(f, m).image()
+        assert len(set(image)) == f
+        assert all(0 <= v < m for v in image)
+
+    @given(small_case_strategy)
+    def test_one_element_per_interval(self, case):
+        """Lemma 7.2: exactly one image element per d1-aligned interval."""
+        f, m = case
+        d1 = m // f
+        intervals = {v // d1 for v in IU2Transform(f, m).image()}
+        assert intervals == set(range(f))
+
+
+class TestInverse:
+    @given(small_case_strategy, st.sampled_from(["U", "IU1", "IU2"]))
+    def test_inverse_round_trip(self, case, method):
+        f, m = case
+        t = make_transform(method, f, m)
+        for value in range(f):
+            assert t.inverse(t.apply(value)) == value
+
+    def test_inverse_of_missing_value(self):
+        t = make_transform("U", 4, 16)
+        assert t.inverse(1) is None
+
+
+class TestMakeTransform:
+    def test_unknown_method(self):
+        with pytest.raises(TransformError):
+            make_transform("XYZ", 4, 16)
+
+    def test_equality_and_hash(self):
+        assert make_transform("U", 4, 16) == make_transform("U", 4, 16)
+        assert make_transform("U", 4, 16) != make_transform("I", 4, 16)
+        assert hash(make_transform("IU1", 4, 16)) == hash(
+            make_transform("IU1", 4, 16)
+        )
+
+
+class TestPaperAssignment:
+    def test_cycles_over_small_fields(self):
+        transforms = paper_assignment([8] * 6, 32)
+        assert [t.method for t in transforms] == [
+            "I", "U", "IU1", "I", "U", "IU1"
+        ]
+
+    def test_large_fields_identity(self):
+        transforms = paper_assignment([64, 8, 8, 8], 32)
+        assert [t.method for t in transforms] == ["I", "I", "U", "IU1"]
+
+    def test_iu2_variant(self):
+        transforms = paper_assignment([8, 8, 8], 512, variant="IU2")
+        assert [t.method for t in transforms] == ["I", "U", "IU2"]
+
+    def test_bad_variant(self):
+        with pytest.raises(ConfigurationError):
+            paper_assignment([8], 32, variant="IU3")
+
+
+class TestTheorem9Assignment:
+    def test_three_small_fields_follow_recipe(self):
+        # Sizes 4, 2, 8 with M = 16: largest (8) -> I, middle (4) -> IU2,
+        # smallest (2) -> U.
+        transforms = theorem9_assignment([4, 2, 8], 16)
+        assert [t.method for t in transforms] == ["IU2", "U", "I"]
+
+    def test_two_small_fields(self):
+        transforms = theorem9_assignment([4, 2, 32], 16)
+        assert [t.method for t in transforms] == ["I", "IU2", "I"]
+
+    def test_iu2_size_not_less_than_u_size(self):
+        # Lemma 9.1's second condition must hold by construction.
+        for sizes in ([2, 4, 8], [8, 4, 2], [4, 8, 2], [2, 2, 4]):
+            transforms = theorem9_assignment(sizes, 64)
+            by_method = {t.method: t.field_size for t in transforms}
+            assert by_method["IU2"] >= by_method["U"]
+
+
+class TestAssignTransforms:
+    def test_explicit_names(self):
+        transforms = assign_transforms([4, 4], 16, policy=["I", "IU1"])
+        assert [t.method for t in transforms] == ["I", "IU1"]
+
+    def test_explicit_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            assign_transforms([4, 4], 16, policy=["I"])
+
+    def test_large_field_must_be_identity(self):
+        with pytest.raises(TransformError):
+            assign_transforms([16, 4], 16, policy=["U", "I"])
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            assign_transforms([4, 4], 16, policy="magic")

@@ -1,0 +1,73 @@
+"""Tests for repro.util.validation and repro.util.tables."""
+
+import pytest
+
+from repro.errors import ConfigurationError, NotPowerOfTwoError
+from repro.util.tables import format_cell, format_table
+from repro.util.validation import check_positive, check_power_of_two, check_range
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts_and_returns(self):
+        assert check_power_of_two("M", 64) == 64
+
+    def test_rejects_with_parameter_name(self):
+        with pytest.raises(NotPowerOfTwoError) as excinfo:
+            check_power_of_two("field size", 12)
+        assert "field size" in str(excinfo.value)
+        assert excinfo.value.value == 12
+
+
+class TestCheckPositive:
+    def test_accepts(self):
+        assert check_positive("n", 3) == 3
+
+    @pytest.mark.parametrize("value", [0, -1, True, 2.5, "3"])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive("n", value)
+
+
+class TestCheckRange:
+    def test_accepts_boundaries(self):
+        assert check_range("v", 0, 4) == 0
+        assert check_range("v", 3, 4) == 3
+
+    @pytest.mark.parametrize("value", [-1, 4, 100])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ConfigurationError):
+            check_range("v", value, 4)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_range("v", True, 4)
+
+
+class TestFormatCell:
+    def test_float_digits(self):
+        assert format_cell(3.14159, float_digits=2) == "3.14"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_passthrough(self):
+        assert format_cell(42) == "42"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("a")
+        assert "--" in lines[2]
+        assert len(lines) == 5
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["x"], [])
+        assert "x" in text

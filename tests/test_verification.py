@@ -1,0 +1,71 @@
+"""Tests for the cross-engine verifier."""
+
+import pytest
+
+from repro.core.fx import FXDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.errors import AnalysisError
+from repro.experiments.verification import verify_method, verify_or_raise
+from repro.hashing.fields import FileSystem
+
+
+class TestVerifyMethod:
+    def test_fx_all_three_engines_agree(self):
+        fs = FileSystem.of(4, 8, 2, m=16)
+        report = verify_method(FXDistribution(fs))
+        assert report.consistent
+        assert report.patterns_checked == 8
+        assert report.brute_force_checked == 8
+        assert report.rank_checked == 8
+
+    def test_modulo_two_engines(self):
+        fs = FileSystem.of(4, 4, m=8)
+        report = verify_method(ModuloDistribution(fs))
+        assert report.consistent
+        assert report.rank_checked == 0  # rank criterion is FX-only
+
+    def test_brute_force_limit_respected(self):
+        fs = FileSystem.uniform(4, 8, m=16)
+        report = verify_method(FXDistribution(fs), brute_force_limit=64)
+        assert report.brute_force_checked < report.patterns_checked
+        assert report.consistent
+
+    def test_summary_text(self):
+        fs = FileSystem.of(4, 4, m=8)
+        text = verify_method(FXDistribution(fs)).summary()
+        assert "CONSISTENT" in text
+
+    def test_verify_or_raise_passes_on_clean_method(self):
+        fs = FileSystem.of(4, 4, m=8)
+        assert verify_or_raise(FXDistribution(fs)).consistent
+
+    def test_verify_or_raise_detects_broken_engine(self, monkeypatch):
+        fs = FileSystem.of(4, 4, m=8)
+        fx = FXDistribution(fs)
+        # sabotage the rank criterion path
+        import repro.experiments.verification as verification
+
+        monkeypatch.setattr(
+            verification,
+            "linear_pattern_is_optimal",
+            lambda matrices, pattern, m: False,
+        )
+        with pytest.raises(AnalysisError):
+            verify_or_raise(fx)
+
+
+class TestVerifyCli:
+    def test_cli_verify_fx(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--fields", "4,4", "--devices", "8"]) == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_cli_verify_modulo(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["verify", "--fields", "4,4", "--devices", "8",
+             "--method", "modulo"]
+        )
+        assert code == 0
