@@ -1,0 +1,154 @@
+"""Vectorised inverse mapping vs the reference iterator.
+
+Two entry points:
+
+* pytest-benchmark functions (collected with the other ``bench_*`` files)
+  timing both paths on a small file system and asserting bit-identical
+  output, and
+* a script mode — ``python benchmarks/bench_vectorized_inverse.py
+  [--smoke] [--out BENCH_inverse.json]`` — that measures buckets/sec for
+  both paths over every device of a partial match query and writes the
+  speedup to JSON.  Full mode uses a 2^18-bucket file system (the
+  acceptance configuration: the array path must hold a >= 10x speedup
+  there); ``--smoke`` shrinks the grid so CI can run it on every push and
+  still fail loudly if the fast path stops matching the iterator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro.core.fx import FXDistribution
+from repro.core.inverse import (
+    separable_qualified_on_device,
+    separable_qualified_on_device_array,
+)
+from repro.distribution.modulo import ModuloDistribution
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+
+#: Full mode: 8^6 = 2^18 buckets over 32 devices, one specified field.
+FULL_FS = FileSystem.uniform(6, 8, m=32)
+#: Smoke mode: 2^12 buckets — small enough for a CI step, same code paths.
+SMOKE_FS = FileSystem.uniform(4, 8, m=16)
+
+BENCH_FS = FileSystem.uniform(5, 8, m=32)
+BENCH_QUERY = PartialMatchQuery.from_dict(BENCH_FS, {0: 1})
+
+
+def _sweep_iterator(method, query) -> int:
+    return sum(
+        1
+        for device in range(method.filesystem.m)
+        for __ in separable_qualified_on_device(method, device, query)
+    )
+
+
+def _sweep_array(method, query) -> int:
+    return sum(
+        separable_qualified_on_device_array(method, device, query).shape[0]
+        for device in range(method.filesystem.m)
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_inverse_array_fx(benchmark):
+    fx = FXDistribution(BENCH_FS)
+    total = benchmark(_sweep_array, fx, BENCH_QUERY)
+    assert total == BENCH_QUERY.qualified_count
+
+
+def bench_inverse_iterator_fx(benchmark):
+    fx = FXDistribution(BENCH_FS)
+    total = benchmark(_sweep_iterator, fx, BENCH_QUERY)
+    assert total == BENCH_QUERY.qualified_count
+
+
+def bench_inverse_array_modulo(benchmark):
+    modulo = ModuloDistribution(BENCH_FS)
+    total = benchmark(_sweep_array, modulo, BENCH_QUERY)
+    assert total == BENCH_QUERY.qualified_count
+
+
+# ----------------------------------------------------------------------
+# Script mode: write BENCH_inverse.json
+# ----------------------------------------------------------------------
+def _check_bit_identical(method, query) -> None:
+    for device in range(method.filesystem.m):
+        expected = list(separable_qualified_on_device(method, device, query))
+        got = separable_qualified_on_device_array(method, device, query)
+        assert [tuple(row) for row in got.tolist()] == expected, (
+            f"fast path diverged from iterator on device {device}"
+        )
+
+
+def _measure(fs: FileSystem, repeats: int) -> dict:
+    fx = FXDistribution(fs)
+    query = PartialMatchQuery.from_dict(fs, {0: 1})
+    _check_bit_identical(fx, query)
+
+    iter_seconds = []
+    array_seconds = []
+    buckets = query.qualified_count
+    for __ in range(repeats):
+        started = time.perf_counter()
+        assert _sweep_iterator(fx, query) == buckets
+        iter_seconds.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        assert _sweep_array(fx, query) == buckets
+        array_seconds.append(time.perf_counter() - started)
+    iter_best = min(iter_seconds)
+    array_best = min(array_seconds)
+    return {
+        "filesystem": fs.describe(),
+        "bucket_count": fs.bucket_count,
+        "query": query.describe(),
+        "qualified_buckets": buckets,
+        "repeats": repeats,
+        "iterator_seconds": iter_best,
+        "array_seconds": array_best,
+        "iterator_buckets_per_sec": buckets / iter_best,
+        "array_buckets_per_sec": buckets / array_best,
+        "speedup": iter_best / array_best,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small file system for CI (correctness gate, no speedup floor)",
+    )
+    parser.add_argument("--out", default="BENCH_inverse.json")
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    fs = SMOKE_FS if args.smoke else FULL_FS
+    result = _measure(fs, max(1, args.repeats))
+    result["mode"] = "smoke" if args.smoke else "full"
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"{result['mode']}: {result['qualified_buckets']} buckets on "
+        f"{result['filesystem']}; iterator "
+        f"{result['iterator_buckets_per_sec']:,.0f}/s, array "
+        f"{result['array_buckets_per_sec']:,.0f}/s, "
+        f"speedup {result['speedup']:.1f}x -> {args.out}"
+    )
+    if not args.smoke and result["speedup"] < 10.0:
+        print("FAIL: full-mode speedup below the 10x acceptance floor")
+        return 1
+    if args.smoke and result["speedup"] < 1.0:
+        # Even tiny grids should never be slower than the Python iterator.
+        print("FAIL: smoke-mode fast path slower than the iterator")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

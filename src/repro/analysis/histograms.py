@@ -120,16 +120,20 @@ def _common_length(a: np.ndarray, b: np.ndarray) -> int:
 
 
 def evaluator_for(method: SeparableMethod) -> "PatternEvaluator":
-    """Return (and cache on the method) a :class:`PatternEvaluator`.
+    """Return the shared :class:`PatternEvaluator` for *method*.
 
-    Methods are immutable after construction, so memoising the spectra on
-    the instance is safe and makes repeated query evaluation O(k M log M)
-    with no per-query setup.
+    Methods are immutable after construction, so evaluators are memoised
+    process-wide in an LRU keyed by the method's behavioural signature
+    (:func:`repro.perf.memo.shared_evaluator`): two equal methods — e.g.
+    the thousands of short-lived ``FXDistribution`` instances an assignment
+    search builds — share one set of spectra.  The instance also keeps a
+    direct reference so the evaluator survives LRU eviction while its
+    method is alive.
     """
-    evaluator = getattr(method, "_pattern_evaluator", None)
-    if evaluator is None:
-        evaluator = PatternEvaluator(method)
-        method._pattern_evaluator = evaluator  # type: ignore[attr-defined]
+    from repro.perf.memo import shared_evaluator
+
+    evaluator = shared_evaluator(method)
+    method._pattern_evaluator = evaluator  # type: ignore[attr-defined]
     return evaluator
 
 
@@ -190,6 +194,8 @@ class PatternEvaluator:
             self._spectra = [fwht(h) for h in self._histograms]
         else:
             self._spectra = [np.fft.rfft(h.astype(np.float64)) for h in self._histograms]
+        #: Memoised histograms by pattern; at most 2**n entries of length M.
+        self._pattern_cache: dict[frozenset[int], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Core evaluation
@@ -198,8 +204,24 @@ class PatternEvaluator:
         """Per-device histogram for one unspecified-field set.
 
         Usually int64; falls back to an object (big-int) array when a
-        uniform load per device would overflow 64 bits.
+        uniform load per device would overflow 64 bits.  Results are
+        memoised per pattern (hit rate under the ``pattern_histogram``
+        counter) and returned read-only — copy before mutating.
         """
+        from repro.perf.counters import record_hit, record_miss
+
+        pattern = frozenset(pattern)
+        cached = self._pattern_cache.get(pattern)
+        if cached is not None:
+            record_hit("pattern_histogram")
+            return cached
+        record_miss("pattern_histogram")
+        result = self._compute_histogram(pattern)
+        result.setflags(write=False)
+        self._pattern_cache[pattern] = result
+        return result
+
+    def _compute_histogram(self, pattern: frozenset[int]) -> np.ndarray:
         self._check_pattern(pattern)
         qualified = math.prod(self._sizes[i] for i in pattern)
         uniform_value = self._uniform_load(pattern, qualified)

@@ -11,9 +11,13 @@ Commands
 ``search``   transform-assignment search (paper families or GF(2) linear),
 ``design``   optimal directory bit allocation from query statistics,
 ``simulate`` concurrent-workload latency comparison of the methods,
-``recommend`` rank methods for a file system and workload.
+``recommend`` rank methods for a file system and workload,
+``perf``     exercise the engine fast paths and print the perf counters.
 
-File systems are given as ``--fields 8,8,16 --devices 32``.
+File systems are given as ``--fields 8,8,16 --devices 32``.  The sweeping
+commands (``census``, ``search``) accept ``--parallel N`` to fan the
+per-pattern / per-assignment work over N threads (0 = one per CPU) with
+results identical to serial runs.
 """
 
 from __future__ import annotations
@@ -98,7 +102,7 @@ def _cmd_census(args: argparse.Namespace) -> int:
     if args.method == "fx" and args.transforms:
         kwargs["transforms"] = args.transforms.split(",")
     method = create_method(args.method, fs, **kwargs)
-    report = optimality_report(method)
+    report = optimality_report(method, parallel=args.parallel)
     print(report.summary())
     if report.failures and args.failures:
         rows = [
@@ -146,10 +150,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
     fs = _parse_filesystem(args)
     if args.space == "families":
         if len(fs.small_fields()) <= 6:
-            result = exhaustive_assignment_search(fs, p=args.p)
+            result = exhaustive_assignment_search(
+                fs, p=args.p, parallel=args.parallel
+            )
             how = f"exhaustive, {result.evaluations} assignments"
         else:
-            result = hill_climb_assignment_search(fs, p=args.p, seed=args.seed)
+            result = hill_climb_assignment_search(
+                fs, p=args.p, seed=args.seed, parallel=args.parallel
+            )
             how = f"hill climb, {result.evaluations} evaluations"
         print(f"best assignment ({how}): {result.methods}")
         print(f"exact optimal fraction: {100 * result.score:.2f}%")
@@ -274,6 +282,62 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Exercise the engine fast paths, then print the perf counters.
+
+    The counters are process-wide, so a fresh CLI run must generate some
+    traffic before a report means anything: we sweep the optimality census
+    twice (the second pass should be all cache hits), enumerate every
+    device's buckets for a representative query through both inverse-mapping
+    paths, and plan one pattern-grouped batch.
+    """
+    import time
+
+    from repro.perf import render_report, reset_counters
+    from repro.query.patterns import patterns_with_k_unspecified, representative_query
+    from repro.storage.batch import BatchPlanner
+
+    fs = _parse_filesystem(args)
+    kwargs: dict[str, object] = {}
+    if args.method == "gdm":
+        kwargs["multipliers"] = tuple(range(3, 3 + 2 * fs.n_fields, 2))
+    method = create_method(args.method, fs, **kwargs)
+    reset_counters()
+
+    for __ in range(max(1, args.repeat)):
+        optimality_report(method, parallel=args.parallel)
+
+    # One specified field, the rest free: the canonical serving-path shape.
+    query = representative_query(fs, frozenset(range(1, fs.n_fields)) or {0})
+    iter_started = time.perf_counter()
+    iter_buckets = sum(
+        1
+        for device in range(fs.m)
+        for __ in method.qualified_on_device(device, query)
+    )
+    iter_seconds = time.perf_counter() - iter_started
+    array_buckets = sum(
+        method.qualified_on_device_array(device, query).shape[0]
+        for device in range(fs.m)
+    )
+
+    batch = [
+        representative_query(fs, pattern)
+        for pattern in patterns_with_k_unspecified(fs.n_fields, 1)
+        for __ in range(2)
+    ]
+    BatchPlanner(method).plan(batch)
+
+    print(render_report(title=f"Engine perf counters — {method.describe()}"))
+    print()
+    print(
+        f"inverse mapping sweep ({query.describe()}): "
+        f"{array_buckets} buckets; iterator path took {iter_seconds:.4f}s "
+        f"({iter_buckets / iter_seconds:,.0f}/s)"
+    )
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -321,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--failures", type=int, default=5,
         help="how many worst failures to list (0 = none)",
     )
+    census.add_argument(
+        "--parallel", type=int, default=None,
+        help="threads for the pattern sweep (0 = one per CPU)",
+    )
     census.set_defaults(func=_cmd_census)
 
     skew = sub.add_parser("skew", help="skew profile of standard methods")
@@ -337,6 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="linear search draws")
     search.add_argument("--seed", type=int, default=0)
     search.add_argument("--p", type=float, default=0.5)
+    search.add_argument(
+        "--parallel", type=int, default=None,
+        help="threads for assignment scoring (0 = one per CPU)",
+    )
     search.set_defaults(func=_cmd_search)
 
     design = sub.add_parser(
@@ -382,6 +454,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--policy", default="paper", choices=["paper", "theorem9"]
     )
     verify.set_defaults(func=_cmd_verify)
+
+    perf = sub.add_parser(
+        "perf", help="exercise the engine fast paths and report counters"
+    )
+    perf.add_argument("action", choices=["report"])
+    _add_filesystem_arguments(perf)
+    perf.add_argument(
+        "--method", default="fx",
+        choices=["fx", "fx-basic", "modulo", "gdm"],
+        help="separable method to exercise",
+    )
+    perf.add_argument(
+        "--repeat", type=int, default=2,
+        help="census passes (>= 2 makes cache hit rates visible)",
+    )
+    perf.add_argument(
+        "--parallel", type=int, default=None,
+        help="threads for the census sweep (0 = one per CPU)",
+    )
+    perf.set_defaults(func=_cmd_perf)
 
     return parser
 

@@ -12,21 +12,38 @@ Cost: ``|R(q)| / F_s`` fold evaluations where ``F_s`` is the size of the
 solved field — we always solve for the largest unspecified field, which for
 an optimal distribution is within a constant factor of the per-device output
 size, i.e. the enumeration is output-sensitive up to ``ceil`` effects.
+
+Two implementations share that algebra:
+
+* :func:`separable_qualified_on_device` — the reference iterator, one
+  Python tuple at a time, kept for laziness and as the correctness oracle;
+* :func:`separable_qualified_on_device_array` — the serving fast path,
+  which materialises the same buckets (same row-major order, bit-identical)
+  as one ``(N, n_fields)`` NumPy array via broadcasted fold enumeration and
+  a sorted solve-field lookup.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.hashing.fields import Bucket
+from repro.perf.counters import record_work
 from repro.query.partial_match import PartialMatchQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
     from repro.distribution.base import SeparableMethod
 
-__all__ = ["separable_qualified_on_device", "contribution_index"]
+__all__ = [
+    "separable_qualified_on_device",
+    "separable_qualified_on_device_array",
+    "contribution_index",
+]
 
 
 def contribution_index(
@@ -36,12 +53,40 @@ def contribution_index(
 
     For injective transforms every list has length one; for an identity on a
     large field (``F >= M``) each contribution is produced by ``F / M``
-    values.
+    values.  Cached on the method instance — methods are immutable, and the
+    inverse mapping solves the same field for every device of a query.
     """
-    index: dict[int, list[int]] = {}
-    for value, contribution in enumerate(method.contribution_table(field_index)):
-        index.setdefault(contribution, []).append(value)
+    cache = method.__dict__.setdefault("_contribution_index_cache", {})
+    index = cache.get(field_index)
+    if index is None:
+        index = {}
+        for value, contribution in enumerate(
+            method.contribution_table(field_index)
+        ):
+            index.setdefault(contribution, []).append(value)
+        cache[field_index] = index
     return index
+
+
+def _solve_lookup(
+    method: "SeparableMethod", field_index: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted-contribution lookup of one field, cached on the method.
+
+    Returns ``(order, sorted_contributions)`` where ``order`` is the stable
+    argsort of the contribution table.  ``searchsorted`` over
+    ``sorted_contributions`` then inverts any batch of needed contributions,
+    and stability keeps the pre-images in ascending field-value order — the
+    same order :func:`contribution_index` stores them in.
+    """
+    cache = method.__dict__.setdefault("_solve_lookup_cache", {})
+    found = cache.get(field_index)
+    if found is None:
+        table = method.contribution_array(field_index)
+        order = np.argsort(table, kind="stable")
+        found = (order, table[order])
+        cache[field_index] = found
+    return found
 
 
 def separable_qualified_on_device(
@@ -91,6 +136,99 @@ def separable_qualified_on_device(
             yield _build_bucket(
                 query, dict(zip(enumerate_fields, choice)), solve_field, solve_value
             )
+
+
+def separable_qualified_on_device_array(
+    method: "SeparableMethod", device: int, query: PartialMatchQuery
+) -> np.ndarray:
+    """All qualified buckets of *query* on *device* as an int64 array.
+
+    Bit-identical to :func:`separable_qualified_on_device`: row *k* of the
+    result equals the *k*-th bucket the iterator yields.  The algebra is the
+    same — fold the specified contributions, enumerate every unspecified
+    field but the largest, solve that one — but each step runs over the
+    whole enumeration at once:
+
+    1. the fold over enumerated fields is built by broadcasting each
+       contribution table against the accumulator (row-major order falls
+       out of ``ravel``),
+    2. the solve-field equation is inverted for all combinations with one
+       ``searchsorted`` into the field's sorted contribution table, and
+    3. variable pre-image counts (non-injective transforms) are expanded
+       with ``repeat`` arithmetic instead of an inner Python loop.
+
+    Throughput is recorded under the ``inverse_array`` perf counter
+    (buckets/sec); see ``benchmarks/bench_vectorized_inverse.py``.
+    """
+    started = time.perf_counter()
+    fs = method.filesystem
+    m = fs.m
+    n = fs.n_fields
+    unspecified = list(query.unspecified_fields)
+
+    partial = _fold(
+        method,
+        (method.field_contribution(i, v) for i, v in query.specified_items()),
+    )
+
+    if not unspecified:
+        if partial == device:
+            out = np.asarray([query.values], dtype=np.int64)
+        else:
+            out = np.empty((0, n), dtype=np.int64)
+        record_work("inverse_array", out.shape[0], time.perf_counter() - started)
+        return out
+
+    solve_field = max(unspecified, key=lambda i: fs.field_sizes[i])
+    enumerate_fields = [i for i in unspecified if i != solve_field]
+
+    # Step 1: folded contribution of every enumerated-field combination, in
+    # the iterator's row-major order.
+    acc = np.asarray([partial], dtype=np.int64)
+    for i in enumerate_fields:
+        table = method.contribution_array(i)
+        if method.combine == "xor":
+            acc = (acc[:, None] ^ table[None, :]).ravel()
+        else:
+            acc = (acc[:, None] + table[None, :]).ravel()
+    if method.combine == "xor":
+        needed = acc ^ device
+    else:
+        needed = (device - acc) % m
+
+    # Step 2: invert the solve field for the whole batch.
+    order, sorted_contribs = _solve_lookup(method, solve_field)
+    start = np.searchsorted(sorted_contribs, needed, side="left")
+    end = np.searchsorted(sorted_contribs, needed, side="right")
+    counts = end - start
+    total = int(counts.sum())
+
+    # Step 3: expand combinations with multiple (or zero) solve values.
+    # ``combo`` maps output rows back to enumeration indices; ``within``
+    # ranks each output row inside its combination's pre-image group.
+    combo = np.repeat(np.arange(acc.shape[0], dtype=np.int64), counts)
+    group_offsets = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(group_offsets, counts)
+    solve_values = order[np.repeat(start, counts) + within]
+
+    out = np.empty((total, n), dtype=np.int64)
+    # Strides decode a flat enumeration index into per-field values
+    # (row-major over ``enumerate_fields``, matching itertools.product).
+    stride = 1
+    strides: dict[int, int] = {}
+    for i in reversed(enumerate_fields):
+        strides[i] = stride
+        stride *= fs.field_sizes[i]
+    for i in range(n):
+        value = query.values[i]
+        if value is not None:
+            out[:, i] = value
+        elif i == solve_field:
+            out[:, i] = solve_values
+        else:
+            out[:, i] = (combo // strides[i]) % fs.field_sizes[i]
+    record_work("inverse_array", total, time.perf_counter() - started)
+    return out
 
 
 def _fold(method: "SeparableMethod", contributions: Iterator[int]) -> int:

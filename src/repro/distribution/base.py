@@ -21,6 +21,8 @@ from abc import ABC, abstractmethod
 from collections.abc import Iterator
 from typing import ClassVar
 
+import numpy as np
+
 from repro.errors import ConfigurationError, DistributionError
 from repro.hashing.fields import Bucket, FileSystem
 from repro.query.partial_match import PartialMatchQuery
@@ -155,6 +157,24 @@ class SeparableMethod(DistributionMethod):
         size = self.filesystem.field_sizes[field_index]
         return [self.field_contribution(field_index, v) for v in range(size)]
 
+    def contribution_array(self, field_index: int) -> np.ndarray:
+        """One field's contribution table as a cached read-only int64 array.
+
+        Methods are immutable after construction, so the table is built at
+        most once per field; every bulk path (:meth:`devices_of_array`,
+        :meth:`qualified_on_device_array`, the convolution evaluator) shares
+        these arrays instead of rebuilding them per call.
+        """
+        cache = self.__dict__.setdefault("_contribution_arrays", {})
+        table = cache.get(field_index)
+        if table is None:
+            table = np.asarray(
+                self.contribution_table(field_index), dtype=np.int64
+            )
+            table.setflags(write=False)
+            cache[field_index] = table
+        return table
+
     def device_of(self, bucket: Bucket) -> int:
         self.filesystem.check_bucket(bucket)
         m = self.filesystem.m
@@ -181,7 +201,7 @@ class SeparableMethod(DistributionMethod):
         self._check_query(query)
         return separable_response_histogram(self, query)
 
-    def devices_of_array(self, buckets) -> "object":
+    def devices_of_array(self, buckets) -> np.ndarray:
         """Vectorised :meth:`device_of` for bulk loading.
 
         *buckets* is an ``(N, n_fields)`` integer array (or nested
@@ -189,35 +209,46 @@ class SeparableMethod(DistributionMethod):
         magnitude faster than a Python loop for large batches — see
         ``benchmarks/bench_bulk_assignment.py``.
         """
-        import numpy as np
-
         buckets = np.asarray(buckets, dtype=np.int64)
         if buckets.ndim != 2 or buckets.shape[1] != self.filesystem.n_fields:
             raise DistributionError(
                 f"expected an (N, {self.filesystem.n_fields}) bucket array, "
                 f"got shape {buckets.shape}"
             )
+        if buckets.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
         sizes = self.filesystem.field_sizes
         for i, size in enumerate(sizes):
             column = buckets[:, i]
-            if column.size and (column.min() < 0 or column.max() >= size):
+            if column.min() < 0 or column.max() >= size:
                 raise DistributionError(
                     f"field {i} values outside [0, {size})"
                 )
-        tables = [
-            np.asarray(self.contribution_table(i), dtype=np.int64)
-            for i in range(self.filesystem.n_fields)
-        ]
         m = self.filesystem.m
-        if self.combine == "xor":
-            devices = np.zeros(buckets.shape[0], dtype=np.int64)
-            for i, table in enumerate(tables):
-                devices ^= table[buckets[:, i]]
-            return devices & (m - 1)
         devices = np.zeros(buckets.shape[0], dtype=np.int64)
-        for i, table in enumerate(tables):
-            devices += table[buckets[:, i]]
+        if self.combine == "xor":
+            for i in range(self.filesystem.n_fields):
+                devices ^= self.contribution_array(i)[buckets[:, i]]
+            return devices & (m - 1)
+        for i in range(self.filesystem.n_fields):
+            devices += self.contribution_array(i)[buckets[:, i]]
         return devices % m
+
+    def qualified_on_device_array(
+        self, device: int, query: PartialMatchQuery
+    ) -> np.ndarray:
+        """Vectorised inverse mapping: *device*'s qualified buckets at once.
+
+        Returns an ``(N, n_fields)`` int64 array whose rows are exactly the
+        buckets :meth:`qualified_on_device` yields, in the same row-major
+        order — the bulk fast path for query serving (see
+        :func:`repro.core.inverse.separable_qualified_on_device_array`).
+        """
+        from repro.core.inverse import separable_qualified_on_device_array
+
+        self._check_device(device)
+        self._check_query(query)
+        return separable_qualified_on_device_array(self, device, query)
 
 
 # ----------------------------------------------------------------------

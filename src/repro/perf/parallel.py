@@ -1,0 +1,53 @@
+"""Deterministic parallel mapping for embarrassingly parallel sweeps.
+
+The optimality census, k-optimality checks and assignment searches all
+evaluate an index set of independent work items and then fold the results
+in a fixed order.  :func:`parallel_map` fans the evaluation out over a
+thread pool while returning results *in input order*, so the serial fold —
+and therefore every report, incumbent and history — is byte-identical to
+serial execution.  Threads (not processes) because the work is dominated by
+NumPy kernels that release the GIL, and because method/evaluator objects
+then share their memoised spectra instead of being re-derived per worker.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable
+from concurrent.futures import ThreadPoolExecutor
+from typing import TypeVar
+
+__all__ = ["parallel_map", "resolve_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(parallel: int | None) -> int:
+    """Worker count for a ``parallel=`` option.
+
+    ``None`` or ``1`` mean serial; ``0`` or any negative value mean "one
+    per CPU"; ``n >= 2`` is taken literally.
+    """
+    if parallel is None:
+        return 1
+    if parallel <= 0:
+        return os.cpu_count() or 1
+    return parallel
+
+
+def parallel_map(
+    fn: Callable[[T], R], items: Iterable[T], parallel: int | None = None
+) -> list[R]:
+    """``[fn(x) for x in items]``, optionally over a thread pool.
+
+    Results are always in input order regardless of completion order, and
+    the serial path is taken whenever it cannot help (one worker or fewer
+    than two items), so callers never pay pool startup for trivial sweeps.
+    """
+    items = list(items)
+    workers = resolve_workers(parallel)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(workers, len(items))) as executor:
+        return list(executor.map(fn, items))

@@ -7,19 +7,29 @@ executor instead reads each (device, bucket) pair once, then fans the
 retrieved records back out to every query whose predicate the bucket
 satisfies.  The report quantifies the saving — a second-order benefit of
 bucket-level declustering the paper's one-query model cannot show.
+
+Planning is the hot part, and :class:`BatchPlanner` runs it on the engine
+fast paths: queries are grouped by specification *pattern* so one memoised
+:class:`~repro.analysis.histograms.PatternEvaluator` covers every query in
+a group, and for separable methods each query's per-device bucket lists are
+materialised with the vectorised inverse mapping
+(:meth:`~repro.distribution.base.SeparableMethod.qualified_on_device_array`)
+instead of a tuple-at-a-time Python loop.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.distribution.base import SeparableMethod
 from repro.errors import QueryError
 from repro.hashing.fields import Bucket
 from repro.query.partial_match import PartialMatchQuery
 from repro.storage.parallel_file import PartitionedFile
 
-__all__ = ["BatchReport", "BatchExecutor"]
+__all__ = ["BatchReport", "BatchPlan", "BatchPlanner", "BatchExecutor"]
 
 
 @dataclass
@@ -49,6 +59,109 @@ class BatchReport:
         return self.naive_bucket_reads / self.bucket_reads
 
 
+@dataclass
+class BatchPlan:
+    """The read schedule of one batch, before any device is touched.
+
+    ``needed[d][bucket]`` lists the indices of the queries that need that
+    bucket from device ``d``; ``pattern_groups`` records how the planner
+    grouped the batch; ``expected_device_loads`` holds each pattern's
+    shape-only per-device histogram (device labels permuted by the
+    specified values — the *sorted* loads are exact), which operators use
+    to predict batch balance without executing anything.
+    """
+
+    needed: dict[int, dict[Bucket, list[int]]]
+    pattern_groups: dict[frozenset[int], list[int]]
+    naive_bucket_reads: int
+    expected_device_loads: dict[frozenset[int], list[int]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def bucket_reads(self) -> int:
+        """Distinct (device, bucket) pairs the plan will read."""
+        return sum(len(bucket_map) for bucket_map in self.needed.values())
+
+
+class BatchPlanner:
+    """Groups a batch by pattern and enumerates its per-device buckets.
+
+    One planner per distribution method; planning mutates nothing, so a
+    planner is safe to share.  Separable methods get the vectorised inverse
+    mapping and the memoised evaluator; other methods fall back to the
+    generic iterator path with identical results.
+    """
+
+    def __init__(self, method):
+        self.method = method
+
+    def plan(self, queries: Sequence[PartialMatchQuery]) -> BatchPlan:
+        fs = self.method.filesystem
+        for query in queries:
+            if query.filesystem != fs:
+                raise QueryError(
+                    "batch contains a query for a different file system"
+                )
+        started = time.perf_counter()
+        separable = isinstance(self.method, SeparableMethod)
+
+        pattern_groups: dict[frozenset[int], list[int]] = {}
+        for query_index, query in enumerate(queries):
+            pattern_groups.setdefault(query.pattern, []).append(query_index)
+
+        plan = BatchPlan(
+            needed={d: {} for d in range(fs.m)},
+            pattern_groups=pattern_groups,
+            naive_bucket_reads=sum(q.qualified_count for q in queries),
+        )
+        planned_buckets = 0
+        for pattern, group in pattern_groups.items():
+            if separable:
+                from repro.analysis.histograms import evaluator_for
+                from repro.errors import AnalysisError
+
+                # One memoised evaluator serves the whole group: its
+                # histogram predicts the group's device balance for free.
+                try:
+                    histogram = evaluator_for(self.method).histogram(pattern)
+                except AnalysisError:
+                    # Spectral exactness guard tripped (astronomically wide
+                    # pattern); the plan still works, just unannotated.
+                    pass
+                else:
+                    plan.expected_device_loads[pattern] = [
+                        int(count) for count in histogram
+                    ]
+            for query_index in group:
+                query = queries[query_index]
+                for device in range(fs.m):
+                    device_map = plan.needed[device]
+                    if separable:
+                        rows = self.method.qualified_on_device_array(
+                            device, query
+                        ).tolist()
+                        planned_buckets += len(rows)
+                        for row in rows:
+                            device_map.setdefault(tuple(row), []).append(
+                                query_index
+                            )
+                    else:
+                        for bucket in self.method.qualified_on_device(
+                            device, query
+                        ):
+                            planned_buckets += 1
+                            device_map.setdefault(bucket, []).append(
+                                query_index
+                            )
+        from repro.perf.counters import record_work
+
+        record_work(
+            "batch_plan", planned_buckets, time.perf_counter() - started
+        )
+        return plan
+
+
 class BatchExecutor:
     """Executes query batches against a :class:`PartitionedFile`.
 
@@ -66,31 +179,17 @@ class BatchExecutor:
     def __init__(self, partitioned_file: PartitionedFile):
         self.file = partitioned_file
 
+    def plan(self, queries: Sequence[PartialMatchQuery]) -> BatchPlan:
+        """Plan the batch without reading anything (see :class:`BatchPlan`)."""
+        return BatchPlanner(self.file.method).plan(queries)
+
     def execute(self, queries: Sequence[PartialMatchQuery]) -> BatchReport:
-        fs = self.file.filesystem
-        for query in queries:
-            if query.filesystem != fs:
-                raise QueryError(
-                    "batch contains a query for a different file system"
-                )
-        method = self.file.method
-
-        # Union of buckets needed per device, and which queries need each.
-        needed: dict[int, dict[Bucket, list[int]]] = {
-            d: {} for d in range(fs.m)
-        }
-        naive_reads = 0
-        for query_index, query in enumerate(queries):
-            naive_reads += query.qualified_count
-            for device in range(fs.m):
-                for bucket in method.qualified_on_device(device, query):
-                    needed[device].setdefault(bucket, []).append(query_index)
-
+        plan = self.plan(queries)
         report = BatchReport(
             records_per_query=[[] for __ in queries],
-            naive_bucket_reads=naive_reads,
+            naive_bucket_reads=plan.naive_bucket_reads,
         )
-        for device_id, bucket_map in needed.items():
+        for device_id, bucket_map in plan.needed.items():
             device = self.file.devices[device_id]
             buckets = list(bucket_map)
             report.bucket_reads += len(buckets)

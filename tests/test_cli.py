@@ -158,3 +158,43 @@ class TestRecommendCommand:
         out = capsys.readouterr().out
         assert "recommended: fx-theorem9" in out
         assert "Modulo".lower() in out.lower()
+
+
+class TestPerfCommand:
+    def test_perf_report_shows_counters(self, capsys):
+        assert main(
+            ["perf", "report", "--fields", "8,8", "--devices", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Engine perf counters" in out
+        assert "evaluator_lru" in out
+        assert "pattern_histogram" in out
+        assert "inverse mapping sweep" in out
+
+    def test_perf_report_parallel_and_modulo(self, capsys):
+        assert main(
+            ["perf", "report", "--fields", "4,4,4", "--devices", "8",
+             "--method", "modulo", "--parallel", "2"]
+        ) == 0
+        assert "modulo" in capsys.readouterr().out
+
+    def test_perf_unknown_action_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "bogus", "--fields", "4,4", "--devices", "8"])
+
+
+class TestParallelFlags:
+    def test_census_parallel_matches_serial(self, capsys):
+        args = ["census", "--fields", "4,4", "--devices", "16",
+                "--method", "modulo"]
+        main(args)
+        serial_out = capsys.readouterr().out
+        main([*args, "--parallel", "4"])
+        assert capsys.readouterr().out == serial_out
+
+    def test_search_parallel_matches_serial(self, capsys):
+        args = ["search", "--fields", "4,4", "--devices", "16"]
+        main(args)
+        serial_out = capsys.readouterr().out
+        main([*args, "--parallel", "2"])
+        assert capsys.readouterr().out == serial_out

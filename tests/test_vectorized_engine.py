@@ -1,0 +1,237 @@
+"""Tests for the vectorised query engine fast paths.
+
+The contract under test: every fast path (array inverse mapping, parallel
+sweeps, pattern-grouped batch planning) must be *indistinguishable* from
+the reference path it accelerates — bit-identical bucket arrays, byte-
+identical reports, same records — across methods, combine rules, file
+systems and query shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.fx import BasicFXDistribution, FXDistribution
+from repro.core.inverse import (
+    separable_qualified_on_device,
+    separable_qualified_on_device_array,
+)
+from repro.core.optimality import is_k_optimal, optimality_report
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.search import (
+    exhaustive_assignment_search,
+    hill_climb_assignment_search,
+)
+from repro.errors import DistributionError
+from repro.hashing.fields import FileSystem
+from repro.query.partial_match import PartialMatchQuery
+from repro.query.patterns import all_patterns, representative_query
+from repro.storage.batch import BatchExecutor, BatchPlanner
+from repro.storage.parallel_file import PartitionedFile
+
+
+def _method_factories():
+    return [
+        ("fx", lambda fs: FXDistribution(fs)),
+        ("fx-basic", lambda fs: BasicFXDistribution(fs)),
+        ("modulo", lambda fs: ModuloDistribution(fs)),
+        (
+            "gdm",  # even multipliers exercise non-injective solve fields
+            lambda fs: GDMDistribution(
+                fs, multipliers=tuple(2 + 2 * i for i in range(fs.n_fields))
+            ),
+        ),
+    ]
+
+
+FILESYSTEMS = [
+    FileSystem.of(4, 8, m=8),
+    FileSystem.of(2, 4, 8, m=4),
+    FileSystem.of(16, 2, m=8),   # field larger than M: grouped pre-images
+    FileSystem.of(4, 4, 4, m=16),
+]
+
+
+class TestQualifiedOnDeviceArray:
+    @pytest.mark.parametrize("name,factory", _method_factories())
+    @pytest.mark.parametrize("fs", FILESYSTEMS, ids=lambda fs: fs.describe())
+    def test_bit_identical_to_iterator_over_full_grid(self, name, factory, fs):
+        """Every (method, device, pattern): same buckets, same order."""
+        method = factory(fs)
+        for pattern in all_patterns(fs.n_fields):
+            query = representative_query(fs, pattern)
+            for device in range(fs.m):
+                expected = list(
+                    separable_qualified_on_device(method, device, query)
+                )
+                got = separable_qualified_on_device_array(
+                    method, device, query
+                )
+                assert got.dtype == np.int64
+                assert got.shape == (len(expected), fs.n_fields)
+                assert [tuple(row) for row in got.tolist()] == expected
+
+    def test_method_entry_point_validates(self):
+        fs = FileSystem.of(4, 8, m=8)
+        fx = FXDistribution(fs)
+        query = PartialMatchQuery.from_dict(fs, {0: 1})
+        with pytest.raises(DistributionError):
+            fx.qualified_on_device_array(fs.m, query)
+        other = PartialMatchQuery.full_scan(FileSystem.of(4, 8, m=4))
+        with pytest.raises(DistributionError):
+            fx.qualified_on_device_array(0, other)
+
+    def test_exact_match_hits_only_home_device(self):
+        fs = FileSystem.of(4, 8, m=8)
+        fx = FXDistribution(fs)
+        bucket = (3, 6)
+        query = PartialMatchQuery.exact(fs, bucket)
+        home = fx.device_of(bucket)
+        for device in range(fs.m):
+            got = fx.qualified_on_device_array(device, query)
+            if device == home:
+                assert got.tolist() == [list(bucket)]
+            else:
+                assert got.shape == (0, fs.n_fields)
+
+    def test_devices_partition_the_qualified_set(self):
+        fs = FileSystem.of(4, 8, m=8)
+        fx = FXDistribution(fs)
+        query = PartialMatchQuery.from_dict(fs, {0: 2})
+        rows = np.concatenate(
+            [fx.qualified_on_device_array(d, query) for d in range(fs.m)]
+        )
+        assert sorted(map(tuple, rows.tolist())) == sorted(
+            query.qualified_buckets()
+        )
+
+    def test_rows_land_on_the_claimed_device(self):
+        fs = FileSystem.of(4, 4, 4, m=16)
+        gdm = GDMDistribution(fs, multipliers=(2, 4, 6))
+        query = PartialMatchQuery.from_dict(fs, {1: 3})
+        for device in range(fs.m):
+            got = gdm.qualified_on_device_array(device, query)
+            if got.shape[0]:
+                assert (gdm.devices_of_array(got) == device).all()
+
+
+class TestDevicesOfArrayFastPaths:
+    def test_return_type_is_ndarray(self):
+        fx = FXDistribution(FileSystem.of(4, 8, m=4))
+        assert isinstance(fx.devices_of_array([[0, 0]]), np.ndarray)
+
+    def test_empty_batch_returns_typed_empty_array(self):
+        fx = FXDistribution(FileSystem.of(4, 8, m=4))
+        empty = fx.devices_of_array(np.empty((0, 2), dtype=np.int64))
+        assert isinstance(empty, np.ndarray)
+        assert empty.dtype == np.int64
+        assert empty.shape == (0,)
+
+    def test_contribution_arrays_cached_and_read_only(self):
+        fx = FXDistribution(FileSystem.of(4, 8, m=4))
+        first = fx.contribution_array(0)
+        assert fx.contribution_array(0) is first
+        assert not first.flags.writeable
+        assert first.tolist() == fx.contribution_table(0)
+
+    def test_cached_tables_used_by_devices_of_array(self):
+        fs = FileSystem.of(4, 8, m=4)
+        fx = FXDistribution(fs)
+        buckets = np.array(list(fs.buckets()))
+        # Two calls must agree with the scalar path (and reuse the cache).
+        for __ in range(2):
+            vectorised = fx.devices_of_array(buckets)
+            assert vectorised.tolist() == [
+                fx.device_of(tuple(b)) for b in buckets
+            ]
+
+
+class TestParallelSweeps:
+    @pytest.mark.parametrize("parallel", [2, 0])
+    def test_optimality_report_byte_identical(self, parallel):
+        fs = FileSystem.of(4, 4, 8, m=16)
+        serial = optimality_report(ModuloDistribution(fs))
+        fanned = optimality_report(ModuloDistribution(fs), parallel=parallel)
+        assert fanned == serial
+        assert repr(fanned) == repr(serial)
+
+    def test_is_k_optimal_matches_serial(self):
+        fs = FileSystem.of(4, 8, m=8)
+        fx = FXDistribution(fs)
+        for k in range(fs.n_fields + 1):
+            assert is_k_optimal(fx, k, parallel=2) == is_k_optimal(fx, k)
+
+    def test_exhaustive_search_identical(self):
+        fs = FileSystem.of(4, 4, m=16)
+        assert exhaustive_assignment_search(fs, parallel=3) == (
+            exhaustive_assignment_search(fs)
+        )
+
+    def test_hill_climb_identical_including_history(self):
+        fs = FileSystem.of(4, 4, 4, m=16)
+        serial = hill_climb_assignment_search(fs, restarts=2, seed=7)
+        fanned = hill_climb_assignment_search(
+            fs, restarts=2, seed=7, parallel=4
+        )
+        assert fanned == serial
+
+
+class TestBatchPlanner:
+    def _loaded(self, fs):
+        pf = PartitionedFile(FXDistribution(fs))
+        pf.insert_all([(i, f"n{i % 9}") for i in range(80)])
+        return pf
+
+    def test_groups_queries_by_pattern(self):
+        fs = FileSystem.of(4, 8, m=4)
+        pf = self._loaded(fs)
+        queries = [
+            pf.query({0: 1}),
+            pf.query({1: "n2"}),
+            pf.query({0: 3}),   # same pattern as the first
+        ]
+        plan = BatchPlanner(pf.method).plan(queries)
+        assert plan.pattern_groups == {
+            frozenset({1}): [0, 2],
+            frozenset({0}): [1],
+        }
+        assert set(plan.expected_device_loads) == set(plan.pattern_groups)
+        # Shape-only histogram: totals match the group's qualified count.
+        for pattern, loads in plan.expected_device_loads.items():
+            query = queries[plan.pattern_groups[pattern][0]]
+            assert sum(loads) == query.qualified_count
+
+    def test_plan_reads_match_execution(self):
+        fs = FileSystem.of(4, 8, m=4)
+        pf = self._loaded(fs)
+        queries = [pf.query({0: 1}), PartialMatchQuery.full_scan(fs)]
+        executor = BatchExecutor(pf)
+        plan = executor.plan(queries)
+        report = executor.execute(queries)
+        assert plan.bucket_reads == report.bucket_reads
+        assert plan.naive_bucket_reads == report.naive_bucket_reads
+
+    def test_batch_records_match_single_query_execution(self):
+        fs = FileSystem.of(4, 8, m=4)
+        pf = self._loaded(fs)
+        queries = [pf.query({0: 1}), pf.query({1: "n3"}), pf.query({0: 1})]
+        report = BatchExecutor(pf).execute(queries)
+        from repro.storage.executor import QueryExecutor
+
+        for query, batch_records in zip(queries, report.records_per_query):
+            single = QueryExecutor(pf).execute(query)
+            assert sorted(map(str, batch_records)) == sorted(
+                map(str, single.records)
+            )
+
+    def test_non_separable_method_falls_back(self):
+        from repro.distribution.random_alloc import RandomDistribution
+
+        fs = FileSystem.of(4, 8, m=4)
+        pf = PartitionedFile(RandomDistribution(fs, seed=3))
+        pf.insert_all([(i, f"n{i % 5}") for i in range(40)])
+        queries = [pf.query({0: 1}), pf.query({0: 1})]
+        report = BatchExecutor(pf).execute(queries)
+        assert report.sharing_factor == pytest.approx(2.0)
+        plan = BatchExecutor(pf).plan(queries)
+        assert plan.expected_device_loads == {}
