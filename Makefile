@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench report examples faults clean
 
 install:
 	$(PYTHON) -m pip install -e .[test] || $(PYTHON) setup.py develop
@@ -13,6 +13,11 @@ bench:
 
 report:
 	$(PYTHON) -m repro report --output EXPERIMENTS.md
+
+faults:
+	$(PYTHON) -m repro faults run --fields 8,8 --devices 8 --queries 100 \
+		--fail 2 --error-rate 0.05 --replicate
+	$(PYTHON) -m repro faults report --fields 8,8 --devices 8 --queries 20
 
 examples:
 	@for script in examples/*.py; do \

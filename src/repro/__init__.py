@@ -42,17 +42,25 @@ from repro.core.transforms import (
     assign_transforms,
     make_transform,
 )
-from repro.distribution import (
-    GDM_PRESETS,
+from repro.api import make_method, method_names
+from repro.distribution.base import (
     DistributionMethod,
-    GDMDistribution,
-    ModuloDistribution,
-    RandomDistribution,
-    SpanningPathDistribution,
     available_methods,
     create_method,
 )
+from repro.distribution.gdm import GDM_PRESETS, GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
+from repro.distribution.random_alloc import RandomDistribution
+from repro.distribution.replicated import ChainedReplicaScheme
+from repro.distribution.spanning import SpanningPathDistribution
+from repro.distribution.zorder import ZOrderDistribution
 from repro.errors import ReproError
+from repro.runtime import (
+    DegradedExecutor,
+    FaultAwareQuerySimulator,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.hashing import FieldSpec, FileSystem, MultiKeyHash, design_directory
 from repro.query import PartialMatchQuery, QueryWorkload, WorkloadSpec
 from repro.storage import (
@@ -92,8 +100,18 @@ __all__ = [
     "GDM_PRESETS",
     "RandomDistribution",
     "SpanningPathDistribution",
+    "ZOrderDistribution",
+    "ChainedReplicaScheme",
     "create_method",
     "available_methods",
+    # facade
+    "make_method",
+    "method_names",
+    # runtime
+    "FaultPlan",
+    "RetryPolicy",
+    "DegradedExecutor",
+    "FaultAwareQuerySimulator",
     # substrate
     "FieldSpec",
     "FileSystem",

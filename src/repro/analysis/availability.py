@@ -11,22 +11,34 @@ module provides the combinatorics and expectations an operator needs:
   failures lose nothing,
 * :func:`expected_degraded_load_factor` — the read-load multiplier on the
   hottest device with one device down (2.0 under chained placement: the
-  neighbour absorbs the whole failed share).
+  neighbour absorbs the whole failed share),
+* :func:`reroute_histogram` / :func:`response_time_under_failure` /
+  :func:`degraded_response_curve` — the runtime-facing quantities: what a
+  query's per-device load, modelled response time and served fraction
+  become once a failure set is applied (with or without chained replicas).
 """
 
 from __future__ import annotations
 
 import math
-from itertools import combinations
+import random
+from dataclasses import dataclass
+from itertools import combinations, islice
 
+from repro.distribution.base import DistributionMethod
 from repro.distribution.replicated import ChainedReplicaScheme
 from repro.errors import AnalysisError
+from repro.storage.costs import DeviceCostModel, UnitCostModel
 
 __all__ = [
     "survivable",
     "count_survivable_sets",
     "survival_probability",
     "expected_degraded_load_factor",
+    "reroute_histogram",
+    "response_time_under_failure",
+    "DegradedResponsePoint",
+    "degraded_response_curve",
 ]
 
 
@@ -102,3 +114,150 @@ def expected_degraded_load_factor(scheme: ChainedReplicaScheme) -> float:
     if scheme.filesystem.m < 2:
         raise AnalysisError("need at least two devices")
     return 2.0
+
+
+# ----------------------------------------------------------------------
+# Response time and completeness under failures (the runtime's analytics)
+# ----------------------------------------------------------------------
+def reroute_histogram(
+    histogram: list[int],
+    failed: set[int],
+    offset: int | None = None,
+) -> tuple[list[int], int]:
+    """Apply a failure set to a per-device response histogram.
+
+    With chained replicas (*offset* given) each failed device's load moves
+    to its backup ``(d + offset) mod M`` when that backup is alive;
+    without, or when the backup is failed too, the load is *lost*.
+    Returns ``(degraded histogram, lost bucket count)``.
+
+    >>> reroute_histogram([2, 2, 2, 2], {1}, offset=1)
+    ([2, 0, 4, 2], 0)
+    >>> reroute_histogram([2, 2, 2, 2], {1})
+    ([2, 0, 2, 2], 2)
+    """
+    m = len(histogram)
+    if any(not 0 <= d < m for d in failed):
+        raise AnalysisError(f"failure set {sorted(failed)} outside [0, {m})")
+    degraded = list(histogram)
+    lost = 0
+    for device in sorted(failed):
+        load = degraded[device]
+        if load == 0:
+            continue
+        degraded[device] = 0
+        backup = None if offset is None else (device + offset) % m
+        if backup is None or backup in failed:
+            lost += load
+        else:
+            degraded[backup] += load
+    return degraded, lost
+
+
+def response_time_under_failure(
+    method: DistributionMethod,
+    query,
+    failed: set[int],
+    scheme: ChainedReplicaScheme | None = None,
+    cost_model: DeviceCostModel | None = None,
+) -> tuple[float, float]:
+    """Modelled (response time, completeness) of one query under failures.
+
+    Response time is the paper's max-over-devices service time, computed
+    on the degraded histogram; *scheme* (built over *method*) enables the
+    chained failover re-route.
+    """
+    if scheme is not None and scheme.base is not method:
+        raise AnalysisError(
+            "the replica scheme must be built over the analysed method"
+        )
+    cost_model = cost_model or UnitCostModel()
+    histogram = method.response_histogram(query)
+    qualified = sum(histogram)
+    degraded, lost = reroute_histogram(
+        histogram, set(failed), None if scheme is None else scheme.offset
+    )
+    response = max(
+        (cost_model.service_time(count) for count in degraded), default=0.0
+    )
+    completeness = 1.0 - lost / qualified if qualified else 1.0
+    return response, completeness
+
+
+@dataclass(frozen=True)
+class DegradedResponsePoint:
+    """One point of a degraded-operation curve: k failures and the means."""
+
+    k: int
+    survival: float
+    mean_response_ms: float
+    mean_completeness: float
+
+    def row(self) -> list:
+        return [
+            self.k,
+            round(self.survival, 4),
+            round(self.mean_response_ms, 2),
+            round(self.mean_completeness, 4),
+        ]
+
+
+def _failure_sets(m: int, k: int, max_sets: int, seed: int):
+    """All k-subsets when few, else a seeded sample of distinct ones."""
+    total = math.comb(m, k)
+    if total <= max_sets:
+        return [set(s) for s in combinations(range(m), k)]
+    rng = random.Random(seed)
+    seen: set[frozenset[int]] = set()
+    while len(seen) < max_sets:
+        seen.add(frozenset(rng.sample(range(m), k)))
+    return [set(s) for s in islice(sorted(seen, key=sorted), max_sets)]
+
+
+def degraded_response_curve(
+    method: DistributionMethod,
+    queries,
+    k_values,
+    scheme: ChainedReplicaScheme | None = None,
+    cost_model: DeviceCostModel | None = None,
+    max_sets: int = 20,
+    seed: int = 0,
+) -> list[DegradedResponsePoint]:
+    """Mean response time and completeness as failures accumulate.
+
+    For each ``k`` the failure sets are enumerated exhaustively when there
+    are at most *max_sets* of them and sampled (seeded) otherwise; every
+    set is crossed with every query in *queries*.  ``survival`` is the
+    exact no-data-loss probability under chained replication, and the
+    all-or-nothing ``k == 0`` indicator without replicas.
+    """
+    m = method.filesystem.m
+    queries = list(queries)
+    if not queries:
+        raise AnalysisError("need at least one query")
+    points = []
+    for k in k_values:
+        if not 0 <= k <= m:
+            raise AnalysisError(f"k={k} outside [0, {m}]")
+        if scheme is not None:
+            survival = survival_probability(scheme, k)
+        else:
+            survival = 1.0 if k == 0 else 0.0
+        responses: list[float] = []
+        completenesses: list[float] = []
+        for failure_set in _failure_sets(m, k, max_sets, seed):
+            for query in queries:
+                response, completeness = response_time_under_failure(
+                    method, query, failure_set, scheme, cost_model
+                )
+                responses.append(response)
+                completenesses.append(completeness)
+        points.append(
+            DegradedResponsePoint(
+                k=k,
+                survival=survival,
+                mean_response_ms=sum(responses) / len(responses),
+                mean_completeness=sum(completenesses) / len(completenesses),
+            )
+        )
+    return points

@@ -1,0 +1,152 @@
+"""The one-stop construction facade: ``make_method``.
+
+Callers used to import constructors from five ``repro.distribution.*``
+modules (plus :mod:`repro.core.fx`) and remember each one's signature.
+This module puts a single registry-backed factory in front of all of
+them::
+
+    from repro import make_method
+
+    fx = make_method("fx", fields=(8, 8, 16), devices=32)
+    gdm = make_method("gdm", fields=(8, 8), devices=16, multipliers=(3, 5))
+    scheme = make_method("replicated", fields=(4, 8), devices=8, base="fx")
+
+Names cover every registered distribution method plus ``"replicated"``
+(a :class:`~repro.distribution.replicated.ChainedReplicaScheme` over any
+base method).  Unknown options and names raise
+:class:`~repro.errors.ConfigurationError` with the known alternatives
+spelled out.  The old constructor imports still work but are deprecated —
+see ``repro.distribution.__getattr__``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.distribution.base import (
+    DistributionMethod,
+    available_methods,
+    create_method,
+)
+from repro.errors import ConfigurationError
+from repro.hashing.fields import FileSystem
+
+__all__ = [
+    "make_method",
+    "method_names",
+    "register_factory",
+    "default_gdm_multipliers",
+]
+
+#: Builders needing more than the plain ``cls(filesystem, **opts)`` shape.
+_FACTORIES: dict[str, Callable[..., object]] = {}
+
+
+def register_factory(name: str):
+    """Decorator registering a special-cased builder for *name*."""
+
+    def decorate(builder: Callable[..., object]):
+        if name in _FACTORIES:
+            raise ConfigurationError(f"factory {name!r} already registered")
+        _FACTORIES[name] = builder
+        return builder
+
+    return decorate
+
+
+def default_gdm_multipliers(n_fields: int) -> tuple[int, ...]:
+    """The odd-sequence multipliers used as the GDM default everywhere
+    (CLI, facade, skew reports): 3, 5, 7, ... one per field."""
+    return tuple(range(3, 3 + 2 * n_fields, 2))
+
+
+@register_factory("gdm")
+def _make_gdm(filesystem: FileSystem, **opts):
+    from repro.distribution.gdm import GDM_PRESETS, GDMDistribution
+
+    preset = opts.pop("preset", None)
+    if preset is not None:
+        if "multipliers" in opts:
+            raise ConfigurationError(
+                "pass either preset= or multipliers=, not both"
+            )
+        if preset not in GDM_PRESETS:
+            raise ConfigurationError(
+                f"unknown GDM preset {preset!r}; known: {sorted(GDM_PRESETS)}"
+            )
+        return GDMDistribution.preset(filesystem, preset)
+    opts.setdefault(
+        "multipliers", default_gdm_multipliers(filesystem.n_fields)
+    )
+    return GDMDistribution(filesystem, **opts)
+
+
+@register_factory("replicated")
+def _make_replicated(filesystem: FileSystem, **opts):
+    from repro.distribution.replicated import ChainedReplicaScheme
+
+    base = opts.pop("base", "fx")
+    offset = opts.pop("offset", 1)
+    if isinstance(base, DistributionMethod):
+        if base.filesystem != filesystem:
+            raise ConfigurationError(
+                "base method was built for a different file system"
+            )
+        base_method = base
+    else:
+        base_method = make_method(
+            base, fields=filesystem.field_sizes, devices=filesystem.m, **opts
+        )
+        opts = {}
+    if opts:
+        raise ConfigurationError(
+            f"unknown options for 'replicated': {sorted(opts)}"
+        )
+    return ChainedReplicaScheme(base_method, offset=offset)
+
+
+def method_names() -> tuple[str, ...]:
+    """Every name :func:`make_method` accepts, sorted."""
+    return tuple(sorted(set(available_methods()) | set(_FACTORIES)))
+
+
+def make_method(
+    name: str,
+    *,
+    fields: Sequence[int],
+    devices: int,
+    **opts: object,
+):
+    """Build a distribution method (or replica scheme) by name.
+
+    *fields* are the per-field domain sizes (powers of two), *devices* the
+    array width ``M``; extra keyword options go to the method constructor
+    (e.g. ``policy=`` / ``transforms=`` for fx, ``multipliers=`` or
+    ``preset=`` for gdm, ``seed=`` for random, ``traversal=`` for
+    spanning, ``base=`` / ``offset=`` for replicated).
+
+    >>> make_method("modulo", fields=(4, 4), devices=4).device_of((3, 3))
+    2
+    >>> make_method("fx", fields=(2, 8), devices=4).name
+    'fx'
+    """
+    # Importing the concrete modules registers every built-in method.
+    import repro.core.fx  # noqa: F401
+    import repro.distribution  # noqa: F401
+
+    filesystem = FileSystem.of(*fields, m=devices)
+    builder = _FACTORIES.get(name)
+    try:
+        if builder is not None:
+            return builder(filesystem, **opts)
+        if name not in available_methods():
+            raise ConfigurationError(
+                f"unknown method {name!r}; known: {list(method_names())}"
+            )
+        return create_method(name, filesystem, **opts)
+    except TypeError as error:
+        # An unknown constructor kwarg surfaces as TypeError; keep the
+        # facade's promise that everything it raises is a ReproError.
+        raise ConfigurationError(
+            f"bad options for method {name!r}: {error}"
+        ) from error

@@ -12,7 +12,10 @@ Commands
 ``design``   optimal directory bit allocation from query statistics,
 ``simulate`` concurrent-workload latency comparison of the methods,
 ``recommend`` rank methods for a file system and workload,
-``perf``     exercise the engine fast paths and print the perf counters.
+``perf``     exercise the engine fast paths and print the perf counters,
+``faults``   fault-tolerant runtime: stream simulation under a fault plan
+             (``run``) or availability curves plus runtime counters
+             (``report``).
 
 File systems are given as ``--fields 8,8,16 --devices 32``.  The sweeping
 commands (``census``, ``search``) accept ``--parallel N`` to fan the
@@ -23,9 +26,11 @@ results identical to serial runs.
 from __future__ import annotations
 
 import argparse
+import json
 from collections.abc import Sequence
 
 from repro.analysis.ascii_chart import render_series
+from repro.api import default_gdm_multipliers, make_method, method_names
 from repro.core.fx import FXDistribution
 from repro.core.linear import random_matrix_search
 from repro.core.optimality import optimality_report
@@ -34,7 +39,7 @@ from repro.distribution.search import (
     exhaustive_assignment_search,
     hill_climb_assignment_search,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.hashing.fields import FileSystem
 from repro.util.tables import format_table
 
@@ -98,7 +103,7 @@ def _cmd_census(args: argparse.Namespace) -> int:
     if args.method == "gdm":
         kwargs["multipliers"] = tuple(
             int(part) for part in (args.multipliers or "").split(",") if part
-        ) or tuple(range(3, 3 + 2 * fs.n_fields, 2))
+        ) or default_gdm_multipliers(fs.n_fields)
     if args.method == "fx" and args.transforms:
         kwargs["transforms"] = args.transforms.split(",")
     method = create_method(args.method, fs, **kwargs)
@@ -130,7 +135,7 @@ def _cmd_skew(args: argparse.Namespace) -> int:
         FXDistribution(fs, policy="theorem9"),
         FXDistribution(fs, policy="paper"),
         ModuloDistribution(fs),
-        GDMDistribution(fs, multipliers=tuple(range(3, 3 + 2 * fs.n_fields, 2))),
+        GDMDistribution(fs, multipliers=default_gdm_multipliers(fs.n_fields)),
     ]
     rows = [skew_summary(method, p=args.p).row() for method in methods]
     rows[0][0] = "fx (theorem9)"
@@ -221,23 +226,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "FX": FXDistribution(fs, policy="paper"),
         "Modulo": ModuloDistribution(fs),
         "GDM": GDMDistribution(
-            fs, multipliers=tuple(range(3, 3 + 2 * fs.n_fields, 2))
+            fs, multipliers=default_gdm_multipliers(fs.n_fields)
         ),
     }
-    rows = []
-    for name, method in methods.items():
-        report = ParallelQuerySimulator(
+    reports = {
+        name: ParallelQuerySimulator(
             method, cost_model=DiskCostModel()
-        ).run(arrivals)
-        rows.append(
-            [
-                name,
-                round(report.mean_latency_ms, 1),
-                round(report.max_latency_ms, 1),
-                round(report.mean_queueing_ms, 1),
-                round(report.throughput_qps, 2),
-            ]
-        )
+        ).run(arrivals).to_dict()
+        for name, method in methods.items()
+    }
+    if args.json:
+        print(json.dumps(reports, indent=2))
+        return 0
+    rows = [
+        [
+            name,
+            round(data["mean_latency_ms"], 1),
+            round(data["max_latency_ms"], 1),
+            round(data["mean_queueing_ms"], 1),
+            round(data["throughput_qps"], 2),
+        ]
+        for name, data in reports.items()
+    ]
     print(
         format_table(
             ["method", "mean latency", "max latency", "mean queueing",
@@ -300,7 +310,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     fs = _parse_filesystem(args)
     kwargs: dict[str, object] = {}
     if args.method == "gdm":
-        kwargs["multipliers"] = tuple(range(3, 3 + 2 * fs.n_fields, 2))
+        kwargs["multipliers"] = default_gdm_multipliers(fs.n_fields)
     method = create_method(args.method, fs, **kwargs)
     reset_counters()
 
@@ -335,6 +345,223 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         f"{array_buckets} buckets; iterator path took {iter_seconds:.4f}s "
         f"({iter_buckets / iter_seconds:,.0f}/s)"
     )
+    return 0
+
+
+def _parse_device_set(text: str | None) -> frozenset[int]:
+    try:
+        return frozenset(
+            int(part) for part in (text or "").split(",") if part
+        )
+    except ValueError:
+        raise ConfigurationError(
+            f"bad device list {text!r}; expected e.g. 0,3"
+        ) from None
+
+
+def _parse_slow_map(text: str | None) -> dict[int, float]:
+    factors: dict[int, float] = {}
+    for part in (text or "").split(","):
+        if not part:
+            continue
+        device, sep, factor = part.partition(":")
+        try:
+            if not sep:
+                raise ValueError
+            factors[int(device)] = float(factor)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad --slow entry {part!r}; expected device:factor"
+            ) from None
+    return factors
+
+
+def _parse_fault_plan(args: argparse.Namespace, default_fail=""):
+    from repro.runtime import FaultPlan
+
+    return FaultPlan(
+        seed=args.seed,
+        failed_devices=_parse_device_set(
+            args.fail if args.fail is not None else default_fail
+        ),
+        transient_error_rate=args.error_rate,
+        slow_factors=_parse_slow_map(args.slow),
+    )
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    if args.action == "run":
+        return _cmd_faults_run(args)
+    return _cmd_faults_report(args)
+
+
+def _cmd_faults_run(args: argparse.Namespace) -> int:
+    """Stream a seeded workload through the fault-aware simulator."""
+    from repro.distribution.replicated import ChainedReplicaScheme
+    from repro.query.workload import QueryWorkload, WorkloadSpec
+    from repro.runtime import FaultAwareQuerySimulator, RetryPolicy
+    from repro.storage.costs import DiskCostModel
+    from repro.storage.simulator import poisson_arrivals
+
+    fs = _parse_filesystem(args)
+    method = make_method(args.method, fields=fs.field_sizes, devices=fs.m)
+    scheme = (
+        ChainedReplicaScheme(method, offset=args.offset)
+        if args.replicate
+        else None
+    )
+    plan = _parse_fault_plan(args)
+    retry = RetryPolicy(max_attempts=args.retries, timeout_ms=args.timeout)
+    workload = QueryWorkload(
+        fs,
+        WorkloadSpec(spec_probability=args.p, exclude_trivial=True,
+                     seed=args.seed),
+    )
+    arrivals = poisson_arrivals(
+        workload, args.queries, rate_qps=args.rate, seed=args.seed
+    )
+    report = FaultAwareQuerySimulator(
+        method, plan=plan, retry=retry, scheme=scheme,
+        cost_model=DiskCostModel(),
+    ).run(arrivals)
+    data = report.to_dict()
+    if args.json:
+        print(json.dumps(data, indent=2))
+        return 0
+    print(f"{args.method} under {plan.describe()}"
+          + (" with chained replicas" if scheme else ""))
+    rows = [
+        ["queries", data["queries"]],
+        ["mean latency (ms)", round(data["mean_latency_ms"], 2)],
+        ["p95 latency (ms)", round(data["p95_latency_ms"], 2)],
+        ["max latency (ms)", round(data["max_latency_ms"], 2)],
+        ["throughput (q/s)", round(data["throughput_qps"], 2)],
+        ["mean completeness", round(data["mean_completeness"], 4)],
+        ["retries", data["retries"]],
+        ["timeouts", data["timeouts"]],
+        ["failovers", data["failovers"]],
+        ["lost buckets", data["lost_buckets"]],
+    ]
+    print(format_table(["metric", "value"], rows, float_digits=4))
+    return 0
+
+
+def _cmd_faults_report(args: argparse.Namespace) -> int:
+    """Availability curves plus a live failover demo and runtime counters."""
+    import random as _random
+
+    from repro.analysis.availability import degraded_response_curve
+    from repro.distribution.replicated import ChainedReplicaScheme
+    from repro.perf import render_report, reset_counters
+    from repro.query.workload import QueryWorkload, WorkloadSpec
+    from repro.runtime import DegradedExecutor, RetryPolicy
+    from repro.storage.costs import DiskCostModel
+    from repro.storage.parallel_file import PartitionedFile
+    from repro.storage.replicated_file import ReplicatedFile
+
+    fs = _parse_filesystem(args)
+    reset_counters()
+    plan = _parse_fault_plan(args, default_fail="0")
+    retry = RetryPolicy(max_attempts=args.retries, timeout_ms=args.timeout)
+    workload = QueryWorkload(
+        fs,
+        WorkloadSpec(spec_probability=args.p, exclude_trivial=True,
+                     seed=args.seed),
+    )
+    queries = [workload.next_query() for __ in range(min(args.queries, 25))]
+
+    fx = make_method("fx", fields=fs.field_sizes, devices=fs.m)
+    modulo = make_method("modulo", fields=fs.field_sizes, devices=fs.m)
+    replicated_fx = make_method(
+        "replicated", fields=fs.field_sizes, devices=fs.m,
+        base="fx", offset=args.offset,
+    )
+    k_values = range(min(args.max_failures, fs.m) + 1)
+    curves = {
+        "FX": degraded_response_curve(
+            fx, queries, k_values, cost_model=DiskCostModel(), seed=args.seed
+        ),
+        "Modulo": degraded_response_curve(
+            modulo, queries, k_values, cost_model=DiskCostModel(),
+            seed=args.seed,
+        ),
+        "FX + replicas": degraded_response_curve(
+            replicated_fx.base, queries, k_values, scheme=replicated_fx,
+            cost_model=DiskCostModel(), seed=args.seed,
+        ),
+    }
+    if args.json:
+        payload = {
+            name: [
+                {
+                    "k": point.k,
+                    "survival": point.survival,
+                    "mean_response_ms": point.mean_response_ms,
+                    "mean_completeness": point.mean_completeness,
+                }
+                for point in points
+            ]
+            for name, points in curves.items()
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    for name, points in curves.items():
+        print(
+            format_table(
+                ["failed devices k", "P(no data loss)",
+                 "mean response (ms)", "mean completeness"],
+                [point.row() for point in points],
+                title=f"{name} on {fs.describe()}",
+                float_digits=4,
+            )
+        )
+        print()
+
+    # Live failover demo: the same records and plan against a replicated
+    # and an unreplicated file, driving the runtime counters shown below.
+    rng = _random.Random(args.seed)
+    records = [
+        tuple(rng.randrange(1024) for __ in range(fs.n_fields))
+        for __ in range(64)
+    ]
+    replicated = ReplicatedFile(
+        ChainedReplicaScheme(
+            make_method("fx", fields=fs.field_sizes, devices=fs.m),
+            offset=args.offset,
+        )
+    )
+    replicated.insert_all(records)
+    plain = PartitionedFile(
+        make_method("fx", fields=fs.field_sizes, devices=fs.m)
+    )
+    plain.insert_all(records)
+    masked = DegradedExecutor(replicated, plan=plan, retry=retry)
+    exposed = DegradedExecutor(plain, plan=plan, retry=retry)
+    rows = []
+    for record in records[:8]:
+        specified = {0: record[0]}
+        covered = masked.search(specified)
+        partial = exposed.search(specified)
+        rows.append(
+            [
+                str(specified),
+                len(covered.records),
+                covered.failovers,
+                round(covered.completeness, 4),
+                round(partial.completeness, 4),
+            ]
+        )
+    print(
+        format_table(
+            ["query", "records", "failovers", "completeness (replicated)",
+             "completeness (plain)"],
+            rows,
+            title=f"Degraded execution under {plan.describe()}",
+            float_digits=4,
+        )
+    )
+    print()
+    print(render_report(title="Runtime counters"))
     return 0
 
 
@@ -434,7 +661,63 @@ def build_parser() -> argparse.ArgumentParser:
                           help="Poisson arrival rate (queries/s)")
     simulate.add_argument("--p", type=float, default=0.5)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--json", action="store_true",
+        help="emit the full simulation reports as JSON",
+    )
     simulate.set_defaults(func=_cmd_simulate)
+
+    faults = sub.add_parser(
+        "faults", help="fault-tolerant runtime: simulation and availability"
+    )
+    faults.add_argument(
+        "action", choices=["run", "report"],
+        help="run = stream a workload under a fault plan; "
+        "report = availability curves, failover demo and counters",
+    )
+    _add_filesystem_arguments(faults)
+    faults.add_argument(
+        "--method", default="fx",
+        choices=[n for n in method_names() if n != "replicated"],
+        help="base distribution method (run only)",
+    )
+    faults.add_argument(
+        "--replicate", action="store_true",
+        help="run only: attach a chained replica scheme for failover",
+    )
+    faults.add_argument(
+        "--offset", type=int, default=1,
+        help="chained replica offset (backup of d is (d+offset) mod M)",
+    )
+    faults.add_argument(
+        "--fail", default=None,
+        help="comma-separated fail-stop devices, e.g. 0,3 "
+        "(report defaults to 0)",
+    )
+    faults.add_argument(
+        "--error-rate", type=float, default=0.0,
+        help="per-attempt transient read failure probability",
+    )
+    faults.add_argument(
+        "--slow", default=None,
+        help="straggler latency factors as device:factor pairs, "
+        "e.g. 1:2.0,5:4.0",
+    )
+    faults.add_argument("--seed", type=int, default=0)
+    faults.add_argument("--queries", type=int, default=200)
+    faults.add_argument("--rate", type=float, default=5.0,
+                        help="Poisson arrival rate (run only, queries/s)")
+    faults.add_argument("--p", type=float, default=0.5)
+    faults.add_argument("--retries", type=int, default=3,
+                        help="max read attempts per device batch")
+    faults.add_argument("--timeout", type=float, default=None,
+                        help="per-device timeout (modelled ms)")
+    faults.add_argument(
+        "--max-failures", type=int, default=2,
+        help="report only: largest simultaneous failure count k",
+    )
+    faults.add_argument("--json", action="store_true")
+    faults.set_defaults(func=_cmd_faults)
 
     recommend = sub.add_parser(
         "recommend", help="rank declustering methods for a configuration"

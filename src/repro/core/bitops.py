@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.errors import ConfigurationError
 from repro.util.numbers import is_power_of_two
 from repro.util.validation import check_power_of_two
 
@@ -46,7 +47,9 @@ def truncate(value: int, m: int) -> int:
     """
     check_power_of_two("M", m)
     if value < 0:
-        raise ValueError(f"T_M is defined on non-negative integers, got {value}")
+        raise ConfigurationError(
+            f"T_M is defined on non-negative integers, got {value}"
+        )
     return value & (m - 1)
 
 
@@ -101,7 +104,9 @@ def lemma_1_1_holds(m: int, k: int) -> bool:
     the lemma over its whole hypothesis space.
     """
     if not is_power_of_two(m) or not 0 <= k < m:
-        raise ValueError("Lemma 1.1 requires a power-of-two M and 0 <= k < M")
+        raise ConfigurationError(
+            "Lemma 1.1 requires a power-of-two M and 0 <= k < M"
+        )
     return xor_set(k, z_m(m)) == z_m(m)
 
 
@@ -116,7 +121,7 @@ def lemma_4_1_block(w: int, value: int) -> set[int]:
     """
     check_power_of_two("w", w)
     if value < 0:
-        raise ValueError("Lemma 4.1 is stated for non-negative L")
+        raise ConfigurationError("Lemma 4.1 is stated for non-negative L")
     block = xor_set(value, set(range(w)))
     assert isinstance(block, set)
     return block

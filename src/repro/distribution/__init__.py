@@ -5,7 +5,16 @@ The FX method itself (the paper's contribution) lives in
 baselines the paper compares against (Modulo and GDM from Du & Sobolewski
 1982, plus a random allocator and a FaRC86-style spanning-path declusterer)
 and the section-6 extension: searching transform assignments.
+
+Importing the concrete constructor classes from this package is
+**deprecated**: build methods through :func:`repro.api.make_method`
+instead, which covers every registered name behind one signature.  The
+old names still resolve (with a one-time :class:`DeprecationWarning` per
+name) so existing callers keep working until the next major release.
 """
+
+import importlib
+import warnings
 
 from repro.distribution.base import (
     DistributionMethod,
@@ -14,12 +23,16 @@ from repro.distribution.base import (
     create_method,
     register_method,
 )
-from repro.distribution.gdm import GDM_PRESETS, GDMDistribution
-from repro.distribution.modulo import ModuloDistribution
-from repro.distribution.random_alloc import RandomDistribution
-from repro.distribution.replicated import ChainedReplicaScheme
-from repro.distribution.spanning import SpanningPathDistribution
-from repro.distribution.zorder import ZOrderDistribution
+from repro.distribution.gdm import GDM_PRESETS
+
+# Imported for their registration side-effects; the class names themselves
+# are served lazily (and deprecated) by __getattr__ below.
+from repro.distribution import gdm as _gdm                    # noqa: F401
+from repro.distribution import modulo as _modulo              # noqa: F401
+from repro.distribution import random_alloc as _random_alloc  # noqa: F401
+from repro.distribution import replicated as _replicated      # noqa: F401
+from repro.distribution import spanning as _spanning          # noqa: F401
+from repro.distribution import zorder as _zorder              # noqa: F401
 
 __all__ = [
     "DistributionMethod",
@@ -35,3 +48,36 @@ __all__ = [
     "SpanningPathDistribution",
     "ZOrderDistribution",
 ]
+
+#: Constructor classes reachable here only through the deprecation shim.
+_DEPRECATED_CONSTRUCTORS = {
+    "ModuloDistribution": "repro.distribution.modulo",
+    "GDMDistribution": "repro.distribution.gdm",
+    "RandomDistribution": "repro.distribution.random_alloc",
+    "ChainedReplicaScheme": "repro.distribution.replicated",
+    "SpanningPathDistribution": "repro.distribution.spanning",
+    "ZOrderDistribution": "repro.distribution.zorder",
+}
+_warned: set[str] = set()
+
+
+def __getattr__(name: str):
+    module_name = _DEPRECATED_CONSTRUCTORS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    if name not in _warned:
+        _warned.add(name)
+        warnings.warn(
+            f"importing {name} from repro.distribution is deprecated; "
+            f"use repro.api.make_method(...) (or import from "
+            f"{module_name} directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED_CONSTRUCTORS))

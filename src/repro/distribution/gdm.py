@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.distribution.base import SeparableMethod, register_method
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FieldValueError
 from repro.hashing.fields import FileSystem
 
 __all__ = ["GDMDistribution", "GDM_PRESETS"]
@@ -70,7 +70,9 @@ class GDMDistribution(SeparableMethod):
 
     def field_contribution(self, field_index: int, value: int) -> int:
         if not 0 <= value < self.filesystem.field_sizes[field_index]:
-            raise ValueError(f"field {field_index} value {value} outside domain")
+            raise FieldValueError(
+                f"field {field_index} value {value} outside domain"
+            )
         return (self.multipliers[field_index] * value) % self._m
 
     def describe(self) -> str:

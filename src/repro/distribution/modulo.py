@@ -12,6 +12,7 @@ paper deems Modulo unsuited to large machines like the BBN Butterfly).
 from __future__ import annotations
 
 from repro.distribution.base import SeparableMethod, register_method
+from repro.errors import FieldValueError
 from repro.hashing.fields import FileSystem
 from repro.query.partial_match import PartialMatchQuery
 
@@ -36,7 +37,7 @@ class ModuloDistribution(SeparableMethod):
 
     def field_contribution(self, field_index: int, value: int) -> int:
         if not 0 <= value < self.filesystem.field_sizes[field_index]:
-            raise ValueError(
+            raise FieldValueError(
                 f"field {field_index} value {value} outside domain"
             )
         return value % self._m

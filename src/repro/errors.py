@@ -17,6 +17,7 @@ __all__ = [
     "QueryError",
     "StorageError",
     "DeviceFullError",
+    "DataUnavailableError",
     "AnalysisError",
 ]
 
@@ -65,6 +66,10 @@ class StorageError(ReproError, RuntimeError):
 
 class DeviceFullError(StorageError):
     """A simulated device exceeded its configured capacity."""
+
+
+class DataUnavailableError(StorageError):
+    """Every replica of a needed bucket sits on a failed device."""
 
 
 class AnalysisError(ReproError, RuntimeError):

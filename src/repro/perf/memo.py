@@ -18,6 +18,7 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable
 
+from repro.errors import ConfigurationError
 from repro.perf.counters import record_hit, record_miss
 
 if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
@@ -41,7 +42,7 @@ class LRUCache:
 
     def __init__(self, maxsize: int, counter_name: str):
         if maxsize <= 0:
-            raise ValueError(f"LRU maxsize must be positive, got {maxsize}")
+            raise ConfigurationError(f"LRU maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
         self.counter_name = counter_name
         self._lock = threading.Lock()

@@ -1,0 +1,37 @@
+"""Fault-tolerant execution runtime.
+
+The paper's model is an ideal one: all ``M`` devices answer, at full
+speed, every time.  This package is the layer between that model and a
+production array — it injects the faults (fail-stop devices, transient
+read errors, stragglers), applies the recovery mechanics (retries with
+capped backoff, per-device timeouts, failover to chained replicas) and
+reports what survived (explicit ``completeness`` instead of exceptions
+for unreachable data):
+
+* :mod:`repro.runtime.faults` — :class:`FaultPlan` (declarative, seeded)
+  and :class:`FaultInjector` (deterministic draws bound to an array),
+* :mod:`repro.runtime.retry` — :class:`RetryPolicy`,
+* :mod:`repro.runtime.degraded` — :class:`DegradedExecutor`, the
+  fault-filtered counterpart of the plain query executor,
+* :mod:`repro.runtime.simulation` — :class:`FaultAwareQuerySimulator`,
+  the fault-filtered counterpart of the concurrent-workload simulator.
+
+Every interaction is recorded in the process-wide perf counters
+(``runtime.retries`` / ``runtime.timeouts`` / ``runtime.failovers`` /
+``runtime.degraded_queries``); ``python -m repro faults`` drives the
+whole layer from the command line.
+"""
+
+from repro.runtime.degraded import DegradedExecutionResult, DegradedExecutor
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.retry import RetryPolicy
+from repro.runtime.simulation import FaultAwareQuerySimulator
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "DegradedExecutor",
+    "DegradedExecutionResult",
+    "FaultAwareQuerySimulator",
+]

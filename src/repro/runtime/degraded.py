@@ -1,0 +1,235 @@
+"""Fault-tolerant query execution with replica failover and partial results.
+
+:class:`DegradedExecutor` is the runtime counterpart of
+:class:`~repro.storage.executor.QueryExecutor`: it runs the same inverse
+mapping per device, but filters every device interaction through a
+:class:`~repro.runtime.faults.FaultPlan` and a
+:class:`~repro.runtime.retry.RetryPolicy`.  A device that is fail-stopped,
+exhausts its retries or runs past its timeout is *abandoned* for the query;
+its qualified buckets are re-routed to their backup replicas when the file
+is a :class:`~repro.storage.replicated_file.ReplicatedFile`, and otherwise
+reported missing through an explicit ``completeness`` fraction — degraded
+mode never raises for data it merely cannot reach.
+
+Records are assembled in primary-device order regardless of which replica
+served them, so a run whose failures are fully covered by replicas returns
+a record list identical to the fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hashing.fields import Bucket
+from repro.perf.counters import record_work
+from repro.query.partial_match import PartialMatchQuery
+from repro.runtime.faults import FaultInjector, FaultPlan
+from repro.runtime.retry import RetryPolicy
+from repro.storage.executor import ExecutionResult
+from repro.util.numbers import ceil_div
+
+__all__ = ["DegradedExecutionResult", "DegradedExecutor"]
+
+
+@dataclass
+class DegradedExecutionResult(ExecutionResult):
+    """An :class:`ExecutionResult` plus the runtime's fault diagnostics.
+
+    ``completeness`` is the fraction of qualified buckets actually served
+    (1.0 when every bucket was reachable, directly or via a replica);
+    ``timeouts`` counts devices abandoned after a timeout or after
+    exhausting their retries.
+    """
+
+    completeness: float = 1.0
+    failed_devices: tuple[int, ...] = ()
+    retries: int = 0
+    timeouts: int = 0
+    #: Buckets served by a backup replica instead of their primary.
+    failovers: int = 0
+    #: Qualified buckets no live replica could serve.
+    lost_buckets: int = 0
+
+    @property
+    def is_complete(self) -> bool:
+        return self.lost_buckets == 0
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data.update(
+            completeness=round(self.completeness, 6),
+            failed_devices=sorted(self.failed_devices),
+            retries=self.retries,
+            timeouts=self.timeouts,
+            failovers=self.failovers,
+            lost_buckets=self.lost_buckets,
+        )
+        return data
+
+
+class DegradedExecutor:
+    """Executes partial match queries under a fault plan.
+
+    *file* is a :class:`~repro.storage.parallel_file.PartitionedFile` or a
+    :class:`~repro.storage.replicated_file.ReplicatedFile`; only the latter
+    offers failover (its chained scheme names each bucket's backup).
+
+    >>> from repro import FileSystem, FXDistribution, PartitionedFile
+    >>> fs = FileSystem.of(4, 4, m=4)
+    >>> pf = PartitionedFile(FXDistribution(fs))
+    >>> __ = pf.insert((1, 2))
+    >>> runtime = DegradedExecutor(pf)          # trivial plan: no faults
+    >>> runtime.search({0: 1}).completeness
+    1.0
+    """
+
+    def __init__(
+        self,
+        file,
+        plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+    ):
+        self.file = file
+        self.filesystem = file.filesystem
+        #: Replica scheme when *file* is replicated, else None.
+        self.scheme = getattr(file, "scheme", None)
+        self.method = self.scheme.base if self.scheme else file.method
+        self.plan = plan or FaultPlan.none()
+        self.retry = retry or RetryPolicy()
+        self.injector = FaultInjector(self.plan, self.filesystem.m)
+        self._query_seq = 0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def execute(self, query: PartialMatchQuery) -> DegradedExecutionResult:
+        """Run one partial match query through the fault-filtered array."""
+
+        def assigned_to(device_id: int) -> list[Bucket]:
+            return list(self.method.qualified_on_device(device_id, query))
+
+        return self._run(query, query.qualified_count, assigned_to)
+
+    def execute_box(self, box) -> DegradedExecutionResult:
+        """Run a box query (requires a separable base method)."""
+        from repro.analysis.box import box_qualified_on_device
+
+        def assigned_to(device_id: int) -> list[Bucket]:
+            return list(box_qualified_on_device(self.method, device_id, box))
+
+        return self._run(box, box.qualified_count, assigned_to)
+
+    def search(self, specified) -> DegradedExecutionResult:
+        """Convenience: hash raw attribute values, build and run the query."""
+        return self.execute(self.file.query(specified))
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+    def _run(self, query, qualified_count, assigned_to) -> DegradedExecutionResult:
+        seq = self._query_seq
+        self._query_seq += 1
+        m = self.filesystem.m
+        result = DegradedExecutionResult(
+            query=query,
+            failed_devices=tuple(sorted(self.plan.failed_devices)),
+        )
+        device_time = [0.0] * m
+        served_per_device = [0] * m
+        #: Records keyed by *primary* device so the assembled order matches
+        #: the fault-free executor even when backups serve some batches.
+        records_by_primary: dict[int, list[object]] = {}
+        to_failover: list[tuple[int, list[Bucket]]] = []
+
+        for device_id in range(m):
+            assigned = assigned_to(device_id)
+            if not assigned:
+                records_by_primary[device_id] = []
+                continue
+            if self.injector.is_failed(device_id):
+                to_failover.append((device_id, assigned))
+                continue
+            attempts, succeeded = self._attempts_for(device_id, seq)
+            result.retries += attempts - 1
+            batch_ms = self._batch_time(device_id, len(assigned))
+            elapsed = attempts * batch_ms + self.retry.total_backoff_ms(attempts)
+            if not succeeded or self.retry.exceeds_timeout(elapsed):
+                result.timeouts += 1
+                timeout = self.retry.timeout_ms
+                device_time[device_id] = (
+                    min(elapsed, timeout) if timeout is not None else elapsed
+                )
+                to_failover.append((device_id, assigned))
+                continue
+            device_time[device_id] = elapsed
+            served_per_device[device_id] += len(assigned)
+            records_by_primary[device_id] = self.file.devices[
+                device_id
+            ].read_buckets(assigned)
+
+        for primary, buckets in to_failover:
+            backup = self._backup_for(primary)
+            if backup is None:
+                result.lost_buckets += len(buckets)
+                records_by_primary[primary] = []
+                continue
+            result.failovers += len(buckets)
+            served_per_device[backup] += len(buckets)
+            device_time[backup] += self._batch_time(backup, len(buckets))
+            records_by_primary[primary] = self.file.devices[
+                backup
+            ].read_buckets(buckets)
+
+        for device_id in range(m):
+            result.records.extend(records_by_primary.get(device_id, []))
+        result.buckets_per_device = served_per_device
+        result.largest_response = max(served_per_device, default=0)
+        result.response_time_ms = max(device_time, default=0.0)
+        result.total_service_ms = sum(device_time)
+        bound = ceil_div(qualified_count, m)
+        result.strict_optimal = result.largest_response <= bound
+        if qualified_count:
+            result.completeness = 1.0 - result.lost_buckets / qualified_count
+        self._record_counters(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _attempts_for(self, device_id: int, seq: int) -> tuple[int, bool]:
+        """(attempts used, succeeded) for one device batch under the plan."""
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if not self.injector.attempt_fails(device_id, seq, attempt):
+                return attempt, True
+        return self.retry.max_attempts, False
+
+    def _batch_time(self, device_id: int, bucket_count: int) -> float:
+        device = self.file.devices[device_id]
+        return device.cost_model.service_time(
+            bucket_count
+        ) * self.injector.latency_factor(device_id)
+
+    def _backup_for(self, primary: int) -> int | None:
+        """The live backup device serving *primary*'s buckets, if any.
+
+        Chained placement stores the backup of every bucket whose primary
+        is ``d`` on ``(d + offset) mod M``, so failover is a per-device
+        re-route, not a per-bucket lookup.
+        """
+        if self.scheme is None:
+            return None
+        backup = (primary + self.scheme.offset) % self.filesystem.m
+        if self.injector.is_failed(backup):
+            return None
+        return backup
+
+    def _record_counters(self, result: DegradedExecutionResult) -> None:
+        record_work("runtime.queries", 1)
+        if result.retries:
+            record_work("runtime.retries", result.retries)
+        if result.timeouts:
+            record_work("runtime.timeouts", result.timeouts)
+        if result.failovers:
+            record_work("runtime.failovers", result.failovers)
+        if result.failovers or result.lost_buckets:
+            record_work("runtime.degraded_queries", 1)

@@ -1,0 +1,159 @@
+"""Deterministic fault models for the execution runtime.
+
+The paper's parallel model assumes all ``M`` devices answer every query;
+this module supplies the three ways a real array breaks that assumption:
+
+* **fail-stop** — a device is down for the whole run (its primaries must
+  be served by replicas or reported missing),
+* **transient errors** — an individual read attempt fails with some
+  probability and may be retried,
+* **stragglers** — a device is up but slow by a latency factor.
+
+A :class:`FaultPlan` is a pure description; a :class:`FaultInjector` binds
+it to a concrete array size and answers point questions during execution.
+All randomness is derived by hashing ``(seed, device, query, attempt)``
+through splitmix64, so outcomes are deterministic, order-independent and
+exactly reproducible — the property every fault-injection test relies on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.util.numbers import mix64
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+_MASK = (1 << 64) - 1
+#: Odd multipliers decorrelating the coordinates of one attempt draw.
+_DEVICE_SALT = 0x9E3779B97F4A7C15
+_QUERY_SALT = 0xC2B2AE3D27D4EB4F
+_ATTEMPT_SALT = 0x165667B19E3779F9
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seed-reproducible description of array faults.
+
+    *failed_devices* are fail-stop for the whole run; *transient_error_rate*
+    is the per-read-attempt failure probability on live devices;
+    *slow_factors* maps device id to a latency multiplier (2.0 = half
+    speed).  The default plan is fault-free.
+
+    >>> plan = FaultPlan(seed=7, failed_devices=frozenset({2}))
+    >>> plan.is_trivial
+    False
+    >>> FaultPlan().is_trivial
+    True
+    """
+
+    seed: int = 0
+    failed_devices: frozenset[int] = frozenset()
+    transient_error_rate: float = 0.0
+    slow_factors: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "failed_devices", frozenset(self.failed_devices)
+        )
+        object.__setattr__(self, "slow_factors", dict(self.slow_factors))
+        if any(d < 0 for d in self.failed_devices):
+            raise ConfigurationError("device ids must be non-negative")
+        if not 0.0 <= self.transient_error_rate < 1.0:
+            raise ConfigurationError(
+                f"transient error rate {self.transient_error_rate} "
+                "outside [0, 1)"
+            )
+        for device, factor in self.slow_factors.items():
+            if device < 0:
+                raise ConfigurationError("device ids must be non-negative")
+            if factor <= 0:
+                raise ConfigurationError(
+                    f"slow factor for device {device} must be positive, "
+                    f"got {factor}"
+                )
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The fault-free plan (every device healthy and full speed)."""
+        return cls()
+
+    @classmethod
+    def fail(cls, devices: Iterable[int], seed: int = 0) -> "FaultPlan":
+        """Fail-stop the given devices, nothing else."""
+        return cls(seed=seed, failed_devices=frozenset(devices))
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the plan injects no fault of any kind."""
+        return (
+            not self.failed_devices
+            and self.transient_error_rate == 0.0
+            and all(f == 1.0 for f in self.slow_factors.values())
+        )
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.failed_devices:
+            parts.append(f"failed={sorted(self.failed_devices)}")
+        if self.transient_error_rate:
+            parts.append(f"error_rate={self.transient_error_rate}")
+        if self.slow_factors:
+            parts.append(f"slow={dict(sorted(self.slow_factors.items()))}")
+        return f"FaultPlan({', '.join(parts)})"
+
+
+class FaultInjector:
+    """A :class:`FaultPlan` bound to an array of ``m`` devices.
+
+    >>> injector = FaultInjector(FaultPlan.fail([1]), m=4)
+    >>> injector.is_failed(1), injector.is_failed(0)
+    (True, False)
+    >>> injector.latency_factor(0)
+    1.0
+    """
+
+    def __init__(self, plan: FaultPlan, m: int):
+        if m < 1:
+            raise ConfigurationError("need at least one device")
+        out_of_range = [d for d in plan.failed_devices if d >= m]
+        out_of_range += [d for d in plan.slow_factors if d >= m]
+        if out_of_range:
+            raise ConfigurationError(
+                f"plan names devices {sorted(set(out_of_range))} "
+                f"outside [0, {m})"
+            )
+        self.plan = plan
+        self.m = m
+
+    def is_failed(self, device: int) -> bool:
+        """Fail-stop state of *device* (constant over the run)."""
+        return device in self.plan.failed_devices
+
+    def latency_factor(self, device: int) -> float:
+        """Service-time multiplier of *device* (1.0 = nominal speed)."""
+        return float(self.plan.slow_factors.get(device, 1.0))
+
+    def attempt_fails(self, device: int, query_index: int, attempt: int) -> bool:
+        """Seeded Bernoulli draw: does this read attempt fail transiently?
+
+        The draw hashes ``(seed, device, query_index, attempt)``, so it does
+        not depend on the order in which devices or queries are visited —
+        two runs over the same workload agree attempt for attempt.
+        """
+        rate = self.plan.transient_error_rate
+        if rate == 0.0 or self.is_failed(device):
+            return False
+        word = (
+            (self.plan.seed & _MASK)
+            ^ (device * _DEVICE_SALT)
+            ^ (query_index * _QUERY_SALT)
+            ^ (attempt * _ATTEMPT_SALT)
+        ) & _MASK
+        return mix64(word) / float(1 << 64) < rate
+
+    def alive_devices(self) -> tuple[int, ...]:
+        """Devices not fail-stopped, in id order."""
+        return tuple(d for d in range(self.m) if not self.is_failed(d))

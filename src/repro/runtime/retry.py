@@ -1,0 +1,81 @@
+"""Retry and timeout policy for per-device read attempts.
+
+One policy object answers three questions the runtime asks on every
+device interaction: how many times may an attempt be retried, how long to
+back off before attempt ``k`` (capped exponential), and when to give up
+on a device entirely (per-device timeout).  The policy is pure arithmetic
+— it never sleeps — because the runtime models time rather than spending
+it, exactly as the cost models in :mod:`repro.storage.costs` do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff plus an optional per-device timeout.
+
+    Attempt 1 is immediate; attempt ``k`` waits
+    ``min(base_delay_ms * backoff_factor**(k - 2), max_delay_ms)`` after
+    the failure of attempt ``k - 1``.  *timeout_ms*, when set, bounds the
+    modelled time one device may spend on a single query (service plus
+    backoff); beyond it the device is abandoned and its buckets fail over.
+
+    >>> policy = RetryPolicy(max_attempts=4, base_delay_ms=2.0)
+    >>> [policy.delay_before(k) for k in range(1, 5)]
+    [0.0, 2.0, 4.0, 8.0]
+    >>> policy.total_backoff_ms(3)
+    6.0
+    """
+
+    max_attempts: int = 3
+    base_delay_ms: float = 1.0
+    backoff_factor: float = 2.0
+    max_delay_ms: float = 50.0
+    timeout_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.timeout_ms is not None and self.timeout_ms <= 0:
+            raise ConfigurationError(
+                f"timeout_ms must be positive, got {self.timeout_ms}"
+            )
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Single attempt, no backoff, no timeout (the paper's model)."""
+        return cls(max_attempts=1, base_delay_ms=0.0, max_delay_ms=0.0)
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff (ms) waited before *attempt* (1-based); 0 for the first."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempts are 1-based, got {attempt}")
+        if attempt == 1:
+            return 0.0
+        return min(
+            self.base_delay_ms * self.backoff_factor ** (attempt - 2),
+            self.max_delay_ms,
+        )
+
+    def total_backoff_ms(self, attempts: int) -> float:
+        """Cumulative backoff across the first *attempts* attempts."""
+        return sum(self.delay_before(k) for k in range(1, attempts + 1))
+
+    def exceeds_timeout(self, elapsed_ms: float) -> bool:
+        """Has a device's modelled time for one query run past the cap?"""
+        return self.timeout_ms is not None and elapsed_ms > self.timeout_ms

@@ -44,6 +44,24 @@ class ExecutionResult:
             return 1.0
         return self.total_service_ms / self.response_time_ms
 
+    def to_dict(self) -> dict:
+        """JSON-ready summary: every diagnostic, records by count only.
+
+        The single marshalling point shared by the CLI's ``--json`` output,
+        the simulator and the fault runtime — subclasses extend it rather
+        than re-listing fields.
+        """
+        return {
+            "query": self.query.describe(),
+            "records": len(self.records),
+            "buckets_per_device": list(self.buckets_per_device),
+            "largest_response": self.largest_response,
+            "response_time_ms": round(self.response_time_ms, 6),
+            "total_service_ms": round(self.total_service_ms, 6),
+            "speedup": round(self.speedup, 6),
+            "strict_optimal": self.strict_optimal,
+        }
+
     def summary(self) -> str:
         return (
             f"{self.query.describe()}: {len(self.records)} records, "

@@ -17,35 +17,35 @@ per-device bucket counts so experiments can see exactly that.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.distribution.replicated import ChainedReplicaScheme
-from repro.errors import StorageError
+from repro.errors import DataUnavailableError, StorageError
 from repro.hashing.fields import Bucket
 from repro.hashing.multikey import MultiKeyHash
 from repro.query.partial_match import PartialMatchQuery
 from repro.storage.costs import DeviceCostModel
 from repro.storage.device import SimulatedDevice
+from repro.storage.executor import ExecutionResult
 from repro.util.numbers import ceil_div
 
 __all__ = ["DataUnavailableError", "ReplicatedExecutionResult", "ReplicatedFile"]
 
 
-class DataUnavailableError(StorageError):
-    """Both replicas of a needed bucket are on failed devices."""
-
-
 @dataclass
-class ReplicatedExecutionResult:
-    """Outcome of one query against a (possibly degraded) replicated file."""
+class ReplicatedExecutionResult(ExecutionResult):
+    """Outcome of one query against a (possibly degraded) replicated file.
 
-    query: PartialMatchQuery
-    records: list[object] = field(default_factory=list)
-    buckets_per_device: list[int] = field(default_factory=list)
-    largest_response: int = 0
-    response_time_ms: float = 0.0
+    Extends the plain :class:`~repro.storage.executor.ExecutionResult` with
+    the one quantity replication adds: how many buckets the backups served.
+    """
+
     served_by_backup: int = 0
-    strict_optimal: bool = False
+
+    def to_dict(self) -> dict:
+        data = super().to_dict()
+        data["served_by_backup"] = self.served_by_backup
+        return data
 
 
 class ReplicatedFile:
@@ -156,10 +156,9 @@ class ReplicatedFile:
             # needed because each bucket is read from exactly one replica
             result.records.extend(records)
             result.buckets_per_device.append(len(buckets))
-            result.response_time_ms = max(
-                result.response_time_ms,
-                device.cost_model.service_time(len(buckets)),
-            )
+            service = device.cost_model.service_time(len(buckets))
+            result.total_service_ms += service
+            result.response_time_ms = max(result.response_time_ms, service)
         result.largest_response = max(result.buckets_per_device, default=0)
         bound = ceil_div(query.qualified_count, self.filesystem.m)
         result.strict_optimal = result.largest_response <= bound

@@ -55,6 +55,9 @@ class SimulatedQuery:
     completion_ms: float
     service_ms: float      # response time on an idle array (max task)
     largest_response: int
+    #: Fraction of the query's qualified buckets actually served; 1.0
+    #: outside the fault runtime (see repro.runtime.simulation).
+    completeness: float = 1.0
 
     @property
     def latency_ms(self) -> float:
@@ -73,6 +76,12 @@ class SimulationReport:
     queries: list[SimulatedQuery] = field(default_factory=list)
     device_busy_ms: list[float] = field(default_factory=list)
     makespan_ms: float = 0.0
+    # Fault-runtime tallies; all zero outside repro.runtime.simulation.
+    failed_devices: tuple[int, ...] = ()
+    retries: int = 0
+    timeouts: int = 0
+    failovers: int = 0
+    lost_buckets: int = 0
 
     @property
     def mean_latency_ms(self) -> float:
@@ -112,6 +121,32 @@ class SimulationReport:
         if self.makespan_ms == 0.0:
             return [0.0] * len(self.device_busy_ms)
         return [busy / self.makespan_ms for busy in self.device_busy_ms]
+
+    @property
+    def mean_completeness(self) -> float:
+        """Average served fraction over the stream (1.0 = nothing lost)."""
+        if not self.queries:
+            return 1.0
+        return sum(q.completeness for q in self.queries) / len(self.queries)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary shared by the CLI tables and ``--json``."""
+        return {
+            "queries": len(self.queries),
+            "mean_latency_ms": round(self.mean_latency_ms, 6),
+            "max_latency_ms": round(self.max_latency_ms, 6),
+            "p95_latency_ms": round(self.latency_percentile(0.95), 6),
+            "mean_queueing_ms": round(self.mean_queueing_ms, 6),
+            "throughput_qps": round(self.throughput_qps, 6),
+            "makespan_ms": round(self.makespan_ms, 6),
+            "utilisation": [round(u, 6) for u in self.utilisation()],
+            "mean_completeness": round(self.mean_completeness, 6),
+            "failed_devices": sorted(self.failed_devices),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "failovers": self.failovers,
+            "lost_buckets": self.lost_buckets,
+        }
 
 
 class ParallelQuerySimulator:

@@ -8,6 +8,8 @@ those primitives so the rest of the code can stay declarative.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 __all__ = [
     "is_power_of_two",
     "ilog2",
@@ -61,7 +63,7 @@ def ilog2(value: int) -> int:
     3
     """
     if not is_power_of_two(value):
-        raise ValueError(f"ilog2 expects a power of two, got {value!r}")
+        raise ConfigurationError(f"ilog2 expects a power of two, got {value!r}")
     return value.bit_length() - 1
 
 
@@ -76,9 +78,9 @@ def ceil_div(numerator: int, denominator: int) -> int:
     2
     """
     if denominator <= 0:
-        raise ValueError("denominator must be positive")
+        raise ConfigurationError("denominator must be positive")
     if numerator < 0:
-        raise ValueError("numerator must be non-negative")
+        raise ConfigurationError("numerator must be non-negative")
     return -(-numerator // denominator)
 
 
@@ -113,7 +115,7 @@ def modinv(a: int, modulus: int) -> int:
     """
     g, x, __ = egcd(a % modulus, modulus)
     if g != 1:
-        raise ValueError(f"{a} is not invertible modulo {modulus}")
+        raise ConfigurationError(f"{a} is not invertible modulo {modulus}")
     return x % modulus
 
 
@@ -130,7 +132,7 @@ def solve_linear_congruence(a: int, b: int, modulus: int) -> list[int]:
     []
     """
     if modulus <= 0:
-        raise ValueError("modulus must be positive")
+        raise ConfigurationError("modulus must be positive")
     a %= modulus
     b %= modulus
     g, x, __ = egcd(a, modulus)

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.errors import ConfigurationError
+
 __all__ = ["format_table", "format_cell"]
 
 
@@ -43,7 +45,7 @@ def format_table(
     widths = [len(h) for h in headers]
     for row in str_rows:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ConfigurationError(
                 f"row has {len(row)} cells but table has {len(headers)} columns"
             )
         for i, cell in enumerate(row):
