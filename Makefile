@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench report examples faults clean
+.PHONY: install test bench report examples faults obs clean
 
 install:
 	$(PYTHON) -m pip install -e .[test] || $(PYTHON) setup.py develop
@@ -18,6 +18,12 @@ faults:
 	$(PYTHON) -m repro faults run --fields 8,8 --devices 8 --queries 100 \
 		--fail 2 --error-rate 0.05 --replicate
 	$(PYTHON) -m repro faults report --fields 8,8 --devices 8 --queries 20
+
+obs:
+	$(PYTHON) -m repro obs report --fields 2,2,2 --devices 8 --queries 50
+	$(PYTHON) -m repro obs export --fields 2,2,2 --devices 8 --queries 50 \
+		--deterministic-clock --validate --jsonl /tmp/obs_run.jsonl
+	$(PYTHON) -m repro obs check --fields 2,2,2 --devices 8 --queries 50
 
 examples:
 	@for script in examples/*.py; do \

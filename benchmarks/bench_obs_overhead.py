@@ -1,0 +1,155 @@
+"""Instrumentation overhead of the telemetry layer on the hot query path.
+
+The observability subsystem (``repro.obs``) wraps the vectorised query
+executor in spans and histogram observations.  This benchmark measures how
+much that costs: it streams the same workload through
+:class:`~repro.storage.executor.QueryExecutor` with telemetry enabled and
+disabled and compares the best-of-N wall times.
+
+Two entry points:
+
+* pytest-benchmark functions (collected with the other ``bench_*`` files)
+  timing the executor sweep under both telemetry settings, and
+* a script mode — ``python benchmarks/bench_obs_overhead.py [--smoke]
+  [--out BENCH_obs.json]`` — that writes the measured overhead to JSON.
+  Full mode asserts the acceptance floor: enabling telemetry must cost
+  < 5% on the vectorised engine path.  ``--smoke`` runs a smaller grid for
+  CI and only checks that both paths execute and agree, because tiny
+  absolute times make percentage overhead meaningless on shared runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro import obs
+from repro.core.fx import FXDistribution
+from repro.hashing.fields import FileSystem
+from repro.query.workload import QueryWorkload, WorkloadSpec
+from repro.storage.executor import QueryExecutor
+from repro.storage.parallel_file import PartitionedFile
+
+#: Full mode: 8^5 buckets over 32 devices, enough work per query for the
+#: per-span cost to be measured against real engine time.
+FULL_FS = FileSystem.uniform(5, 8, m=32)
+FULL_QUERIES = 400
+#: Smoke mode: small grid, same code paths, fast enough for a CI step.
+SMOKE_FS = FileSystem.uniform(3, 4, m=8)
+SMOKE_QUERIES = 60
+
+BENCH_FS = FileSystem.uniform(4, 8, m=16)
+
+
+def _build(fs: FileSystem, n_queries: int):
+    method = FXDistribution(fs)
+    pf = PartitionedFile(method)
+    workload = QueryWorkload(
+        fs, WorkloadSpec(spec_probability=0.5, exclude_trivial=True, seed=7)
+    )
+    return QueryExecutor(pf), workload.take(n_queries)
+
+
+def _sweep(executor: QueryExecutor, queries) -> int:
+    total = 0
+    for query in queries:
+        total += executor.execute(query).largest_response
+    return total
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_executor_telemetry_on(benchmark):
+    executor, queries = _build(BENCH_FS, 50)
+    obs.configure(enabled=True, reset=True)
+    total = benchmark(_sweep, executor, queries)
+    assert total > 0
+
+
+def bench_executor_telemetry_off(benchmark):
+    executor, queries = _build(BENCH_FS, 50)
+    obs.configure(enabled=True, reset=True)
+    try:
+        obs.configure(enabled=False)
+        total = benchmark(_sweep, executor, queries)
+    finally:
+        obs.configure(enabled=True)
+    assert total > 0
+
+
+# ----------------------------------------------------------------------
+# Script mode: write BENCH_obs.json
+# ----------------------------------------------------------------------
+def _time_sweep(executor, queries, repeats: int) -> tuple[float, int]:
+    best = float("inf")
+    total = 0
+    for __ in range(repeats):
+        obs.reset_telemetry()
+        started = time.perf_counter()
+        total = _sweep(executor, queries)
+        best = min(best, time.perf_counter() - started)
+    return best, total
+
+
+def _measure(fs: FileSystem, n_queries: int, repeats: int) -> dict:
+    executor, queries = _build(fs, n_queries)
+    # Warm the evaluator/inverse caches so both runs hit the same fast path.
+    _sweep(executor, queries)
+
+    obs.configure(enabled=False)
+    try:
+        off_seconds, off_total = _time_sweep(executor, queries, repeats)
+    finally:
+        obs.configure(enabled=True)
+    on_seconds, on_total = _time_sweep(executor, queries, repeats)
+    assert on_total == off_total, "telemetry changed query results"
+
+    overhead = on_seconds / off_seconds - 1.0
+    return {
+        "filesystem": fs.describe(),
+        "bucket_count": fs.bucket_count,
+        "queries": n_queries,
+        "repeats": repeats,
+        "disabled_seconds": off_seconds,
+        "enabled_seconds": on_seconds,
+        "disabled_queries_per_sec": n_queries / off_seconds,
+        "enabled_queries_per_sec": n_queries / on_seconds,
+        "overhead_fraction": overhead,
+        "overhead_percent": overhead * 100.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small grid for CI (correctness gate, no overhead floor)",
+    )
+    parser.add_argument("--out", default="BENCH_obs.json")
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    fs = SMOKE_FS if args.smoke else FULL_FS
+    n_queries = SMOKE_QUERIES if args.smoke else FULL_QUERIES
+    result = _measure(fs, n_queries, max(1, args.repeats))
+    result["mode"] = "smoke" if args.smoke else "full"
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"{result['mode']}: {result['queries']} queries on "
+        f"{result['filesystem']}; disabled "
+        f"{result['disabled_queries_per_sec']:,.0f}/s, enabled "
+        f"{result['enabled_queries_per_sec']:,.0f}/s, overhead "
+        f"{result['overhead_percent']:+.2f}% -> {args.out}"
+    )
+    if not args.smoke and result["overhead_fraction"] >= 0.05:
+        print("FAIL: telemetry overhead above the 5% acceptance ceiling")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

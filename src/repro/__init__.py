@@ -72,7 +72,7 @@ from repro.storage import (
     ReplicatedFile,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -15,7 +15,11 @@ Commands
 ``perf``     exercise the engine fast paths and print the perf counters,
 ``faults``   fault-tolerant runtime: stream simulation under a fault plan
              (``run``) or availability curves plus runtime counters
-             (``report``).
+             (``report``),
+``obs``      telemetry: replay a workload and render the metrics/latency
+             report (``report``), export the structured run as JSONL
+             (``export``), print the last spans (``tail``), or verify
+             strict optimality from telemetry alone (``check``).
 
 File systems are given as ``--fields 8,8,16 --devices 32``.  The sweeping
 commands (``census``, ``search``) accept ``--parallel N`` to fan the
@@ -565,6 +569,198 @@ def _cmd_faults_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obs_queries(args: argparse.Namespace):
+    """The replay workload: a trace file or a seeded random stream."""
+    from repro.query.trace import load_trace
+    from repro.query.workload import QueryWorkload, WorkloadSpec
+
+    fs = _parse_filesystem(args)
+    method = make_method(args.method, fields=fs.field_sizes, devices=fs.m)
+    if args.trace:
+        queries = load_trace(fs, args.trace)
+    else:
+        workload = QueryWorkload(
+            fs,
+            WorkloadSpec(spec_probability=args.p, exclude_trivial=True,
+                         seed=args.seed),
+        )
+        queries = workload.take(args.queries)
+    return method, queries
+
+
+def _obs_replay(args: argparse.Namespace):
+    """Reset telemetry, then replay the workload end to end.
+
+    ``--deterministic-clock`` injects a :class:`~repro.obs.ManualClock`
+    first, which makes the whole run — span timestamps *and* the
+    perf-counter seconds — reproducible, so ``obs export`` output is
+    byte-identical across runs.
+    """
+    import random as _random
+
+    from repro import obs
+    from repro.storage.batch import BatchPlanner
+    from repro.storage.executor import QueryExecutor
+    from repro.storage.parallel_file import PartitionedFile
+
+    if args.deterministic_clock:
+        obs.configure(clock=obs.ManualClock(step=0.001), reset=True)
+    else:
+        obs.reset_telemetry()
+    method, queries = _obs_queries(args)
+    fs = method.filesystem
+    pf = PartitionedFile(method)
+    rng = _random.Random(args.seed)
+    pf.insert_all(
+        [
+            tuple(rng.randrange(1024) for __ in range(fs.n_fields))
+            for __ in range(args.records)
+        ]
+    )
+    executor = QueryExecutor(pf)
+    for query in queries:
+        executor.execute(query)
+    if len(queries) > 1:
+        BatchPlanner(method).plan(queries)
+    return method, queries
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.action == "report":
+        return _cmd_obs_report(args)
+    if args.action == "export":
+        return _cmd_obs_export(args)
+    if args.action == "tail":
+        return _cmd_obs_tail(args)
+    return _cmd_obs_check(args)
+
+
+def _format_ms(value: float | None) -> str:
+    return "-" if value is None else f"{value:,.3f}"
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Replay, then render one unified view of the whole metrics registry."""
+    from repro.obs import telemetry
+    from repro.perf import render_report
+
+    method, queries = _obs_replay(args)
+    snap = telemetry().metrics.snapshot()
+
+    histogram_rows = [
+        [
+            name,
+            h.count,
+            _format_ms(h.quantile(0.50)),
+            _format_ms(h.quantile(0.95)),
+            _format_ms(h.quantile(0.99)),
+            _format_ms(h.max),
+        ]
+        for name, h in sorted(snap.histograms.items())
+    ]
+    if histogram_rows:
+        print(
+            format_table(
+                ["histogram", "count", "p50", "p95", "p99", "max"],
+                histogram_rows,
+                title=f"Latency histograms — {method.describe()}, "
+                f"{len(queries)} queries",
+            )
+        )
+        print()
+    counter_rows = [
+        [name, value] for name, value in sorted(snap.counters.items())
+    ]
+    counter_rows.extend(
+        [name, "-" if value is None else value]
+        for name, value in sorted(snap.gauges.items())
+    )
+    if counter_rows:
+        print(format_table(["metric", "value"], counter_rows,
+                           title="Counters and gauges"))
+        print()
+    print(render_report())
+    events = telemetry().events
+    print()
+    print(f"{len(events)} telemetry events retained "
+          f"({events.appended} recorded)")
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    """Replay, then write the structured run as canonical JSONL."""
+    import sys
+
+    from repro.obs import telemetry, validate_jsonl
+
+    _obs_replay(args)
+    text = telemetry().export_jsonl()
+    if args.validate:
+        validate_jsonl(text)
+    if args.jsonl == "-":
+        sys.stdout.write(text)
+    else:
+        from pathlib import Path
+
+        Path(args.jsonl).write_text(text, encoding="utf-8")
+        print(
+            f"wrote {text.count(chr(10))} records to {args.jsonl}"
+            + (" (validated)" if args.validate else "")
+        )
+    return 0
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    """Replay, then print the most recent spans human-readably."""
+    from repro.obs import telemetry
+
+    _obs_replay(args)
+    for record in telemetry().events.tail(args.lines):
+        if record.get("type") != "span":
+            continue
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(record["attrs"].items())
+        )
+        line = (
+            f"[{record['start_ms']:>12.3f}ms] #{record['id']} "
+            f"{record['name']} ({record['duration_ms']:.3f}ms)"
+        )
+        if record["parent"] is not None:
+            line += f" parent=#{record['parent']}"
+        if attrs:
+            line += f" {attrs}"
+        if record["events"]:
+            line += f" events={len(record['events'])}"
+        print(line)
+    return 0
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    """Verify the strict-optimality bound from telemetry alone."""
+    from repro import obs
+    from repro.obs import ObservedOptimalityChecker
+
+    if args.deterministic_clock:
+        obs.configure(clock=obs.ManualClock(step=0.001), reset=True)
+    else:
+        obs.reset_telemetry()
+    method, queries = _obs_queries(args)
+    report = ObservedOptimalityChecker(method).replay(queries)
+    print(report.summary())
+    for observation in report.violations[:10]:
+        print(
+            f"  {observation.query}: observed max "
+            f"{observation.observed_max} > bound {observation.bound}"
+        )
+    for observation in report.disagreements[:10]:
+        print(
+            f"  DISAGREEMENT {observation.query}: telemetry "
+            f"{sorted(observation.observed_per_device)} vs closed form "
+            f"{sorted(observation.closed_form_per_device)}"
+        )
+    return 0 if report.consistent else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -757,6 +953,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="threads for the census sweep (0 = one per CPU)",
     )
     perf.set_defaults(func=_cmd_perf)
+
+    obs = sub.add_parser(
+        "obs", help="telemetry: replay a workload, report/export/tail/check"
+    )
+    obs.add_argument(
+        "action", choices=["report", "export", "tail", "check"],
+        help="report = metrics and latency tables; export = structured "
+        "JSONL; tail = most recent spans; check = verify strict "
+        "optimality from telemetry alone",
+    )
+    _add_filesystem_arguments(obs)
+    obs.add_argument(
+        "--method", default="fx",
+        choices=[n for n in method_names() if n != "replicated"],
+        help="distribution method to replay against",
+    )
+    obs.add_argument(
+        "--trace", default=None,
+        help="replay queries from a trace file instead of a random workload",
+    )
+    obs.add_argument("--queries", type=int, default=50,
+                     help="random workload size when no trace is given")
+    obs.add_argument("--records", type=int, default=64,
+                     help="records inserted before the replay")
+    obs.add_argument("--p", type=float, default=0.5)
+    obs.add_argument("--seed", type=int, default=0)
+    obs.add_argument(
+        "--deterministic-clock", action="store_true",
+        help="inject a manual clock: timestamps (and the export bytes) "
+        "become identical across runs",
+    )
+    obs.add_argument(
+        "--jsonl", default="-",
+        help="export only: output path ('-' = stdout)",
+    )
+    obs.add_argument(
+        "--validate", action="store_true",
+        help="export only: validate every record against the schema",
+    )
+    obs.add_argument("--lines", type=int, default=20,
+                     help="tail only: spans to print")
+    obs.set_defaults(func=_cmd_obs)
 
     return parser
 

@@ -26,13 +26,13 @@ Two implementations share that algebra:
 from __future__ import annotations
 
 import itertools
-import time
 from collections.abc import Iterator
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.hashing.fields import Bucket
+from repro.obs.clock import now as _now
 from repro.perf.counters import record_work
 from repro.query.partial_match import PartialMatchQuery
 
@@ -160,7 +160,7 @@ def separable_qualified_on_device_array(
     Throughput is recorded under the ``inverse_array`` perf counter
     (buckets/sec); see ``benchmarks/bench_vectorized_inverse.py``.
     """
-    started = time.perf_counter()
+    started = _now()
     fs = method.filesystem
     m = fs.m
     n = fs.n_fields
@@ -176,7 +176,7 @@ def separable_qualified_on_device_array(
             out = np.asarray([query.values], dtype=np.int64)
         else:
             out = np.empty((0, n), dtype=np.int64)
-        record_work("inverse_array", out.shape[0], time.perf_counter() - started)
+        record_work("inverse_array", out.shape[0], _now() - started)
         return out
 
     solve_field = max(unspecified, key=lambda i: fs.field_sizes[i])
@@ -227,7 +227,7 @@ def separable_qualified_on_device_array(
             out[:, i] = solve_values
         else:
             out[:, i] = (combo // strides[i]) % fs.field_sizes[i]
-    record_work("inverse_array", total, time.perf_counter() - started)
+    record_work("inverse_array", total, _now() - started)
     return out
 
 

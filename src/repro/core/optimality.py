@@ -197,17 +197,29 @@ def optimality_report(
             for query in queries_for_pattern(fs, pattern)
         )
 
+    from repro.obs import trace_span
+
     patterns = list(patterns)
-    worsts = parallel_map(worst_load, patterns, parallel=parallel)
-    for pattern, worst in zip(patterns, worsts):
-        report.total_patterns += 1
-        qualified = math.prod(fs.field_sizes[i] for i in pattern)
-        bound = ceil_div(qualified, fs.m)
-        if worst <= bound:
-            report.optimal_patterns += 1
-        else:
-            report.failures.append((pattern, worst, bound))
-    report.failures.sort(key=lambda item: (-(item[1] - item[2]), sorted(item[0])))
+    with trace_span(
+        "optimality.census",
+        method=report.method_name,
+        patterns=len(patterns),
+        separable=separable,
+    ) as span:
+        worsts = parallel_map(worst_load, patterns, parallel=parallel)
+        for pattern, worst in zip(patterns, worsts):
+            report.total_patterns += 1
+            qualified = math.prod(fs.field_sizes[i] for i in pattern)
+            bound = ceil_div(qualified, fs.m)
+            if worst <= bound:
+                report.optimal_patterns += 1
+            else:
+                report.failures.append((pattern, worst, bound))
+        report.failures.sort(
+            key=lambda item: (-(item[1] - item[2]), sorted(item[0]))
+        )
+        span.set_attr("optimal_patterns", report.optimal_patterns)
+        span.set_attr("failures", len(report.failures))
     return report
 
 

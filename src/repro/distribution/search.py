@@ -96,26 +96,35 @@ def exhaustive_assignment_search(
             f"{len(small)} small fields means {4 ** len(small)} assignments; "
             "use hill_climb_assignment_search instead"
         )
+    from repro.obs import trace_span
+
     combos = [
         _full_assignment(filesystem, combo)
         for combo in itertools.product(SMALL_FIELD_FAMILIES, repeat=len(small))
     ]
-    scores = parallel_map(
-        lambda methods: assignment_score(filesystem, methods, p=p),
-        combos,
-        parallel=parallel,
-    )
-    best_methods: tuple[str, ...] | None = None
-    best_score = -1.0
-    evaluations = 0
-    history: list[tuple[int, float]] = []
-    for methods, score in zip(combos, scores):
-        evaluations += 1
-        if score > best_score:
-            best_score = score
-            best_methods = methods
-            history.append((evaluations, score))
-    assert best_methods is not None
+    with trace_span(
+        "search.exhaustive",
+        filesystem=filesystem.describe(),
+        assignments=len(combos),
+    ) as span:
+        scores = parallel_map(
+            lambda methods: assignment_score(filesystem, methods, p=p),
+            combos,
+            parallel=parallel,
+        )
+        best_methods: tuple[str, ...] | None = None
+        best_score = -1.0
+        evaluations = 0
+        history: list[tuple[int, float]] = []
+        for methods, score in zip(combos, scores):
+            evaluations += 1
+            if score > best_score:
+                best_score = score
+                best_methods = methods
+                history.append((evaluations, score))
+        assert best_methods is not None
+        span.set_attr("evaluations", evaluations)
+        span.set_attr("score", round(best_score, 6))
     return AssignmentSearchResult(
         methods=best_methods,
         score=best_score,
@@ -184,37 +193,46 @@ def hill_climb_assignment_search(
             if family != current[position]
         ]
 
-    for restart in range(max(1, restarts)):
-        if restart == 0:
-            current = paper_start
-        else:
-            current = tuple(
-                rng.choice(SMALL_FIELD_FAMILIES) for __ in small
-            )
-        current_score = consider(current)
-        improved = True
-        while improved:
-            improved = False
-            best_neighbour = current
-            best_neighbour_score = current_score
-            neighbours = neighbourhood(current)
-            scores = parallel_map(
-                lambda n: assignment_score(
-                    filesystem, _full_assignment(filesystem, n), p=p
-                ),
-                neighbours,
-                parallel=parallel,
-            )
-            for neighbour, precomputed in zip(neighbours, scores):
-                score = consider(neighbour, score=precomputed)
-                if score > best_neighbour_score:
-                    best_neighbour = neighbour
-                    best_neighbour_score = score
-            if best_neighbour_score > current_score:
-                current = best_neighbour
-                current_score = best_neighbour_score
-                improved = True
-    assert best_methods is not None
+    from repro.obs import trace_span
+
+    with trace_span(
+        "search.hill_climb",
+        filesystem=filesystem.describe(),
+        restarts=max(1, restarts),
+    ) as span:
+        for restart in range(max(1, restarts)):
+            if restart == 0:
+                current = paper_start
+            else:
+                current = tuple(
+                    rng.choice(SMALL_FIELD_FAMILIES) for __ in small
+                )
+            current_score = consider(current)
+            improved = True
+            while improved:
+                improved = False
+                best_neighbour = current
+                best_neighbour_score = current_score
+                neighbours = neighbourhood(current)
+                scores = parallel_map(
+                    lambda n: assignment_score(
+                        filesystem, _full_assignment(filesystem, n), p=p
+                    ),
+                    neighbours,
+                    parallel=parallel,
+                )
+                for neighbour, precomputed in zip(neighbours, scores):
+                    score = consider(neighbour, score=precomputed)
+                    if score > best_neighbour_score:
+                        best_neighbour = neighbour
+                        best_neighbour_score = score
+                if best_neighbour_score > current_score:
+                    current = best_neighbour
+                    current_score = best_neighbour_score
+                    improved = True
+        assert best_methods is not None
+        span.set_attr("evaluations", evaluations)
+        span.set_attr("score", round(best_score, 6))
     return AssignmentSearchResult(
         methods=best_methods,
         score=best_score,

@@ -1,0 +1,188 @@
+"""Verify the paper's optimality bound from observed executions.
+
+``core.optimality`` answers "is this method strict optimal?" from closed
+form; :class:`ObservedOptimalityChecker` answers the same question the way
+a production evaluation would — replay a workload trace through the real
+executor, then read *only the telemetry* (the ``query.execute`` spans'
+``buckets_per_device`` attributes) to find the per-device qualified-bucket
+maxima, the paper's ``max_j |R(q) on device j|``.  Each observation is then
+cross-checked against the closed-form :meth:`response_histogram`, so a
+disagreement pinpoints an instrumentation bug and a violation pinpoints a
+genuinely non-optimal query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+from repro.util.numbers import ceil_div
+
+__all__ = ["ObservedQuery", "ObservedCheckReport", "ObservedOptimalityChecker"]
+
+
+@dataclass(frozen=True)
+class ObservedQuery:
+    """One query's telemetry-side observation next to its closed form."""
+
+    query: str
+    qualified: int
+    bound: int
+    observed_per_device: tuple[int, ...]
+    closed_form_per_device: tuple[int, ...]
+
+    @property
+    def observed_max(self) -> int:
+        return max(self.observed_per_device, default=0)
+
+    @property
+    def closed_form_max(self) -> int:
+        return max(self.closed_form_per_device, default=0)
+
+    @property
+    def strict_optimal(self) -> bool:
+        return self.observed_max <= self.bound
+
+    @property
+    def agrees(self) -> bool:
+        """Telemetry and closed form report identical device loads."""
+        return sorted(self.observed_per_device) == sorted(
+            self.closed_form_per_device
+        )
+
+
+@dataclass
+class ObservedCheckReport:
+    """Outcome of one trace replay, built from telemetry alone."""
+
+    method_name: str
+    observations: list[ObservedQuery] = field(default_factory=list)
+
+    @property
+    def queries(self) -> int:
+        return len(self.observations)
+
+    @property
+    def violations(self) -> list[ObservedQuery]:
+        """Queries whose observed maximum exceeded ``ceil(|R(q)|/M)``."""
+        return [o for o in self.observations if not o.strict_optimal]
+
+    @property
+    def disagreements(self) -> list[ObservedQuery]:
+        """Observations the closed-form engine does not confirm."""
+        return [o for o in self.observations if not o.agrees]
+
+    @property
+    def all_strict_optimal(self) -> bool:
+        return not self.violations
+
+    @property
+    def consistent(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        return (
+            f"{self.method_name}: {self.queries} queries replayed, "
+            f"{self.queries - len(self.violations)} strict optimal from "
+            f"telemetry, {len(self.disagreements)} closed-form disagreements"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "method": self.method_name,
+            "queries": self.queries,
+            "violations": [
+                {
+                    "query": o.query,
+                    "observed_max": o.observed_max,
+                    "bound": o.bound,
+                }
+                for o in self.violations
+            ],
+            "disagreements": [o.query for o in self.disagreements],
+            "all_strict_optimal": self.all_strict_optimal,
+            "consistent": self.consistent,
+        }
+
+
+class ObservedOptimalityChecker:
+    """Replays queries and judges optimality from the emitted spans.
+
+    >>> from repro.core.fx import FXDistribution
+    >>> from repro.hashing.fields import FileSystem
+    >>> from repro.query.partial_match import PartialMatchQuery
+    >>> fs = FileSystem.of(2, 2, 2, m=8)
+    >>> checker = ObservedOptimalityChecker(FXDistribution(fs))
+    >>> report = checker.replay([PartialMatchQuery.from_dict(fs, {0: 1})])
+    >>> report.all_strict_optimal and report.consistent
+    True
+    """
+
+    def __init__(self, method, telemetry=None):
+        if telemetry is None:
+            from repro.obs import telemetry as global_telemetry
+
+            telemetry = global_telemetry()
+        self.method = method
+        self.telemetry = telemetry
+
+    def replay(self, queries) -> ObservedCheckReport:
+        """Execute *queries* against an (empty) partitioned file and check.
+
+        Record contents are irrelevant to the bound — qualified bucket
+        counts come from inverse mapping, not from stored data — so the
+        replay file needs no inserts.
+        """
+        from repro.storage.executor import QueryExecutor
+        from repro.storage.parallel_file import PartitionedFile
+
+        if not self.telemetry.enabled:
+            raise AnalysisError(
+                "telemetry is disabled; the observed checker reads spans "
+                "(configure(enabled=True) first)"
+            )
+        queries = list(queries)
+        if len(queries) > self.telemetry.events.capacity:
+            raise AnalysisError(
+                f"trace of {len(queries)} queries cannot fit the event log "
+                f"(capacity {self.telemetry.events.capacity}); raise it"
+            )
+        executor = QueryExecutor(PartitionedFile(self.method))
+        appended_before = self.telemetry.events.appended
+        for query in queries:
+            executor.execute(query)
+        new_count = self.telemetry.events.appended - appended_before
+        new_records = (
+            self.telemetry.events.records()[-new_count:] if new_count else []
+        )
+        observed_spans = [
+            record
+            for record in new_records
+            if record["type"] == "span" and record["name"] == "query.execute"
+        ]
+        if len(observed_spans) != len(queries):
+            raise AnalysisError(
+                f"expected {len(queries)} query.execute spans, telemetry "
+                f"retained {len(observed_spans)}; event log too small?"
+            )
+
+        m = self.method.filesystem.m
+        report = ObservedCheckReport(
+            method_name=self.method.name or type(self.method).__name__
+        )
+        for query, span in zip(queries, observed_spans):
+            attrs = span["attrs"]
+            observed = tuple(attrs["buckets_per_device"])
+            qualified = attrs["qualified"]
+            report.observations.append(
+                ObservedQuery(
+                    query=attrs["query"],
+                    qualified=qualified,
+                    bound=ceil_div(qualified, m),
+                    observed_per_device=observed,
+                    closed_form_per_device=tuple(
+                        self.method.response_histogram(query)
+                    ),
+                )
+            )
+        return report

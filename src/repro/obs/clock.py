@@ -1,0 +1,85 @@
+"""Injectable clocks for the telemetry layer.
+
+Every timestamp the observability subsystem records comes from one clock
+object, so tests and golden files can swap the wall clock for a
+:class:`ManualClock` and get byte-identical output across runs.  Clocks
+speak seconds (like :func:`time.perf_counter`); the telemetry layer
+converts to milliseconds at the edges where humans read the numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "ManualClock",
+    "process_clock",
+    "set_process_clock",
+    "now",
+]
+
+
+class Clock:
+    """Interface: anything with a ``now() -> float`` (seconds)."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """The real monotonic clock (default in production paths)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock(Clock):
+    """A deterministic clock that advances a fixed *step* per reading.
+
+    Two telemetry runs that make the same sequence of clock reads therefore
+    produce identical timestamps — the property the golden-file and
+    byte-identical-export tests are built on.
+
+    >>> clock = ManualClock(step=0.5)
+    >>> clock.now(), clock.now(), clock.now()
+    (0.0, 0.5, 1.0)
+    """
+
+    def __init__(self, start: float = 0.0, step: float = 0.001):
+        self._next = float(start)
+        self.step = float(step)
+
+    def now(self) -> float:
+        current = self._next
+        self._next += self.step
+        return current
+
+    def advance(self, seconds: float) -> None:
+        """Jump the clock forward without consuming a reading."""
+        self._next += float(seconds)
+
+
+#: The clock every telemetry timestamp and engine timing read comes from.
+#: Swapped by ``repro.obs.configure(clock=...)``; engine code that needs a
+#: duration calls :func:`now` instead of ``time.perf_counter`` so that a
+#: deterministic run stays deterministic down to the perf-counter seconds.
+_PROCESS_CLOCK: Clock = MonotonicClock()
+
+
+def process_clock() -> Clock:
+    """The current process-wide clock."""
+    return _PROCESS_CLOCK
+
+
+def set_process_clock(clock: Clock) -> Clock:
+    """Install *clock* as the process-wide clock; returns it."""
+    global _PROCESS_CLOCK
+    _PROCESS_CLOCK = clock
+    return clock
+
+
+def now() -> float:
+    """One reading of the process-wide clock (seconds)."""
+    return _PROCESS_CLOCK.now()

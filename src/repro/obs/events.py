@@ -1,0 +1,188 @@
+"""Structured event log: every finished span and metrics sample, in order.
+
+The :class:`EventLog` is an append-only bounded ring of plain dicts.  Each
+record is one JSON object; :meth:`EventLog.to_jsonl` serialises the log to
+JSON Lines with sorted keys and compact separators, so two runs that record
+the same telemetry (e.g. under a :class:`~repro.obs.clock.ManualClock`)
+export byte-identical files.
+
+JSONL schema (documented in ``docs/usage.md`` and enforced by
+:func:`validate_record` / the ``obs export --validate`` CLI path):
+
+``{"type": "span", "id": int, "parent": int | null, "name": str,
+"start_ms": float, "end_ms": float, "duration_ms": float,
+"attrs": {str: scalar}, "events": [{"name": str, "at_ms": float,
+"attrs": {...}}]}``
+
+``{"type": "metrics", "counters": {...}, "gauges": {...},
+"histograms": {name: {count, sum, min, max, p50, p95, p99}},
+"perf": {name: {hits, misses, events, seconds}}}``
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = [
+    "EventLog",
+    "jsonl_line",
+    "validate_record",
+    "validate_jsonl",
+]
+
+#: Default ring capacity: enough for every span of a sizeable replay while
+#: bounding memory for long-lived processes.
+DEFAULT_CAPACITY = 65_536
+
+
+class EventLog:
+    """Bounded, thread-safe, append-only log of telemetry records."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._records: deque[dict] = deque(maxlen=capacity)
+        #: Total appends ever, including records the ring has evicted.
+        self.appended = 0
+
+    def append(self, record: dict) -> None:
+        with self._lock:
+            self._records.append(record)
+            self.appended += 1
+
+    def records(self) -> list[dict]:
+        """Snapshot of the retained records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def tail(self, count: int) -> list[dict]:
+        """The most recent *count* records, oldest of them first."""
+        with self._lock:
+            if count <= 0:
+                return []
+            return list(self._records)[-count:]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.appended = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_jsonl(self, extra: Iterable[dict] = ()) -> str:
+        """The whole log (plus *extra* records) as canonical JSON Lines."""
+        lines = [jsonl_line(record) for record in self.records()]
+        lines.extend(jsonl_line(record) for record in extra)
+        return "".join(lines)
+
+    def write_jsonl(self, path: str | Path, extra: Iterable[dict] = ()) -> int:
+        """Write the log to *path*; returns the number of lines written."""
+        text = self.to_jsonl(extra)
+        Path(path).write_text(text, encoding="utf-8")
+        return text.count("\n")
+
+
+def jsonl_line(record: dict) -> str:
+    """One canonical JSONL line: sorted keys, compact separators."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Schema validation (used by ``obs export --validate`` and CI obs-smoke)
+# ----------------------------------------------------------------------
+_SPAN_REQUIRED = {
+    "type": str,
+    "id": int,
+    "name": str,
+    "start_ms": (int, float),
+    "end_ms": (int, float),
+    "duration_ms": (int, float),
+    "attrs": dict,
+    "events": list,
+}
+_METRICS_REQUIRED = {
+    "type": str,
+    "counters": dict,
+    "gauges": dict,
+    "histograms": dict,
+    "perf": dict,
+}
+_HISTOGRAM_KEYS = {"count", "sum", "min", "max", "p50", "p95", "p99"}
+_PERF_KEYS = {"hits", "misses", "events", "seconds"}
+
+
+def validate_record(record: dict) -> None:
+    """Raise :class:`~repro.errors.ReproError` unless *record* fits the schema."""
+    if not isinstance(record, dict):
+        raise ReproError(f"telemetry record is not an object: {record!r}")
+    kind = record.get("type")
+    if kind == "span":
+        _require(record, _SPAN_REQUIRED)
+        if record["duration_ms"] < 0:
+            raise ReproError(f"span {record['name']!r} has negative duration")
+        parent = record.get("parent")
+        if parent is not None and not isinstance(parent, int):
+            raise ReproError(f"span parent must be int or null: {parent!r}")
+        for event in record["events"]:
+            if not isinstance(event, dict) or not isinstance(
+                event.get("name"), str
+            ) or not isinstance(event.get("at_ms"), (int, float)) or not isinstance(
+                event.get("attrs"), dict
+            ):
+                raise ReproError(f"malformed span event: {event!r}")
+    elif kind == "metrics":
+        _require(record, _METRICS_REQUIRED)
+        for name, summary in record["histograms"].items():
+            if not isinstance(summary, dict) or set(summary) != _HISTOGRAM_KEYS:
+                raise ReproError(f"malformed histogram summary {name!r}: {summary!r}")
+        for name, perf in record["perf"].items():
+            if not isinstance(perf, dict) or set(perf) != _PERF_KEYS:
+                raise ReproError(f"malformed perf entry {name!r}: {perf!r}")
+    else:
+        raise ReproError(f"unknown telemetry record type: {kind!r}")
+
+
+def _require(record: dict, spec: dict) -> None:
+    for key, types in spec.items():
+        if key not in record:
+            raise ReproError(
+                f"telemetry record missing {key!r}: {sorted(record)}"
+            )
+        if not isinstance(record[key], types) or isinstance(record[key], bool):
+            raise ReproError(
+                f"telemetry record field {key!r} has wrong type: "
+                f"{record[key]!r}"
+            )
+
+
+def validate_jsonl(text: str) -> int:
+    """Validate a whole JSONL document; returns the record count."""
+    count = 0
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"line {line_number} is not valid JSON: {error}"
+            ) from None
+        try:
+            validate_record(record)
+        except ReproError as error:
+            raise ReproError(f"line {line_number}: {error}") from None
+        count += 1
+    return count

@@ -5,12 +5,17 @@ bulk path (vectorised inverse mapping, batch planner) records into a named
 :class:`PerfCounter`.  Counters are deliberately simple — integers behind
 one lock — so instrumenting a hot path costs nanoseconds and never changes
 results.  ``python -m repro perf report`` renders the registry as a table.
+
+Since the unified telemetry layer landed, the backing store is the shared
+:class:`~repro.obs.metrics.MetricsRegistry` (``repro.obs.default_registry``):
+this module is now a thin facade whose public API is unchanged, while
+``obs report`` / ``obs export`` see the perf counters alongside the span
+histograms in one place.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
+from repro.obs.metrics import PerfCounter, default_registry
 
 __all__ = [
     "PerfCounter",
@@ -24,108 +29,57 @@ __all__ = [
 ]
 
 
-@dataclass
-class PerfCounter:
-    """Hit/miss and throughput tallies of one cache or fast path.
-
-    ``hits``/``misses`` count cache lookups; ``events`` counts units of
-    work done (e.g. buckets enumerated) over ``seconds`` of measured time,
-    so ``rate`` is a throughput in events per second.
-    """
-
-    name: str
-    hits: int = 0
-    misses: int = 0
-    events: int = 0
-    seconds: float = 0.0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from cache, in [0, 1]."""
-        if self.lookups == 0:
-            return 0.0
-        return self.hits / self.lookups
-
-    @property
-    def rate(self) -> float:
-        """Events per second over the measured time (0 when unmeasured)."""
-        if self.seconds <= 0.0:
-            return 0.0
-        return self.events / self.seconds
-
-
-_LOCK = threading.Lock()
-_REGISTRY: dict[str, PerfCounter] = {}
-
-
 def counter(name: str) -> PerfCounter:
     """The named counter, created on first use."""
-    with _LOCK:
-        found = _REGISTRY.get(name)
-        if found is None:
-            found = PerfCounter(name)
-            _REGISTRY[name] = found
-        return found
+    return default_registry().perf_counter(name)
 
 
 def record_hit(name: str, count: int = 1) -> None:
-    with _LOCK:
-        _REGISTRY.setdefault(name, PerfCounter(name)).hits += count
+    default_registry().record_perf_hit(name, count)
 
 
 def record_miss(name: str, count: int = 1) -> None:
-    with _LOCK:
-        _REGISTRY.setdefault(name, PerfCounter(name)).misses += count
+    default_registry().record_perf_miss(name, count)
 
 
 def record_work(name: str, events: int, seconds: float = 0.0) -> None:
     """Add *events* units of work (and optionally measured *seconds*)."""
-    with _LOCK:
-        found = _REGISTRY.setdefault(name, PerfCounter(name))
-        found.events += events
-        found.seconds += seconds
+    default_registry().record_perf_work(name, events, seconds)
 
 
 def reset_counters() -> None:
     """Zero the registry (tests and repeated CLI runs)."""
-    with _LOCK:
-        _REGISTRY.clear()
+    default_registry().reset_perf()
 
 
 def snapshot() -> dict[str, PerfCounter]:
     """A point-in-time copy of every counter, keyed by name."""
-    with _LOCK:
-        return {
-            name: PerfCounter(
-                name=c.name,
-                hits=c.hits,
-                misses=c.misses,
-                events=c.events,
-                seconds=c.seconds,
-            )
-            for name, c in _REGISTRY.items()
-        }
+    return default_registry().snapshot().perf
 
 
 def render_report(title: str = "Engine perf counters") -> str:
-    """Render every counter as a table (empty registry included)."""
+    """Render every counter as a table (empty registry included).
+
+    Rows come from one atomic :func:`snapshot`, so a render racing
+    concurrent updates still prints a consistent point-in-time view
+    instead of interleaving per-row reads of a moving registry.
+    """
     from repro.util.tables import format_table
 
+    captured = snapshot()
     rows = []
-    for name in sorted(_REGISTRY):
-        c = counter(name)
+    for name in sorted(captured):
+        c = captured[name]
+        hit_rate = c.hit_rate_or_none
+        rate = c.rate_or_none
         rows.append(
             [
                 name,
                 c.hits,
                 c.misses,
-                f"{100 * c.hit_rate:.1f}%" if c.lookups else "-",
+                "-" if hit_rate is None else f"{100 * hit_rate:.1f}%",
                 c.events,
-                f"{c.rate:,.0f}/s" if c.seconds > 0 else "-",
+                "-" if rate is None else f"{rate:,.0f}/s",
             ]
         )
     if not rows:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.hashing.fields import Bucket
+from repro.obs import telemetry, trace_span
 from repro.perf.counters import record_work
 from repro.query.partial_match import PartialMatchQuery
 from repro.runtime.faults import FaultInjector, FaultPlan
@@ -141,55 +142,91 @@ class DegradedExecutor:
         records_by_primary: dict[int, list[object]] = {}
         to_failover: list[tuple[int, list[Bucket]]] = []
 
-        for device_id in range(m):
-            assigned = assigned_to(device_id)
-            if not assigned:
-                records_by_primary[device_id] = []
-                continue
-            if self.injector.is_failed(device_id):
-                to_failover.append((device_id, assigned))
-                continue
-            attempts, succeeded = self._attempts_for(device_id, seq)
-            result.retries += attempts - 1
-            batch_ms = self._batch_time(device_id, len(assigned))
-            elapsed = attempts * batch_ms + self.retry.total_backoff_ms(attempts)
-            if not succeeded or self.retry.exceeds_timeout(elapsed):
-                result.timeouts += 1
-                timeout = self.retry.timeout_ms
-                device_time[device_id] = (
-                    min(elapsed, timeout) if timeout is not None else elapsed
+        with trace_span(
+            "runtime.query", query=query.describe(), qualified=qualified_count
+        ) as span:
+            for device_id in range(m):
+                assigned = assigned_to(device_id)
+                if not assigned:
+                    records_by_primary[device_id] = []
+                    continue
+                if self.injector.is_failed(device_id):
+                    to_failover.append((device_id, assigned))
+                    continue
+                attempts, succeeded = self._attempts_for(device_id, seq)
+                result.retries += attempts - 1
+                if attempts > 1:
+                    span.add_event(
+                        "retry", device=device_id, attempts=attempts
+                    )
+                batch_ms = self._batch_time(device_id, len(assigned))
+                elapsed = attempts * batch_ms + self.retry.total_backoff_ms(attempts)
+                if not succeeded or self.retry.exceeds_timeout(elapsed):
+                    result.timeouts += 1
+                    span.add_event(
+                        "timeout",
+                        device=device_id,
+                        buckets=len(assigned),
+                        elapsed_ms=round(elapsed, 6),
+                    )
+                    timeout = self.retry.timeout_ms
+                    device_time[device_id] = (
+                        min(elapsed, timeout) if timeout is not None else elapsed
+                    )
+                    to_failover.append((device_id, assigned))
+                    continue
+                device_time[device_id] = elapsed
+                served_per_device[device_id] += len(assigned)
+                records_by_primary[device_id] = self.file.devices[
+                    device_id
+                ].read_buckets(assigned)
+
+            for primary, buckets in to_failover:
+                backup = self._backup_for(primary)
+                if backup is None:
+                    result.lost_buckets += len(buckets)
+                    span.add_event(
+                        "data_loss", device=primary, buckets=len(buckets)
+                    )
+                    records_by_primary[primary] = []
+                    continue
+                result.failovers += len(buckets)
+                span.add_event(
+                    "failover",
+                    device=primary,
+                    backup=backup,
+                    buckets=len(buckets),
                 )
-                to_failover.append((device_id, assigned))
-                continue
-            device_time[device_id] = elapsed
-            served_per_device[device_id] += len(assigned)
-            records_by_primary[device_id] = self.file.devices[
-                device_id
-            ].read_buckets(assigned)
+                served_per_device[backup] += len(buckets)
+                device_time[backup] += self._batch_time(backup, len(buckets))
+                records_by_primary[primary] = self.file.devices[
+                    backup
+                ].read_buckets(buckets)
 
-        for primary, buckets in to_failover:
-            backup = self._backup_for(primary)
-            if backup is None:
-                result.lost_buckets += len(buckets)
-                records_by_primary[primary] = []
-                continue
-            result.failovers += len(buckets)
-            served_per_device[backup] += len(buckets)
-            device_time[backup] += self._batch_time(backup, len(buckets))
-            records_by_primary[primary] = self.file.devices[
-                backup
-            ].read_buckets(buckets)
-
-        for device_id in range(m):
-            result.records.extend(records_by_primary.get(device_id, []))
-        result.buckets_per_device = served_per_device
-        result.largest_response = max(served_per_device, default=0)
-        result.response_time_ms = max(device_time, default=0.0)
-        result.total_service_ms = sum(device_time)
-        bound = ceil_div(qualified_count, m)
-        result.strict_optimal = result.largest_response <= bound
-        if qualified_count:
-            result.completeness = 1.0 - result.lost_buckets / qualified_count
+            for device_id in range(m):
+                result.records.extend(records_by_primary.get(device_id, []))
+            result.buckets_per_device = served_per_device
+            result.largest_response = max(served_per_device, default=0)
+            result.response_time_ms = max(device_time, default=0.0)
+            result.total_service_ms = sum(device_time)
+            bound = ceil_div(qualified_count, m)
+            result.strict_optimal = result.largest_response <= bound
+            if qualified_count:
+                result.completeness = 1.0 - result.lost_buckets / qualified_count
+            if result.completeness < 1.0:
+                span.add_event(
+                    "degraded", completeness=round(result.completeness, 6)
+                )
+            span.set_attr("buckets_per_device", list(served_per_device))
+            span.set_attr("completeness", round(result.completeness, 6))
+            span.set_attr("retries", result.retries)
+            span.set_attr("timeouts", result.timeouts)
+            span.set_attr("failovers", result.failovers)
+            span.set_attr("lost_buckets", result.lost_buckets)
+            span.set_attr("response_ms", round(result.response_time_ms, 6))
+        metrics = telemetry().metrics
+        metrics.observe("runtime.response_ms", result.response_time_ms)
+        metrics.observe("runtime.completeness", result.completeness)
         self._record_counters(result)
         return result
 

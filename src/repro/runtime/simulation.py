@@ -82,6 +82,8 @@ class FaultAwareQuerySimulator(ParallelQuerySimulator):
 
     def run(self, arrivals: Iterable[QueryArrival]) -> SimulationReport:
         """Process *arrivals* to completion under the fault plan."""
+        from repro.obs import telemetry, trace_span
+
         ordered = sorted(arrivals, key=lambda a: a.arrival_ms)
         m = self.method.filesystem.m
         device_free_at = [0.0] * m
@@ -91,6 +93,31 @@ class FaultAwareQuerySimulator(ParallelQuerySimulator):
             failed_devices=tuple(sorted(self.plan.failed_devices)),
         )
 
+        with trace_span(
+            "simulate.faulty_run",
+            method=self.method.name or type(self.method).__name__,
+            queries=len(ordered),
+            plan=self.plan.describe(),
+        ) as span:
+            self._run_faulty_stream(
+                ordered, device_free_at, device_busy, report
+            )
+            span.set_attr("makespan_ms", round(report.makespan_ms, 6))
+            span.set_attr("failovers", report.failovers)
+            span.set_attr("lost_buckets", report.lost_buckets)
+            span.set_attr(
+                "mean_completeness", round(report.mean_completeness, 6)
+            )
+        metrics = telemetry().metrics
+        for simulated in report.queries:
+            metrics.observe("simulate.latency_ms", simulated.latency_ms)
+            metrics.observe("runtime.completeness", simulated.completeness)
+        self._record_counters(report)
+        return report
+
+    def _run_faulty_stream(
+        self, ordered, device_free_at, device_busy, report
+    ) -> None:
         for query_index, arrival in enumerate(ordered):
             if arrival.arrival_ms < 0:
                 raise ConfigurationError("arrival times must be non-negative")
@@ -127,8 +154,6 @@ class FaultAwareQuerySimulator(ParallelQuerySimulator):
             )
             report.makespan_ms = max(report.makespan_ms, completion)
         report.device_busy_ms = device_busy
-        self._record_counters(report)
-        return report
 
     # ------------------------------------------------------------------
     # Fault mechanics

@@ -19,7 +19,6 @@ instead of a tuple-at-a-time Python loop.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -103,7 +102,10 @@ class BatchPlanner:
                 raise QueryError(
                     "batch contains a query for a different file system"
                 )
-        started = time.perf_counter()
+        from repro.obs import trace_span
+        from repro.obs.clock import now as _now
+
+        started = _now()
         separable = isinstance(self.method, SeparableMethod)
 
         pattern_groups: dict[frozenset[int], list[int]] = {}
@@ -115,6 +117,33 @@ class BatchPlanner:
             pattern_groups=pattern_groups,
             naive_bucket_reads=sum(q.qualified_count for q in queries),
         )
+        planned_buckets = 0
+        span_cm = trace_span(
+            "batch.plan",
+            queries=len(queries),
+            pattern_groups=len(pattern_groups),
+            separable=separable,
+        )
+        with span_cm as span:
+            planned_buckets = self._plan_groups(
+                plan, queries, pattern_groups, separable
+            )
+            span.set_attr("planned_buckets", planned_buckets)
+            span.set_attr("bucket_reads", plan.bucket_reads)
+            span.set_attr(
+                "reads_saved", plan.naive_bucket_reads - plan.bucket_reads
+            )
+        from repro.perf.counters import record_work
+
+        record_work(
+            "batch_plan", planned_buckets, _now() - started
+        )
+        return plan
+
+    def _plan_groups(
+        self, plan, queries, pattern_groups, separable
+    ) -> int:
+        fs = self.method.filesystem
         planned_buckets = 0
         for pattern, group in pattern_groups.items():
             if separable:
@@ -154,12 +183,7 @@ class BatchPlanner:
                             device_map.setdefault(bucket, []).append(
                                 query_index
                             )
-        from repro.perf.counters import record_work
-
-        record_work(
-            "batch_plan", planned_buckets, time.perf_counter() - started
-        )
-        return plan
+        return planned_buckets
 
 
 class BatchExecutor:

@@ -101,6 +101,12 @@ class SimulatedDevice:
         self.stats.bucket_reads += len(buckets)
         self.stats.records_returned += len(records)
         self.stats.busy_time_ms += self.cost_model.service_time(cost_units)
+        if buckets:
+            from repro.obs import telemetry
+
+            metrics = telemetry().metrics
+            metrics.add("storage.bucket_reads", len(buckets))
+            metrics.add("storage.records_returned", len(records))
         return records
 
     @property

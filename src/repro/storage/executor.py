@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.hashing.fields import Bucket
+from repro.obs import telemetry, trace_span
 from repro.query.partial_match import PartialMatchQuery
 from repro.storage.parallel_file import PartitionedFile
 from repro.util.numbers import ceil_div
@@ -103,15 +104,35 @@ class QueryExecutor:
 
     def _run(self, query, qualified_count: int, assigned_to) -> ExecutionResult:
         result = ExecutionResult(query=query)
-        for device in self.file.devices:
-            assigned = assigned_to(device.device_id)
-            records = device.read_buckets(assigned)
-            service = device.cost_model.service_time(len(assigned))
-            result.records.extend(records)
-            result.buckets_per_device.append(len(assigned))
-            result.total_service_ms += service
-            result.response_time_ms = max(result.response_time_ms, service)
-        result.largest_response = max(result.buckets_per_device, default=0)
-        bound = ceil_div(qualified_count, self.file.filesystem.m)
-        result.strict_optimal = result.largest_response <= bound
+        with trace_span(
+            "query.execute", query=query.describe(), qualified=qualified_count
+        ) as span:
+            for device in self.file.devices:
+                assigned = assigned_to(device.device_id)
+                records = device.read_buckets(assigned)
+                service = device.cost_model.service_time(len(assigned))
+                result.records.extend(records)
+                result.buckets_per_device.append(len(assigned))
+                result.total_service_ms += service
+                result.response_time_ms = max(result.response_time_ms, service)
+                span.add_event(
+                    "device",
+                    device=device.device_id,
+                    buckets=len(assigned),
+                    service_ms=round(service, 6),
+                )
+            result.largest_response = max(result.buckets_per_device, default=0)
+            bound = ceil_div(qualified_count, self.file.filesystem.m)
+            result.strict_optimal = result.largest_response <= bound
+            # The paper's metric, observed: per-device qualified buckets and
+            # the modelled response, straight into the telemetry store.
+            span.set_attr("buckets_per_device", list(result.buckets_per_device))
+            span.set_attr("largest_response", result.largest_response)
+            span.set_attr("strict_optimal", result.strict_optimal)
+            span.set_attr("response_ms", round(result.response_time_ms, 6))
+        metrics = telemetry().metrics
+        metrics.add("query.executed")
+        metrics.add("query.buckets_read", sum(result.buckets_per_device))
+        metrics.observe("query.response_ms", result.response_time_ms)
+        metrics.observe("query.largest_response", result.largest_response)
         return result

@@ -74,8 +74,12 @@ class PartitionedFile:
         return bucket
 
     def insert_all(self, records: Sequence[Sequence[object]]) -> None:
-        for record in records:
-            self.insert(record)
+        from repro.obs import telemetry, trace_span
+
+        with trace_span("storage.insert_all", records=len(records)):
+            for record in records:
+                self.insert(record)
+        telemetry().metrics.add("storage.inserts", len(records))
 
     def delete(self, record: Sequence[object]) -> bool:
         """Remove one stored copy of *record*; ``True`` when found."""

@@ -182,12 +182,32 @@ class ParallelQuerySimulator:
 
     def run(self, arrivals: Iterable[QueryArrival]) -> SimulationReport:
         """Process *arrivals* (sorted by time internally) to completion."""
+        from repro.obs import telemetry, trace_span
+
         ordered = sorted(arrivals, key=lambda a: a.arrival_ms)
         m = self.method.filesystem.m
         device_free_at = [0.0] * m
         device_busy = [0.0] * m
         report = SimulationReport(device_busy_ms=[0.0] * m)
 
+        with trace_span(
+            "simulate.run",
+            method=self.method.name or type(self.method).__name__,
+            queries=len(ordered),
+        ) as span:
+            self._run_stream(ordered, device_free_at, device_busy, report)
+            span.set_attr("makespan_ms", round(report.makespan_ms, 6))
+            span.set_attr(
+                "mean_latency_ms", round(report.mean_latency_ms, 6)
+            )
+        metrics = telemetry().metrics
+        for simulated in report.queries:
+            metrics.observe("simulate.latency_ms", simulated.latency_ms)
+        return report
+
+    def _run_stream(
+        self, ordered, device_free_at, device_busy, report
+    ) -> None:
         for arrival in ordered:
             if arrival.arrival_ms < 0:
                 raise ConfigurationError("arrival times must be non-negative")
@@ -217,7 +237,6 @@ class ParallelQuerySimulator:
             )
             report.makespan_ms = max(report.makespan_ms, completion)
         report.device_busy_ms = device_busy
-        return report
 
     def _histogram_of(self, query) -> list[int]:
         """Per-device load of one workload element (partial match or box)."""

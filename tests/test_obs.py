@@ -1,0 +1,457 @@
+"""Tests for the unified telemetry layer (``repro.obs``).
+
+Covers the injectable clocks, span tracing and nesting, the metrics
+registry (including the folded perf counters), the structured event log
+and its JSONL schema, the byte-identical deterministic export, the
+telemetry-driven optimality checker, and the ``repro obs`` CLI group.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.fx import FXDistribution
+from repro.core.optimality import optimality_report
+from repro.distribution.modulo import ModuloDistribution
+from repro.errors import AnalysisError, ReproError
+from repro.hashing.fields import FileSystem
+from repro.obs import (
+    EventLog,
+    Histogram,
+    ManualClock,
+    MetricsRegistry,
+    MonotonicClock,
+    ObservedOptimalityChecker,
+    Telemetry,
+    jsonl_line,
+    telemetry,
+    trace_span,
+    validate_jsonl,
+    validate_record,
+)
+from repro.perf import (
+    counter,
+    record_hit,
+    record_miss,
+    record_work,
+    render_report,
+    reset_counters,
+    snapshot,
+)
+from repro.query.partial_match import PartialMatchQuery
+from repro.query.patterns import all_patterns, queries_for_pattern
+from repro.storage.executor import QueryExecutor
+from repro.storage.parallel_file import PartitionedFile
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    obs.configure(enabled=True, clock=MonotonicClock(), reset=True)
+    yield
+    obs.configure(enabled=True, clock=MonotonicClock(), reset=True)
+
+
+# ----------------------------------------------------------------------
+# Clocks
+# ----------------------------------------------------------------------
+class TestClocks:
+    def test_manual_clock_fixed_step(self):
+        clock = ManualClock(step=0.5)
+        assert (clock.now(), clock.now(), clock.now()) == (0.0, 0.5, 1.0)
+
+    def test_manual_clock_advance(self):
+        clock = ManualClock(start=1.0, step=0.001)
+        clock.advance(2.0)
+        assert clock.now() == pytest.approx(3.0)
+
+    def test_monotonic_clock_moves_forward(self):
+        clock = MonotonicClock()
+        assert clock.now() <= clock.now()
+
+    def test_process_clock_follows_configure(self):
+        obs.configure(clock=ManualClock(start=5.0, step=0.0))
+        assert obs.clock.now() == pytest.approx(5.0)
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_span_records_name_attrs_and_duration(self):
+        t = Telemetry(clock=ManualClock(step=0.001))
+        with t.tracer.span("work", kind="test") as span:
+            span.set_attr("extra", 7)
+            span.add_event("tick", n=1)
+        [record] = t.events.records()
+        assert record["name"] == "work"
+        assert record["attrs"] == {"kind": "test", "extra": 7}
+        assert record["duration_ms"] == pytest.approx(1.0)
+        assert record["events"] == [
+            {"name": "tick", "at_ms": pytest.approx(2.0), "attrs": {"n": 1}}
+        ]
+
+    def test_nested_spans_link_parents(self):
+        t = Telemetry(clock=ManualClock())
+        with t.tracer.span("outer") as outer:
+            with t.tracer.span("inner"):
+                assert t.tracer.current().name == "inner"
+            assert t.tracer.current() is outer
+        inner, outer_rec = t.events.records()
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer_rec["id"]
+        assert outer_rec["parent"] is None
+
+    def test_span_ids_sequential_and_reset(self):
+        t = Telemetry(clock=ManualClock())
+        with t.tracer.span("a"):
+            pass
+        with t.tracer.span("b"):
+            pass
+        ids = [r["id"] for r in t.events.records()]
+        assert ids == [1, 2]
+        t.reset()
+        with t.tracer.span("c"):
+            pass
+        assert t.events.records()[0]["id"] == 1
+
+    def test_disabled_tracer_is_a_noop(self):
+        t = Telemetry(clock=ManualClock(), enabled=False)
+        with t.tracer.span("invisible") as span:
+            span.set_attr("k", 1)
+            span.add_event("e")
+        assert len(t.events) == 0
+        assert t.metrics.snapshot().histograms == {}
+
+    def test_span_duration_lands_in_histogram(self):
+        t = Telemetry(clock=ManualClock(step=0.002))
+        with t.tracer.span("timed"):
+            pass
+        histogram = t.metrics.snapshot().histograms["span.timed.ms"]
+        assert histogram.count == 1
+        assert histogram.max == pytest.approx(2.0)
+
+    def test_global_trace_span_appends_to_global_log(self):
+        with trace_span("global.test", x=1):
+            pass
+        names = [r["name"] for r in telemetry().events.records()]
+        assert "global.test" in names
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestHistogram:
+    def test_quantiles_resolve_to_upper_edge(self):
+        h = Histogram("h", boundaries=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.7, 5.0, 50.0):
+            h.observe(value)
+        assert h.quantile(0.50) == pytest.approx(1.0)
+        assert h.quantile(0.95) == pytest.approx(100.0)
+        assert h.min == pytest.approx(0.5)
+        assert h.max == pytest.approx(50.0)
+        assert h.sum == pytest.approx(56.2)
+
+    def test_overflow_bucket_reports_exact_max(self):
+        h = Histogram("h", boundaries=(1.0,))
+        h.observe(123.0)
+        assert h.quantile(0.99) == pytest.approx(123.0)
+
+    def test_empty_histogram_quantile_is_none(self):
+        h = Histogram("h")
+        assert h.quantile(0.5) is None
+        assert h.summary()["count"] == 0
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", boundaries=(2.0, 1.0))
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.add("c", 3)
+        registry.add("c")
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 0.2)
+        snap = registry.snapshot()
+        assert snap.counters["c"] == 4
+        assert snap.gauges["g"] == pytest.approx(1.5)
+        assert snap.histograms["h"].count == 1
+
+    def test_unmeasured_gauge_snapshots_as_none(self):
+        registry = MetricsRegistry()
+        registry.gauge("pending")
+        assert registry.snapshot().gauges["pending"] is None
+
+    def test_snapshot_is_a_copy(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0)
+        snap = registry.snapshot()
+        registry.observe("h", 2.0)
+        assert snap.histograms["h"].count == 1
+        assert registry.snapshot().histograms["h"].count == 2
+
+    def test_to_dict_sorts_keys(self):
+        registry = MetricsRegistry()
+        registry.add("zeta")
+        registry.add("alpha")
+        assert list(registry.snapshot().to_dict()["counters"]) == [
+            "alpha", "zeta",
+        ]
+
+
+class TestPerfFold:
+    """The legacy ``repro.perf.counters`` API records into the registry."""
+
+    def test_perf_api_visible_in_obs_snapshot(self):
+        reset_counters()
+        record_hit("fold_check", 2)
+        record_miss("fold_check")
+        record_work("fold_check", events=10, seconds=0.5)
+        perf = telemetry().metrics.snapshot().perf["fold_check"]
+        assert (perf.hits, perf.misses, perf.events) == (2, 1, 10)
+        assert counter("fold_check") is not None
+        assert snapshot()["fold_check"].hits == 2
+
+    def test_none_aware_accessors(self):
+        reset_counters()
+        c = counter("untouched")
+        assert c.hit_rate_or_none is None
+        assert c.rate_or_none is None
+        assert not c.measured
+        assert c.hit_rate == 0.0 and c.rate == 0.0
+        record_hit("untouched")
+        assert counter("untouched").hit_rate_or_none == pytest.approx(1.0)
+        assert counter("untouched").measured
+
+    def test_render_report_prints_dash_for_unmeasured(self):
+        reset_counters()
+        record_work("dash_check", events=5, seconds=0.0)
+        text = render_report()
+        line = next(l for l in text.splitlines() if "dash_check" in l)
+        assert "-" in line  # no lookups and no measured seconds
+
+    def test_reset_counters_leaves_other_metrics(self):
+        telemetry().metrics.add("survivor")
+        record_hit("doomed")
+        reset_counters()
+        snap = telemetry().metrics.snapshot()
+        assert "doomed" not in snap.perf
+        assert snap.counters["survivor"] == 1
+
+
+# ----------------------------------------------------------------------
+# Event log and schema
+# ----------------------------------------------------------------------
+class TestEventLog:
+    def test_ring_evicts_but_counts_all_appends(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.append({"i": i})
+        assert len(log) == 3
+        assert log.appended == 5
+        assert [r["i"] for r in log.records()] == [2, 3, 4]
+
+    def test_tail(self):
+        log = EventLog()
+        for i in range(4):
+            log.append({"i": i})
+        assert [r["i"] for r in log.tail(2)] == [2, 3]
+        assert log.tail(0) == []
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_jsonl_line_is_canonical(self):
+        assert jsonl_line({"b": 1, "a": 2}) == '{"a":2,"b":1}\n'
+
+
+class TestSchema:
+    def _span_record(self):
+        t = Telemetry(clock=ManualClock())
+        with t.tracer.span("s", k=1) as span:
+            span.add_event("e", n=2)
+        return t.events.records()[0]
+
+    def test_valid_span_and_metrics_records_pass(self):
+        validate_record(self._span_record())
+        metrics = telemetry().metrics.snapshot().to_dict()
+        metrics["type"] = "metrics"
+        validate_record(metrics)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError):
+            validate_record({"type": "mystery"})
+
+    def test_missing_field_rejected(self):
+        record = self._span_record()
+        del record["duration_ms"]
+        with pytest.raises(ReproError):
+            validate_record(record)
+
+    def test_validate_jsonl_counts_and_pinpoints_lines(self):
+        good = jsonl_line(self._span_record())
+        assert validate_jsonl(good * 3) == 3
+        with pytest.raises(ReproError, match="line 2"):
+            validate_jsonl(good + "not json\n")
+
+
+# ----------------------------------------------------------------------
+# Deterministic export
+# ----------------------------------------------------------------------
+class TestDeterministicExport:
+    @staticmethod
+    def _replay_and_export() -> str:
+        obs.configure(clock=ManualClock(step=0.001), reset=True)
+        fs = FileSystem.of(2, 2, 2, m=8)
+        pf = PartitionedFile(FXDistribution(fs))
+        pf.insert_all([(i, i + 1, i + 2) for i in range(8)])
+        executor = QueryExecutor(pf)
+        for spec in ({0: 1}, {1: 0, 2: 1}, {}):
+            executor.execute(PartialMatchQuery.from_dict(fs, spec))
+        return telemetry().export_jsonl()
+
+    def test_two_runs_export_identical_bytes(self):
+        first = self._replay_and_export()
+        second = self._replay_and_export()
+        assert first == second
+        assert validate_jsonl(first) == len(first.splitlines())
+
+    def test_export_ends_with_metrics_record(self):
+        text = self._replay_and_export()
+        last = json.loads(text.splitlines()[-1])
+        assert last["type"] == "metrics"
+        assert last["counters"]["query.executed"] == 3
+
+
+# ----------------------------------------------------------------------
+# Observed optimality checker
+# ----------------------------------------------------------------------
+class TestObservedOptimalityChecker:
+    def test_fx_figure1_workload_matches_closed_form(self):
+        """Acceptance: FX on (M=8, F=(2,2,2)) — every query's per-device
+        maxima, read from telemetry alone, equal the closed form."""
+        fs = FileSystem.of(2, 2, 2, m=8)
+        method = FXDistribution(fs)
+        queries = [
+            q
+            for pattern in all_patterns(fs.n_fields)
+            for q in queries_for_pattern(fs, pattern)
+        ]
+        report = ObservedOptimalityChecker(method).replay(queries)
+        assert report.queries == len(queries)
+        assert report.consistent, report.summary()
+        for observation in report.observations:
+            assert observation.observed_max == max(
+                observation.closed_form_per_device
+            )
+        # The per-pattern verdicts rebuilt from telemetry must equal the
+        # closed-form census verdicts, pattern for pattern.
+        closed = optimality_report(method)
+        failing_patterns = {pattern for pattern, __, __ in closed.failures}
+        telemetry_failing = {
+            query.pattern
+            for query, observation in zip(queries, report.observations)
+            if not observation.strict_optimal
+        }
+        assert telemetry_failing == failing_patterns
+
+    def test_non_optimal_method_yields_violations(self):
+        fs = FileSystem.of(4, 4, m=4)
+        method = ModuloDistribution(fs)
+        closed = optimality_report(method)
+        queries = [
+            q
+            for pattern in all_patterns(fs.n_fields)
+            for q in queries_for_pattern(fs, pattern)
+        ]
+        report = ObservedOptimalityChecker(method).replay(queries)
+        assert report.consistent
+        assert bool(report.violations) == bool(closed.failures)
+
+    def test_disabled_telemetry_raises(self):
+        fs = FileSystem.of(2, 2, m=4)
+        obs.configure(enabled=False)
+        try:
+            with pytest.raises(AnalysisError, match="disabled"):
+                ObservedOptimalityChecker(FXDistribution(fs)).replay([])
+        finally:
+            obs.configure(enabled=True)
+
+    def test_oversized_trace_rejected(self):
+        fs = FileSystem.of(2, 2, m=4)
+        small = Telemetry(clock=ManualClock(), capacity=2)
+        checker = ObservedOptimalityChecker(
+            FXDistribution(fs), telemetry=small
+        )
+        queries = [PartialMatchQuery.from_dict(fs, {0: 0})] * 5
+        with pytest.raises(AnalysisError, match="capacity"):
+            checker.replay(queries)
+
+    def test_report_to_dict(self):
+        fs = FileSystem.of(2, 2, m=4)
+        report = ObservedOptimalityChecker(FXDistribution(fs)).replay(
+            [PartialMatchQuery.from_dict(fs, {0: 1})]
+        )
+        data = report.to_dict()
+        assert data["queries"] == 1
+        assert data["consistent"] is True
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestObsCli:
+    BASE = ["obs", "--fields", "2,2,2", "--devices", "8", "--queries", "8"]
+
+    def test_report_prints_tables(self, capsys):
+        assert main(self.BASE[:1] + ["report"] + self.BASE[1:]) == 0
+        out = capsys.readouterr().out
+        assert "Latency histograms" in out
+        assert "span.query.execute.ms" in out
+        assert "query.executed" in out
+        assert "telemetry events retained" in out
+
+    def test_export_stdout_validates(self, capsys):
+        argv = self.BASE[:1] + ["export"] + self.BASE[1:] + ["--validate"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert validate_jsonl(out) == len(out.splitlines())
+
+    def test_export_deterministic_byte_identical(self, tmp_path, capsys):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            argv = self.BASE[:1] + ["export"] + self.BASE[1:] + [
+                "--deterministic-clock", "--validate", "--jsonl", str(path),
+            ]
+            assert main(argv) == 0
+        capsys.readouterr()
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_tail_prints_spans(self, capsys):
+        argv = self.BASE[:1] + ["tail"] + self.BASE[1:] + ["--lines", "3"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert 0 < len(out) <= 3
+        assert any("batch.plan" in line or "query.execute" in line
+                   for line in out)
+
+    def test_check_strict_optimal_exit_zero(self, capsys):
+        argv = self.BASE[:1] + ["check"] + self.BASE[1:]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "strict optimal from telemetry" in out
+        assert "0 closed-form disagreements" in out
+
+    def test_check_replays_a_trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("f0=1 f1=* f2=0\nf0=* f1=* f2=1\n")
+        argv = [
+            "obs", "check", "--fields", "2,2,2", "--devices", "8",
+            "--trace", str(trace),
+        ]
+        assert main(argv) == 0
+        assert "2 queries replayed" in capsys.readouterr().out

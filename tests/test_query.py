@@ -1,6 +1,8 @@
 """Tests for partial match queries, patterns and workloads."""
 
 import math
+import tempfile
+from pathlib import Path
 
 import pytest
 from hypothesis import given
@@ -15,6 +17,7 @@ from repro.query.patterns import (
     queries_for_pattern,
     representative_query,
 )
+from repro.query.trace import dump_trace, format_query, load_trace, parse_trace
 from repro.query.workload import QueryWorkload, WorkloadSpec
 
 
@@ -182,3 +185,33 @@ class TestWorkload:
         wl = QueryWorkload(FS, WorkloadSpec(seed=8))
         iterator = iter(wl)
         assert next(iterator).filesystem is FS
+
+
+class TestTraceRoundTrip:
+    """Property: serialising a workload and parsing it back is lossless."""
+
+    @given(data=st.data())
+    def test_format_parse_round_trip(self, data):
+        sizes = data.draw(
+            st.lists(st.sampled_from((2, 4, 8)), min_size=1, max_size=4)
+        )
+        fs = FileSystem.of(*sizes, m=2)
+        query_strategy = st.tuples(
+            *[
+                st.one_of(st.none(), st.integers(0, size - 1))
+                for size in sizes
+            ]
+        ).map(lambda values: PartialMatchQuery(fs, values))
+        queries = data.draw(
+            st.lists(query_strategy, min_size=0, max_size=20)
+        )
+        lines = [format_query(query) for query in queries]
+        assert list(parse_trace(fs, lines)) == queries
+
+    @given(seed=st.integers(0, 2**16))
+    def test_dump_load_file_round_trip(self, seed):
+        queries = QueryWorkload(FS, WorkloadSpec(seed=seed)).take(12)
+        with tempfile.TemporaryDirectory() as directory:
+            path = Path(directory) / "trace.txt"
+            dump_trace(queries, path)
+            assert load_trace(FS, path) == queries
