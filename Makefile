@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench report examples faults obs clean
+.PHONY: install test bench report examples faults obs recover clean
 
 install:
 	$(PYTHON) -m pip install -e .[test] || $(PYTHON) setup.py develop
@@ -24,6 +24,14 @@ obs:
 	$(PYTHON) -m repro obs export --fields 2,2,2 --devices 8 --queries 50 \
 		--deterministic-clock --validate --jsonl /tmp/obs_run.jsonl
 	$(PYTHON) -m repro obs check --fields 2,2,2 --devices 8 --queries 50
+
+recover:
+	$(PYTHON) -m repro recover scrub --fields 4,4 --devices 8 \
+		--records 200 --corruption-rate 0.05
+	$(PYTHON) -m repro recover replay --fields 4,4 --devices 8 \
+		--records 64 --all-offsets --torn-tail
+	$(PYTHON) -m repro recover rebuild --fields 4,4 --devices 8 \
+		--records 200 --lose 2 --queries 20
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,166 @@
+"""Cost of durability: WAL replay recovery time and scrub throughput.
+
+The durability layer (``repro.durability``) adds three recurring costs to
+a deployment: framing every mutation into the write-ahead log, replaying
+that log after a crash, and the background scrub that verifies every page
+checksum.  This benchmark measures all three against file size.
+
+Two entry points:
+
+* pytest-benchmark functions (collected with the other ``bench_*`` files)
+  timing one crash-recovery replay and one full scrub sweep, and
+* a script mode — ``python benchmarks/bench_recovery.py [--smoke]
+  [--out BENCH_recovery.json]`` — that writes recovery time, replay rate
+  and scrub page throughput per file size to JSON, asserting on every
+  size that the recovered digest is byte-identical to the fault-free run
+  (the same acceptance property ``tests/test_durability.py`` proves at
+  every boundary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro import obs
+from repro.api import make_durable_file
+from repro.durability import Scrubber, recover
+from repro.errors import SimulatedCrashError
+from repro.runtime import FaultInjector, FaultPlan
+
+#: Per-mode record counts: replay time scales linearly in WAL entries,
+#: scrub time in resident pages, so a small sweep is representative.
+FULL_SIZES = (500, 2000, 8000)
+SMOKE_SIZES = (100, 400)
+
+FIELDS = (8, 8)
+DEVICES = 8
+
+
+def _records(count: int) -> list[tuple[int, int]]:
+    return [(i % 8, (i // 8) % 8) for i in range(count)]
+
+
+def _crashed_wal(records, boundary: int):
+    durable = make_durable_file(
+        "fx", fields=FIELDS, devices=DEVICES, crash_after=boundary,
+        torn_tail=True,
+    )
+    try:
+        durable.insert_all(records)
+    except SimulatedCrashError:
+        pass
+    return durable.wal
+
+
+def _fresh():
+    return make_durable_file("fx", fields=FIELDS, devices=DEVICES)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_wal_replay_recovery(benchmark):
+    records = _records(400)
+    wal_bytes = _crashed_wal(records, len(records)).to_bytes()
+
+    def replay():
+        return recover(wal_bytes, _fresh().file).entries_replayed
+
+    obs.configure(enabled=True, reset=True)
+    assert benchmark(replay) == len(records)
+
+
+def bench_scrub_sweep_clean(benchmark):
+    durable = _fresh()
+    durable.insert_all(_records(400))
+    scrubber = Scrubber(durable.file)
+    obs.configure(enabled=True, reset=True)
+    report = benchmark(scrubber.sweep)
+    assert report.clean
+
+
+# ----------------------------------------------------------------------
+# Script mode: write BENCH_recovery.json
+# ----------------------------------------------------------------------
+def _measure_size(count: int, repeats: int) -> dict:
+    records = _records(count)
+
+    baseline = _fresh()
+    baseline.insert_all(records)
+    expected_digest = baseline.state_digest()
+
+    # Crash at the end of the workload: the replay covers every entry.
+    wal_bytes = _crashed_wal(records, count).to_bytes()
+    replay_best = float("inf")
+    for __ in range(repeats):
+        fresh = _fresh()
+        started = time.perf_counter()
+        report = recover(wal_bytes, fresh.file)
+        replay_best = min(replay_best, time.perf_counter() - started)
+        assert report.entries_replayed == count
+        assert fresh.state_digest() == expected_digest, (
+            "recovery must be byte-identical to the fault-free run"
+        )
+
+    # Scrub a file with seeded corruption: detect + repair, then verify.
+    scrub_best = float("inf")
+    pages = bad = 0
+    for __ in range(repeats):
+        durable = _fresh()
+        durable.insert_all(records)
+        scrubber = Scrubber(durable.file)
+        scrubber.inject(FaultInjector(FaultPlan.corrupt(0.05, seed=9), DEVICES))
+        started = time.perf_counter()
+        report = scrubber.sweep()
+        scrub_best = min(scrub_best, time.perf_counter() - started)
+        pages, bad = report.pages_checked, report.bad_pages
+        assert report.healed, "every injected fault must be repairable"
+        assert durable.state_digest() == expected_digest
+
+    return {
+        "records": count,
+        "replay_seconds": replay_best,
+        "replay_entries_per_sec": count / replay_best,
+        "scrub_seconds": scrub_best,
+        "scrub_pages_checked": pages,
+        "scrub_bad_pages": bad,
+        "scrub_pages_per_sec": pages / scrub_best,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small sizes for CI; same code paths and identity checks",
+    )
+    parser.add_argument("--out", default="BENCH_recovery.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    result = {
+        "mode": "smoke" if args.smoke else "full",
+        "fields": list(FIELDS),
+        "devices": DEVICES,
+        "sizes": [
+            _measure_size(count, max(1, args.repeats)) for count in sizes
+        ],
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    for row in result["sizes"]:
+        print(
+            f"{row['records']:>6} records: replay "
+            f"{row['replay_entries_per_sec']:,.0f} entries/s, scrub "
+            f"{row['scrub_pages_per_sec']:,.0f} pages/s "
+            f"({row['scrub_bad_pages']} repaired)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

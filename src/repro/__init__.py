@@ -42,7 +42,7 @@ from repro.core.transforms import (
     assign_transforms,
     make_transform,
 )
-from repro.api import make_method, method_names
+from repro.api import make_durable_file, make_method, method_names
 from repro.distribution.base import (
     DistributionMethod,
     available_methods,
@@ -72,7 +72,7 @@ from repro.storage import (
     ReplicatedFile,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -106,6 +106,7 @@ __all__ = [
     "available_methods",
     # facade
     "make_method",
+    "make_durable_file",
     "method_names",
     # runtime
     "FaultPlan",

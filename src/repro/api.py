@@ -33,6 +33,7 @@ from repro.hashing.fields import FileSystem
 
 __all__ = [
     "make_method",
+    "make_durable_file",
     "method_names",
     "register_factory",
     "default_gdm_multipliers",
@@ -150,3 +151,61 @@ def make_method(
         raise ConfigurationError(
             f"bad options for method {name!r}: {error}"
         ) from error
+
+
+def make_durable_file(
+    name: str = "fx",
+    *,
+    fields: Sequence[int],
+    devices: int,
+    replicate: bool = True,
+    offset: int = 1,
+    checksummed: bool = True,
+    crash_after: int | None = None,
+    torn_tail: bool = False,
+    cost_model=None,
+    **opts: object,
+):
+    """Build a :class:`~repro.durability.DurableFile`: a write-ahead-logged,
+    checksummed, (by default) replicated file ready for crash/corruption
+    injection and recovery.
+
+    *crash_after* arms a deterministic crash at that WAL record boundary
+    (*torn_tail* leaves half a frame behind, as a power cut would);
+    *checksummed* puts :class:`~repro.durability.ChecksummedBucketStore`
+    pages on every device; *replicate* chains a backup copy at *offset*
+    so the scrubber and device rebuilder have replicas to repair from.
+
+    >>> durable = make_durable_file("fx", fields=(4, 4), devices=4)
+    >>> durable.insert_all([(i, i % 4) for i in range(8)])
+    >>> durable.wal.entry_count
+    8
+    """
+    from repro.distribution.replicated import ChainedReplicaScheme
+    from repro.durability import (
+        ChecksummedBucketStore,
+        CrashPoint,
+        DurableFile,
+        WriteAheadLog,
+    )
+    from repro.storage.parallel_file import PartitionedFile
+    from repro.storage.replicated_file import ReplicatedFile
+
+    method = make_method(name, fields=fields, devices=devices, **opts)
+    store_factory = ChecksummedBucketStore if checksummed else None
+    if replicate:
+        file = ReplicatedFile(
+            ChainedReplicaScheme(method, offset=offset),
+            cost_model=cost_model,
+            store_factory=store_factory,
+        )
+    else:
+        file = PartitionedFile(
+            method, cost_model=cost_model, store_factory=store_factory
+        )
+    crash = (
+        CrashPoint(crash_after, torn_tail=torn_tail)
+        if crash_after is not None
+        else None
+    )
+    return DurableFile(file, wal=WriteAheadLog(crash=crash))

@@ -19,7 +19,12 @@ Commands
 ``obs``      telemetry: replay a workload and render the metrics/latency
              report (``report``), export the structured run as JSONL
              (``export``), print the last spans (``tail``), or verify
-             strict optimality from telemetry alone (``check``).
+             strict optimality from telemetry alone (``check``),
+``recover``  durability: scrub-and-repair a corrupted replicated file
+             (``scrub``), crash/recovery byte-identity at WAL record
+             boundaries (``replay``), rebuild a lost device from replicas
+             and re-verify optimality (``rebuild``), or run all three as
+             one health report (``report``).
 
 File systems are given as ``--fields 8,8,16 --devices 32``.  The sweeping
 commands (``census``, ``search``) accept ``--parallel N`` to fan the
@@ -761,6 +766,253 @@ def _cmd_obs_check(args: argparse.Namespace) -> int:
     return 0 if report.consistent else 1
 
 
+def _seeded_records(fs: FileSystem, count: int, seed: int) -> list[tuple]:
+    """The deterministic record stream every recover action inserts."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    return [
+        tuple(rng.randrange(1024) for __ in range(fs.n_fields))
+        for __ in range(count)
+    ]
+
+
+def _recover_telemetry(args: argparse.Namespace) -> None:
+    from repro import obs
+
+    if getattr(args, "deterministic_clock", False):
+        obs.configure(clock=obs.ManualClock(step=0.001), reset=True)
+    else:
+        obs.reset_telemetry()
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    if args.action == "scrub":
+        return _cmd_recover_scrub(args)
+    if args.action == "replay":
+        return _cmd_recover_replay(args)
+    if args.action == "rebuild":
+        return _cmd_recover_rebuild(args)
+    return _cmd_recover_report(args)
+
+
+def _recover_scrub_data(args: argparse.Namespace) -> dict:
+    """Corrupt a seeded replicated file per the fault plan, scrub twice."""
+    from repro.api import make_durable_file
+    from repro.durability import Scrubber
+    from repro.runtime import FaultInjector, FaultPlan
+
+    fs = _parse_filesystem(args)
+    durable = make_durable_file(
+        args.method, fields=fs.field_sizes, devices=fs.m, offset=args.offset
+    )
+    durable.insert_all(_seeded_records(fs, args.records, args.seed))
+    plan = FaultPlan(seed=args.seed, corruption_rate=args.corruption_rate)
+    scrubber = Scrubber(durable.file)
+    damaged = scrubber.inject(FaultInjector(plan, fs.m))
+    sweep = scrubber.sweep()
+    verify = scrubber.sweep()
+    return {
+        "plan": plan.describe(),
+        "pages_damaged": len(damaged),
+        "sweep": sweep.to_dict(),
+        "verify_clean": verify.clean,
+        "ok": sweep.healed
+        and verify.clean
+        and sweep.bad_pages == len(damaged),
+    }
+
+
+def _cmd_recover_scrub(args: argparse.Namespace) -> int:
+    _recover_telemetry(args)
+    data = _recover_scrub_data(args)
+    if args.json:
+        print(json.dumps(data, indent=2))
+        return 0 if data["ok"] else 1
+    sweep = data["sweep"]
+    print(f"scrub under {data['plan']}")
+    rows = [
+        ["pages damaged (injected)", data["pages_damaged"]],
+        ["pages checked", sweep["pages_checked"]],
+        ["corrupt pages detected", sweep["corrupt_pages"]],
+        ["missing pages detected", sweep["missing_pages"]],
+        ["pages repaired", sweep["repaired_pages"]],
+        ["unrepairable", len(sweep["unrepairable"])],
+        ["second sweep clean", data["verify_clean"]],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0 if data["ok"] else 1
+
+
+def _recover_replay_data(args: argparse.Namespace) -> dict:
+    """Crash at WAL boundaries, recover, compare digests to fault-free."""
+    from repro.api import make_durable_file
+    from repro.durability import recover
+    from repro.errors import SimulatedCrashError
+
+    fs = _parse_filesystem(args)
+    records = _seeded_records(fs, args.records, args.seed)
+    build = lambda **kw: make_durable_file(  # noqa: E731
+        args.method, fields=fs.field_sizes, devices=fs.m,
+        offset=args.offset, **kw,
+    )
+    # Fault-free digests after each prefix of k mutations.
+    baseline = build()
+    digests = [baseline.state_digest()]
+    for record in records:
+        baseline.insert(record)
+        digests.append(baseline.state_digest())
+
+    if args.all_offsets:
+        boundaries = list(range(len(records) + 1))
+    else:
+        crash_after = (
+            args.crash_after
+            if args.crash_after is not None
+            else len(records) // 2
+        )
+        boundaries = [min(crash_after, len(records))]
+    mismatches = []
+    torn_tails = 0
+    for k in boundaries:
+        crashed = build(crash_after=k, torn_tail=args.torn_tail)
+        try:
+            crashed.insert_all(records)
+        except SimulatedCrashError:
+            pass
+        fresh = build()
+        report = recover(crashed.wal, fresh.file)
+        torn_tails += report.had_torn_tail
+        if fresh.state_digest() != digests[k] or report.entries_replayed != k:
+            mismatches.append(k)
+    return {
+        "records": len(records),
+        "boundaries_tested": len(boundaries),
+        "torn_tail": args.torn_tail,
+        "torn_tails_discarded": torn_tails,
+        "mismatched_boundaries": mismatches,
+        "byte_identical": not mismatches,
+        "ok": not mismatches,
+    }
+
+
+def _cmd_recover_replay(args: argparse.Namespace) -> int:
+    _recover_telemetry(args)
+    data = _recover_replay_data(args)
+    if args.json:
+        print(json.dumps(data, indent=2))
+        return 0 if data["ok"] else 1
+    rows = [
+        ["records in workload", data["records"]],
+        ["crash boundaries tested", data["boundaries_tested"]],
+        ["torn tail injected", data["torn_tail"]],
+        ["torn tails discarded", data["torn_tails_discarded"]],
+        ["byte-identical recoveries", data["byte_identical"]],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title="WAL crash/recovery byte-identity"))
+    if data["mismatched_boundaries"]:
+        print(f"MISMATCH at boundaries {data['mismatched_boundaries']}")
+    return 0 if data["ok"] else 1
+
+
+def _recover_rebuild_data(args: argparse.Namespace) -> dict:
+    """Lose a device, rebuild from replicas, verify digest and the bound."""
+    from repro.api import make_durable_file
+    from repro.durability import DeviceRebuilder
+    from repro.query.workload import QueryWorkload, WorkloadSpec
+
+    fs = _parse_filesystem(args)
+    durable = make_durable_file(
+        args.method, fields=fs.field_sizes, devices=fs.m, offset=args.offset
+    )
+    durable.insert_all(_seeded_records(fs, args.records, args.seed))
+    before = durable.state_digest()
+    lost = args.lose % fs.m
+    durable.file.lose_device(lost)
+    workload = QueryWorkload(
+        fs,
+        WorkloadSpec(spec_probability=args.p, exclude_trivial=True,
+                     seed=args.seed),
+    )
+    queries = workload.take(args.queries) if args.queries else None
+    report = DeviceRebuilder(durable.file).rebuild(lost, queries=queries)
+    identical = durable.state_digest() == before
+    data = report.to_dict()
+    data["digest_identical"] = identical
+    data["ok"] = identical and report.optimality_verified is not False
+    return data
+
+
+def _cmd_recover_rebuild(args: argparse.Namespace) -> int:
+    _recover_telemetry(args)
+    data = _recover_rebuild_data(args)
+    if args.json:
+        print(json.dumps(data, indent=2))
+        return 0 if data["ok"] else 1
+    rows = [
+        ["device lost", data["device"]],
+        ["buckets restored", data["buckets_restored"]],
+        ["records restored", data["records_restored"]],
+        ["source devices", data["source_devices"]],
+        ["state byte-identical", data["digest_identical"]],
+        ["optimality bound verified",
+         "-" if data["optimality_verified"] is None
+         else data["optimality_verified"]],
+        ["queries checked", data["optimality_queries"]],
+    ]
+    print(format_table(["metric", "value"], rows,
+                       title="Device rebuild from chained replicas"))
+    return 0 if data["ok"] else 1
+
+
+def _cmd_recover_report(args: argparse.Namespace) -> int:
+    """All three durability drills plus the durability counters."""
+    from repro.obs import telemetry
+
+    _recover_telemetry(args)
+    combined = {
+        "scrub": _recover_scrub_data(args),
+        "replay": _recover_replay_data(args),
+        "rebuild": _recover_rebuild_data(args),
+    }
+    snap = telemetry().metrics.snapshot()
+    combined["counters"] = {
+        name: value
+        for name, value in sorted(snap.counters.items())
+        if name.startswith("durability.")
+    }
+    ok = all(section["ok"] for section in
+             (combined["scrub"], combined["replay"], combined["rebuild"]))
+    combined["ok"] = ok
+    if args.json:
+        print(json.dumps(combined, indent=2))
+        return 0 if ok else 1
+    rows = [
+        ["scrub: repaired / damaged",
+         f"{combined['scrub']['sweep']['repaired_pages']} / "
+         f"{combined['scrub']['pages_damaged']}"],
+        ["replay: byte-identical boundaries",
+         f"{combined['replay']['boundaries_tested'] - len(combined['replay']['mismatched_boundaries'])} / "
+         f"{combined['replay']['boundaries_tested']}"],
+        ["rebuild: records restored",
+         combined["rebuild"]["records_restored"]],
+        ["rebuild: optimality verified",
+         "-" if combined["rebuild"]["optimality_verified"] is None
+         else combined["rebuild"]["optimality_verified"]],
+        ["overall", "healthy" if ok else "DEGRADED"],
+    ]
+    print(format_table(["drill", "result"], rows,
+                       title="Durability health report"))
+    if combined["counters"]:
+        print()
+        print(format_table(
+            ["counter", "value"],
+            [[name, value] for name, value in combined["counters"].items()],
+        ))
+    return 0 if ok else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -995,6 +1247,63 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--lines", type=int, default=20,
                      help="tail only: spans to print")
     obs.set_defaults(func=_cmd_obs)
+
+    recover = sub.add_parser(
+        "recover",
+        help="durability drills: scrub-and-repair, crash replay, rebuild",
+    )
+    recover.add_argument(
+        "action", choices=["scrub", "replay", "rebuild", "report"],
+        help="scrub = corrupt pages then repair from replicas; replay = "
+        "crash at WAL boundaries and verify byte-identical recovery; "
+        "rebuild = lose a device and rebuild it from replicas; report = "
+        "all three plus the durability counters",
+    )
+    _add_filesystem_arguments(recover)
+    recover.add_argument(
+        "--method", default="fx",
+        choices=[n for n in method_names() if n != "replicated"],
+        help="base distribution method under the replica chain",
+    )
+    recover.add_argument("--records", type=int, default=64,
+                         help="seeded records inserted before the drill")
+    recover.add_argument("--seed", type=int, default=0,
+                         help="seed for records, faults, and workloads")
+    recover.add_argument("--offset", type=int, default=1,
+                         help="chained-replica device offset")
+    recover.add_argument(
+        "--corruption-rate", type=float, default=0.05,
+        help="scrub/report: per-page corruption probability",
+    )
+    recover.add_argument(
+        "--crash-after", type=int, default=None,
+        help="replay: crash at this WAL record boundary "
+        "(default: halfway through the workload)",
+    )
+    recover.add_argument(
+        "--all-offsets", action="store_true",
+        help="replay: sweep every boundary 0..N instead of one",
+    )
+    recover.add_argument(
+        "--torn-tail", action="store_true",
+        help="replay: leave half a frame behind at the crash point",
+    )
+    recover.add_argument("--lose", type=int, default=0,
+                         help="rebuild: device to wipe and reconstruct")
+    recover.add_argument(
+        "--queries", type=int, default=20,
+        help="rebuild: workload size for the post-rebuild optimality "
+        "check (0 skips it)",
+    )
+    recover.add_argument("--p", type=float, default=0.5,
+                         help="rebuild: per-field specification probability")
+    recover.add_argument(
+        "--deterministic-clock", action="store_true",
+        help="inject a manual clock so span timings are reproducible",
+    )
+    recover.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of tables")
+    recover.set_defaults(func=_cmd_recover)
 
     return parser
 

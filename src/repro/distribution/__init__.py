@@ -14,6 +14,7 @@ name) so existing callers keep working until the next major release.
 """
 
 import importlib
+import threading
 import warnings
 
 from repro.distribution.base import (
@@ -59,6 +60,9 @@ _DEPRECATED_CONSTRUCTORS = {
     "ZOrderDistribution": "repro.distribution.zorder",
 }
 _warned: set[str] = set()
+#: Concurrent first accesses to one deprecated name must produce exactly
+#: one warning; an unguarded check-then-add races under free threading.
+_warned_lock = threading.Lock()
 
 
 def __getattr__(name: str):
@@ -67,8 +71,11 @@ def __getattr__(name: str):
         raise AttributeError(
             f"module {__name__!r} has no attribute {name!r}"
         )
-    if name not in _warned:
-        _warned.add(name)
+    with _warned_lock:
+        first_use = name not in _warned
+        if first_use:
+            _warned.add(name)
+    if first_use:
         warnings.warn(
             f"importing {name} from repro.distribution is deprecated; "
             f"use repro.api.make_method(...) (or import from "

@@ -18,6 +18,10 @@ __all__ = [
     "StorageError",
     "DeviceFullError",
     "DataUnavailableError",
+    "CorruptPageError",
+    "WalError",
+    "RecoveryError",
+    "SimulatedCrashError",
     "AnalysisError",
 ]
 
@@ -70,6 +74,22 @@ class DeviceFullError(StorageError):
 
 class DataUnavailableError(StorageError):
     """Every replica of a needed bucket sits on a failed device."""
+
+
+class CorruptPageError(StorageError):
+    """A bucket page failed its checksum: silent corruption was detected."""
+
+
+class WalError(StorageError):
+    """The write-ahead log is malformed beyond an expected torn tail."""
+
+
+class RecoveryError(StorageError):
+    """Crash/corruption recovery could not restore a consistent state."""
+
+
+class SimulatedCrashError(ReproError, RuntimeError):
+    """A deterministic crash injection point fired (fault simulation)."""
 
 
 class AnalysisError(ReproError, RuntimeError):

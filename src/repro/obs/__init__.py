@@ -35,6 +35,7 @@ from repro.obs.clock import (
 )
 from repro.obs.events import (
     DEFAULT_CAPACITY,
+    WELL_KNOWN_SPAN_EVENTS,
     EventLog,
     jsonl_line,
     validate_jsonl,
@@ -66,6 +67,7 @@ __all__ = [
     "DEFAULT_LATENCY_BOUNDARIES_MS",
     "EventLog",
     "DEFAULT_CAPACITY",
+    "WELL_KNOWN_SPAN_EVENTS",
     "jsonl_line",
     "validate_record",
     "validate_jsonl",

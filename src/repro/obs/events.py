@@ -34,11 +34,33 @@ __all__ = [
     "jsonl_line",
     "validate_record",
     "validate_jsonl",
+    "WELL_KNOWN_SPAN_EVENTS",
 ]
 
 #: Default ring capacity: enough for every span of a sizeable replay while
 #: bounding memory for long-lived processes.
 DEFAULT_CAPACITY = 65_536
+
+#: The span-event vocabulary the instrumented subsystems emit.  Names are
+#: not enforced by the schema (spans may carry ad-hoc events), but dashboards
+#: and tests key off these: the degraded runtime emits ``retry`` /
+#: ``timeout`` / ``failover`` / ``data_loss`` / ``degraded``, and the
+#: durability layer emits ``corruption.detected`` / ``page.repaired`` /
+#: ``repair.failed`` / ``wal.torn_tail`` / ``device.rebuilt``.
+WELL_KNOWN_SPAN_EVENTS = frozenset(
+    {
+        "retry",
+        "timeout",
+        "failover",
+        "data_loss",
+        "degraded",
+        "corruption.detected",
+        "page.repaired",
+        "repair.failed",
+        "wal.torn_tail",
+        "device.rebuilt",
+    }
+)
 
 
 class EventLog:

@@ -7,7 +7,12 @@ this module supplies the three ways a real array breaks that assumption:
   be served by replicas or reported missing),
 * **transient errors** — an individual read attempt fails with some
   probability and may be retried,
-* **stragglers** — a device is up but slow by a latency factor.
+* **stragglers** — a device is up but slow by a latency factor,
+* **corruption** — a bucket page is silently corrupted with some
+  probability per scrub epoch (detected by checksums, repaired from the
+  chained replica — :mod:`repro.durability`),
+* **crash** — the process dies at a deterministic write-ahead-log record
+  boundary (recovered by WAL replay — :mod:`repro.durability.wal`).
 
 A :class:`FaultPlan` is a pure description; a :class:`FaultInjector` binds
 it to a concrete array size and answers point questions during execution.
@@ -31,6 +36,10 @@ _MASK = (1 << 64) - 1
 _DEVICE_SALT = 0x9E3779B97F4A7C15
 _QUERY_SALT = 0xC2B2AE3D27D4EB4F
 _ATTEMPT_SALT = 0x165667B19E3779F9
+#: Separate salts for the corruption stream, so adding corruption to a plan
+#: never perturbs the transient-error draws of existing golden plans.
+_PAGE_SALT = 0xD6E8FEB86659FD93
+_SWEEP_SALT = 0xA3EC647659359ACD
 
 
 @dataclass(frozen=True)
@@ -40,7 +49,10 @@ class FaultPlan:
     *failed_devices* are fail-stop for the whole run; *transient_error_rate*
     is the per-read-attempt failure probability on live devices;
     *slow_factors* maps device id to a latency multiplier (2.0 = half
-    speed).  The default plan is fault-free.
+    speed); *corruption_rate* is the per-page silent-corruption probability
+    per scrub epoch; *crash_after_writes* names the write-ahead-log record
+    boundary at which the process crashes (``None`` = never).  The default
+    plan is fault-free.
 
     >>> plan = FaultPlan(seed=7, failed_devices=frozenset({2}))
     >>> plan.is_trivial
@@ -53,6 +65,8 @@ class FaultPlan:
     failed_devices: frozenset[int] = frozenset()
     transient_error_rate: float = 0.0
     slow_factors: Mapping[int, float] = field(default_factory=dict)
+    corruption_rate: float = 0.0
+    crash_after_writes: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -74,6 +88,15 @@ class FaultPlan:
                     f"slow factor for device {device} must be positive, "
                     f"got {factor}"
                 )
+        if not 0.0 <= self.corruption_rate < 1.0:
+            raise ConfigurationError(
+                f"corruption rate {self.corruption_rate} outside [0, 1)"
+            )
+        if self.crash_after_writes is not None and self.crash_after_writes < 0:
+            raise ConfigurationError(
+                f"crash_after_writes must be non-negative, "
+                f"got {self.crash_after_writes}"
+            )
 
     @classmethod
     def none(cls) -> "FaultPlan":
@@ -85,6 +108,16 @@ class FaultPlan:
         """Fail-stop the given devices, nothing else."""
         return cls(seed=seed, failed_devices=frozenset(devices))
 
+    @classmethod
+    def corrupt(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """Silently corrupt pages at *rate* per scrub epoch, nothing else."""
+        return cls(seed=seed, corruption_rate=rate)
+
+    @classmethod
+    def crash(cls, after_writes: int, seed: int = 0) -> "FaultPlan":
+        """Crash at WAL record boundary *after_writes*, nothing else."""
+        return cls(seed=seed, crash_after_writes=after_writes)
+
     @property
     def is_trivial(self) -> bool:
         """True when the plan injects no fault of any kind."""
@@ -92,6 +125,8 @@ class FaultPlan:
             not self.failed_devices
             and self.transient_error_rate == 0.0
             and all(f == 1.0 for f in self.slow_factors.values())
+            and self.corruption_rate == 0.0
+            and self.crash_after_writes is None
         )
 
     def describe(self) -> str:
@@ -102,6 +137,10 @@ class FaultPlan:
             parts.append(f"error_rate={self.transient_error_rate}")
         if self.slow_factors:
             parts.append(f"slow={dict(sorted(self.slow_factors.items()))}")
+        if self.corruption_rate:
+            parts.append(f"corruption_rate={self.corruption_rate}")
+        if self.crash_after_writes is not None:
+            parts.append(f"crash_after={self.crash_after_writes}")
         return f"FaultPlan({', '.join(parts)})"
 
 
@@ -153,6 +192,47 @@ class FaultInjector:
             ^ (attempt * _ATTEMPT_SALT)
         ) & _MASK
         return mix64(word) / float(1 << 64) < rate
+
+    def _corruption_draw(self, device: int, page_index: int, sweep: int) -> float:
+        word = (
+            (self.plan.seed & _MASK)
+            ^ (device * _DEVICE_SALT)
+            ^ (page_index * _PAGE_SALT)
+            ^ (sweep * _SWEEP_SALT)
+        ) & _MASK
+        return mix64(word) / float(1 << 64)
+
+    def page_corrupted(self, device: int, page_index: int, sweep: int = 0) -> bool:
+        """Seeded Bernoulli draw: is this page silently corrupted?
+
+        The draw hashes ``(seed, device, page_index, sweep)`` through its
+        own salts, so corruption schedules are order-independent and do not
+        perturb the transient-error stream of the same plan.
+        """
+        rate = self.plan.corruption_rate
+        if rate == 0.0:
+            return False
+        return self._corruption_draw(device, page_index, sweep) < rate
+
+    def page_corruption_kind(
+        self, device: int, page_index: int, sweep: int = 0
+    ) -> str | None:
+        """``None`` (clean), ``"drop"`` (page lost) or ``"tamper"`` (bits
+        flipped) for one page, from the same deterministic draw as
+        :meth:`page_corrupted` — the low half of the corrupted probability
+        mass loses the page, the high half tampers with it.
+        """
+        rate = self.plan.corruption_rate
+        if rate == 0.0:
+            return None
+        draw = self._corruption_draw(device, page_index, sweep)
+        if draw >= rate:
+            return None
+        return "drop" if draw < rate / 2.0 else "tamper"
+
+    def crash_boundary(self) -> int | None:
+        """The WAL record boundary at which the plan crashes, if any."""
+        return self.plan.crash_after_writes
 
     def alive_devices(self) -> tuple[int, ...]:
         """Devices not fail-stopped, in id order."""

@@ -8,12 +8,27 @@ Records are arbitrary immutable Python objects (tuples in the examples).
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+import hashlib
+from collections.abc import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.hashing.fields import Bucket
 
-__all__ = ["BucketStore"]
+__all__ = ["BucketStore", "content_digest"]
+
+
+def content_digest(buckets: Iterable[tuple[Bucket, tuple]]) -> str:
+    """Canonical SHA-256 over ``(bucket, records)`` pairs, sorted by bucket.
+
+    Order-independent across buckets, order-preserving within one bucket —
+    the digest two stores share exactly when they hold the same records in
+    the same buckets, regardless of page layout or checksum metadata.
+    Crash-recovery byte-identity tests compare these.
+    """
+    digest = hashlib.sha256()
+    for bucket, records in sorted(buckets, key=lambda pair: pair[0]):
+        digest.update(repr((tuple(bucket), tuple(records))).encode("utf-8"))
+    return digest.hexdigest()
 
 
 class BucketStore:
@@ -54,6 +69,20 @@ class BucketStore:
         self._buckets.clear()
         self._record_count = 0
 
+    def replace_bucket(self, bucket: Bucket, records: Iterable[object]) -> None:
+        """Set the exact contents of *bucket* (the repair/rebuild path).
+
+        An empty *records* removes the bucket entirely, keeping the
+        no-empty-buckets invariant.
+        """
+        key = tuple(bucket)
+        old = self._buckets.pop(key, ())
+        self._record_count -= len(old)
+        fresh = list(records)
+        if fresh:
+            self._buckets[key] = fresh
+            self._record_count += len(fresh)
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
@@ -79,6 +108,13 @@ class BucketStore:
     def bucket_count(self) -> int:
         """Number of non-empty buckets."""
         return len(self._buckets)
+
+    def state_digest(self) -> str:
+        """Canonical content digest of this store (see :func:`content_digest`)."""
+        return content_digest(
+            (bucket, tuple(records))
+            for bucket, records in self._buckets.items()
+        )
 
     def check_invariants(self) -> None:
         """Internal consistency check used by tests and failure injection."""

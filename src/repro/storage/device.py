@@ -113,6 +113,17 @@ class SimulatedDevice:
     def record_count(self) -> int:
         return self.store.record_count
 
+    def state_digest(self) -> str:
+        """Canonical content digest of this device's store (any store type)."""
+        if hasattr(self.store, "state_digest"):
+            return self.store.state_digest()
+        from repro.storage.bucket_store import content_digest
+
+        return content_digest(
+            (bucket, self.store.records_in(bucket))
+            for bucket in self.store.buckets()
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SimulatedDevice(id={self.device_id}, "

@@ -182,13 +182,23 @@ class Migration:
     >>> pf.check_invariants()      # everything sits where FX says
     """
 
-    def __init__(self, partitioned_file: PartitionedFile, target: DistributionMethod):
+    def __init__(
+        self,
+        partitioned_file: PartitionedFile,
+        target: DistributionMethod,
+        wal=None,
+    ):
         if target.filesystem != partitioned_file.filesystem:
             raise StorageError(
                 "target method targets a different file system"
             )
         self.file = partitioned_file
         self.target = target
+        #: Optional :class:`~repro.durability.WriteAheadLog`: each moved
+        #: record is logged as an auditable ``move`` entry (replay treats
+        #: moves as no-ops — placement is method-derived — but the log
+        #: shows exactly what a crashed migration had touched).
+        self.wal = wal
 
     def planned_fraction(self) -> float:
         """Fraction of grid buckets the migration would move (exact)."""
@@ -202,7 +212,14 @@ class Migration:
         (so buckets arriving on a later device are not re-examined), then
         executed bucket-at-a-time — an online migration would interleave
         the execution with queries; the accounting is the same.
+
+        With checksummed stores every bucket read verifies its page, so a
+        silently corrupted page aborts the migration with
+        :class:`~repro.errors.CorruptPageError` before any record of that
+        bucket moves (scrub, then migrate).
         """
+        from repro.obs import trace_span
+
         report = MigrationReport()
         source = self.file.method
         planned_moves: list[tuple[Bucket, int, int]] = []
@@ -224,14 +241,23 @@ class Migration:
                     planned_moves.append(
                         (bucket, device.device_id, destination)
                     )
-        for bucket, origin, destination in planned_moves:
-            origin_device = self.file.devices[origin]
-            records = origin_device.store.records_in(bucket)
-            for record in records:
-                origin_device.store.delete(bucket, record)
-                self.file.devices[destination].insert(bucket, record)
-            report.buckets_moved += 1
-            report.records_moved += len(records)
-            report.moves.append((bucket, origin, destination))
-        self.file.method = self.target
+        with trace_span(
+            "migration.apply",
+            planned_moves=len(planned_moves),
+            target=self.target.name or type(self.target).__name__,
+        ) as span:
+            for bucket, origin, destination in planned_moves:
+                origin_device = self.file.devices[origin]
+                records = origin_device.store.records_in(bucket)
+                for record in records:
+                    origin_device.store.delete(bucket, record)
+                    self.file.devices[destination].insert(bucket, record)
+                    if self.wal is not None:
+                        self.wal.append("move", record)
+                report.buckets_moved += 1
+                report.records_moved += len(records)
+                report.moves.append((bucket, origin, destination))
+            self.file.method = self.target
+            span.set_attr("buckets_moved", report.buckets_moved)
+            span.set_attr("records_moved", report.records_moved)
         return report

@@ -14,10 +14,11 @@ plus page-level accounting (:meth:`pages_in`, :attr:`page_count`,
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.errors import ConfigurationError, StorageError
 from repro.hashing.fields import Bucket
+from repro.storage.bucket_store import content_digest
 
 __all__ = ["PagedBucketStore"]
 
@@ -85,6 +86,23 @@ class PagedBucketStore:
         self._chains.clear()
         self._record_count = 0
 
+    def replace_bucket(self, bucket: Bucket, records: Iterable[object]) -> None:
+        """Set the exact contents of *bucket*, laid out densely (the
+        repair/rebuild path); empty *records* removes the chain."""
+        key = tuple(bucket)
+        old = self._chains.pop(key, None)
+        if old is not None:
+            self._record_count -= old.record_count()
+        fresh = list(records)
+        if fresh:
+            chain = _Chain()
+            chain.pages = [
+                fresh[i : i + self.page_capacity]
+                for i in range(0, len(fresh), self.page_capacity)
+            ]
+            self._chains[key] = chain
+            self._record_count += len(fresh)
+
     def records_in(self, bucket: Bucket) -> tuple[object, ...]:
         chain = self._chains.get(tuple(bucket))
         if chain is None:
@@ -107,6 +125,13 @@ class PagedBucketStore:
     @property
     def bucket_count(self) -> int:
         return len(self._chains)
+
+    def state_digest(self) -> str:
+        """Canonical content digest, independent of page layout (a compacted
+        and an uncompacted chain holding the same records digest equal)."""
+        return content_digest(
+            (bucket, self.records_in(bucket)) for bucket in self._chains
+        )
 
     def check_invariants(self) -> None:
         actual = sum(chain.record_count() for chain in self._chains.values())

@@ -122,6 +122,18 @@ class PartitionedFile:
         """Record count per device (static storage balance)."""
         return [device.record_count for device in self.devices]
 
+    def state_digest(self) -> str:
+        """Canonical digest of the whole file: per-device store digests in
+        device order.  Two files digest equal exactly when every device
+        holds the same records in the same buckets — the crash-recovery
+        byte-identity criterion."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for device in self.devices:
+            digest.update(device.state_digest().encode("ascii"))
+        return digest.hexdigest()
+
     def check_invariants(self) -> None:
         """Verify placement: every stored bucket maps back to its device."""
         for device in self.devices:

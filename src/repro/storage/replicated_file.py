@@ -64,12 +64,17 @@ class ReplicatedFile:
         scheme: ChainedReplicaScheme,
         multikey_hash: MultiKeyHash | None = None,
         cost_model: DeviceCostModel | None = None,
+        store_factory=None,
     ):
         self.scheme = scheme
         self.filesystem = scheme.filesystem
         self.multikey_hash = multikey_hash or MultiKeyHash.default(self.filesystem)
         self.devices = [
-            SimulatedDevice(d, cost_model=cost_model)
+            SimulatedDevice(
+                d,
+                cost_model=cost_model,
+                store=store_factory() if store_factory else None,
+            )
             for d in range(self.filesystem.m)
         ]
         self._failed: set[int] = set()
@@ -89,6 +94,16 @@ class ReplicatedFile:
         the simulation models unavailability, not media loss)."""
         self._failed.discard(device)
 
+    def lose_device(self, device: int) -> None:
+        """Permanent media loss: drop the device's pages *and* mark it
+        failed.  Unlike :meth:`fail_device`, the data is gone — only a
+        :class:`~repro.durability.DeviceRebuilder` (reconstructing from the
+        chained replicas) brings the device back."""
+        if not 0 <= device < self.filesystem.m:
+            raise StorageError(f"no device {device}")
+        self.devices[device].store.clear()
+        self._failed.add(device)
+
     @property
     def failed_devices(self) -> frozenset[int]:
         return frozenset(self._failed)
@@ -107,6 +122,26 @@ class ReplicatedFile:
     def insert_all(self, records: Sequence[Sequence[object]]) -> None:
         for record in records:
             self.insert(record)
+
+    def delete(self, record: Sequence[object]) -> bool:
+        """Remove one stored copy of *record* from both replicas.
+
+        Both replicas must agree: a record present on exactly one copy
+        means the file has silently diverged, which is an invariant
+        violation, not a normal miss.
+        """
+        bucket = self.multikey_hash.bucket_of(record)
+        primary, backup = self.scheme.replicas_of(bucket)
+        removed_primary = self.devices[primary].delete(bucket, tuple(record))
+        removed_backup = self.devices[backup].delete(bucket, tuple(record))
+        if removed_primary != removed_backup:
+            raise StorageError(
+                f"replica divergence deleting {record!r}: primary removed "
+                f"{removed_primary}, backup removed {removed_backup}"
+            )
+        if removed_primary:
+            self._logical_records -= 1
+        return removed_primary
 
     @property
     def record_count(self) -> int:
@@ -177,6 +212,16 @@ class ReplicatedFile:
             device, __ = self._serving_device(bucket)
             counts[device] += 1
         return counts
+
+    def state_digest(self) -> str:
+        """Canonical digest of the whole file (per-device digests in device
+        order); equal digests mean byte-identical replica contents."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for device in self.devices:
+            digest.update(device.state_digest().encode("ascii"))
+        return digest.hexdigest()
 
     def check_invariants(self) -> None:
         """Every stored bucket must sit on one of its two replica devices."""

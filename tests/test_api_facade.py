@@ -147,6 +147,39 @@ class TestDeprecationShims:
         with pytest.raises(AttributeError):
             distribution.NoSuchDistribution
 
+    def test_concurrent_first_access_warns_exactly_once(self):
+        """Racing threads resolving one deprecated name must produce one
+        warning total — the _warned check-then-add is lock-protected."""
+        import threading
+
+        for name in self.NAMES:
+            self._fresh(name)
+        barrier = threading.Barrier(8)
+
+        def resolve():
+            barrier.wait()
+            for name in self.NAMES:
+                getattr(distribution, name)
+
+        threads = [threading.Thread(target=resolve) for __ in range(8)]
+        # One global recorder: warnings raised on worker threads all land
+        # here, because catch_warnings swaps the process-wide showwarning.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == len(self.NAMES)
+        warned_names = sorted(
+            next(n for n in self.NAMES if n in str(w.message))
+            for w in deprecations
+        )
+        assert warned_names == self.NAMES
+
     def test_dir_lists_deprecated_names(self):
         listed = dir(distribution)
         for name in self.NAMES:
