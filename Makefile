@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench report examples faults obs recover clean
+.PHONY: install test bench report examples faults obs recover serve clean
 
 install:
 	$(PYTHON) -m pip install -e .[test] || $(PYTHON) setup.py develop
@@ -32,6 +32,12 @@ recover:
 		--records 64 --all-offsets --torn-tail
 	$(PYTHON) -m repro recover rebuild --fields 4,4 --devices 8 \
 		--records 200 --lose 2 --queries 20
+
+serve:
+	$(PYTHON) -m repro serve --fields 8,8 --devices 8 --records 128 \
+		--clients 8 --requests 40 --write-every 4 --hot-fraction 0.5 \
+		--verify
+	$(PYTHON) benchmarks/bench_service.py --smoke
 
 examples:
 	@for script in examples/*.py; do \

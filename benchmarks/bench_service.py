@@ -1,0 +1,178 @@
+"""Throughput of the serving tier, with and without request coalescing.
+
+The front end (``repro.service``) promises that duplicate concurrent
+queries share one device round-trip.  This benchmark measures what that
+buys: closed-loop throughput at 2–16 client threads over a hot-skewed
+workload, served twice — coalescing on and off — against identically
+loaded files.  Every run also re-proves the correctness contract: the
+request log replays serially with zero mismatches.
+
+Two entry points:
+
+* pytest-benchmark functions (collected with the other ``bench_*`` files)
+  timing one coalesced multi-client load, and
+* a script mode — ``python benchmarks/bench_service.py [--smoke]
+  [--out BENCH_service.json]`` — that writes per-thread-count throughput,
+  latency percentiles, and the device bucket-read totals to JSON,
+  asserting that coalescing strictly reduces leader fetches whenever any
+  request coalesced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro import obs
+from repro.core.fx import FXDistribution
+from repro.hashing.fields import FileSystem
+from repro.service import LoadGenerator, LoadSpec, QueryService, ServiceConfig
+from repro.storage.bucket_store import BucketStore
+from repro.storage.parallel_file import PartitionedFile
+
+FULL_CLIENTS = (2, 4, 8, 16)
+SMOKE_CLIENTS = (2, 4)
+
+FIELDS = (8, 8)
+DEVICES = 8
+
+
+class _SlowStore(BucketStore):
+    """Small fixed per-bucket read delay, so concurrent duplicate queries
+    actually overlap in flight (pure in-memory reads finish too fast to
+    ever coalesce)."""
+
+    delay_s = 0.0005
+
+    def records_in(self, bucket):
+        time.sleep(self.delay_s)
+        return super().records_in(bucket)
+
+
+def _service(coalesce: bool, clients: int) -> tuple[QueryService, list]:
+    pf = PartitionedFile(FXDistribution(FileSystem.of(*FIELDS, m=DEVICES)),
+                         store_factory=_SlowStore)
+    records = [(i % 13, i % 7) for i in range(256)]
+    pf.insert_all(records)
+    config = ServiceConfig(
+        max_concurrent=max(16, clients),
+        queue_limit=4 * clients,
+        cache_capacity=None,  # isolate coalescing from result caching
+        coalesce=coalesce,
+    )
+    return QueryService(pf, config), records
+
+
+def _spec(clients: int, requests: int) -> LoadSpec:
+    return LoadSpec(
+        clients=clients,
+        requests_per_client=requests,
+        seed=17,
+        hot_fraction=0.8,  # duplicate-heavy: the traffic coalescing serves
+        hot_pool=3,
+    )
+
+
+def _bucket_reads(service: QueryService) -> int:
+    return sum(device.stats.bucket_reads for device in service.file.devices)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_coalesced_hot_load(benchmark):
+    obs.configure(enabled=True, reset=True)
+
+    def run():
+        service, __ = _service(coalesce=True, clients=4)
+        report = LoadGenerator(service, _spec(clients=4, requests=25)).run()
+        assert report.errors == []
+        return report
+
+    report = benchmark(run)
+    assert report.status_counts().get("ok") == 100
+
+
+def bench_uncoalesced_hot_load(benchmark):
+    obs.configure(enabled=True, reset=True)
+
+    def run():
+        service, __ = _service(coalesce=False, clients=4)
+        report = LoadGenerator(service, _spec(clients=4, requests=25)).run()
+        assert report.errors == []
+        return report
+
+    report = benchmark(run)
+    assert report.status_counts().get("ok") == 100
+
+
+# ----------------------------------------------------------------------
+# Script mode: write BENCH_service.json
+# ----------------------------------------------------------------------
+def _measure(clients: int, requests: int) -> dict:
+    row: dict = {"clients": clients, "requests_per_client": requests}
+    for label, coalesce in (("coalesced", True), ("uncoalesced", False)):
+        obs.reset_telemetry()
+        service, preloaded = _service(coalesce, clients)
+        report = LoadGenerator(service, _spec(clients, requests)).run()
+        assert report.errors == [], report.errors
+        mismatches = report.verify(service.file.multikey_hash,
+                                   initial_records=preloaded)
+        assert mismatches == [], mismatches
+        counters = obs.telemetry().metrics.snapshot().counters
+        row[label] = {
+            "throughput_qps": round(report.throughput_qps, 1),
+            "p50_ms": round(report.latency_percentile(0.50), 4),
+            "p99_ms": round(report.latency_percentile(0.99), 4),
+            "coalesced_requests": report.coalesced,
+            "leader_fetches": counters.get("service.leader_fetches", 0),
+            "bucket_reads": _bucket_reads(service),
+        }
+    coalesced, uncoalesced = row["coalesced"], row["uncoalesced"]
+    if coalesced["coalesced_requests"] > 0:
+        assert (
+            coalesced["leader_fetches"] < uncoalesced["leader_fetches"]
+        ), "coalescing must reduce device round-trips when requests share"
+    row["speedup"] = round(
+        coalesced["throughput_qps"] / max(uncoalesced["throughput_qps"], 1e-9),
+        3,
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer thread counts and requests for CI; same code paths",
+    )
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client (default 50; smoke 15)")
+    args = parser.parse_args(argv)
+
+    client_counts = SMOKE_CLIENTS if args.smoke else FULL_CLIENTS
+    requests = args.requests or (15 if args.smoke else 50)
+    result = {
+        "mode": "smoke" if args.smoke else "full",
+        "fields": list(FIELDS),
+        "devices": DEVICES,
+        "sweep": [_measure(clients, requests) for clients in client_counts],
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    for row in result["sweep"]:
+        print(
+            f"{row['clients']:>3} clients: "
+            f"{row['coalesced']['throughput_qps']:>8,.1f} qps coalesced "
+            f"({row['coalesced']['coalesced_requests']} shared) vs "
+            f"{row['uncoalesced']['throughput_qps']:>8,.1f} qps uncoalesced "
+            f"-> x{row['speedup']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,7 +42,7 @@ from repro.core.transforms import (
     assign_transforms,
     make_transform,
 )
-from repro.api import make_durable_file, make_method, method_names
+from repro.api import make_durable_file, make_method, make_service, method_names
 from repro.distribution.base import (
     DistributionMethod,
     available_methods,
@@ -63,6 +63,12 @@ from repro.runtime import (
 )
 from repro.hashing import FieldSpec, FileSystem, MultiKeyHash, design_directory
 from repro.query import PartialMatchQuery, QueryWorkload, WorkloadSpec
+from repro.service import (
+    LoadGenerator,
+    LoadSpec,
+    QueryService,
+    ServiceConfig,
+)
 from repro.storage import (
     BatchExecutor,
     DynamicPartitionedFile,
@@ -72,7 +78,7 @@ from repro.storage import (
     ReplicatedFile,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -107,6 +113,7 @@ __all__ = [
     # facade
     "make_method",
     "make_durable_file",
+    "make_service",
     "method_names",
     # runtime
     "FaultPlan",
@@ -127,5 +134,10 @@ __all__ = [
     "PartialMatchQuery",
     "QueryWorkload",
     "WorkloadSpec",
+    # serving tier
+    "QueryService",
+    "ServiceConfig",
+    "LoadGenerator",
+    "LoadSpec",
     "ReproError",
 ]

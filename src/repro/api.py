@@ -34,6 +34,7 @@ from repro.hashing.fields import FileSystem
 __all__ = [
     "make_method",
     "make_durable_file",
+    "make_service",
     "method_names",
     "register_factory",
     "default_gdm_multipliers",
@@ -209,3 +210,50 @@ def make_durable_file(
         else None
     )
     return DurableFile(file, wal=WriteAheadLog(crash=crash))
+
+
+def make_service(
+    name: str = "fx",
+    *,
+    fields: Sequence[int],
+    devices: int,
+    max_concurrent: int = 8,
+    queue_limit: int = 32,
+    deadline_ms: float | None = None,
+    admission_retry=None,
+    cache_capacity: int | None = 64,
+    coalesce: bool = True,
+    cost_model=None,
+    **opts: object,
+):
+    """Build a ready-to-serve :class:`~repro.service.QueryService`:
+    a partitioned file under the named distribution method, fronted by
+    admission control, request coalescing and the write-aware result
+    cache.
+
+    The serving knobs mirror :class:`~repro.service.ServiceConfig`;
+    remaining keyword options go to the method constructor exactly as in
+    :func:`make_method`.  The underlying file is reachable as
+    ``service.file`` for loading records.
+
+    >>> service = make_service("fx", fields=(4, 4), devices=4)
+    >>> __ = service.insert((1, 2))
+    >>> service.execute(service.file.query({0: 1})).status
+    'ok'
+    """
+    from repro.runtime import RetryPolicy
+    from repro.service import QueryService, ServiceConfig
+    from repro.storage.parallel_file import PartitionedFile
+
+    method = make_method(name, fields=fields, devices=devices, **opts)
+    config = ServiceConfig(
+        max_concurrent=max_concurrent,
+        queue_limit=queue_limit,
+        deadline_ms=deadline_ms,
+        admission_retry=admission_retry or RetryPolicy.none(),
+        cache_capacity=cache_capacity,
+        coalesce=coalesce,
+    )
+    return QueryService(
+        PartitionedFile(method, cost_model=cost_model), config
+    )

@@ -24,7 +24,12 @@ Commands
              (``scrub``), crash/recovery byte-identity at WAL record
              boundaries (``replay``), rebuild a lost device from replicas
              and re-verify optimality (``rebuild``), or run all three as
-             one health report (``report``).
+             one health report (``report``),
+``serve``    concurrent serving tier: drive a deterministic closed-loop
+             multi-client load through the admission-controlled,
+             coalescing, result-cached front end; report throughput,
+             latency percentiles and the ``service.*`` counters, and
+             (``--verify``) prove zero stale reads by serial replay.
 
 File systems are given as ``--fields 8,8,16 --devices 32``.  The sweeping
 commands (``census``, ``search``) accept ``--parallel N`` to fan the
@@ -1013,6 +1018,96 @@ def _cmd_recover_report(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Drive the serving front end with a closed-loop load and report."""
+    from repro import obs
+    from repro.api import make_service
+    from repro.runtime import RetryPolicy
+    from repro.service import LoadGenerator, LoadSpec
+
+    obs.reset_telemetry()
+    fs = _parse_filesystem(args)
+    service = make_service(
+        args.method,
+        fields=fs.field_sizes,
+        devices=fs.m,
+        max_concurrent=args.max_concurrent,
+        queue_limit=args.queue_limit,
+        deadline_ms=args.deadline,
+        admission_retry=RetryPolicy(max_attempts=args.retries),
+        cache_capacity=None if args.no_cache else args.cache_capacity,
+        coalesce=not args.no_coalesce,
+    )
+    initial = _seeded_records(fs, args.records, args.seed)
+    service.file.insert_all(initial)
+    generator = LoadGenerator(
+        service,
+        LoadSpec(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            seed=args.seed,
+            spec_probability=args.p,
+            write_every=args.write_every,
+            hot_fraction=args.hot_fraction,
+            deadline_ms=args.deadline,
+        ),
+    )
+    report = generator.run()
+    data = report.to_dict()
+    mismatches: list[str] = []
+    if args.verify:
+        mismatches = report.verify(
+            service.file.multikey_hash, initial_records=initial
+        )
+        data["replay_mismatches"] = len(mismatches)
+    snap = obs.telemetry().metrics.snapshot()
+    counters = {
+        name: value
+        for name, value in sorted(snap.counters.items())
+        if name.startswith("service.")
+    }
+    ok = not report.errors and not mismatches
+    if args.json:
+        data["counters"] = counters
+        print(json.dumps(data, indent=2))
+        return 0 if ok else 1
+    rows = [
+        ["clients (closed loop)", args.clients],
+        ["queries served", data["ok"]],
+        ["writes applied", data["writes"]],
+        ["shed / timeout", f"{data['shed']} / {data['timeout']}"],
+        ["coalesced", data["coalesced"]],
+        ["throughput (req/s)", data["throughput_qps"]],
+        ["latency p50 (ms)", round(data["p50_ms"], 3)],
+        ["latency p95 (ms)", round(data["p95_ms"], 3)],
+        ["latency p99 (ms)", round(data["p99_ms"], 3)],
+        ["client errors", len(report.errors)],
+    ]
+    if args.verify:
+        rows.append(["serial-replay mismatches", len(mismatches)])
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Serving {args.method} on {fs.describe()}: "
+                f"{args.clients} x {args.requests} requests"
+            ),
+        )
+    )
+    if counters:
+        print()
+        print(
+            format_table(
+                ["service counter", "value"],
+                [[name, value] for name, value in counters.items()],
+            )
+        )
+    for message in mismatches[:10]:
+        print(f"MISMATCH {message}")
+    return 0 if ok else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -1304,6 +1399,67 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of tables")
     recover.set_defaults(func=_cmd_recover)
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive the concurrent serving tier with a closed-loop load",
+    )
+    _add_filesystem_arguments(serve)
+    serve.add_argument(
+        "--method", default="fx", choices=list(method_names()),
+        help="distribution method under the serving tier",
+    )
+    serve.add_argument("--records", type=int, default=64,
+                       help="seeded records loaded before the run")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for records and per-client request logs")
+    serve.add_argument("--clients", type=int, default=8,
+                       help="closed-loop client threads")
+    serve.add_argument("--requests", type=int, default=50,
+                       help="requests issued by each client")
+    serve.add_argument("--p", type=float, default=0.5,
+                       help="per-field specification probability")
+    serve.add_argument(
+        "--write-every", type=int, default=0, dest="write_every",
+        help="every k-th request of each client is an insert (0 = none)",
+    )
+    serve.add_argument(
+        "--hot-fraction", type=float, default=0.5, dest="hot_fraction",
+        help="fraction of queries drawn from a small shared hot pool",
+    )
+    serve.add_argument(
+        "--max-concurrent", type=int, default=8, dest="max_concurrent",
+        help="requests served at once before queueing",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=32, dest="queue_limit",
+        help="waiting requests beyond which admission sheds",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline in milliseconds",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1,
+        help="admission attempts before giving up (backed-off)",
+    )
+    serve.add_argument(
+        "--cache-capacity", type=int, default=64, dest="cache_capacity",
+        help="result-cache entries (with --no-cache: ignored)",
+    )
+    serve.add_argument("--no-cache", action="store_true", dest="no_cache",
+                       help="serve without the write-aware result cache")
+    serve.add_argument(
+        "--no-coalesce", action="store_true", dest="no_coalesce",
+        help="disable in-flight request coalescing",
+    )
+    serve.add_argument(
+        "--verify", action="store_true",
+        help="serial-replay the request log and fail on any stale read",
+    )
+    serve.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -1,0 +1,162 @@
+"""Admission control: bounded concurrency, bounded queue, explicit shed.
+
+The serving tier must degrade *explicitly* under overload: a request either
+runs, waits in a bounded queue, or is turned away with a shed/timeout
+result — never queued without bound.  :class:`AdmissionController` is the
+gate: at most ``max_concurrent`` requests hold a service permit, at most
+``queue_limit`` more wait for one, and a request that finds the queue full
+retries admission with the capped exponential backoff of a
+:class:`~repro.runtime.RetryPolicy` (the same semantics the fault runtime
+applies to device reads) before giving up.  A per-request deadline bounds
+the whole wait; exceeding it yields a ``timeout`` outcome rather than an
+exception.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.runtime.retry import RetryPolicy
+
+__all__ = ["AdmissionController", "AdmissionDecision"]
+
+#: Outcome names — also the suffixes of the ``service.admission.*`` counters.
+ADMITTED = "admitted"
+SHED = "shed"
+TIMEOUT = "timeout"
+
+
+@dataclass
+class AdmissionDecision:
+    """How one request fared at the gate."""
+
+    outcome: str  # "admitted" | "shed" | "timeout"
+    queue_ms: float = 0.0
+    attempts: int = 1
+
+    @property
+    def admitted(self) -> bool:
+        return self.outcome == ADMITTED
+
+
+class AdmissionController:
+    """A permit gate with a bounded wait queue and retry-with-backoff.
+
+    ``admit`` blocks (up to the deadline) while the queue has room, retries
+    per *retry* when the queue itself is full, and returns an explicit
+    :class:`AdmissionDecision` either way.  ``release`` returns a permit;
+    always pair them (``try/finally``).
+    """
+
+    def __init__(
+        self,
+        max_concurrent: int = 8,
+        queue_limit: int = 32,
+        retry: RetryPolicy | None = None,
+    ):
+        if max_concurrent < 1:
+            raise ConfigurationError(
+                f"max_concurrent must be >= 1, got {max_concurrent}"
+            )
+        if queue_limit < 0:
+            raise ConfigurationError(
+                f"queue_limit must be >= 0, got {queue_limit}"
+            )
+        self.max_concurrent = max_concurrent
+        self.queue_limit = queue_limit
+        self.retry = retry or RetryPolicy.none()
+        self._condition = threading.Condition()
+        self._in_service = 0
+        self._queued = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_service(self) -> int:
+        with self._condition:
+            return self._in_service
+
+    @property
+    def queued(self) -> int:
+        with self._condition:
+            return self._queued
+
+    # ------------------------------------------------------------------
+    # The gate
+    # ------------------------------------------------------------------
+    def admit(self, deadline_ms: float | None = None) -> AdmissionDecision:
+        """Try to obtain a service permit.
+
+        Waits in the bounded queue while a permit is busy; when the queue is
+        full, backs off and re-tries per the retry policy.  *deadline_ms*
+        bounds the total wall-clock wait (``None`` = wait indefinitely in
+        the queue, but still shed on a persistently full queue).
+        """
+        start = time.perf_counter()
+        outcome = SHED
+        attempts = 0
+        for attempt in range(1, self.retry.max_attempts + 1):
+            attempts = attempt
+            backoff_s = self.retry.delay_before(attempt) / 1000.0
+            if backoff_s:
+                if self._past_deadline(start, deadline_ms, after_s=backoff_s):
+                    outcome = TIMEOUT
+                    break
+                time.sleep(backoff_s)
+            outcome = self._admit_once(start, deadline_ms)
+            if outcome != SHED:
+                break
+        queue_ms = (time.perf_counter() - start) * 1000.0
+        return AdmissionDecision(outcome, queue_ms=queue_ms, attempts=attempts)
+
+    def release(self) -> None:
+        """Return a permit and wake the queued waiters.
+
+        Wakes all of them rather than one: a single notify can land on a
+        waiter that is about to time out, stranding the permit while other
+        waiters sleep.  Queues here are small, so the herd is too.
+        """
+        with self._condition:
+            self._in_service -= 1
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _admit_once(self, start: float, deadline_ms: float | None) -> str:
+        """One pass through the gate: permit, queue, or full."""
+        with self._condition:
+            if self._in_service < self.max_concurrent:
+                self._in_service += 1
+                return ADMITTED
+            if self._queued >= self.queue_limit:
+                return SHED
+            self._queued += 1
+            try:
+                while self._in_service >= self.max_concurrent:
+                    remaining = self._remaining_s(start, deadline_ms)
+                    if remaining is not None and remaining <= 0:
+                        return TIMEOUT
+                    if not self._condition.wait(remaining):
+                        return TIMEOUT
+                self._in_service += 1
+                return ADMITTED
+            finally:
+                self._queued -= 1
+
+    @staticmethod
+    def _remaining_s(start: float, deadline_ms: float | None) -> float | None:
+        if deadline_ms is None:
+            return None
+        return deadline_ms / 1000.0 - (time.perf_counter() - start)
+
+    @classmethod
+    def _past_deadline(
+        cls, start: float, deadline_ms: float | None, after_s: float = 0.0
+    ) -> bool:
+        remaining = cls._remaining_s(start, deadline_ms)
+        return remaining is not None and remaining <= after_s

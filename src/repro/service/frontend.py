@@ -1,0 +1,368 @@
+"""The concurrent query-serving front end.
+
+:class:`QueryService` is the layer that turns a partitioned file plus an
+executor into something that can take traffic from many threads at once:
+
+* **admission control** — a bounded permit gate with an explicit shed
+  path (:mod:`repro.service.admission`), so saturation produces
+  ``ServiceResult(status="shed")`` instead of an unbounded queue,
+* **request coalescing** — concurrent identical (or subsumed) queries
+  share one device round-trip: the first becomes the *leader* and
+  fetches, the rest wait on its in-flight entry and filter its
+  bucket-grouped result,
+* **a write-aware result cache** — the thread-safe
+  :class:`~repro.storage.cache.CachedExecutor`, invalidated selectively
+  by the file's write notifications, and
+* **linearisable reads** — every result carries the file
+  :attr:`~repro.storage.parallel_file.WriteNotifier.write_version` it
+  reflects, so a request log can be replayed serially and compared
+  byte-for-byte (the zero-stale-reads acceptance check, implemented in
+  :meth:`repro.service.loadgen.LoadReport.verify`).
+
+Coalescing never serves stale data: a follower only joins a flight whose
+snapshot version still equals the file's current write version, so any
+write that completed before the follower arrived forces a fresh read.
+Everything is observable through ``service.*`` counters and histograms in
+the process telemetry registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hashing.fields import Bucket
+from repro.obs import telemetry, trace_span
+from repro.query.algebra import subsumes
+from repro.query.partial_match import PartialMatchQuery
+from repro.runtime.retry import RetryPolicy
+from repro.service.admission import AdmissionController
+from repro.storage.cache import CachedExecutor
+from repro.storage.parallel_file import PartitionedFile
+
+__all__ = ["ServiceConfig", "ServiceResult", "QueryService"]
+
+#: Result statuses.
+OK = "ok"
+SHED = "shed"
+TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of one serving front end.
+
+    ``cache_capacity=None`` disables the result cache (every leader fetch
+    hits the devices); ``coalesce=False`` disables flight sharing.  The
+    ``admission_retry`` policy governs how a request behaves against a
+    full queue — its ``max_attempts``/backoff are the shed semantics, the
+    same arithmetic the fault runtime applies to device reads.
+    """
+
+    max_concurrent: int = 8
+    queue_limit: int = 32
+    deadline_ms: float | None = None
+    admission_retry: RetryPolicy = field(default_factory=RetryPolicy.none)
+    cache_capacity: int | None = 64
+    coalesce: bool = True
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of one request against the serving front end."""
+
+    status: str  # "ok" | "shed" | "timeout"
+    query: PartialMatchQuery | None = None
+    records: list[object] = field(default_factory=list)
+    #: File write version the records reflect (the read's linearisation
+    #: point); -1 for non-ok outcomes.
+    write_version: int = -1
+    #: File write version when the request entered the service — the floor
+    #: the staleness verification measures against.
+    submit_version: int = 0
+    #: Did this request share another request's device round-trip?
+    coalesced: bool = False
+    #: Cache provenance: "exact" | "subsumption" | "miss" | "" (uncached
+    #: leader fetch or non-ok outcome).
+    cache_hit: str = ""
+    queue_ms: float = 0.0
+    total_ms: float = 0.0
+    admission_attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    def to_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "query": self.query.describe() if self.query else None,
+            "records": len(self.records),
+            "write_version": self.write_version,
+            "coalesced": self.coalesced,
+            "cache_hit": self.cache_hit,
+            "queue_ms": round(self.queue_ms, 6),
+            "total_ms": round(self.total_ms, 6),
+            "admission_attempts": self.admission_attempts,
+        }
+
+
+class _Flight:
+    """One in-flight device round-trip that followers may join."""
+
+    def __init__(self, query: PartialMatchQuery, start_version: int):
+        self.query = query
+        self.start_version = start_version
+        self._done = threading.Event()
+        self.buckets: dict[Bucket, tuple[object, ...]] | None = None
+        self.version: int = -1
+        self.error: BaseException | None = None
+
+    def resolve(
+        self, buckets: dict[Bucket, tuple[object, ...]], version: int
+    ) -> None:
+        self.buckets = buckets
+        self.version = version
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout_s: float | None) -> bool:
+        return self._done.wait(timeout_s)
+
+
+class QueryService:
+    """Thread-safe serving layer over a :class:`PartitionedFile`.
+
+    >>> from repro import FileSystem, FXDistribution
+    >>> fs = FileSystem.of(4, 4, m=4)
+    >>> pf = PartitionedFile(FXDistribution(fs))
+    >>> service = QueryService(pf)
+    >>> __ = service.insert((1, 2))
+    >>> result = service.execute(pf.query({0: 1}))
+    >>> result.status, len(result.records)
+    ('ok', 1)
+    """
+
+    def __init__(
+        self,
+        partitioned_file: PartitionedFile,
+        config: ServiceConfig | None = None,
+    ):
+        self.file = partitioned_file
+        self.config = config or ServiceConfig()
+        if self.config.deadline_ms is not None and self.config.deadline_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be positive, got {self.config.deadline_ms}"
+            )
+        self.admission = AdmissionController(
+            max_concurrent=self.config.max_concurrent,
+            queue_limit=self.config.queue_limit,
+            retry=self.config.admission_retry,
+        )
+        self.cache = (
+            CachedExecutor(partitioned_file, capacity=self.config.cache_capacity)
+            if self.config.cache_capacity is not None
+            else None
+        )
+        self._inflight: dict[PartialMatchQuery, _Flight] = {}
+        self._inflight_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def insert(self, record) -> tuple[Bucket, int]:
+        """Insert through the serving layer.
+
+        Returns ``(bucket, write_version)`` — the version is the record's
+        position in the global write order, which is what the serial-replay
+        verification keys on.  The version comes from the file's atomic
+        :meth:`~repro.storage.parallel_file.PartitionedFile.insert_versioned`;
+        reading ``file.write_version`` after the insert would attribute a
+        concurrent writer's version to this record.
+        """
+        bucket, version = self.file.insert_versioned(record)
+        telemetry().metrics.add("service.writes")
+        return bucket, version
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: PartialMatchQuery,
+        deadline_ms: float | None = None,
+    ) -> ServiceResult:
+        """Serve one partial match query, never raising for overload.
+
+        *deadline_ms* overrides the config default for this request.
+        """
+        start = time.perf_counter()
+        deadline_ms = (
+            deadline_ms if deadline_ms is not None else self.config.deadline_ms
+        )
+        metrics = telemetry().metrics
+        metrics.add("service.requests")
+        submit_version = self.file.write_version
+
+        decision = self.admission.admit(deadline_ms)
+        if not decision.admitted:
+            metrics.add(f"service.{decision.outcome}")
+            result = ServiceResult(
+                status=decision.outcome,
+                query=query,
+                submit_version=submit_version,
+                queue_ms=decision.queue_ms,
+                total_ms=(time.perf_counter() - start) * 1000.0,
+                admission_attempts=decision.attempts,
+            )
+            self._observe(metrics, result)
+            return result
+        try:
+            with trace_span(
+                "service.request", query=query.describe()
+            ) as span:
+                result = self._serve(query, start, deadline_ms)
+                result.submit_version = submit_version
+                result.queue_ms = decision.queue_ms
+                result.admission_attempts = decision.attempts
+                span.set_attr("status", result.status)
+                span.set_attr("coalesced", result.coalesced)
+                if result.cache_hit:
+                    span.set_attr("cache_hit", result.cache_hit)
+        finally:
+            self.admission.release()
+        result.total_ms = (time.perf_counter() - start) * 1000.0
+        if result.ok:
+            metrics.add("service.served")
+        else:
+            metrics.add(f"service.{result.status}")
+        self._observe(metrics, result)
+        return result
+
+    def search(self, specified, deadline_ms: float | None = None) -> ServiceResult:
+        """Convenience: hash raw attribute values and execute."""
+        return self.execute(self.file.query(specified), deadline_ms=deadline_ms)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _serve(
+        self, query: PartialMatchQuery, start: float, deadline_ms: float | None
+    ) -> ServiceResult:
+        if not self.config.coalesce:
+            buckets, version, hit = self._fetch(query)
+            telemetry().metrics.add("service.leader_fetches")
+            return ServiceResult(
+                status=OK,
+                query=query,
+                records=self._collect(buckets, query),
+                write_version=version,
+                cache_hit=hit,
+            )
+        flight, leader = self._join_or_lead(query)
+        if leader:
+            try:
+                buckets, version, hit = self._fetch(query)
+            except BaseException as error:
+                self._retire(flight)
+                flight.fail(error)
+                raise
+            self._retire(flight)
+            flight.resolve(buckets, version)
+            telemetry().metrics.add("service.leader_fetches")
+            return ServiceResult(
+                status=OK,
+                query=query,
+                records=self._collect(buckets, query),
+                write_version=version,
+                cache_hit=hit,
+            )
+        remaining = self._remaining_s(start, deadline_ms)
+        if not flight.wait(remaining):
+            telemetry().metrics.add("service.coalesce_timeouts")
+            return ServiceResult(status=TIMEOUT, query=query)
+        if flight.error is not None:
+            raise flight.error
+        telemetry().metrics.add("service.coalesced")
+        return ServiceResult(
+            status=OK,
+            query=query,
+            records=self._collect(flight.buckets, query),
+            write_version=flight.version,
+            coalesced=True,
+        )
+
+    def _join_or_lead(self, query: PartialMatchQuery) -> tuple[_Flight, bool]:
+        """Join a compatible in-flight request, or become the leader.
+
+        A flight is joinable only if its query answers ours (identical or
+        subsuming) *and* no write has completed since the flight's snapshot
+        version — otherwise sharing its result could serve a state older
+        than one this request is required to observe.
+        """
+        current = self.file.write_version
+        with self._inflight_lock:
+            flight = self._inflight.get(query)
+            if flight is not None and flight.start_version == current:
+                return flight, False
+            for candidate in self._inflight.values():
+                if (
+                    candidate.start_version == current
+                    and subsumes(candidate.query, query)
+                ):
+                    return candidate, False
+            flight = _Flight(query, current)
+            self._inflight[query] = flight
+            return flight, True
+
+    def _retire(self, flight: _Flight) -> None:
+        with self._inflight_lock:
+            if self._inflight.get(flight.query) is flight:
+                del self._inflight[flight.query]
+
+    def _fetch(
+        self, query: PartialMatchQuery
+    ) -> tuple[dict[Bucket, tuple[object, ...]], int, str]:
+        """Bucket-grouped records for *query* plus their write version."""
+        if self.cache is not None:
+            lookup = self.cache.lookup(query)
+            return lookup.buckets, lookup.version, lookup.hit
+        buckets: dict[Bucket, tuple[object, ...]] = {}
+        method = self.file.method
+        with self.file.read_locked():
+            for device in self.file.devices:
+                assigned = list(
+                    method.qualified_on_device(device.device_id, query)
+                )
+                device.read_buckets(assigned)
+                for bucket in assigned:
+                    buckets[bucket] = device.store.records_in(bucket)
+            version = self.file.write_version
+        return buckets, version, ""
+
+    @staticmethod
+    def _collect(
+        buckets: dict[Bucket, tuple[object, ...]], query: PartialMatchQuery
+    ) -> list[object]:
+        records: list[object] = []
+        for bucket, bucket_records in buckets.items():
+            if query.matches(bucket):
+                records.extend(bucket_records)
+        return records
+
+    @staticmethod
+    def _observe(metrics, result: ServiceResult) -> None:
+        metrics.observe("service.latency_ms", result.total_ms)
+        if result.queue_ms:
+            metrics.observe("service.queue_ms", result.queue_ms)
+
+    @staticmethod
+    def _remaining_s(start: float, deadline_ms: float | None) -> float | None:
+        if deadline_ms is None:
+            return None
+        return max(0.0, deadline_ms / 1000.0 - (time.perf_counter() - start))

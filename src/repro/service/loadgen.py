@@ -1,0 +1,328 @@
+"""Deterministic closed-loop load generation and serial-replay verification.
+
+:class:`LoadGenerator` drives a :class:`~repro.service.frontend.QueryService`
+with N client threads, each executing a *deterministic* per-client request
+log (seeded per ``(seed, client)``, so the same spec always produces the
+same queries and writes regardless of scheduling).  Clients are
+closed-loop: each issues its next request only after the previous one
+completes — the classic saturation-free way to measure a serving tier.
+
+The report does two jobs:
+
+* **performance** — throughput and exact latency percentiles (computed
+  from the recorded per-request latencies, nearest-rank), plus per-status
+  counts and coalescing totals, and
+* **correctness** — :meth:`LoadReport.verify` replays the request log
+  serially: all writes in their global write-version order, every
+  successful query re-evaluated against the exact write-version prefix its
+  result claims (``ServiceResult.write_version``) *and* against the state
+  at its submit version.  A mismatch at the result version breaks
+  linearisability; a mismatch between those two states is a stale read.
+  Zero mismatches is the soak acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hashing.multikey import MultiKeyHash
+from repro.query.partial_match import PartialMatchQuery
+from repro.query.workload import QueryWorkload, WorkloadSpec
+from repro.service.frontend import QueryService, ServiceResult
+
+__all__ = ["LoadSpec", "LoadGenerator", "LoadReport", "RequestRecord"]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Shape of one load run.
+
+    ``write_every=k`` makes every k-th request of each client an insert
+    (0 = read-only).  ``hot_fraction`` of the queries are drawn from a
+    small shared pool of ``hot_pool`` popular queries — the duplicate
+    traffic coalescing exists for.
+    """
+
+    clients: int = 4
+    requests_per_client: int = 50
+    seed: int = 0
+    spec_probability: float = 0.5
+    write_every: int = 0
+    hot_fraction: float = 0.0
+    hot_pool: int = 4
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigurationError(f"clients must be >= 1, got {self.clients}")
+        if self.requests_per_client < 1:
+            raise ConfigurationError(
+                f"requests_per_client must be >= 1, got "
+                f"{self.requests_per_client}"
+            )
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hot_fraction {self.hot_fraction} outside [0, 1]"
+            )
+        if self.write_every < 0:
+            raise ConfigurationError(
+                f"write_every must be >= 0, got {self.write_every}"
+            )
+
+
+@dataclass
+class RequestRecord:
+    """One completed query request, as the verifier needs it."""
+
+    client: int
+    index: int
+    query: PartialMatchQuery
+    result: ServiceResult
+    latency_ms: float
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run produced."""
+
+    spec: LoadSpec
+    wall_s: float
+    requests: list[RequestRecord] = field(default_factory=list)
+    #: ``(version, record)`` for every insert, in global write order.
+    writes: list[tuple[int, tuple]] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Performance
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return len(self.requests) + len(self.writes)
+
+    def status_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for request in self.requests:
+            counts[request.result.status] = (
+                counts.get(request.result.status, 0) + 1
+            )
+        return counts
+
+    @property
+    def coalesced(self) -> int:
+        return sum(1 for r in self.requests if r.result.coalesced)
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.completed / self.wall_s
+
+    def latency_percentile(self, q: float) -> float:
+        """Latency at quantile ``q`` in [0, 1] (nearest-rank, exact)."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile {q} outside [0, 1]")
+        if not self.requests:
+            return 0.0
+        ordered = sorted(r.latency_ms for r in self.requests)
+        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def to_dict(self) -> dict:
+        counts = self.status_counts()
+        return {
+            "clients": self.spec.clients,
+            "requests": len(self.requests),
+            "writes": len(self.writes),
+            "wall_s": round(self.wall_s, 6),
+            "throughput_qps": round(self.throughput_qps, 3),
+            "p50_ms": round(self.latency_percentile(0.50), 6),
+            "p95_ms": round(self.latency_percentile(0.95), 6),
+            "p99_ms": round(self.latency_percentile(0.99), 6),
+            "ok": counts.get("ok", 0),
+            "shed": counts.get("shed", 0),
+            "timeout": counts.get("timeout", 0),
+            "coalesced": self.coalesced,
+            "errors": len(self.errors),
+        }
+
+    # ------------------------------------------------------------------
+    # Correctness: serial replay
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        multikey_hash: MultiKeyHash,
+        initial_records: list[tuple] = (),
+    ) -> list[str]:
+        """Serial-replay check; returns human-readable mismatch messages.
+
+        *initial_records* are the records loaded before the run started
+        (versions ``1..len(initial_records)`` if inserted through the same
+        file, which the verifier assumes).  For every successful query the
+        served records must be byte-identical (as sorted tuples) to a
+        serial, uncached evaluation of the request log at the result's
+        write version; when the result version predates the submit
+        version, the two prefix states must additionally agree for that
+        query — disagreement there is precisely a stale read.
+        """
+        ordered_writes = sorted(self.writes)
+        timeline: list[tuple] = list(initial_records)
+        base = len(initial_records)
+        for position, (version, record) in enumerate(ordered_writes):
+            if version != base + position + 1:
+                return [
+                    f"write log is not a contiguous version sequence at "
+                    f"version {version} (expected {base + position + 1}); "
+                    "writes bypassed the service?"
+                ]
+            timeline.append(record)
+
+        def state_at(version: int) -> list[tuple]:
+            return timeline[:version]
+
+        def evaluate(query: PartialMatchQuery, version: int) -> list[tuple]:
+            return sorted(
+                record
+                for record in state_at(version)
+                if query.matches(multikey_hash.bucket_of(record))
+            )
+
+        mismatches: list[str] = []
+        for request in self.requests:
+            result = request.result
+            if not result.ok:
+                continue
+            served = sorted(tuple(record) for record in result.records)
+            expected = evaluate(request.query, result.write_version)
+            if served != expected:
+                mismatches.append(
+                    f"client {request.client} #{request.index} "
+                    f"{request.query.describe()}: served {len(served)} "
+                    f"records != replay at version {result.write_version} "
+                    f"({len(expected)} records)"
+                )
+                continue
+            if result.write_version < result.submit_version:
+                at_submit = evaluate(request.query, result.submit_version)
+                if served != at_submit:
+                    mismatches.append(
+                        f"client {request.client} #{request.index} "
+                        f"{request.query.describe()}: STALE — result "
+                        f"version {result.write_version} predates submit "
+                        f"version {result.submit_version} and the states "
+                        "differ for this query"
+                    )
+        return mismatches
+
+
+class LoadGenerator:
+    """Closed-loop, deterministic multi-client driver for a service."""
+
+    def __init__(self, service: QueryService, spec: LoadSpec | None = None):
+        self.service = service
+        self.spec = spec or LoadSpec()
+        self._filesystem = service.file.filesystem
+
+    # ------------------------------------------------------------------
+    # Deterministic request logs
+    # ------------------------------------------------------------------
+    def hot_queries(self) -> list[PartialMatchQuery]:
+        """The shared pool of popular queries (deterministic in the seed)."""
+        workload = QueryWorkload(
+            self._filesystem,
+            WorkloadSpec(
+                spec_probability=self.spec.spec_probability,
+                exclude_trivial=True,
+                seed=self.spec.seed * 7919 + 1,
+            ),
+        )
+        return workload.take(max(1, self.spec.hot_pool))
+
+    def client_ops(self, client: int) -> list[tuple[str, object]]:
+        """The deterministic op log of one client: ``("query", q)`` and
+        ``("insert", record)`` tuples, independent of thread scheduling."""
+        spec = self.spec
+        rng = random.Random(f"loadgen:{spec.seed}:{client}")
+        workload = QueryWorkload(
+            self._filesystem,
+            WorkloadSpec(
+                spec_probability=spec.spec_probability,
+                exclude_trivial=True,
+                seed=spec.seed * 104729 + client + 1,
+            ),
+        )
+        hot = self.hot_queries()
+        ops: list[tuple[str, object]] = []
+        for index in range(spec.requests_per_client):
+            if spec.write_every and (index + 1) % spec.write_every == 0:
+                record = tuple(
+                    rng.randrange(4096)
+                    for __ in range(self._filesystem.n_fields)
+                )
+                ops.append(("insert", record))
+            elif hot and rng.random() < spec.hot_fraction:
+                ops.append(("query", hot[rng.randrange(len(hot))]))
+            else:
+                ops.append(("query", workload.next_query()))
+        return ops
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self) -> LoadReport:
+        """Execute the whole load: one thread per client, closed loop."""
+        spec = self.spec
+        logs = [self.client_ops(client) for client in range(spec.clients)]
+        per_client_requests: list[list[RequestRecord]] = [
+            [] for __ in range(spec.clients)
+        ]
+        per_client_writes: list[list[tuple[int, tuple]]] = [
+            [] for __ in range(spec.clients)
+        ]
+        errors: list[str] = []
+        errors_lock = threading.Lock()
+        barrier = threading.Barrier(spec.clients + 1)
+
+        def client_loop(client: int) -> None:
+            try:
+                barrier.wait()
+                for index, (kind, payload) in enumerate(logs[client]):
+                    if kind == "insert":
+                        __, version = self.service.insert(payload)
+                        per_client_writes[client].append((version, payload))
+                        continue
+                    started = time.perf_counter()
+                    result = self.service.execute(
+                        payload, deadline_ms=spec.deadline_ms
+                    )
+                    latency_ms = (time.perf_counter() - started) * 1000.0
+                    per_client_requests[client].append(
+                        RequestRecord(client, index, payload, result, latency_ms)
+                    )
+            except BaseException as error:  # soak criterion: zero exceptions
+                with errors_lock:
+                    errors.append(f"client {client}: {error!r}")
+
+        threads = [
+            threading.Thread(
+                target=client_loop, args=(client,), name=f"loadgen-{client}"
+            )
+            for client in range(spec.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - started
+
+        report = LoadReport(spec=spec, wall_s=wall_s, errors=errors)
+        for client_requests in per_client_requests:
+            report.requests.extend(client_requests)
+        for client_writes in per_client_writes:
+            report.writes.extend(client_writes)
+        return report

@@ -1,4 +1,4 @@
-"""Subsumption-aware query result cache.
+"""Subsumption-aware, write-aware query result cache.
 
 Partial match workloads are repetitive, and their queries order naturally
 by containment: a cached broad result can answer any narrower query locally
@@ -9,12 +9,51 @@ by query and consulted through :func:`repro.query.algebra.subsumes`.
 Cache entries store ``(bucket, records)`` pairs, so answering a subsumed
 query is a dictionary-free scan of the cached buckets against the narrower
 predicate — no rehashing of records required.
+
+Consistency contract
+--------------------
+
+The cache is **write-aware**: on construction it subscribes to the file's
+:class:`~repro.storage.parallel_file.WriteNotifier`, so every
+``PartitionedFile.insert``/``insert_all``/``delete`` automatically drops
+exactly the entries whose cached query could match the written record's
+bucket (checked through the query algebra:
+``subsumes(cached_query, exact-match(bucket))``).  Entries whose cached
+query cannot match the bucket are untouched — a write to one region of the
+grid does not evict results for disjoint regions.  :meth:`invalidate`
+remains as the manual escape hatch for out-of-band mutations that bypass
+the file interface (e.g. direct store surgery in tests).
+
+The cache is also **thread-safe**: every probe, fill, eviction and
+invalidation happens under one internal lock (the same discipline as
+:class:`repro.perf.memo.LRUCache`).  The device fetch on a miss is the one
+step that deliberately runs *outside* that lock: notifications are
+delivered while the writer holds the file's mutation lock (see
+:meth:`~repro.storage.parallel_file.WriteNotifier._publish`), so a lookup
+that held the cache lock while waiting for the mutation lock would deadlock
+against a writer holding the mutation lock while waiting for the cache
+lock.
+
+Zero stale reads follows from two orderings:
+
+1. *Hits.*  A write's invalidation runs before its version is published,
+   so once any reader can observe write version ``v``, every entry ``v``
+   could have changed is already gone — an exact or subsumption hit never
+   serves data that predates a write the caller has seen.
+2. *Fills.*  A write that lands between a miss's device fetch (a
+   consistent snapshot under the mutation lock) and its fill cannot drop
+   the not-yet-inserted entry, so the fill itself re-checks: notifications
+   that arrive while any fetch is in flight are recorded, and a fill is
+   skipped (the freshly fetched records are still returned — they are a
+   valid snapshot at their own version) when a recorded notification newer
+   than the fetched snapshot matches the query.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from threading import RLock
 
 from repro.errors import ConfigurationError
 from repro.hashing.fields import Bucket
@@ -22,7 +61,7 @@ from repro.query.algebra import subsumes
 from repro.query.partial_match import PartialMatchQuery
 from repro.storage.parallel_file import PartitionedFile
 
-__all__ = ["CacheStats", "CachedExecutor"]
+__all__ = ["CacheStats", "CachedExecutor", "CachedLookup"]
 
 
 @dataclass
@@ -33,6 +72,8 @@ class CacheStats:
     subsumption_hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Entries dropped by write notifications (not manual ``invalidate``).
+    write_invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -50,13 +91,43 @@ class _Entry:
     """One cached result: the qualified buckets with their records."""
 
     buckets: dict[Bucket, tuple[object, ...]] = field(default_factory=dict)
+    #: File write version the entry reflects (its linearisation point).
+    version: int = 0
+
+
+@dataclass
+class CachedLookup:
+    """One resolved lookup: bucket-grouped records plus provenance.
+
+    ``buckets`` holds the *entry*'s buckets (possibly broader than the
+    query on a subsumption hit) — callers filter with ``query.matches``.
+    ``version`` is the file write version the records reflect; ``hit`` is
+    ``"exact"``, ``"subsumption"`` or ``"miss"``.
+    """
+
+    query: PartialMatchQuery
+    buckets: dict[Bucket, tuple[object, ...]]
+    version: int
+    hit: str
+
+    def collect(self, query: PartialMatchQuery | None = None) -> list[object]:
+        """Records of *query* (default: the looked-up query) from the
+        cached buckets."""
+        query = query or self.query
+        records: list[object] = []
+        for bucket, bucket_records in self.buckets.items():
+            if query.matches(bucket):
+                records.extend(bucket_records)
+        return records
 
 
 class CachedExecutor:
-    """LRU, subsumption-aware caching front for partial match execution.
+    """LRU, subsumption-aware, write-aware caching front for partial match
+    execution.
 
-    Correctness caveat shared by every result cache: entries reflect the
-    file at execution time; call :meth:`invalidate` after writes.
+    Entries are invalidated automatically when the underlying file mutates
+    (see the module docstring for the exact contract); the executor is safe
+    to share between threads.
 
     >>> from repro import FileSystem, FXDistribution
     >>> fs = FileSystem.of(4, 4, m=4)
@@ -69,6 +140,10 @@ class CachedExecutor:
     >>> __ = cached.execute(narrow)      # answered from the broad entry
     >>> cached.stats.subsumption_hits
     1
+    >>> __ = pf.insert((1, 3))           # write notification drops the entry
+    >>> __ = cached.execute(broad)
+    >>> cached.stats.misses
+    2
     """
 
     def __init__(self, partitioned_file: PartitionedFile, capacity: int = 32):
@@ -78,56 +153,141 @@ class CachedExecutor:
         self.capacity = capacity
         self.stats = CacheStats()
         self._entries: OrderedDict[PartialMatchQuery, _Entry] = OrderedDict()
+        self._lock = RLock()
+        #: Misses currently fetching outside the lock; while any are in
+        #: flight, write notifications are also recorded in ``_pending_notes``
+        #: so the fills can re-check freshness (see module docstring).
+        self._fetching = 0
+        self._pending_notes: list[tuple[int, Bucket]] = []
+        # Write-awareness: drop affected entries on every file mutation.
+        # Files without a notifier (duck-typed stand-ins) fall back to the
+        # manual invalidate() contract.
+        subscribe = getattr(partitioned_file, "subscribe", None)
+        self._unsubscribe = subscribe(self._on_write) if subscribe else None
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def execute(self, query: PartialMatchQuery) -> list[object]:
         """Records of *query*'s qualified buckets, cached when possible."""
-        entry = self._entries.get(query)
-        if entry is not None:
-            self._entries.move_to_end(query)
-            self.stats.exact_hits += 1
-            return self._collect(entry, query)
-        for cached_query in reversed(self._entries):
-            if subsumes(cached_query, query):
-                self._entries.move_to_end(cached_query)
-                self.stats.subsumption_hits += 1
-                return self._collect(self._entries[cached_query], query)
-        self.stats.misses += 1
-        entry = self._fetch(query)
-        self._entries[query] = entry
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return self._collect(entry, query)
+        return self.lookup(query).collect(query)
+
+    def lookup(self, query: PartialMatchQuery) -> CachedLookup:
+        """Resolve *query* to bucket-grouped records with provenance.
+
+        Hit probing and the fill run under the cache lock; the device fetch
+        on a miss runs outside it (it takes the file's mutation lock, which
+        write notifications are delivered under — holding both here would
+        deadlock).  A fill is skipped when a write notification newer than
+        the fetched snapshot arrived mid-fetch and matches the query; the
+        fetched records are still returned, stamped with their own version.
+        """
+        with self._lock:
+            entry = self._entries.get(query)
+            if entry is not None:
+                self._entries.move_to_end(query)
+                self.stats.exact_hits += 1
+                return CachedLookup(query, entry.buckets, entry.version, "exact")
+            for cached_query in reversed(self._entries):
+                if subsumes(cached_query, query):
+                    self._entries.move_to_end(cached_query)
+                    self.stats.subsumption_hits += 1
+                    entry = self._entries[cached_query]
+                    return CachedLookup(
+                        query, entry.buckets, entry.version, "subsumption"
+                    )
+            self.stats.misses += 1
+            self._fetching += 1
+        try:
+            entry = self._fetch(query)
+        except BaseException:
+            with self._lock:
+                self._retire_fetch()
+            raise
+        with self._lock:
+            fresh = not any(
+                version > entry.version
+                and subsumes(
+                    query, PartialMatchQuery.exact(self.file.filesystem, bucket)
+                )
+                for version, bucket in self._pending_notes
+            )
+            self._retire_fetch()
+            if fresh:
+                self._entries[query] = entry
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+        return CachedLookup(query, entry.buckets, entry.version, "miss")
+
+    def _retire_fetch(self) -> None:
+        """One in-flight fetch finished (call under the cache lock); once
+        none remain, the recorded notification window is drained."""
+        self._fetching -= 1
+        if self._fetching == 0:
+            self._pending_notes.clear()
 
     def _fetch(self, query: PartialMatchQuery) -> _Entry:
-        """Read the query from the devices, keeping per-bucket grouping."""
+        """Read the query from the devices, keeping per-bucket grouping.
+
+        Runs under the file's mutation lock so the fetched snapshot is a
+        well-defined write-version prefix, never a torn mix of a concurrent
+        insert.
+        """
         entry = _Entry()
         method = self.file.method
-        for device in self.file.devices:
-            assigned = list(
-                method.qualified_on_device(device.device_id, query)
-            )
-            device.read_buckets(assigned)
-            for bucket in assigned:
-                entry.buckets[bucket] = device.store.records_in(bucket)
+        with self.file.read_locked():
+            for device in self.file.devices:
+                assigned = list(
+                    method.qualified_on_device(device.device_id, query)
+                )
+                device.read_buckets(assigned)
+                for bucket in assigned:
+                    entry.buckets[bucket] = device.store.records_in(bucket)
+            entry.version = self.file.write_version
         return entry
-
-    def _collect(self, entry: _Entry, query: PartialMatchQuery) -> list[object]:
-        records: list[object] = []
-        for bucket, bucket_records in entry.buckets.items():
-            if query.matches(bucket):
-                records.extend(bucket_records)
-        return records
 
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
+    def _on_write(self, bucket: Bucket, version: int) -> None:
+        """Write notification: drop entries whose query could match
+        *bucket* (exactly the entries the write may have changed).
+
+        Runs under the file's mutation lock, before *version* is published.
+        While misses are fetching outside the cache lock, the notification
+        is also recorded so their fills can re-check freshness.
+        """
+        exact = PartialMatchQuery.exact(self.file.filesystem, bucket)
+        with self._lock:
+            affected = [
+                cached_query
+                for cached_query in self._entries
+                if subsumes(cached_query, exact)
+            ]
+            for cached_query in affected:
+                del self._entries[cached_query]
+            self.stats.write_invalidations += len(affected)
+            if self._fetching:
+                self._pending_notes.append((version, bucket))
+
     def invalidate(self) -> None:
-        """Drop every entry (call after any write to the file)."""
-        self._entries.clear()
+        """Drop every entry.
+
+        Kept as the manual escape hatch for mutations that bypass the file
+        interface (writes through ``insert``/``delete`` invalidate
+        automatically).
+        """
+        with self._lock:
+            self._entries.clear()
+
+    def close(self) -> None:
+        """Detach from the file's write notifications (long-lived files
+        outliving short-lived caches should not accumulate listeners)."""
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

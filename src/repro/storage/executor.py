@@ -40,9 +40,14 @@ class ExecutionResult:
 
     @property
     def speedup(self) -> float:
-        """Parallel speedup over serial execution of the same work."""
+        """Parallel speedup over serial execution of the same work.
+
+        Degenerate cases are reported honestly: no work at all (both times
+        zero) is a neutral 1.0, but non-zero serial work finished in zero
+        modelled response time is unbounded speedup, not 1.0.
+        """
         if self.response_time_ms == 0.0:
-            return 1.0
+            return float("inf") if self.total_service_ms > 0.0 else 1.0
         return self.total_service_ms / self.response_time_ms
 
     def to_dict(self) -> dict:

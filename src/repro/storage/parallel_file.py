@@ -10,6 +10,7 @@ its share locally.  Partial match search goes through
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Mapping, Sequence
 
 from repro.distribution.base import DistributionMethod
@@ -20,10 +21,78 @@ from repro.query.partial_match import PartialMatchQuery
 from repro.storage.costs import DeviceCostModel
 from repro.storage.device import SimulatedDevice
 
-__all__ = ["PartitionedFile"]
+__all__ = ["PartitionedFile", "WriteNotifier"]
 
 
-class PartitionedFile:
+class WriteNotifier:
+    """Write-versioned listener registry shared by the file classes.
+
+    Every mutation (one record inserted or deleted) advances a monotonically
+    increasing *write version* and is announced, with its bucket, to every
+    registered listener — the hook result caches use to invalidate exactly
+    the entries a write could have changed (see
+    :class:`~repro.storage.cache.CachedExecutor`).  The mutation lock makes
+    a record-level mutation plus its version bump atomic with respect to
+    readers that acquire the same lock (:meth:`read_locked`), which is what
+    the serving layer's zero-stale-reads guarantee is built on.
+
+    Ordering is the load-bearing part: :meth:`_publish` notifies listeners
+    *before* the new version becomes visible in :attr:`write_version`, all
+    under the mutation lock.  Any request that observes version ``v`` is
+    therefore guaranteed that ``v``'s cache invalidations already ran — a
+    cache hit can never serve data that predates a write the caller has
+    already seen.  (Publishing first and notifying late reopens exactly
+    that window; the concurrency soak in ``tests/test_service.py`` caught
+    it.)  Listeners must not acquire locks that readers hold while waiting
+    for the mutation lock; the result cache keeps that rule by never
+    fetching under its own lock.
+    """
+
+    def __init__(self) -> None:
+        self._mutation_lock = threading.RLock()
+        self._listeners: list[Callable[[Bucket, int], None]] = []
+        self._write_version = 0
+
+    @property
+    def write_version(self) -> int:
+        """Count of completed record-level mutations (monotonic)."""
+        return self._write_version
+
+    def read_locked(self):
+        """Context manager serialising a read against mutations."""
+        return self._mutation_lock
+
+    def subscribe(self, listener: Callable[[Bucket, int], None]) -> Callable[[], None]:
+        """Register ``listener(bucket, version)``; returns an unsubscriber.
+
+        Listeners run under the file's mutation lock, after the mutation is
+        applied but before its version is published.
+        """
+        with self._mutation_lock:
+            self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            with self._mutation_lock:
+                if listener in self._listeners:
+                    self._listeners.remove(listener)
+
+        return unsubscribe
+
+    def _publish(self, bucket: Bucket) -> int:
+        """Announce one applied mutation, then make its version visible.
+
+        Call while holding the mutation lock, after the device-level write.
+        Notify-then-publish ensures no reader can observe the new version
+        while a cache still holds an entry the write invalidated.
+        """
+        version = self._write_version + 1
+        for listener in list(self._listeners):
+            listener(bucket, version)
+        self._write_version = version
+        return version
+
+
+class PartitionedFile(WriteNotifier):
     """Records distributed over parallel devices for partial match retrieval.
 
     >>> from repro import FileSystem, FXDistribution
@@ -42,6 +111,7 @@ class PartitionedFile:
         device_capacity: int | None = None,
         store_factory: "Callable[[], object] | None" = None,
     ):
+        super().__init__()
         self.method = method
         self.filesystem = method.filesystem
         self.multikey_hash = multikey_hash or MultiKeyHash.default(self.filesystem)
@@ -66,12 +136,24 @@ class PartitionedFile:
     def insert(self, record: Sequence[object]) -> Bucket:
         """Hash *record*, route its bucket to a device, store it there.
 
-        Returns the bucket address for callers that want to track placement.
+        The write advances :attr:`write_version` and notifies registered
+        caches (see :class:`WriteNotifier`).  Returns the bucket address for
+        callers that want to track placement.
+        """
+        return self.insert_versioned(record)[0]
+
+    def insert_versioned(self, record: Sequence[object]) -> tuple[Bucket, int]:
+        """:meth:`insert`, also returning the write version this mutation
+        was assigned — its position in the global write order.  Reading
+        :attr:`write_version` after :meth:`insert` returns is racy under
+        concurrent writers; this is the atomic form.
         """
         bucket = self.multikey_hash.bucket_of(record)
         device = self.method.device_of(bucket)
-        self.devices[device].insert(bucket, tuple(record))
-        return bucket
+        with self.read_locked():
+            self.devices[device].insert(bucket, tuple(record))
+            version = self._publish(bucket)
+        return bucket, version
 
     def insert_all(self, records: Sequence[Sequence[object]]) -> None:
         from repro.obs import telemetry, trace_span
@@ -85,7 +167,11 @@ class PartitionedFile:
         """Remove one stored copy of *record*; ``True`` when found."""
         bucket = self.multikey_hash.bucket_of(record)
         device = self.method.device_of(bucket)
-        return self.devices[device].delete(bucket, tuple(record))
+        with self.read_locked():
+            removed = self.devices[device].delete(bucket, tuple(record))
+            if removed:
+                self._publish(bucket)
+        return removed
 
     # ------------------------------------------------------------------
     # Query construction

@@ -27,6 +27,7 @@ from repro.query.partial_match import PartialMatchQuery
 from repro.storage.costs import DeviceCostModel
 from repro.storage.device import SimulatedDevice
 from repro.storage.executor import ExecutionResult
+from repro.storage.parallel_file import WriteNotifier
 from repro.util.numbers import ceil_div
 
 __all__ = ["DataUnavailableError", "ReplicatedExecutionResult", "ReplicatedFile"]
@@ -48,7 +49,7 @@ class ReplicatedExecutionResult(ExecutionResult):
         return data
 
 
-class ReplicatedFile:
+class ReplicatedFile(WriteNotifier):
     """A partitioned file with one chained backup copy per bucket.
 
     >>> from repro import FileSystem, FXDistribution
@@ -66,6 +67,7 @@ class ReplicatedFile:
         cost_model: DeviceCostModel | None = None,
         store_factory=None,
     ):
+        super().__init__()
         self.scheme = scheme
         self.filesystem = scheme.filesystem
         self.multikey_hash = multikey_hash or MultiKeyHash.default(self.filesystem)
@@ -112,12 +114,20 @@ class ReplicatedFile:
     # Writes
     # ------------------------------------------------------------------
     def insert(self, record: Sequence[object]) -> Bucket:
+        return self.insert_versioned(record)[0]
+
+    def insert_versioned(self, record: Sequence[object]) -> tuple[Bucket, int]:
+        """:meth:`insert`, also returning the write version this mutation
+        was assigned (atomic; reading :attr:`write_version` afterwards is
+        racy under concurrent writers)."""
         bucket = self.multikey_hash.bucket_of(record)
         primary, backup = self.scheme.replicas_of(bucket)
-        self.devices[primary].insert(bucket, tuple(record))
-        self.devices[backup].insert(bucket, tuple(record))
-        self._logical_records += 1
-        return bucket
+        with self.read_locked():
+            self.devices[primary].insert(bucket, tuple(record))
+            self.devices[backup].insert(bucket, tuple(record))
+            self._logical_records += 1
+            version = self._publish(bucket)
+        return bucket, version
 
     def insert_all(self, records: Sequence[Sequence[object]]) -> None:
         for record in records:
@@ -132,15 +142,17 @@ class ReplicatedFile:
         """
         bucket = self.multikey_hash.bucket_of(record)
         primary, backup = self.scheme.replicas_of(bucket)
-        removed_primary = self.devices[primary].delete(bucket, tuple(record))
-        removed_backup = self.devices[backup].delete(bucket, tuple(record))
-        if removed_primary != removed_backup:
-            raise StorageError(
-                f"replica divergence deleting {record!r}: primary removed "
-                f"{removed_primary}, backup removed {removed_backup}"
-            )
-        if removed_primary:
-            self._logical_records -= 1
+        with self.read_locked():
+            removed_primary = self.devices[primary].delete(bucket, tuple(record))
+            removed_backup = self.devices[backup].delete(bucket, tuple(record))
+            if removed_primary != removed_backup:
+                raise StorageError(
+                    f"replica divergence deleting {record!r}: primary removed "
+                    f"{removed_primary}, backup removed {removed_backup}"
+                )
+            if removed_primary:
+                self._logical_records -= 1
+                self._publish(bucket)
         return removed_primary
 
     @property

@@ -1,0 +1,105 @@
+"""Property-based tests for the query algebra (hypothesis).
+
+The algebra claims partial match queries over one file system form a
+meet-semilattice under ``subsumes``/``intersect``.  These properties pin
+that down — both the order-theoretic laws and the *semantic* ground truth:
+on a file system small enough to enumerate, every claim is checked against
+the actual qualified-bucket sets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.fields import FileSystem
+from repro.query.algebra import are_disjoint, intersect, subsumes
+from repro.query.partial_match import PartialMatchQuery
+
+FS = FileSystem.of(4, 4, m=4)  # 16 buckets: qualified sets enumerable
+FS3 = FileSystem.of(2, 4, 2, m=4)
+
+
+def queries(fs):
+    """Strategy over every partial match query of *fs* (free fields
+    included), built straight from the value-tuple representation."""
+    per_field = [
+        st.one_of(st.none(), st.integers(0, size - 1))
+        for size in fs.field_sizes
+    ]
+    return st.tuples(*per_field).map(
+        lambda values: PartialMatchQuery(fs, values)
+    )
+
+
+def qualified_set(query):
+    return set(query.qualified_buckets())
+
+
+class TestSubsumptionOrder:
+    @given(queries(FS))
+    def test_reflexive(self, q):
+        assert subsumes(q, q)
+
+    @given(queries(FS), queries(FS))
+    def test_antisymmetric_on_distinct_queries(self, a, b):
+        if a != b:
+            assert not (subsumes(a, b) and subsumes(b, a))
+
+    @settings(max_examples=60)
+    @given(queries(FS3), queries(FS3), queries(FS3))
+    def test_transitive(self, a, b, c):
+        if subsumes(a, b) and subsumes(b, c):
+            assert subsumes(a, c)
+
+    @given(queries(FS), queries(FS))
+    def test_matches_qualified_set_containment(self, a, b):
+        # the semantic definition, enumerated exhaustively
+        assert subsumes(a, b) == (qualified_set(b) <= qualified_set(a))
+
+    @given(queries(FS))
+    def test_full_scan_is_top(self, q):
+        assert subsumes(PartialMatchQuery.full_scan(FS), q)
+
+
+class TestIntersection:
+    @given(queries(FS), queries(FS))
+    def test_commutative(self, a, b):
+        assert intersect(a, b) == intersect(b, a)
+
+    @given(queries(FS))
+    def test_idempotent(self, q):
+        assert intersect(q, q) == q
+
+    @given(queries(FS), queries(FS))
+    def test_is_the_meet_of_qualified_sets(self, a, b):
+        meet = intersect(a, b)
+        both = qualified_set(a) & qualified_set(b)
+        if meet is None:
+            assert both == set()
+        else:
+            assert qualified_set(meet) == both
+
+    @given(queries(FS), queries(FS))
+    def test_intersection_subsumption_consistency(self, a, b):
+        # both operands subsume their meet, and any query they both
+        # subsume is subsumed by the meet (greatest lower bound)
+        meet = intersect(a, b)
+        if meet is not None:
+            assert subsumes(a, meet)
+            assert subsumes(b, meet)
+
+    @settings(max_examples=60)
+    @given(queries(FS3), queries(FS3), queries(FS3))
+    def test_meet_is_greatest_lower_bound(self, a, b, c):
+        if subsumes(a, c) and subsumes(b, c):
+            meet = intersect(a, b)
+            assert meet is not None
+            assert subsumes(meet, c)
+
+    @given(queries(FS), queries(FS))
+    def test_disjointness_agrees_with_intersection(self, a, b):
+        assert are_disjoint(a, b) == (intersect(a, b) is None)
+
+    @given(queries(FS), queries(FS))
+    def test_subsumption_absorbs_intersection(self, a, b):
+        if subsumes(a, b):
+            assert intersect(a, b) == b

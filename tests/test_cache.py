@@ -1,5 +1,8 @@
 """Tests for the subsumption-aware query result cache."""
 
+import random
+import threading
+
 import pytest
 
 from repro.core.fx import FXDistribution
@@ -111,3 +114,193 @@ class TestLifecycle:
         cached.execute(query)
         cached.execute(query)
         assert cached.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestWriteAwareness:
+    """The stale-read bugfix: writes invalidate affected entries on their
+    own — no manual ``invalidate()`` between executions required."""
+
+    def test_insert_between_two_executions_is_visible(self):
+        # Regression: this exact sequence used to serve the pre-insert
+        # result from cache — a stale read.
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        query = pf.query({0: 3})
+        first = cached.execute(query)
+        pf.insert((3, "fresh"))  # same raw value 3: lands in a cached bucket
+        second = cached.execute(query)
+        assert sorted(map(str, second)) == _ground_truth(pf, query)
+        assert len(second) == len(first) + 1
+        assert cached.stats.write_invalidations >= 1
+
+    def test_delete_between_two_executions_is_visible(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        query = pf.query({0: 3})
+        first = cached.execute(query)
+        assert pf.delete((3, "t3"))
+        second = cached.execute(query)
+        assert sorted(map(str, second)) == _ground_truth(pf, query)
+        assert len(second) == len(first) - 1
+
+    def test_unrelated_write_leaves_entry_intact(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        query = pf.query({0: 3})
+        cached.execute(query)
+        # find a raw value whose hashed field-0 address differs from 3's
+        target = pf.query({0: 3}).values[0]
+        other = next(
+            v for v in range(32) if pf.query({0: v}).values[0] != target
+        )
+        pf.insert((other, "elsewhere"))
+        cached.execute(query)
+        assert cached.stats.exact_hits == 1
+        assert cached.stats.write_invalidations == 0
+
+    def test_write_drops_subsuming_broad_entry_too(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        from repro.query.partial_match import PartialMatchQuery
+
+        broad = PartialMatchQuery.full_scan(FS)
+        cached.execute(broad)  # a full scan matches every bucket
+        pf.insert((1, "anywhere"))
+        assert cached.stats.write_invalidations == 1
+        got = cached.execute(broad)
+        assert cached.stats.misses == 2
+        assert sorted(map(str, got)) == _ground_truth(pf, broad)
+
+    def test_notification_precedes_version_publish(self):
+        # The freshness proof hangs on this ordering: listeners run before
+        # the new write version becomes observable, so a reader that has
+        # seen version v can never hit an entry v invalidated.
+        pf = _loaded()
+        observed = []
+        pf.subscribe(
+            lambda bucket, version: observed.append((version, pf.write_version))
+        )
+        before = pf.write_version
+        pf.insert((3, "ordered"))
+        assert observed == [(before + 1, before)]
+        assert pf.write_version == before + 1
+
+    def test_fill_skipped_when_matching_write_lands_mid_fetch(self):
+        # A write landing between a miss's device fetch and its fill cannot
+        # drop the not-yet-inserted entry; the fill must notice and skip
+        # caching the now-stale snapshot (while still returning it).
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        query = pf.query({0: 3})
+        original_fetch = cached._fetch
+
+        def racing_fetch(q):
+            entry = original_fetch(q)
+            pf.insert((3, "mid-fetch"))  # lands in a bucket the query matches
+            return entry
+
+        cached._fetch = racing_fetch
+        cached.execute(query)
+        cached._fetch = original_fetch
+        assert len(cached) == 0  # stale fill was skipped
+        got = cached.execute(query)  # a miss again, now cacheable
+        assert cached.stats.misses == 2
+        assert sorted(map(str, got)) == _ground_truth(pf, query)
+
+    def test_fill_kept_when_unrelated_write_lands_mid_fetch(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        query = pf.query({0: 3})
+        target = query.values[0]
+        other = next(
+            v for v in range(32) if pf.query({0: v}).values[0] != target
+        )
+        original_fetch = cached._fetch
+
+        def racing_fetch(q):
+            entry = original_fetch(q)
+            pf.insert((other, "elsewhere"))  # disjoint bucket: entry stays
+            return entry
+
+        cached._fetch = racing_fetch
+        cached.execute(query)
+        cached._fetch = original_fetch
+        assert len(cached) == 1
+        cached.execute(query)
+        assert cached.stats.exact_hits == 1
+
+    def test_close_detaches_from_notifications(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf)
+        query = pf.query({0: 3})
+        cached.execute(query)
+        cached.close()
+        pf.insert((3, "after-close"))
+        assert cached.stats.write_invalidations == 0
+        assert len(cached) == 1  # entry survives; manual contract applies
+        cached.close()  # idempotent
+
+
+class TestThreadSafety:
+    """The thread-unsafety bugfix: concurrent lookups, fills, evictions
+    and write notifications share one lock (mirroring
+    :class:`repro.perf.memo.LRUCache`)."""
+
+    def test_concurrent_execute_and_write_stress(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf, capacity=4)  # small: constant eviction
+        n_threads, n_ops = 8, 60
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def worker(thread_id):
+            rng = random.Random(thread_id)
+            try:
+                barrier.wait()
+                for op in range(n_ops):
+                    if thread_id % 2 == 0 and op % 10 == 9:
+                        pf.insert((rng.randrange(32), f"w{thread_id}-{op}"))
+                    else:
+                        query = pf.query({0: rng.randrange(8)})
+                        for record in cached.execute(query):
+                            assert query.matches(
+                                pf.multikey_hash.bucket_of(record)
+                            )
+            except BaseException as error:
+                errors.append(f"thread {thread_id}: {error!r}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # after the dust settles every query must be served fresh-correct
+        for value in range(8):
+            query = pf.query({0: value})
+            assert sorted(map(str, cached.execute(query))) == _ground_truth(
+                pf, query
+            )
+
+    def test_stats_consistent_after_stress(self):
+        pf = _loaded()
+        cached = CachedExecutor(pf, capacity=8)
+        barrier = threading.Barrier(4)
+
+        def worker(thread_id):
+            barrier.wait()
+            for op in range(50):
+                cached.execute(pf.query({0: (thread_id + op) % 6}))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert cached.stats.lookups == 200
+        assert 0.0 <= cached.stats.hit_rate <= 1.0

@@ -79,6 +79,23 @@ class TestExecutionDiagnostics:
         assert "records" in text
         assert "largest response" in text
 
+    def test_speedup_degenerate_cases_reported_honestly(self):
+        # Regression: zero response time with non-zero serial work used to
+        # report a flat 1.0, hiding unbounded speedup behind "no speedup".
+        from repro.storage.executor import ExecutionResult
+
+        fs = FileSystem.of(4, 8, m=4)
+        query = PartialMatchQuery.full_scan(fs)
+        busy = ExecutionResult(
+            query=query, response_time_ms=0.0, total_service_ms=7.5
+        )
+        assert busy.speedup == float("inf")
+        idle = ExecutionResult(
+            query=query, response_time_ms=0.0, total_service_ms=0.0
+        )
+        assert idle.speedup == 1.0
+        assert idle.to_dict()["speedup"] == 1.0
+
     def test_disk_model_seek_included(self):
         fs = FileSystem.of(4, 8, m=4)
         pf = PartitionedFile(
