@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench report examples faults obs recover serve clean
+.PHONY: install test bench bench-batch report examples faults obs recover serve clean
 
 install:
 	$(PYTHON) -m pip install -e .[test] || $(PYTHON) setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-batch:
+	$(PYTHON) benchmarks/bench_batchexec.py --smoke --out /tmp/BENCH_batchexec.json
 
 report:
 	$(PYTHON) -m repro report --output EXPERIMENTS.md

@@ -1,0 +1,234 @@
+"""Throughput of the array-native batch engine vs per-query execution.
+
+The engine (``repro.engine``) plans a whole batch of partial match
+queries in one NumPy pass — per-query specified folds gathered through
+the contribution tables, one ``searchsorted`` pair inverting the solve
+field for every (query, device, combination) cell — and then touches
+each present (device, bucket) pair once for the whole batch.  The serial
+:class:`~repro.storage.executor.QueryExecutor` pays a Python-level
+inverse-mapping loop and a full bucket scan per query.
+
+This benchmark measures that gap at the acceptance scale — 2^18 buckets
+(fields 64x64x64 on 16 devices) with batch sizes 16/64/256 — and
+re-proves the contract while timing: every batched
+:class:`~repro.storage.executor.ExecutionResult` is byte-identical to
+the serial one (records, per-device counts, modelled times; only the
+``mode`` provenance marker differs).  A second sweep runs the same
+batches over the zero-copy :class:`~repro.durability.checksummed_store.
+PackedChecksummedStore`, so the CRC-verified read path is covered by the
+same identity assertion.
+
+Two entry points:
+
+* pytest-benchmark functions (collected with the other ``bench_*``
+  files) timing one mid-sized batch, and
+* a script mode — ``python benchmarks/bench_batchexec.py [--smoke]
+  [--out BENCH_batchexec.json]`` — that writes the per-batch-size
+  speedup sweep to JSON and asserts the >= 10x acceptance threshold
+  (full mode only; smoke keeps the same code paths at toy scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+
+from repro import BatchEngine, make_method
+from repro.durability.checksummed_store import PackedChecksummedStore
+from repro.storage.executor import QueryExecutor
+from repro.storage.parallel_file import PartitionedFile
+
+FULL_FIELDS = (64, 64, 64)  # 2^18 buckets
+FULL_DEVICES = 16
+FULL_BATCH_SIZES = (16, 64, 256)
+FULL_RECORDS = 2048
+
+SMOKE_FIELDS = (8, 8, 8)
+SMOKE_DEVICES = 8
+SMOKE_BATCH_SIZES = (8, 16)
+SMOKE_RECORDS = 256
+
+
+def _loaded_file(fields, devices, records, seed, store_factory=None):
+    method = make_method("fx", fields=fields, devices=devices)
+    pf = (
+        PartitionedFile(method, store_factory=store_factory)
+        if store_factory is not None
+        else PartitionedFile(method)
+    )
+    rng = random.Random(seed)
+    pf.insert_all(
+        [
+            tuple(rng.randrange(size) for size in fields)
+            for __ in range(records)
+        ]
+    )
+    return pf
+
+
+def _query_batch(pf, size, seed):
+    """Mixed batch of heavy partial-match queries: 1–2 specified fields
+    (the regime batching targets — light exact-match lookups are cheap
+    either way), with ~10% duplicates as a realistic workload would have.
+    """
+    fields = pf.filesystem.field_sizes
+    rng = random.Random(seed)
+    queries = []
+    for index in range(size):
+        if queries and rng.random() < 0.1:
+            queries.append(rng.choice(queries))
+            continue
+        n_spec = rng.choice((1, 1, 2))
+        chosen = rng.sample(range(len(fields)), n_spec)
+        queries.append(
+            pf.query({i: rng.randrange(fields[i]) for i in chosen})
+        )
+    return queries
+
+
+def assert_byte_identical(batched, serial):
+    assert batched.records == serial.records
+    assert batched.buckets_per_device == serial.buckets_per_device
+    assert batched.response_time_ms == serial.response_time_ms
+    assert batched.total_service_ms == serial.total_service_ms
+    b, s = batched.to_dict(), serial.to_dict()
+    b.pop("mode"), s.pop("mode")
+    assert b == s
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_batched_engine_64(benchmark):
+    pf = _loaded_file(SMOKE_FIELDS, SMOKE_DEVICES, SMOKE_RECORDS, seed=1)
+    queries = _query_batch(pf, 64, seed=2)
+    engine = BatchEngine(pf)
+    report = benchmark(lambda: engine.execute(queries))
+    assert len(report.results) == 64
+
+
+def bench_serial_executor_64(benchmark):
+    pf = _loaded_file(SMOKE_FIELDS, SMOKE_DEVICES, SMOKE_RECORDS, seed=1)
+    queries = _query_batch(pf, 64, seed=2)
+    executor = QueryExecutor(pf)
+    results = benchmark(
+        lambda: [executor.execute(query) for query in queries]
+    )
+    assert len(results) == 64
+
+
+# ----------------------------------------------------------------------
+# Script mode: write BENCH_batchexec.json
+# ----------------------------------------------------------------------
+def _measure(pf, packed, batch_size, seed) -> dict:
+    queries = _query_batch(pf, batch_size, seed)
+    serial = QueryExecutor(pf)
+    engine = BatchEngine(pf)
+
+    serial_s = float("inf")
+    for __ in range(3):  # best-of-3 on both sides to tame timer noise
+        started = time.perf_counter()
+        serial_results = [serial.execute(query) for query in queries]
+        serial_s = min(serial_s, time.perf_counter() - started)
+
+    engine.execute(queries)  # warm present-set and solve-lookup caches
+    batched_s = float("inf")
+    for __ in range(3):
+        started = time.perf_counter()
+        report = engine.execute(queries)
+        batched_s = min(batched_s, time.perf_counter() - started)
+
+    for batched_result, serial_result in zip(report.results, serial_results):
+        assert_byte_identical(batched_result, serial_result)
+
+    # Same batch through the CRC-verified zero-copy store: identity again.
+    packed_serial = QueryExecutor(packed)
+    packed_queries = [
+        packed.query(
+            {
+                i: value
+                for i, value in enumerate(query.values)
+                if value is not None
+            }
+        )
+        for query in queries
+    ]
+    started = time.perf_counter()
+    packed_report = BatchEngine(packed).execute(packed_queries)
+    packed_s = time.perf_counter() - started
+    for batched_result, query in zip(packed_report.results, packed_queries):
+        assert_byte_identical(batched_result, packed_serial.execute(query))
+
+    return {
+        "batch_size": batch_size,
+        "serial_qps": round(batch_size / serial_s, 1),
+        "batched_qps": round(batch_size / batched_s, 1),
+        "speedup": round(serial_s / batched_s, 2),
+        "packed_crc_qps": round(batch_size / packed_s, 1),
+        "planned_reads": report.planned_reads,
+        "unique_reads": report.unique_reads,
+        "sharing_factor": round(report.sharing_factor, 3),
+        "duplicates_removed": report.duplicates_removed,
+        "byte_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="toy filesystem for CI; same code paths, no 10x assertion",
+    )
+    parser.add_argument("--out", default="BENCH_batchexec.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        fields, devices = SMOKE_FIELDS, SMOKE_DEVICES
+        batch_sizes, records = SMOKE_BATCH_SIZES, SMOKE_RECORDS
+    else:
+        fields, devices = FULL_FIELDS, FULL_DEVICES
+        batch_sizes, records = FULL_BATCH_SIZES, FULL_RECORDS
+
+    pf = _loaded_file(fields, devices, records, seed=1)
+    packed = _loaded_file(
+        fields, devices, records, seed=1,
+        store_factory=PackedChecksummedStore,
+    )
+    bucket_count = 1
+    for size in fields:
+        bucket_count *= size
+    result = {
+        "mode": "smoke" if args.smoke else "full",
+        "fields": list(fields),
+        "devices": devices,
+        "bucket_count": bucket_count,
+        "records": records,
+        "sweep": [
+            _measure(pf, packed, batch_size, seed=100 + batch_size)
+            for batch_size in batch_sizes
+        ],
+    }
+    if not args.smoke:
+        for row in result["sweep"]:
+            assert row["speedup"] >= 10.0, (
+                f"batch size {row['batch_size']}: speedup {row['speedup']}x "
+                "below the 10x acceptance threshold"
+            )
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    for row in result["sweep"]:
+        print(
+            f"batch {row['batch_size']:>4}: "
+            f"{row['batched_qps']:>10,.1f} q/s batched vs "
+            f"{row['serial_qps']:>8,.1f} q/s serial -> x{row['speedup']} "
+            f"(packed+CRC {row['packed_crc_qps']:,.1f} q/s, "
+            f"sharing x{row['sharing_factor']})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

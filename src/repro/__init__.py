@@ -61,6 +61,7 @@ from repro.runtime import (
     FaultPlan,
     RetryPolicy,
 )
+from repro.engine import BatchEngine, BatchExecutionReport
 from repro.hashing import FieldSpec, FileSystem, MultiKeyHash, design_directory
 from repro.query import PartialMatchQuery, QueryWorkload, WorkloadSpec
 from repro.service import (
@@ -78,7 +79,7 @@ from repro.storage import (
     ReplicatedFile,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -130,6 +131,8 @@ __all__ = [
     "ReplicatedFile",
     "QueryExecutor",
     "BatchExecutor",
+    "BatchEngine",
+    "BatchExecutionReport",
     "ParallelQuerySimulator",
     "PartialMatchQuery",
     "QueryWorkload",

@@ -223,6 +223,8 @@ def make_service(
     admission_retry=None,
     cache_capacity: int | None = 64,
     coalesce: bool = True,
+    batch_max_size: int | None = None,
+    batch_window_ms: float = 2.0,
     cost_model=None,
     **opts: object,
 ):
@@ -253,6 +255,8 @@ def make_service(
         admission_retry=admission_retry or RetryPolicy.none(),
         cache_capacity=cache_capacity,
         coalesce=coalesce,
+        batch_max_size=batch_max_size,
+        batch_window_ms=batch_window_ms,
     )
     return QueryService(
         PartitionedFile(method, cost_model=cost_model), config

@@ -755,7 +755,9 @@ def _cmd_obs_check(args: argparse.Namespace) -> int:
     else:
         obs.reset_telemetry()
     method, queries = _obs_queries(args)
-    report = ObservedOptimalityChecker(method).replay(queries)
+    report = ObservedOptimalityChecker(method).replay(
+        queries, batched=args.batched
+    )
     print(report.summary())
     for observation in report.violations[:10]:
         print(
@@ -1037,6 +1039,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         admission_retry=RetryPolicy(max_attempts=args.retries),
         cache_capacity=None if args.no_cache else args.cache_capacity,
         coalesce=not args.no_coalesce,
+        batch_max_size=args.batch_size,
+        batch_window_ms=args.batch_window_ms,
     )
     initial = _seeded_records(fs, args.records, args.seed)
     service.file.insert_all(initial)
@@ -1341,6 +1345,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.add_argument("--lines", type=int, default=20,
                      help="tail only: spans to print")
+    obs.add_argument(
+        "--batched", action="store_true",
+        help="check only: replay through the array batch engine and "
+        "audit its query.batch span instead of serial query.execute",
+    )
     obs.set_defaults(func=_cmd_obs)
 
     recover = sub.add_parser(
@@ -1452,6 +1461,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-coalesce", action="store_true", dest="no_coalesce",
         help="disable in-flight request coalescing",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=None, dest="batch_size",
+        help="micro-batch admitted reads through the array engine, "
+             "at most this many queries per batch (default: off)",
+    )
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0, dest="batch_window_ms",
+        help="how long a batch leader waits for followers (ms)",
     )
     serve.add_argument(
         "--verify", action="store_true",

@@ -15,7 +15,7 @@ unlocks the exact convolution evaluator and the algebraic inverse mapping.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Sequence
 
 from repro.core.transforms import (
     FieldTransform,
@@ -79,16 +79,6 @@ class FXDistribution(SeparableMethod):
         """Effective family name per field (IU2 collapses to IU1 when
         ``F**2 >= M``), as used by the section 4.2 optimality conditions."""
         return tuple(t.effective_method for t in self.transforms)
-
-    def qualified_on_device(
-        self, device: int, query: PartialMatchQuery
-    ) -> Iterator[Bucket]:
-        """Algebraic inverse mapping: solve the XOR equation per device."""
-        from repro.core.inverse import separable_qualified_on_device
-
-        self._check_device(device)
-        self._check_query(query)
-        return separable_qualified_on_device(self, device, query)
 
     def describe(self) -> str:
         methods = ",".join(t.method for t in self.transforms)

@@ -26,7 +26,7 @@ Two implementations share that algebra:
 from __future__ import annotations
 
 import itertools
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -42,8 +42,32 @@ if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
 __all__ = [
     "separable_qualified_on_device",
     "separable_qualified_on_device_array",
+    "separable_qualified_flat_batch",
+    "bucket_strides",
     "contribution_index",
 ]
+
+#: Ceiling on the (queries x devices x combinations) working set one chunk
+#: of the batched solver materialises; larger groups are processed in
+#: query sub-chunks so peak memory stays bounded (~64 MB of int64).
+_BATCH_CELL_LIMIT = 1 << 23
+
+
+def bucket_strides(filesystem) -> np.ndarray:
+    """Row-major strides flattening a bucket address to one int64.
+
+    ``flat(bucket) = sum_i bucket[i] * strides[i]`` is a bijection onto
+    ``[0, bucket_count)`` that preserves lexicographic order — the encoding
+    every engine fast path shares so whole bucket sets can live in flat
+    int64 arrays instead of tuples.
+    """
+    sizes = filesystem.field_sizes
+    strides = np.empty(len(sizes), dtype=np.int64)
+    stride = 1
+    for i in range(len(sizes) - 1, -1, -1):
+        strides[i] = stride
+        stride *= sizes[i]
+    return strides
 
 
 def contribution_index(
@@ -73,18 +97,24 @@ def _solve_lookup(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sorted-contribution lookup of one field, cached on the method.
 
-    Returns ``(order, sorted_contributions)`` where ``order`` is the stable
-    argsort of the contribution table.  ``searchsorted`` over
-    ``sorted_contributions`` then inverts any batch of needed contributions,
-    and stability keeps the pre-images in ascending field-value order — the
-    same order :func:`contribution_index` stores them in.
+    Returns ``(order, starts)`` where ``order`` is the stable argsort of
+    the contribution table and ``starts[c]`` is the offset in ``order`` of
+    the first pre-image of contribution ``c`` (``starts`` has ``m + 1``
+    entries, so ``starts[c + 1] - starts[c]`` counts them).  Contributions
+    live in ``Z_M``, so inverting a batch of needed contributions is two
+    table gathers — no per-batch ``searchsorted``.  Stability keeps the
+    pre-images in ascending field-value order — the same order
+    :func:`contribution_index` stores them in.
     """
     cache = method.__dict__.setdefault("_solve_lookup_cache", {})
     found = cache.get(field_index)
     if found is None:
         table = method.contribution_array(field_index)
         order = np.argsort(table, kind="stable")
-        found = (order, table[order])
+        starts = np.searchsorted(
+            table[order], np.arange(method.filesystem.m + 1, dtype=np.int64)
+        )
+        found = (order, starts)
         cache[field_index] = found
     return found
 
@@ -152,8 +182,8 @@ def separable_qualified_on_device_array(
     1. the fold over enumerated fields is built by broadcasting each
        contribution table against the accumulator (row-major order falls
        out of ``ravel``),
-    2. the solve-field equation is inverted for all combinations with one
-       ``searchsorted`` into the field's sorted contribution table, and
+    2. the solve-field equation is inverted for all combinations with
+       gathers through the field's cached pre-image offset table, and
     3. variable pre-image counts (non-injective transforms) are expanded
        with ``repeat`` arithmetic instead of an inner Python loop.
 
@@ -197,10 +227,9 @@ def separable_qualified_on_device_array(
         needed = (device - acc) % m
 
     # Step 2: invert the solve field for the whole batch.
-    order, sorted_contribs = _solve_lookup(method, solve_field)
-    start = np.searchsorted(sorted_contribs, needed, side="left")
-    end = np.searchsorted(sorted_contribs, needed, side="right")
-    counts = end - start
+    order, starts = _solve_lookup(method, solve_field)
+    start = starts[needed]
+    counts = starts[needed + 1] - start
     total = int(counts.sum())
 
     # Step 3: expand combinations with multiple (or zero) solve values.
@@ -229,6 +258,148 @@ def separable_qualified_on_device_array(
             out[:, i] = (combo // strides[i]) % fs.field_sizes[i]
     record_work("inverse_array", total, _now() - started)
     return out
+
+
+def separable_qualified_flat_batch(
+    method: "SeparableMethod",
+    queries: "Sequence[PartialMatchQuery]",
+    strides: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Qualified buckets of a *pattern group* on every device, one pass.
+
+    All *queries* must share one pattern (the same set of unspecified
+    fields) — the engine's planner groups by pattern before calling in.
+    Returns ``(flat, counts)`` where ``counts[g, d]`` is the number of
+    qualified buckets of query *g* on device *d*, and ``flat`` holds every
+    qualified bucket as a row-major flat address (see
+    :func:`bucket_strides`), ordered by ``(query, device, enumeration
+    combination, solve pre-image rank)``.  Within each ``(query, device)``
+    slice that is exactly the order :func:`separable_qualified_on_device`
+    yields — decode ``flat`` with the strides and you get the iterator's
+    buckets bit-identically.
+
+    The algebra generalises the single-(query, device) array path over two
+    more axes: per-query specified folds are gathered through the
+    contribution arrays, the enumeration fold is built once and shared by
+    the whole group, and two gathers through the cached pre-image offset
+    table invert the solve field for all ``G x M x E`` cells at once.  Groups whose working set exceeds
+    ``_BATCH_CELL_LIMIT`` cells are processed in query sub-chunks so peak
+    memory stays bounded (query-major output order is preserved).
+
+    Throughput lands on the ``inverse_batch`` perf counter (buckets/sec).
+    """
+    started = _now()
+    fs = method.filesystem
+    m = fs.m
+    n = fs.n_fields
+    G = len(queries)
+    if G == 0:
+        record_work("inverse_batch", 0, _now() - started)
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty((0, m), dtype=np.int64),
+        )
+
+    pattern = queries[0].pattern
+    specified = [i for i in range(n) if i not in pattern]
+    xor = method.combine == "xor"
+
+    # Per-query specified fold + flat prefix, vectorised across the group.
+    folds = np.zeros(G, dtype=np.int64)
+    spec_flat = np.zeros(G, dtype=np.int64)
+    if specified:
+        vals = np.asarray(
+            [[query.values[i] for i in specified] for query in queries],
+            dtype=np.int64,
+        )
+        spec_flat = vals @ strides[specified]
+        for k, i in enumerate(specified):
+            table = method.contribution_array(i)
+            if xor:
+                folds ^= table[vals[:, k]]
+            else:
+                folds += table[vals[:, k]]
+        if not xor:
+            folds %= m
+
+    if not pattern:
+        # Exact match: each query's single bucket sits on its fold device.
+        counts = np.zeros((G, m), dtype=np.int64)
+        counts[np.arange(G), folds] = 1
+        record_work("inverse_batch", G, _now() - started)
+        return spec_flat, counts
+
+    unspecified = sorted(pattern)
+    solve_field = max(unspecified, key=lambda i: fs.field_sizes[i])
+    enumerate_fields = [i for i in unspecified if i != solve_field]
+
+    # Shared enumeration fold and flat offsets, row-major like the iterator.
+    acc = np.zeros(1, dtype=np.int64)
+    enum_flat = np.zeros(1, dtype=np.int64)
+    for i in enumerate_fields:
+        table = method.contribution_array(i)
+        offsets = np.arange(fs.field_sizes[i], dtype=np.int64) * strides[i]
+        if xor:
+            acc = (acc[:, None] ^ table[None, :]).ravel()
+        else:
+            acc = (acc[:, None] + table[None, :]).ravel()
+        enum_flat = (enum_flat[:, None] + offsets[None, :]).ravel()
+
+    e_size = acc.shape[0]
+    devices = np.arange(m, dtype=np.int64)
+    order, starts = _solve_lookup(method, solve_field)
+    solve_stride = int(strides[solve_field])
+
+    chunk = max(1, _BATCH_CELL_LIMIT // (m * e_size))
+    flat_parts: list[np.ndarray] = []
+    count_parts: list[np.ndarray] = []
+    total = 0
+    for lo in range(0, G, chunk):
+        hi = min(G, lo + chunk)
+        if xor:
+            needed = (
+                folds[lo:hi, None, None]
+                ^ devices[None, :, None]
+                ^ acc[None, None, :]
+            )
+        else:
+            needed = (
+                devices[None, :, None]
+                - folds[lo:hi, None, None]
+                - acc[None, None, :]
+            ) % m
+        cells = needed.ravel()  # (query, device, combination) major order
+        start = starts[cells]
+        cell_counts = starts[cells + 1] - start
+        part_total = int(cell_counts.sum())
+        total += part_total
+
+        cell = np.repeat(
+            np.arange(cells.shape[0], dtype=np.int64), cell_counts
+        )
+        group_offsets = np.cumsum(cell_counts) - cell_counts
+        within = np.arange(part_total, dtype=np.int64) - np.repeat(
+            group_offsets, cell_counts
+        )
+        solve_values = order[np.repeat(start, cell_counts) + within]
+
+        g_idx = cell // (m * e_size)
+        e_idx = cell % e_size
+        flat_parts.append(
+            spec_flat[lo:hi][g_idx]
+            + enum_flat[e_idx]
+            + solve_values * solve_stride
+        )
+        count_parts.append(
+            cell_counts.reshape(hi - lo, m, e_size).sum(axis=2)
+        )
+
+    flat = flat_parts[0] if len(flat_parts) == 1 else np.concatenate(flat_parts)
+    counts = (
+        count_parts[0] if len(count_parts) == 1 else np.concatenate(count_parts)
+    )
+    record_work("inverse_batch", total, _now() - started)
+    return flat, counts
 
 
 def _fold(method: "SeparableMethod", contributions: Iterator[int]) -> int:

@@ -234,6 +234,24 @@ class SeparableMethod(DistributionMethod):
             devices += self.contribution_array(i)[buckets[:, i]]
         return devices % m
 
+    def qualified_on_device(
+        self, device: int, query: PartialMatchQuery
+    ) -> Iterator[Bucket]:
+        """Algebraic inverse mapping: solve the group equation per device.
+
+        Overrides the naive scan-and-filter default with the
+        output-sensitive solver (:func:`repro.core.inverse.
+        separable_qualified_on_device`), so every separable method — not
+        just FX — enumerates in the order the vectorised paths
+        (:meth:`qualified_on_device_array`, the batch engine's kernel)
+        reproduce bit-identically.
+        """
+        from repro.core.inverse import separable_qualified_on_device
+
+        self._check_device(device)
+        self._check_query(query)
+        return separable_qualified_on_device(self, device, query)
+
     def qualified_on_device_array(
         self, device: int, query: PartialMatchQuery
     ) -> np.ndarray:

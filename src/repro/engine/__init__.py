@@ -1,0 +1,23 @@
+"""Array-native batched execution engine.
+
+The serving-tier fast path: many partial match queries planned and executed
+in one NumPy pass, with per-query results byte-identical to the serial
+:class:`~repro.storage.executor.QueryExecutor`.  See
+:mod:`repro.engine.batch` for the execution model, :mod:`repro.engine.plan`
+for the planner, and :mod:`repro.engine.signature` for the vectorised query
+keys the planner and the result cache share.
+"""
+
+from repro.engine.batch import BatchEngine, BatchExecutionReport
+from repro.engine.plan import ArrayBatchPlan, ArrayBatchPlanner
+from repro.engine.signature import dedupe_queries, pack_queries, pack_query
+
+__all__ = [
+    "BatchEngine",
+    "BatchExecutionReport",
+    "ArrayBatchPlan",
+    "ArrayBatchPlanner",
+    "pack_query",
+    "pack_queries",
+    "dedupe_queries",
+]

@@ -1,0 +1,476 @@
+"""The array-native batch engine: many queries, one pass over the devices.
+
+:class:`BatchEngine` executes a batch of partial match queries against a
+:class:`~repro.storage.parallel_file.PartitionedFile` and returns, per
+query, an :class:`~repro.storage.executor.ExecutionResult` **byte-identical**
+to what the serial :class:`~repro.storage.executor.QueryExecutor` produces
+— same records in the same order, same per-device bucket counts, same
+modelled times — while touching each (device, bucket) pair at most once for
+the whole batch:
+
+1. *Plan.*  :class:`~repro.engine.plan.ArrayBatchPlanner` dedupes the batch
+   by signature, groups it by pattern and solves each group's inverse
+   mapping in one NumPy pass, yielding flat int64 bucket addresses per
+   (query, device) plus each device's deduplicated read set.
+2. *Fetch.*  Under the file's mutation lock (one consistent snapshot) each
+   device's read set is intersected with its *present* set — a sorted flat
+   array cached per write version — and only those buckets are pulled from
+   the local store, once each.
+3. *Assemble.*  Each query's slice is matched into the fetched arrays with
+   ``searchsorted``; records concatenate in the serial order (device 0..M-1,
+   buckets in enumeration order, store insertion order within a bucket).
+   Service times are recomputed from the *planned* per-device counts with
+   the device's own cost model, accumulated in device order, so the floats
+   come out bit-equal to serial execution.
+
+Failure semantics: a store that verifies reads (e.g.
+:class:`~repro.durability.checksummed_store.ChecksummedBucketStore`) raises
+on the first corrupt bucket any query in the batch needs — the batch is one
+operation, so one bad page fails the batch, where serial execution would
+fail only the queries touching it.  The present set uses
+``tracked_buckets()`` when available so a dropped page (checksum left
+behind) is still read — and still detected — rather than silently skipped.
+
+Telemetry: one ``query.batch`` span per call carrying a ``per_query``
+attribute (query, qualified count, per-device buckets) that
+``ObservedOptimalityChecker`` can audit exactly like serial
+``query.execute`` spans, plus ``engine.*`` counters and histograms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from itertools import chain
+
+import numpy as np
+
+from repro.engine.plan import ArrayBatchPlan, ArrayBatchPlanner
+from repro.hashing.fields import Bucket
+from repro.obs import telemetry, trace_span
+from repro.obs.clock import now as _now
+from repro.query.partial_match import PartialMatchQuery
+from repro.storage.executor import ExecutionResult
+from repro.storage.parallel_file import PartitionedFile
+from repro.util.numbers import ceil_div
+
+__all__ = ["BatchEngine", "BatchExecutionReport"]
+
+
+@dataclass
+class BatchExecutionReport:
+    """Per-query results plus batch-level read accounting."""
+
+    #: One result per submitted query (duplicates get their own copies),
+    #: each byte-identical to serial execution of that query.
+    results: list[ExecutionResult] = field(default_factory=list)
+    #: Bucket probes a query-at-a-time run of the batch would make.
+    naive_reads: int = 0
+    #: Probes after dropping duplicate queries (serial model, per query).
+    planned_reads: int = 0
+    #: Distinct (device, bucket) pairs the engine actually touched.
+    unique_reads: int = 0
+    #: Modelled batch wall time: max per-device service time over each
+    #: device's deduplicated read set.
+    response_time_ms: float = 0.0
+    duplicates_removed: int = 0
+    plan_ms: float = 0.0
+    fetch_ms: float = 0.0
+
+    @property
+    def sharing_factor(self) -> float:
+        """Naive probes over deduplicated reads (1.0 = no overlap)."""
+        if self.unique_reads == 0:
+            return 1.0
+        return self.naive_reads / self.unique_reads
+
+    @property
+    def reads_saved(self) -> int:
+        return self.naive_reads - self.unique_reads
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": len(self.results),
+            "duplicates_removed": self.duplicates_removed,
+            "naive_reads": self.naive_reads,
+            "planned_reads": self.planned_reads,
+            "unique_reads": self.unique_reads,
+            "sharing_factor": round(self.sharing_factor, 6),
+            "response_time_ms": round(self.response_time_ms, 6),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+class _PresentSet:
+    """One device's stored buckets, flat-encoded and sorted.
+
+    ``flats`` is the sorted int64 array of flat addresses; ``buckets[k]``
+    is the tuple address of ``flats[k]`` (what the local store is keyed
+    by).  Valid for exactly one write version.
+
+    For stores that do *not* verify reads, ``records[k]`` (and
+    ``pages[k]`` when the store is page-aware) snapshot the store's
+    answers at build time, so a fetch is pure list gathers with no
+    per-bucket store calls.  Left ``None`` for verifying stores — their
+    per-read CRC check is part of the contract and must run every batch.
+    """
+
+    __slots__ = ("version", "flats", "buckets", "records", "pages")
+
+    def __init__(
+        self,
+        version: int,
+        flats: np.ndarray,
+        buckets: list[Bucket],
+        records: list[tuple[object, ...]] | None = None,
+        pages: list[int] | None = None,
+    ):
+        self.version = version
+        self.flats = flats
+        self.buckets = buckets
+        self.records = records
+        self.pages = pages
+
+
+class BatchEngine:
+    """Batched, array-native query execution over a partitioned file.
+
+    >>> from repro import FileSystem, FXDistribution
+    >>> fs = FileSystem.of(4, 4, m=4)
+    >>> pf = PartitionedFile(FXDistribution(fs))
+    >>> __ = pf.insert((1, 2))
+    >>> engine = BatchEngine(pf)
+    >>> q = pf.query({0: 1})
+    >>> report = engine.execute([q, q])    # duplicate planned once
+    >>> report.duplicates_removed, len(report.results)
+    (1, 2)
+    >>> report.results[0].records == report.results[1].records
+    True
+    """
+
+    def __init__(self, partitioned_file: PartitionedFile):
+        self.file = partitioned_file
+        self.planner = ArrayBatchPlanner(partitioned_file.method)
+        self._present: dict[int, _PresentSet] = {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, queries: Sequence[PartialMatchQuery]
+    ) -> BatchExecutionReport:
+        """Run the whole batch in one planning + one fetch pass."""
+        report = BatchExecutionReport(naive_reads=0)
+        if not queries:
+            return report
+        plan_started = _now()
+        plan = self.planner.plan(queries)
+        report.plan_ms = (_now() - plan_started) * 1000.0
+        report.naive_reads = plan.naive_bucket_reads
+        report.planned_reads = plan.planned_reads
+        report.unique_reads = plan.unique_reads
+        report.duplicates_removed = plan.duplicates_removed
+
+        with trace_span(
+            "query.batch",
+            queries=len(queries),
+            distinct=len(plan.distinct),
+            planned_reads=plan.planned_reads,
+            unique_reads=plan.unique_reads,
+        ) as span:
+            try:
+                fetch_started = _now()
+                fetched = self._fetch_devices(plan, report)
+                report.fetch_ms = (_now() - fetch_started) * 1000.0
+                distinct_results = self._assemble(plan, fetched)
+                report.results = self._fan_out(plan, distinct_results)
+            finally:
+                self.planner.recycle(plan)
+            span.set_attr("response_ms", round(report.response_time_ms, 6))
+            span.set_attr(
+                "sharing_factor", round(report.sharing_factor, 6)
+            )
+            span.set_attr(
+                "per_query",
+                [
+                    {
+                        "query": result.query.describe(),
+                        "qualified": result.query.qualified_count,
+                        "buckets_per_device": list(result.buckets_per_device),
+                    }
+                    for result in report.results
+                ],
+            )
+        metrics = telemetry().metrics
+        metrics.add("engine.batches")
+        metrics.add("engine.queries", len(queries))
+        metrics.add("engine.unique_reads", report.unique_reads)
+        metrics.add("engine.reads_saved", report.reads_saved)
+        metrics.observe("engine.batch_size", len(queries))
+        metrics.observe("engine.plan_ms", report.plan_ms)
+        metrics.observe("engine.fetch_ms", report.fetch_ms)
+        return report
+
+    def fetch_buckets(
+        self, queries: Sequence[PartialMatchQuery]
+    ) -> tuple[list[dict[Bucket, tuple[object, ...]]], int]:
+        """Bucket-grouped records per query, one batched device pass.
+
+        The cache-fill primitive behind
+        :meth:`repro.storage.cache.CachedExecutor.lookup_batch`: returns
+        one ``{bucket: records}`` mapping per query — non-empty buckets
+        only, which :class:`~repro.storage.cache.CachedLookup` treats the
+        same as explicit empties — and the write version the snapshot
+        reflects.  Duplicate queries share one planned fetch but get
+        independent mappings.
+        """
+        if not queries:
+            return [], self.file.write_version
+        plan = self.planner.plan(queries)
+        report = BatchExecutionReport()
+        try:
+            with self.file.read_locked():
+                version = self.file.write_version
+                fetched = self._fetch_locked(plan, report)
+        finally:
+            self.planner.recycle(plan)
+        distinct_maps: list[dict[Bucket, tuple[object, ...]]] = []
+        for slot in range(len(plan.distinct)):
+            buckets: dict[Bucket, tuple[object, ...]] = {}
+            for device in range(self.file.filesystem.m):
+                flats, device_buckets, records = fetched[device]
+                slice_flats = plan.slices[(slot, device)]
+                if slice_flats.size == 0 or flats.size == 0:
+                    continue
+                positions = np.searchsorted(flats, slice_flats)
+                positions = positions.clip(0, flats.size - 1)
+                valid = flats[positions] == slice_flats
+                for position in positions[valid].tolist():
+                    buckets[device_buckets[position]] = records[position]
+            distinct_maps.append(buckets)
+        return (
+            [dict(distinct_maps[slot]) for slot in plan.slot_of],
+            version,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _present_set(self, device, version: int) -> _PresentSet:
+        """The device's stored buckets as a sorted flat array, cached per
+        write version (any mutation invalidates by version mismatch).
+
+        Uses ``tracked_buckets()`` when the store offers it so buckets
+        whose page was lost but whose checksum survives are still probed —
+        and their corruption surfaced — exactly as a serial read would.
+        Out-of-band store surgery that bypasses the file interface must be
+        followed by :meth:`invalidate`, the same contract as the result
+        cache.
+        """
+        cached = self._present.get(device.device_id)
+        if cached is not None and cached.version == version:
+            return cached
+        store = device.store
+        tracked = getattr(store, "tracked_buckets", None)
+        buckets = list(tracked() if tracked else store.buckets())
+        if buckets:
+            arr = np.asarray(buckets, dtype=np.int64)
+            flats = arr @ self.planner.strides
+            order = np.argsort(flats, kind="stable")
+            flats = flats[order]
+            buckets = [buckets[k] for k in order.tolist()]
+        else:
+            flats = np.empty(0, dtype=np.int64)
+        records = pages = None
+        if buckets and not getattr(store, "verifies_reads", False):
+            # Snapshot the store's answers alongside the addresses: valid
+            # for exactly this write version, and only for stores whose
+            # reads are side-effect free (no per-read CRC to preserve).
+            records = [store.records_in(bucket) for bucket in buckets]
+            if hasattr(store, "pages_in"):
+                pages = [store.pages_in(bucket) for bucket in buckets]
+        present = _PresentSet(version, flats, buckets, records, pages)
+        self._present[device.device_id] = present
+        return present
+
+    def invalidate(self) -> None:
+        """Drop the cached present sets (after out-of-band store surgery)."""
+        self._present.clear()
+
+    def _fetch_devices(self, plan: ArrayBatchPlan, report) -> dict:
+        with self.file.read_locked():
+            return self._fetch_locked(plan, report)
+
+    def _fetch_locked(self, plan: ArrayBatchPlan, report) -> dict:
+        """Read each device's deduplicated bucket set once.
+
+        Returns, per device: the sorted flat addresses actually present
+        (needed ∩ stored) with their bucket tuples and fetched record
+        tuples, all three aligned.  Device service time for the
+        batch is modelled over the deduplicated read set, page-aware when
+        the store is.
+        """
+        version = self.file.write_version
+        fetched: dict[int, tuple] = {}
+        for device in self.file.devices:
+            present = self._present_set(device, version)
+            mask = plan.masks.get(device.device_id)
+            if mask is not None and present.flats.size:
+                # Bitmap path: gather the (small, sorted) present set
+                # through the request-membership mask — no search needed.
+                hit_positions = np.flatnonzero(mask[present.flats])
+                hit_flats = present.flats[hit_positions]
+            elif mask is None and present.flats.size:
+                needed = plan.unique_per_device[device.device_id]
+                if needed.size:
+                    positions = np.searchsorted(present.flats, needed)
+                    positions = positions.clip(0, present.flats.size - 1)
+                    valid = present.flats[positions] == needed
+                    hit_flats = needed[valid]
+                    hit_positions = positions[valid]
+                else:
+                    hit_flats = np.empty(0, dtype=np.int64)
+                    hit_positions = np.empty(0, dtype=np.int64)
+            else:
+                hit_flats = np.empty(0, dtype=np.int64)
+                hit_positions = np.empty(0, dtype=np.int64)
+            store = device.store
+            page_aware = hasattr(store, "pages_in")
+            positions_list = hit_positions.tolist()
+            if present.records is not None:
+                # Non-verifying store: the present set snapshots every
+                # bucket's records (and page counts), so the fetch is
+                # pure gathers — no per-bucket store calls.
+                buckets = [present.buckets[p] for p in positions_list]
+                records = [present.records[p] for p in positions_list]
+                returned = sum(map(len, records))
+                if present.pages is not None:
+                    cost_units = sum(
+                        present.pages[p] for p in positions_list
+                    )
+                else:
+                    cost_units = len(buckets)
+            else:
+                buckets = []
+                records = []
+                cost_units = 0
+                returned = 0
+                for position in positions_list:
+                    bucket = present.buckets[position]
+                    bucket_records = store.records_in(bucket)
+                    buckets.append(bucket)
+                    records.append(bucket_records)
+                    returned += len(bucket_records)
+                    if page_aware:
+                        cost_units += store.pages_in(bucket)
+                if not page_aware:
+                    cost_units = len(buckets)
+            device.stats.bucket_reads += len(buckets)
+            device.stats.records_returned += returned
+            service = device.cost_model.service_time(cost_units)
+            device.stats.busy_time_ms += service
+            report.response_time_ms = max(report.response_time_ms, service)
+            fetched[device.device_id] = (hit_flats, buckets, records)
+            if buckets:
+                metrics = telemetry().metrics
+                metrics.add("storage.bucket_reads", len(buckets))
+                metrics.add("storage.records_returned", returned)
+        return fetched
+
+    def _assemble(
+        self, plan: ArrayBatchPlan, fetched: dict
+    ) -> list[ExecutionResult]:
+        """Rebuild each distinct query's serial-identical result.
+
+        Matching is batched per *device*: every slot's slice is matched
+        against the fetched flats in one ``searchsorted``, and each hit is
+        routed back to its slot by its offset in the concatenation.  Hits
+        stay in slice order within a slot, so the records still
+        concatenate in serial enumeration order.
+        """
+        m = self.file.filesystem.m
+        n_slots = len(plan.distinct)
+        hits: dict[tuple[int, int], list] = {}
+        for device in self.file.devices:
+            device_id = device.device_id
+            flats, __, records = fetched[device_id]
+            if not flats.size:
+                continue
+            requested, boundaries = plan.requests[device_id]
+            if not requested.size:
+                continue
+            positions = np.minimum(
+                np.searchsorted(flats, requested), flats.size - 1
+            )
+            valid_at = np.flatnonzero(flats[positions] == requested)
+            if not valid_at.size:
+                continue
+            slot_of_hit = np.searchsorted(boundaries, valid_at, side="right")
+            for slot, position in zip(
+                slot_of_hit.tolist(), positions[valid_at].tolist()
+            ):
+                hits.setdefault((int(slot), device_id), []).append(
+                    records[position]
+                )
+        results: list[ExecutionResult] = []
+        # Service times are a pure function of (device, planned count) and
+        # counts repeat heavily across slots — memoise, floats stay
+        # bit-equal to per-call computation.
+        service_memo: dict[tuple[int, int], float] = {}
+        for slot in range(n_slots):
+            query = plan.queries[plan.distinct[slot]]
+            result = ExecutionResult(query=query, mode="batched")
+            planned_row = plan.counts[slot].tolist()
+            total = 0.0
+            response = 0.0
+            for device in self.file.devices:
+                device_id = device.device_id
+                bucket_records = hits.get((slot, device_id))
+                if bucket_records:
+                    result.records.extend(
+                        chain.from_iterable(bucket_records)
+                    )
+                # The serial model charges every planned probe, present or
+                # not — identical floats come from identical counts.
+                key = (device_id, planned_row[device_id])
+                service = service_memo.get(key)
+                if service is None:
+                    service = device.cost_model.service_time(key[1])
+                    service_memo[key] = service
+                total += service
+                if service > response:
+                    response = service
+            result.buckets_per_device = planned_row
+            result.total_service_ms = total
+            result.response_time_ms = response
+            result.largest_response = max(planned_row, default=0)
+            bound = ceil_div(query.qualified_count, m)
+            result.strict_optimal = result.largest_response <= bound
+            results.append(result)
+        return results
+
+    def _fan_out(
+        self, plan: ArrayBatchPlan, distinct_results: list[ExecutionResult]
+    ) -> list[ExecutionResult]:
+        """One independent result per submitted query (duplicates cloned)."""
+        used: set[int] = set()
+        results: list[ExecutionResult] = []
+        for slot in plan.slot_of:
+            template = distinct_results[slot]
+            if slot not in used:
+                used.add(slot)
+                results.append(template)
+            else:
+                results.append(
+                    ExecutionResult(
+                        query=template.query,
+                        records=list(template.records),
+                        buckets_per_device=list(template.buckets_per_device),
+                        largest_response=template.largest_response,
+                        response_time_ms=template.response_time_ms,
+                        total_service_ms=template.total_service_ms,
+                        strict_optimal=template.strict_optimal,
+                        mode="batched",
+                    )
+                )
+        return results

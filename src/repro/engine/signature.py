@@ -1,0 +1,103 @@
+"""Vectorised query signatures: a pattern mask plus a packed value word.
+
+Every batched path needs to ask "have I seen this query before?" many times
+per call — deduplication in the planner, exact-probe keys in the result
+cache.  Hashing a ``PartialMatchQuery`` directly costs a tuple hash per
+probe and cannot be computed for a whole batch at once, so the engine keys
+queries by a two-integer *signature* instead:
+
+``mask``
+    bit *i* set exactly when field *i* is specified — the complement of the
+    query's pattern, as one machine word;
+``packed``
+    the specified values folded through the file's row-major bucket strides
+    (unspecified fields contribute 0).
+
+``(mask, packed)`` determines the query: two queries over the same file
+system are equal iff their signatures are equal.  For a whole batch the
+signatures come out of one NumPy pass over the stacked value matrix; the
+scalar fallback covers file systems too large for int64 arithmetic
+(``bucket_count >= 2**62`` or more than 62 fields), where plain Python
+integers do the same fold exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.query.partial_match import PartialMatchQuery
+
+__all__ = ["pack_query", "pack_queries", "dedupe_queries"]
+
+#: Above this bucket count (or past 62 fields) int64 packing could wrap;
+#: the scalar Python-int path takes over.
+_INT64_SAFE_BUCKETS = 1 << 62
+_INT64_SAFE_FIELDS = 62
+
+
+def pack_query(
+    query: PartialMatchQuery, strides: np.ndarray
+) -> tuple[int, int]:
+    """Signature of one query as plain Python integers (never overflows)."""
+    mask = 0
+    packed = 0
+    for i, value in enumerate(query.values):
+        if value is not None:
+            mask |= 1 << i
+            packed += value * int(strides[i])
+    return mask, packed
+
+
+def pack_queries(
+    queries: Sequence[PartialMatchQuery], strides: np.ndarray
+) -> list[tuple[int, int]]:
+    """Signatures of a whole batch, one NumPy pass when int64 is safe.
+
+    Returns a list parallel to *queries*; each element equals
+    :func:`pack_query` of the same query.
+    """
+    if not queries:
+        return []
+    fs = queries[0].filesystem
+    n = fs.n_fields
+    if n > _INT64_SAFE_FIELDS or fs.bucket_count >= _INT64_SAFE_BUCKETS:
+        return [pack_query(query, strides) for query in queries]
+    # Stack values with None -> -1, derive mask bits and zero-filled values
+    # in one shot; ``vals @ strides`` is the same fold pack_query runs.
+    raw = np.asarray(
+        [
+            [-1 if v is None else v for v in query.values]
+            for query in queries
+        ],
+        dtype=np.int64,
+    )
+    specified = raw >= 0
+    bits = np.left_shift(np.int64(1), np.arange(n, dtype=np.int64))
+    masks = (specified * bits[None, :]).sum(axis=1)
+    packed = np.where(specified, raw, 0) @ strides
+    return list(zip(masks.tolist(), packed.tolist()))
+
+
+def dedupe_queries(
+    queries: Sequence[PartialMatchQuery], strides: np.ndarray
+) -> tuple[list[int], list[int]]:
+    """Collapse duplicate queries by signature.
+
+    Returns ``(distinct, slot_of)`` where ``distinct`` lists the indices of
+    first occurrences (in submission order) and ``slot_of[i]`` maps every
+    original query *i* to its position in ``distinct``.
+    """
+    signatures = pack_queries(queries, strides)
+    first_slot: dict[tuple[int, int], int] = {}
+    distinct: list[int] = []
+    slot_of: list[int] = []
+    for index, signature in enumerate(signatures):
+        slot = first_slot.get(signature)
+        if slot is None:
+            slot = len(distinct)
+            first_slot[signature] = slot
+            distinct.append(index)
+        slot_of.append(slot)
+    return distinct, slot_of

@@ -126,14 +126,19 @@ class ObservedOptimalityChecker:
         self.method = method
         self.telemetry = telemetry
 
-    def replay(self, queries) -> ObservedCheckReport:
+    def replay(self, queries, batched: bool = False) -> ObservedCheckReport:
         """Execute *queries* against an (empty) partitioned file and check.
 
         Record contents are irrelevant to the bound — qualified bucket
         counts come from inverse mapping, not from stored data — so the
         replay file needs no inserts.
+
+        With ``batched=True`` the whole trace runs through the array
+        engine as one batch and the audit reads the ``query.batch`` span's
+        ``per_query`` attribute instead of ``query.execute`` spans — so
+        the bound is verified against what the *batched* read path
+        actually did, not just the serial one.
         """
-        from repro.storage.executor import QueryExecutor
         from repro.storage.parallel_file import PartitionedFile
 
         if not self.telemetry.enabled:
@@ -147,31 +152,42 @@ class ObservedOptimalityChecker:
                 f"trace of {len(queries)} queries cannot fit the event log "
                 f"(capacity {self.telemetry.events.capacity}); raise it"
             )
-        executor = QueryExecutor(PartitionedFile(self.method))
         appended_before = self.telemetry.events.appended
-        for query in queries:
-            executor.execute(query)
+        if batched:
+            from repro.engine.batch import BatchEngine
+
+            BatchEngine(PartitionedFile(self.method)).execute(queries)
+        else:
+            from repro.storage.executor import QueryExecutor
+
+            executor = QueryExecutor(PartitionedFile(self.method))
+            for query in queries:
+                executor.execute(query)
         new_count = self.telemetry.events.appended - appended_before
         new_records = (
             self.telemetry.events.records()[-new_count:] if new_count else []
         )
-        observed_spans = [
-            record
-            for record in new_records
-            if record["type"] == "span" and record["name"] == "query.execute"
-        ]
-        if len(observed_spans) != len(queries):
-            raise AnalysisError(
-                f"expected {len(queries)} query.execute spans, telemetry "
-                f"retained {len(observed_spans)}; event log too small?"
-            )
+        if batched:
+            per_query = self._batch_observations(new_records, len(queries))
+        else:
+            observed_spans = [
+                record
+                for record in new_records
+                if record["type"] == "span"
+                and record["name"] == "query.execute"
+            ]
+            if len(observed_spans) != len(queries):
+                raise AnalysisError(
+                    f"expected {len(queries)} query.execute spans, telemetry "
+                    f"retained {len(observed_spans)}; event log too small?"
+                )
+            per_query = [span["attrs"] for span in observed_spans]
 
         m = self.method.filesystem.m
         report = ObservedCheckReport(
             method_name=self.method.name or type(self.method).__name__
         )
-        for query, span in zip(queries, observed_spans):
-            attrs = span["attrs"]
+        for query, attrs in zip(queries, per_query):
             observed = tuple(attrs["buckets_per_device"])
             qualified = attrs["qualified"]
             report.observations.append(
@@ -186,3 +202,24 @@ class ObservedOptimalityChecker:
                 )
             )
         return report
+
+    @staticmethod
+    def _batch_observations(new_records, expected: int) -> list[dict]:
+        """Per-query attrs from the replay's single ``query.batch`` span."""
+        batch_spans = [
+            record
+            for record in new_records
+            if record["type"] == "span" and record["name"] == "query.batch"
+        ]
+        if len(batch_spans) != 1:
+            raise AnalysisError(
+                f"expected one query.batch span, telemetry retained "
+                f"{len(batch_spans)}; event log too small?"
+            )
+        per_query = batch_spans[0]["attrs"]["per_query"]
+        if len(per_query) != expected:
+            raise AnalysisError(
+                f"query.batch span reports {len(per_query)} queries, "
+                f"{expected} were replayed"
+            )
+        return per_query

@@ -13,6 +13,7 @@ import itertools
 import math
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.errors import QueryError
 from repro.hashing.fields import Bucket, FileSystem
@@ -84,21 +85,26 @@ class PartialMatchQuery:
     def specified_fields(self) -> tuple[int, ...]:
         return tuple(i for i, v in enumerate(self.values) if v is not None)
 
-    @property
+    @cached_property
     def unspecified_fields(self) -> tuple[int, ...]:
-        """The paper's ``q(f)``."""
+        """The paper's ``q(f)``.
+
+        Cached (the query is immutable): the batch engine touches this and
+        the two properties below once per (query, device) cell, where the
+        recomputed generator cost showed up in profiles.
+        """
         return tuple(i for i, v in enumerate(self.values) if v is None)
 
     @property
     def num_unspecified(self) -> int:
         return sum(1 for v in self.values if v is None)
 
-    @property
+    @cached_property
     def pattern(self) -> frozenset[int]:
         """The set of unspecified field indices (drives optimality)."""
         return frozenset(self.unspecified_fields)
 
-    @property
+    @cached_property
     def qualified_count(self) -> int:
         """``|R(q)|``: product of the unspecified field sizes."""
         sizes = self.filesystem.field_sizes

@@ -67,6 +67,14 @@ class ServiceConfig:
     admission_retry: RetryPolicy = field(default_factory=RetryPolicy.none)
     cache_capacity: int | None = 64
     coalesce: bool = True
+    #: When set, admitted reads drain into micro-batches of at most this
+    #: many queries, planned and executed in one array pass through the
+    #: batch engine (:class:`~repro.engine.batch.BatchEngine`) instead of
+    #: one device round-trip each.  ``None`` keeps the per-query path.
+    batch_max_size: int | None = None
+    #: How long a batch leader waits for followers before executing a
+    #: partial batch.  Zero means "whatever arrived in the same instant".
+    batch_window_ms: float = 2.0
 
 
 @dataclass
@@ -84,6 +92,8 @@ class ServiceResult:
     submit_version: int = 0
     #: Did this request share another request's device round-trip?
     coalesced: bool = False
+    #: Was this request executed as part of an engine micro-batch?
+    batched: bool = False
     #: Cache provenance: "exact" | "subsumption" | "miss" | "" (uncached
     #: leader fetch or non-ok outcome).
     cache_hit: str = ""
@@ -102,6 +112,7 @@ class ServiceResult:
             "records": len(self.records),
             "write_version": self.write_version,
             "coalesced": self.coalesced,
+            "batched": self.batched,
             "cache_hit": self.cache_hit,
             "queue_ms": round(self.queue_ms, 6),
             "total_ms": round(self.total_ms, 6),
@@ -135,6 +146,108 @@ class _Flight:
         return self._done.wait(timeout_s)
 
 
+class _BatchSlot:
+    """One request waiting for its micro-batch to execute."""
+
+    __slots__ = ("query", "buckets", "version", "hit", "error", "size", "_done")
+
+    def __init__(self, query: PartialMatchQuery):
+        self.query = query
+        self.buckets: dict[Bucket, tuple[object, ...]] | None = None
+        self.version: int = -1
+        self.hit: str = ""
+        self.size: int = 0
+        self.error: BaseException | None = None
+        self._done = threading.Event()
+
+    def resolve(
+        self,
+        buckets: dict[Bucket, tuple[object, ...]],
+        version: int,
+        hit: str,
+        size: int,
+    ) -> None:
+        self.buckets = buckets
+        self.version = version
+        self.hit = hit
+        self.size = size
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout_s: float | None) -> bool:
+        return self._done.wait(timeout_s)
+
+
+class _MicroBatcher:
+    """Drains concurrent admitted reads into engine-sized micro-batches.
+
+    The first request to arrive while no batch is forming becomes the
+    *leader*: it waits up to ``batch_window_ms`` for followers (waking
+    early the moment ``batch_max_size`` queries have gathered), then
+    executes the whole batch in one array pass and resolves every slot.
+    Followers just park on their slot.  Unlike coalescing, the queries
+    need not overlap at all — the engine dedupes whatever sharing exists.
+    """
+
+    def __init__(self, service: "QueryService"):
+        self._service = service
+        self._cond = threading.Condition(threading.Lock())
+        self._pending: list[_BatchSlot] = []
+        self._leader_active = False
+
+    def submit(self, query: PartialMatchQuery) -> tuple[_BatchSlot, bool]:
+        """Enqueue a request; returns its slot and whether to lead."""
+        slot = _BatchSlot(query)
+        with self._cond:
+            self._pending.append(slot)
+            leader = not self._leader_active
+            if leader:
+                self._leader_active = True
+            max_size = self._service.config.batch_max_size
+            if max_size is not None and len(self._pending) >= max_size:
+                self._cond.notify_all()
+        return slot, leader
+
+    def run_leader(self) -> None:
+        """Collect the window's arrivals, execute once, resolve all slots."""
+        config = self._service.config
+        window_s = max(0.0, config.batch_window_ms) / 1000.0
+        cutoff = time.perf_counter() + window_s
+        with self._cond:
+            while (
+                config.batch_max_size is None
+                or len(self._pending) < config.batch_max_size
+            ):
+                remaining = cutoff - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            max_size = config.batch_max_size or len(self._pending)
+            batch = self._pending[:max_size]
+            self._pending = self._pending[max_size:]
+            # Overflow arrivals already saw an active leader, so none of
+            # them will self-promote: this thread stays leader for them.
+            overflow = bool(self._pending)
+            self._leader_active = overflow
+        try:
+            try:
+                resolved = self._service._execute_batch_queries(
+                    [slot.query for slot in batch]
+                )
+            except BaseException as error:
+                for slot in batch:
+                    slot.fail(error)
+                raise
+            for slot, (buckets, version, hit) in zip(batch, resolved):
+                slot.resolve(buckets, version, hit, len(batch))
+        finally:
+            if overflow:
+                self.run_leader()
+
+
 class QueryService:
     """Thread-safe serving layer over a :class:`PartitionedFile`.
 
@@ -159,6 +272,17 @@ class QueryService:
             raise ConfigurationError(
                 f"deadline_ms must be positive, got {self.config.deadline_ms}"
             )
+        if (
+            self.config.batch_max_size is not None
+            and self.config.batch_max_size < 1
+        ):
+            raise ConfigurationError(
+                f"batch_max_size must be >= 1, got {self.config.batch_max_size}"
+            )
+        if self.config.batch_window_ms < 0:
+            raise ConfigurationError(
+                f"batch_window_ms must be >= 0, got {self.config.batch_window_ms}"
+            )
         self.admission = AdmissionController(
             max_concurrent=self.config.max_concurrent,
             queue_limit=self.config.queue_limit,
@@ -171,6 +295,12 @@ class QueryService:
         )
         self._inflight: dict[PartialMatchQuery, _Flight] = {}
         self._inflight_lock = threading.Lock()
+        self._batcher = (
+            _MicroBatcher(self)
+            if self.config.batch_max_size is not None
+            else None
+        )
+        self._engine = None
 
     # ------------------------------------------------------------------
     # Writes
@@ -254,6 +384,8 @@ class QueryService:
     def _serve(
         self, query: PartialMatchQuery, start: float, deadline_ms: float | None
     ) -> ServiceResult:
+        if self._batcher is not None:
+            return self._serve_batched(query, start, deadline_ms)
         if not self.config.coalesce:
             buckets, version, hit = self._fetch(query)
             telemetry().metrics.add("service.leader_fetches")
@@ -296,6 +428,126 @@ class QueryService:
             write_version=flight.version,
             coalesced=True,
         )
+
+    def _serve_batched(
+        self, query: PartialMatchQuery, start: float, deadline_ms: float | None
+    ) -> ServiceResult:
+        """Serve through the micro-batcher (one engine pass per batch)."""
+        metrics = telemetry().metrics
+        slot, leader = self._batcher.submit(query)
+        if leader:
+            self._batcher.run_leader()
+        remaining = self._remaining_s(start, deadline_ms) if not leader else None
+        if not slot.wait(remaining):
+            metrics.add("service.batch_timeouts")
+            return ServiceResult(status=TIMEOUT, query=query, batched=True)
+        if slot.error is not None:
+            raise slot.error
+        metrics.add("service.batched")
+        metrics.observe("service.batch_size", float(slot.size))
+        return ServiceResult(
+            status=OK,
+            query=query,
+            records=self._collect(slot.buckets, query),
+            write_version=slot.version,
+            batched=True,
+            cache_hit=slot.hit,
+        )
+
+    def execute_many(
+        self,
+        queries: list[PartialMatchQuery],
+        deadline_ms: float | None = None,
+    ) -> list[ServiceResult]:
+        """Serve an explicit batch of queries in one engine pass.
+
+        The whole batch takes a single admission permit (it is one device
+        round-trip) and shares one planning/fetch pass; a shed or timeout
+        therefore applies to the batch as a unit.  Per-query results are
+        parallel to *queries*, each byte-identical to what
+        :meth:`execute` would have returned serially at the same snapshot.
+        """
+        start = time.perf_counter()
+        deadline_ms = (
+            deadline_ms if deadline_ms is not None else self.config.deadline_ms
+        )
+        metrics = telemetry().metrics
+        metrics.add("service.requests", len(queries))
+        submit_version = self.file.write_version
+        if not queries:
+            return []
+
+        decision = self.admission.admit(deadline_ms)
+        if not decision.admitted:
+            metrics.add(f"service.{decision.outcome}", len(queries))
+            total = (time.perf_counter() - start) * 1000.0
+            results = [
+                ServiceResult(
+                    status=decision.outcome,
+                    query=query,
+                    submit_version=submit_version,
+                    queue_ms=decision.queue_ms,
+                    total_ms=total,
+                    admission_attempts=decision.attempts,
+                    batched=True,
+                )
+                for query in queries
+            ]
+            for result in results:
+                self._observe(metrics, result)
+            return results
+        try:
+            with trace_span(
+                "service.batch_request", queries=len(queries)
+            ) as span:
+                resolved = self._execute_batch_queries(queries)
+                span.set_attr("status", OK)
+        finally:
+            self.admission.release()
+        total = (time.perf_counter() - start) * 1000.0
+        metrics.add("service.served", len(queries))
+        metrics.add("service.batched", len(queries))
+        metrics.observe("service.batch_size", float(len(queries)))
+        results = []
+        for query, (buckets, version, hit) in zip(queries, resolved):
+            result = ServiceResult(
+                status=OK,
+                query=query,
+                records=self._collect(buckets, query),
+                write_version=version,
+                submit_version=submit_version,
+                queue_ms=decision.queue_ms,
+                total_ms=total,
+                admission_attempts=decision.attempts,
+                batched=True,
+                cache_hit=hit,
+            )
+            self._observe(metrics, result)
+            results.append(result)
+        return results
+
+    def _execute_batch_queries(
+        self, queries: list[PartialMatchQuery]
+    ) -> list[tuple[dict[Bucket, tuple[object, ...]], int, str]]:
+        """Resolve a batch to per-query ``(buckets, version, hit)`` triples.
+
+        With a result cache the batch goes through
+        :meth:`~repro.storage.cache.CachedExecutor.lookup_batch` (hits
+        resolve from memory, all misses share one engine fetch); without
+        one it goes straight to the batch engine.
+        """
+        if self.cache is not None:
+            lookups = self.cache.lookup_batch(queries)
+            return [
+                (lookup.buckets, lookup.version, lookup.hit)
+                for lookup in lookups
+            ]
+        if self._engine is None:
+            from repro.engine.batch import BatchEngine
+
+            self._engine = BatchEngine(self.file)
+        per_query, version = self._engine.fetch_buckets(queries)
+        return [(buckets, version, "") for buckets in per_query]
 
     def _join_or_lead(self, query: PartialMatchQuery) -> tuple[_Flight, bool]:
         """Join a compatible in-flight request, or become the leader.

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.distribution.base import SeparableMethod
 from repro.errors import QueryError
 from repro.hashing.fields import Bucket
+from repro.query.algebra import subsumes
 from repro.query.partial_match import PartialMatchQuery
 from repro.storage.parallel_file import PartitionedFile
 
@@ -76,6 +77,12 @@ class BatchPlan:
     expected_device_loads: dict[frozenset[int], list[int]] = field(
         default_factory=dict
     )
+    #: Queries that were exact duplicates of an earlier one in the batch
+    #: (planned once, fanned out to every duplicate's result).
+    duplicates_removed: int = 0
+    #: Distinct queries whose buckets were derived by filtering a broader
+    #: in-batch query's rows instead of running their own inverse mapping.
+    derived_from_subsumer: int = 0
 
     @property
     def bucket_reads(self) -> int:
@@ -133,6 +140,10 @@ class BatchPlanner:
             span.set_attr(
                 "reads_saved", plan.naive_bucket_reads - plan.bucket_reads
             )
+            span.set_attr("duplicates_removed", plan.duplicates_removed)
+            span.set_attr(
+                "derived_from_subsumer", plan.derived_from_subsumer
+            )
         from repro.perf.counters import record_work
 
         record_work(
@@ -143,9 +154,20 @@ class BatchPlanner:
     def _plan_groups(
         self, plan, queries, pattern_groups, separable
     ) -> int:
+        """Enumerate per-device buckets for the batch, planning the least.
+
+        Exact duplicates are collapsed by signature before any inverse
+        mapping runs, and a distinct query subsumed by a broader in-batch
+        query derives its rows by *filtering* the subsumer's (the
+        containment the result cache exploits across requests, applied
+        inside one batch) — so only the maximally general distinct queries
+        pay for enumeration.  Derived rows ride the subsumer's enumeration
+        order; batch record fan-out is unordered across queries, so
+        results are unaffected.
+        """
         fs = self.method.filesystem
         planned_buckets = 0
-        for pattern, group in pattern_groups.items():
+        for pattern in pattern_groups:
             if separable:
                 from repro.analysis.histograms import evaluator_for
                 from repro.errors import AnalysisError
@@ -162,27 +184,72 @@ class BatchPlanner:
                     plan.expected_device_loads[pattern] = [
                         int(count) for count in histogram
                     ]
-            for query_index in group:
-                query = queries[query_index]
-                for device in range(fs.m):
-                    device_map = plan.needed[device]
-                    if separable:
-                        rows = self.method.qualified_on_device_array(
+
+        from repro.core.inverse import bucket_strides
+        from repro.engine.signature import dedupe_queries
+
+        strides = bucket_strides(fs)
+        distinct, slot_of = dedupe_queries(queries, strides)
+        plan.duplicates_removed = len(queries) - len(distinct)
+
+        # Most-general-first: a query can only be subsumed by one with a
+        # strictly larger qualified set (ties are either equal queries —
+        # already deduped — or incomparable), so one forward scan finds
+        # every in-batch subsumer.
+        order = sorted(
+            range(len(distinct)),
+            key=lambda slot: -queries[distinct[slot]].qualified_count,
+        )
+        rows_of: dict[int, list[list[Bucket]]] = {}
+        for slot in order:
+            query = queries[distinct[slot]]
+            subsumer = next(
+                (
+                    candidate
+                    for candidate in order
+                    if candidate == slot
+                    or (
+                        candidate in rows_of
+                        and subsumes(queries[distinct[candidate]], query)
+                    )
+                ),
+            )
+            if subsumer != slot:
+                plan.derived_from_subsumer += 1
+                rows_of[slot] = [
+                    [
+                        bucket
+                        for bucket in device_rows
+                        if query.matches(bucket)
+                    ]
+                    for device_rows in rows_of[subsumer]
+                ]
+                continue
+            device_lists: list[list[Bucket]] = []
+            for device in range(fs.m):
+                if separable:
+                    rows = [
+                        tuple(row)
+                        for row in self.method.qualified_on_device_array(
                             device, query
                         ).tolist()
-                        planned_buckets += len(rows)
-                        for row in rows:
-                            device_map.setdefault(tuple(row), []).append(
-                                query_index
-                            )
-                    else:
-                        for bucket in self.method.qualified_on_device(
-                            device, query
-                        ):
-                            planned_buckets += 1
-                            device_map.setdefault(bucket, []).append(
-                                query_index
-                            )
+                    ]
+                else:
+                    rows = list(
+                        self.method.qualified_on_device(device, query)
+                    )
+                planned_buckets += len(rows)
+                device_lists.append(rows)
+            rows_of[slot] = device_lists
+
+        # Fan out every submitted query (duplicates included) onto its
+        # representative's rows, ascending index order per bucket list.
+        for query_index in range(len(queries)):
+            slot = slot_of[query_index]
+            for device, device_rows in enumerate(rows_of[slot]):
+                device_map = plan.needed[device]
+                for bucket in device_rows:
+                    device_map.setdefault(bucket, []).append(query_index)
         return planned_buckets
 
 

@@ -52,14 +52,21 @@ Zero stale reads follows from two orderings:
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from threading import RLock
+from typing import TYPE_CHECKING
 
+from repro.core.inverse import bucket_strides
+from repro.engine.signature import pack_queries, pack_query
 from repro.errors import ConfigurationError
 from repro.hashing.fields import Bucket
 from repro.query.algebra import subsumes
 from repro.query.partial_match import PartialMatchQuery
 from repro.storage.parallel_file import PartitionedFile
+
+if TYPE_CHECKING:  # pragma: no cover - import for type checkers only
+    from repro.engine.batch import BatchEngine
 
 __all__ = ["CacheStats", "CachedExecutor", "CachedLookup"]
 
@@ -88,8 +95,16 @@ class CacheStats:
 
 @dataclass
 class _Entry:
-    """One cached result: the qualified buckets with their records."""
+    """One cached result: the qualified buckets with their records.
 
+    Entries are keyed in the cache by the query's packed *signature* (see
+    :mod:`repro.engine.signature`) — two cheap machine words instead of a
+    tuple hash, computable for a whole batch in one NumPy pass — so the
+    query itself lives here for the subsumption scan and write
+    invalidation.
+    """
+
+    query: PartialMatchQuery | None = None
     buckets: dict[Bucket, tuple[object, ...]] = field(default_factory=dict)
     #: File write version the entry reflects (its linearisation point).
     version: int = 0
@@ -152,7 +167,11 @@ class CachedExecutor:
         self.file = partitioned_file
         self.capacity = capacity
         self.stats = CacheStats()
-        self._entries: OrderedDict[PartialMatchQuery, _Entry] = OrderedDict()
+        #: Keyed by the query's (mask, packed) signature — see
+        #: :mod:`repro.engine.signature`; the entry holds the query.
+        self._entries: OrderedDict[tuple[int, int], _Entry] = OrderedDict()
+        self._strides = bucket_strides(partitioned_file.filesystem)
+        self._engine: "BatchEngine | None" = None
         self._lock = RLock()
         #: Misses currently fetching outside the lock; while any are in
         #: flight, write notifications are also recorded in ``_pending_notes``
@@ -182,19 +201,20 @@ class CachedExecutor:
         the fetched snapshot arrived mid-fetch and matches the query; the
         fetched records are still returned, stamped with their own version.
         """
+        signature = pack_query(query, self._strides)
         with self._lock:
-            entry = self._entries.get(query)
+            entry = self._entries.get(signature)
             if entry is not None:
-                self._entries.move_to_end(query)
+                self._entries.move_to_end(signature)
                 self.stats.exact_hits += 1
                 return CachedLookup(query, entry.buckets, entry.version, "exact")
-            for cached_query in reversed(self._entries):
-                if subsumes(cached_query, query):
-                    self._entries.move_to_end(cached_query)
+            for cached_key in reversed(self._entries):
+                cached = self._entries[cached_key]
+                if subsumes(cached.query, query):
+                    self._entries.move_to_end(cached_key)
                     self.stats.subsumption_hits += 1
-                    entry = self._entries[cached_query]
                     return CachedLookup(
-                        query, entry.buckets, entry.version, "subsumption"
+                        query, cached.buckets, cached.version, "subsumption"
                     )
             self.stats.misses += 1
             self._fetching += 1
@@ -214,11 +234,110 @@ class CachedExecutor:
             )
             self._retire_fetch()
             if fresh:
-                self._entries[query] = entry
+                self._entries[signature] = entry
                 if len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
                     self.stats.evictions += 1
         return CachedLookup(query, entry.buckets, entry.version, "miss")
+
+    def lookup_batch(
+        self, queries: "Sequence[PartialMatchQuery]"
+    ) -> list[CachedLookup]:
+        """Resolve a whole batch with one lock pass and one device pass.
+
+        Signatures for the batch are computed vectorised
+        (:func:`repro.engine.signature.pack_queries`); hits resolve under a
+        single acquisition of the cache lock, and every distinct miss is
+        fetched together through the batch engine's
+        :meth:`~repro.engine.batch.BatchEngine.fetch_buckets` — one
+        consistent snapshot, each (device, bucket) pair read once for the
+        whole batch.  Per-query results (provenance, stats, freshness
+        re-check against mid-fetch writes) match what ``len(queries)``
+        serial :meth:`lookup` calls would produce; miss entries group only
+        the *non-empty* qualified buckets, which collects identically.
+        """
+        if not queries:
+            return []
+        signatures = pack_queries(queries, self._strides)
+        results: list[CachedLookup | None] = [None] * len(queries)
+        miss_slots: dict[tuple[int, int], list[int]] = {}
+        miss_queries: list[PartialMatchQuery] = []
+        with self._lock:
+            for index, (query, signature) in enumerate(
+                zip(queries, signatures)
+            ):
+                if signature in miss_slots:
+                    # Duplicate of an in-batch miss: one fetch serves both.
+                    self.stats.misses += 1
+                    miss_slots[signature].append(index)
+                    continue
+                entry = self._entries.get(signature)
+                if entry is not None:
+                    self._entries.move_to_end(signature)
+                    self.stats.exact_hits += 1
+                    results[index] = CachedLookup(
+                        query, entry.buckets, entry.version, "exact"
+                    )
+                    continue
+                for cached_key in reversed(self._entries):
+                    cached = self._entries[cached_key]
+                    if subsumes(cached.query, query):
+                        self._entries.move_to_end(cached_key)
+                        self.stats.subsumption_hits += 1
+                        results[index] = CachedLookup(
+                            query, cached.buckets, cached.version,
+                            "subsumption",
+                        )
+                        break
+                else:
+                    self.stats.misses += 1
+                    miss_slots[signature] = [index]
+                    miss_queries.append(query)
+            if miss_queries:
+                self._fetching += 1
+        if not miss_queries:
+            return results
+        try:
+            bucket_maps, version = self._batch_engine().fetch_buckets(
+                miss_queries
+            )
+        except BaseException:
+            with self._lock:
+                self._retire_fetch()
+            raise
+        with self._lock:
+            for query, signature, buckets in zip(
+                miss_queries, miss_slots, bucket_maps
+            ):
+                fresh = not any(
+                    note_version > version
+                    and subsumes(
+                        query,
+                        PartialMatchQuery.exact(self.file.filesystem, bucket),
+                    )
+                    for note_version, bucket in self._pending_notes
+                )
+                if fresh:
+                    self._entries[signature] = _Entry(
+                        query=query, buckets=buckets, version=version
+                    )
+                    if len(self._entries) > self.capacity:
+                        self._entries.popitem(last=False)
+                        self.stats.evictions += 1
+                for slot in miss_slots[signature]:
+                    results[slot] = CachedLookup(
+                        query, buckets, version, "miss"
+                    )
+            self._retire_fetch()
+        return results
+
+    def _batch_engine(self) -> "BatchEngine":
+        """The lazily created batch engine behind :meth:`lookup_batch`."""
+        if self._engine is None:
+            from repro.engine.batch import BatchEngine
+
+            self._engine = BatchEngine(self.file)
+        return self._engine
 
     def _retire_fetch(self) -> None:
         """One in-flight fetch finished (call under the cache lock); once
@@ -234,7 +353,7 @@ class CachedExecutor:
         well-defined write-version prefix, never a torn mix of a concurrent
         insert.
         """
-        entry = _Entry()
+        entry = _Entry(query=query)
         method = self.file.method
         with self.file.read_locked():
             for device in self.file.devices:
@@ -261,12 +380,12 @@ class CachedExecutor:
         exact = PartialMatchQuery.exact(self.file.filesystem, bucket)
         with self._lock:
             affected = [
-                cached_query
-                for cached_query in self._entries
-                if subsumes(cached_query, exact)
+                cached_key
+                for cached_key, cached in self._entries.items()
+                if subsumes(cached.query, exact)
             ]
-            for cached_query in affected:
-                del self._entries[cached_query]
+            for cached_key in affected:
+                del self._entries[cached_key]
             self.stats.write_invalidations += len(affected)
             if self._fetching:
                 self._pending_notes.append((version, bucket))
@@ -276,10 +395,13 @@ class CachedExecutor:
 
         Kept as the manual escape hatch for mutations that bypass the file
         interface (writes through ``insert``/``delete`` invalidate
-        automatically).
+        automatically).  Also drops the batch engine's cached present
+        sets, which share this escape-hatch contract.
         """
         with self._lock:
             self._entries.clear()
+        if self._engine is not None:
+            self._engine.invalidate()
 
     def close(self) -> None:
         """Detach from the file's write notifications (long-lived files

@@ -37,6 +37,12 @@ class ExecutionResult:
     #: Sum over devices (what a single-device system would pay).
     total_service_ms: float = 0.0
     strict_optimal: bool = False
+    #: Execution provenance: ``"serial"`` (one query through
+    #: :class:`QueryExecutor`) or ``"batched"`` (assembled by the array
+    #: engine, :class:`repro.engine.BatchEngine`).  Results are
+    #: byte-identical either way; the marker lets ``obs check`` and the
+    #: CLI tell which path served a query.
+    mode: str = "serial"
 
     @property
     def speedup(self) -> float:
@@ -66,6 +72,7 @@ class ExecutionResult:
             "total_service_ms": round(self.total_service_ms, 6),
             "speedup": round(self.speedup, 6),
             "strict_optimal": self.strict_optimal,
+            "mode": self.mode,
         }
 
     def summary(self) -> str:

@@ -1,0 +1,476 @@
+"""The array-native batch engine: byte-identity with the serial path.
+
+The engine's contract is absolute: for every query in a batch, the
+assembled :class:`~repro.storage.executor.ExecutionResult` must match what
+the serial :class:`~repro.storage.executor.QueryExecutor` produces — same
+records in the same order, same per-device counts, same modelled times —
+with only the ``mode`` provenance marker differing.  These tests pin that
+contract with randomized property tests over filesystems, methods, query
+mixes and interleaved writes, then cover the satellite surfaces: packed
+signatures, dedupe/subsumption in the planner, zero-copy packed stores,
+the batched cache path, the micro-batching service and the batched
+optimality checker.
+"""
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BatchEngine, BatchExecutor, make_method
+from repro.core.inverse import bucket_strides, separable_qualified_flat_batch
+from repro.durability.checksummed_store import PackedChecksummedStore
+from repro.engine.signature import dedupe_queries, pack_queries, pack_query
+from repro.errors import ConfigurationError, CorruptPageError
+from repro.obs import reset_telemetry
+from repro.obs.checker import ObservedOptimalityChecker
+from repro.query.partial_match import PartialMatchQuery
+from repro.service.frontend import QueryService, ServiceConfig
+from repro.storage.batch import BatchPlanner
+from repro.storage.cache import CachedExecutor
+from repro.storage.executor import QueryExecutor
+from repro.storage.paged_store import PackedPageStore, PagedBucketStore
+from repro.storage.parallel_file import PartitionedFile
+
+_METHODS = ["fx", "gdm", "modulo", "random"]
+_SIZES = st.sampled_from([2, 4, 8])
+
+
+@st.composite
+def engine_cases(draw):
+    """A loaded partitioned file plus a mixed query batch against it."""
+    n = draw(st.integers(2, 4))
+    sizes = tuple(draw(_SIZES) for __ in range(n))
+    m = draw(st.sampled_from([2, 4, 8]))
+    name = draw(st.sampled_from(_METHODS))
+    method = make_method(name, fields=sizes, devices=m)
+    pf = PartitionedFile(method)
+    rng = random.Random(draw(st.integers(0, 2**20)))
+    for __ in range(draw(st.integers(0, 120))):
+        pf.insert(tuple(rng.randrange(s) for s in sizes))
+
+    queries = []
+    for __ in range(draw(st.integers(1, 12))):
+        spec = {
+            i: rng.randrange(sizes[i])
+            for i in range(n)
+            if rng.random() < 0.5
+        }
+        queries.append(pf.query(spec))
+    # Force duplicates and a full scan into some batches.
+    if draw(st.booleans()):
+        queries.append(queries[0])
+    if draw(st.booleans()):
+        queries.append(pf.query({}))
+    return pf, queries
+
+
+def assert_results_identical(batched, serial):
+    """Byte-identity modulo the ``mode`` provenance marker."""
+    assert batched.records == serial.records
+    assert batched.buckets_per_device == serial.buckets_per_device
+    assert batched.largest_response == serial.largest_response
+    assert batched.response_time_ms == serial.response_time_ms
+    assert batched.total_service_ms == serial.total_service_ms
+    assert batched.strict_optimal == serial.strict_optimal
+    assert batched.mode == "batched" and serial.mode == "serial"
+    b, s = batched.to_dict(), serial.to_dict()
+    b.pop("mode"), s.pop("mode")
+    assert b == s
+
+
+class TestEngineByteIdentity:
+    @given(engine_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_serial(self, case):
+        pf, queries = case
+        serial = QueryExecutor(pf)
+        report = BatchEngine(pf).execute(queries)
+        assert len(report.results) == len(queries)
+        for query, result in zip(queries, report.results):
+            assert_results_identical(result, serial.execute(query))
+
+    @given(engine_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_batch_matches_serial_after_interleaved_writes(self, case):
+        pf, queries = case
+        engine = BatchEngine(pf)
+        serial = QueryExecutor(pf)
+        engine.execute(queries)  # warm the present-set cache
+        sizes = pf.filesystem.field_sizes
+        rng = random.Random(7)
+        for __ in range(5):
+            pf.insert(tuple(rng.randrange(s) for s in sizes))
+        report = engine.execute(queries)
+        for query, result in zip(queries, report.results):
+            assert_results_identical(result, serial.execute(query))
+
+    @given(engine_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_fetch_buckets_matches_collect(self, case):
+        pf, queries = case
+        per_query, version = BatchEngine(pf).fetch_buckets(queries)
+        assert version == pf.write_version
+        serial = QueryExecutor(pf)
+        for query, buckets in zip(queries, per_query):
+            records = []
+            for bucket_records in buckets.values():
+                records.extend(bucket_records)
+            assert sorted(map(str, records)) == sorted(
+                map(str, serial.execute(query).records)
+            )
+            assert all(buckets.values())  # non-empty buckets only
+
+    def test_duplicates_share_one_plan(self):
+        method = make_method("fx", fields=(4, 4), devices=4)
+        pf = PartitionedFile(method)
+        pf.insert((1, 2))
+        q = pf.query({0: 1})
+        report = BatchEngine(pf).execute([q, q, q])
+        assert report.duplicates_removed == 2
+        assert [r.records for r in report.results] == [[(1, 2)]] * 3
+
+    def test_sharing_is_reported(self):
+        method = make_method("fx", fields=(4, 4), devices=4)
+        pf = PartitionedFile(method)
+        pf.insert((1, 2))
+        q = pf.query({0: 1})
+        report = BatchEngine(pf).execute([q, q])
+        assert report.naive_reads == 2 * q.qualified_count
+        assert report.unique_reads == q.qualified_count
+        assert report.sharing_factor == 2.0
+
+
+class TestSignatures:
+    @given(engine_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_vectorized_packing_matches_scalar(self, case):
+        pf, queries = case
+        strides = bucket_strides(pf.filesystem)
+        vector = pack_queries(queries, strides)
+        scalar = [pack_query(q, strides) for q in queries]
+        assert vector == scalar
+
+    def test_signature_distinguishes_specified_zero_from_unspecified(self):
+        method = make_method("fx", fields=(4, 4), devices=4)
+        fs = method.filesystem
+        strides = bucket_strides(fs)
+        zero = PartialMatchQuery.from_dict(fs, {0: 0})
+        empty = PartialMatchQuery.from_dict(fs, {})
+        assert pack_query(zero, strides) != pack_query(empty, strides)
+
+    def test_dedupe_preserves_first_occurrence_order(self):
+        method = make_method("fx", fields=(4, 4), devices=4)
+        pf = PartitionedFile(method)
+        a, b = pf.query({0: 1}), pf.query({1: 2})
+        distinct, slot_of = dedupe_queries(
+            [a, b, a, a, b], bucket_strides(pf.filesystem)
+        )
+        assert distinct == [0, 1]
+        assert slot_of == [0, 1, 0, 0, 1]
+
+
+class TestBatchKernel:
+    @given(engine_cases())
+    @settings(max_examples=25, deadline=None)
+    def test_flat_batch_matches_iterator(self, case):
+        pf, queries = case
+        method = pf.method
+        if not hasattr(method, "qualified_on_device_array"):
+            return
+        strides = bucket_strides(pf.filesystem)
+        by_pattern = {}
+        for q in queries:
+            by_pattern.setdefault(q.pattern, []).append(q)
+        for group in by_pattern.values():
+            flat, counts = separable_qualified_flat_batch(
+                method, group, strides
+            )
+            offset = 0
+            for g, query in enumerate(group):
+                for device in range(pf.filesystem.m):
+                    expected = [
+                        int(strides @ row)
+                        for row in (
+                            tuple(bucket)
+                            for bucket in method.qualified_on_device(
+                                device, query
+                            )
+                        )
+                    ]
+                    take = int(counts[g, device])
+                    assert flat[offset : offset + take].tolist() == expected
+                    offset += take
+            assert offset == flat.size
+
+
+class TestPlannerDedupe:
+    def test_duplicates_and_subsumption_counted(self):
+        method = make_method("fx", fields=(8, 4), devices=4)
+        pf = PartitionedFile(method)
+        rng = random.Random(5)
+        for __ in range(100):
+            pf.insert((rng.randrange(8), rng.randrange(4)))
+        full = pf.query({})
+        narrow = pf.query({0: 3})
+        planner = BatchPlanner(method)
+        plan = planner.plan([full, narrow, narrow, pf.query({0: 3, 1: 1})])
+        assert plan.duplicates_removed == 1
+        assert plan.derived_from_subsumer == 2  # both narrow queries' slots
+        serial = QueryExecutor(pf)
+        report = BatchExecutor(pf).execute([full, narrow, narrow])
+        for q, records in zip([full, narrow, narrow], report.records_per_query):
+            assert sorted(map(str, records)) == sorted(
+                map(str, serial.execute(q).records)
+            )
+
+    @given(engine_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_batch_executor_unchanged_by_dedupe(self, case):
+        pf, queries = case
+        serial = QueryExecutor(pf)
+        report = BatchExecutor(pf).execute(queries)
+        for query, records in zip(queries, report.records_per_query):
+            assert sorted(map(str, records)) == sorted(
+                map(str, serial.execute(query).records)
+            )
+
+
+class TestPackedStores:
+    @given(st.integers(0, 2**20), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_packed_store_matches_paged_store(self, seed, page_capacity):
+        # The byte-packed store must mirror the tuple-paged store exactly:
+        # same first-page-with-room placement, same record order, same
+        # digest.  (A flat BucketStore differs legitimately — it has no
+        # holes to reuse.)
+        rng = random.Random(seed)
+        packed = PackedPageStore(page_capacity=page_capacity)
+        plain = PagedBucketStore(page_capacity=page_capacity)
+        live = []
+        for __ in range(200):
+            op = rng.random()
+            bucket = (rng.randrange(4), rng.randrange(4))
+            if op < 0.6 or not live:
+                record = (rng.randrange(100), "x" * rng.randrange(3))
+                packed.insert(bucket, record)
+                plain.insert(bucket, record)
+                live.append((bucket, record))
+            elif op < 0.85:
+                victim, record = live.pop(rng.randrange(len(live)))
+                assert packed.delete(victim, record) == plain.delete(
+                    victim, record
+                )
+            else:
+                records = [(rng.randrange(10),) for __ in range(3)]
+                packed.replace_bucket(bucket, records)
+                plain.replace_bucket(bucket, records)
+                live = [(b, r) for b, r in live if b != bucket]
+                live.extend((bucket, r) for r in records)
+        assert packed.state_digest() == plain.state_digest()
+        assert packed.record_count == plain.record_count
+        for bucket in plain.buckets():
+            assert packed.records_in(bucket) == plain.records_in(bucket)
+            assert packed.pages_in(bucket) == plain.pages_in(bucket)
+        packed.check_invariants()
+
+    def test_page_views_are_zero_copy(self):
+        store = PackedPageStore(page_capacity=2)
+        store.insert((0,), (1, "a"))
+        (view,) = store.page_views((0,))
+        assert isinstance(view, memoryview) and view.readonly
+        arr = store.page_array((0,), 0)
+        assert arr.dtype.name == "uint8" and not arr.flags.writeable
+        assert bytes(view) == arr.tobytes()
+
+    @pytest.mark.parametrize("kind", ["tamper", "drop"])
+    def test_checksummed_packed_store_detects_damage(self, kind):
+        store = PackedChecksummedStore(page_capacity=2)
+        store.insert((0,), (1, "a"))
+        store.insert((0,), (2, "b"))
+        assert store.verify_bucket((0,))
+        store.corrupt_bucket((0,), kind=kind)
+        assert not store.verify_bucket((0,))
+        with pytest.raises(CorruptPageError):
+            store.records_in((0,))
+        store.replace_bucket((0,), [(3, "c")])  # repair path
+        assert store.verify_bucket((0,))
+        assert store.records_in((0,)) == ((3, "c"),)
+
+    def test_engine_sees_dropped_packed_pages(self):
+        method = make_method("fx", fields=(4, 4), devices=4)
+        pf = PartitionedFile(method, store_factory=PackedChecksummedStore)
+        bucket = pf.insert((1, 2))
+        engine = BatchEngine(pf)
+        device = next(
+            d for d in pf.devices if d.store.has_bucket(bucket)
+        )
+        device.store.corrupt_bucket(bucket, kind="drop")
+        engine.invalidate()
+        with pytest.raises(CorruptPageError):
+            engine.execute([pf.query({0: 1})])
+
+    @given(engine_cases())
+    @settings(max_examples=15, deadline=None)
+    def test_engine_identity_over_packed_store(self, case):
+        pf, queries = case
+        packed = PartitionedFile(
+            pf.method, store_factory=PackedChecksummedStore
+        )
+        for device in pf.devices:
+            for bucket in device.store.buckets():
+                for record in device.store.records_in(bucket):
+                    packed.insert(record)
+        serial = QueryExecutor(packed)
+        report = BatchEngine(packed).execute(queries)
+        for query, result in zip(queries, report.results):
+            assert_results_identical(result, serial.execute(query))
+
+
+class TestBatchedCache:
+    @given(engine_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_lookup_batch_matches_serial_lookups(self, case):
+        pf, queries = case
+        batch_cache = CachedExecutor(pf, capacity=256)
+        serial_cache = CachedExecutor(pf, capacity=256)
+        batched = batch_cache.lookup_batch(queries)
+        for query, lookup in zip(queries, batched):
+            reference = serial_cache.lookup(query)
+            got = [
+                r
+                for b, rs in lookup.buckets.items()
+                if query.matches(b)
+                for r in rs
+            ]
+            want = [
+                r
+                for b, rs in reference.buckets.items()
+                if query.matches(b)
+                for r in rs
+            ]
+            # Record order is a function of which entry answered (a
+            # subsumption hit serves the subsumer entry's order) — that
+            # varies with cache state in the serial path too, so the
+            # invariant is the record multiset, not the sequence.
+            assert sorted(map(str, got)) == sorted(map(str, want))
+            assert lookup.version == reference.version
+
+    def test_batched_fill_is_invalidated_by_writes(self):
+        method = make_method("fx", fields=(4, 4), devices=4)
+        pf = PartitionedFile(method)
+        pf.insert((1, 2))
+        cache = CachedExecutor(pf, capacity=16)
+        q = pf.query({0: 1})
+        (first,) = cache.lookup_batch([q])
+        assert first.hit == "miss"
+        (again,) = cache.lookup_batch([q])
+        assert again.hit == "exact"
+        pf.insert((1, 3))
+        (fresh,) = cache.lookup_batch([q])
+        assert fresh.hit == "miss"
+        assert sum(len(rs) for rs in fresh.buckets.values()) == 2
+
+
+class TestBatchedService:
+    def test_execute_many_matches_serial(self):
+        method = make_method("fx", fields=(8, 4), devices=4)
+        pf = PartitionedFile(method)
+        rng = random.Random(2)
+        for __ in range(150):
+            pf.insert((rng.randrange(8), rng.randrange(4)))
+        serial = QueryExecutor(pf)
+        service = QueryService(pf, ServiceConfig(batch_max_size=8))
+        queries = [pf.query({0: i}) for i in range(8)] + [pf.query({})]
+        results = service.execute_many(queries)
+        for query, result in zip(queries, results):
+            assert result.ok and result.batched
+            assert sorted(map(str, result.records)) == sorted(
+                map(str, serial.execute(query).records)
+            )
+
+    def test_concurrent_requests_form_batches(self):
+        method = make_method("fx", fields=(8, 4), devices=4)
+        pf = PartitionedFile(method)
+        rng = random.Random(3)
+        for __ in range(100):
+            pf.insert((rng.randrange(8), rng.randrange(4)))
+        serial = QueryExecutor(pf)
+        service = QueryService(
+            pf,
+            ServiceConfig(
+                batch_max_size=4,
+                batch_window_ms=25.0,
+                max_concurrent=16,
+                queue_limit=64,
+            ),
+        )
+        queries = [pf.query({0: i % 8}) for i in range(12)]
+        results = [None] * len(queries)
+
+        def worker(i):
+            results[i] = service.execute(queries[i])
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(len(queries))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for query, result in zip(queries, results):
+            assert result.ok and result.batched
+            assert sorted(map(str, result.records)) == sorted(
+                map(str, serial.execute(query).records)
+            )
+
+    def test_batched_reads_observe_completed_writes(self):
+        method = make_method("fx", fields=(4, 4), devices=4)
+        pf = PartitionedFile(method)
+        service = QueryService(pf, ServiceConfig(batch_max_size=2))
+        q = pf.query({0: 1})
+        assert service.execute_many([q])[0].records == []
+        __, version = service.insert((1, 2))
+        result = service.execute_many([q])[0]
+        assert result.records == [(1, 2)]
+        assert result.write_version >= version
+
+    def test_batch_config_is_validated(self):
+        method = make_method("fx", fields=(4, 4), devices=4)
+        pf = PartitionedFile(method)
+        with pytest.raises(ConfigurationError):
+            QueryService(pf, ServiceConfig(batch_max_size=0))
+        with pytest.raises(ConfigurationError):
+            QueryService(pf, ServiceConfig(batch_window_ms=-1.0))
+
+
+class TestBatchedChecker:
+    @pytest.mark.parametrize("name", ["fx", "gdm", "modulo"])
+    def test_batched_replay_agrees_with_serial(self, name):
+        reset_telemetry()
+        method = make_method(name, fields=(8, 4, 8), devices=8)
+        fs = method.filesystem
+        rng = random.Random(1)
+        queries = [
+            PartialMatchQuery.from_dict(
+                fs,
+                {
+                    i: rng.randrange(fs.field_sizes[i])
+                    for i in range(fs.n_fields)
+                    if rng.random() < 0.5
+                },
+            )
+            for __ in range(25)
+        ]
+        checker = ObservedOptimalityChecker(method)
+        serial = checker.replay(queries)
+        batched = checker.replay(queries, batched=True)
+        assert batched.consistent and batched.all_strict_optimal == (
+            serial.all_strict_optimal
+        )
+        assert [o.observed_per_device for o in batched.observations] == [
+            o.observed_per_device for o in serial.observations
+        ]
