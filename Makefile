@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-batch report examples faults obs recover serve clean
+.PHONY: install test bench bench-batch report examples faults obs recover serve gateway clean
 
 install:
 	$(PYTHON) -m pip install -e .[test] || $(PYTHON) setup.py develop
@@ -41,6 +41,15 @@ serve:
 		--clients 8 --requests 40 --write-every 4 --hot-fraction 0.5 \
 		--verify
 	$(PYTHON) benchmarks/bench_service.py --smoke
+
+gateway:
+	$(PYTHON) -m repro gateway --fields 8,8 --devices 8 \
+		--tenants alpha,beta --connections 4 --requests 25 \
+		--write-every 5 --preload 16 --verify
+	$(PYTHON) -m repro gateway --fields 8,8 --devices 8 \
+		--tenants alpha,beta --connections 2 --requests 10 \
+		--preload 4 --quota 20 --verify
+	$(PYTHON) benchmarks/bench_gateway.py --smoke
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,153 @@
+"""Gateway throughput versus connection count over real loopback sockets.
+
+The network gateway (``repro.gateway``) puts a length-framed JSON wire
+protocol and per-tenant admission in front of the serving tier.  This
+benchmark measures what that costs end to end: closed-loop loopback
+throughput at 2–8 connections per tenant across 2 tenants, with every run
+re-proving the correctness contract — each tenant's request log replays
+serially with zero stale reads, and the drain is clean.
+
+Two entry points:
+
+* a pytest-benchmark function (collected with the other ``bench_*``
+  files) timing one multi-tenant loopback load, and
+* a script mode — ``python benchmarks/bench_gateway.py [--smoke]
+  [--out BENCH_gateway.json]`` — that writes per-connection-count
+  throughput and latency percentiles to JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro import obs
+from repro.api import make_gateway
+from repro.gateway import GatewayLoadSpec, run_loopback_load
+
+FULL_CONNECTIONS = (2, 4, 8)
+SMOKE_CONNECTIONS = (2, 4)
+
+TENANTS = ("alpha", "beta")
+FIELDS = (8, 8)
+DEVICES = 8
+
+
+def _run_load(connections: int, requests: int):
+    """One measured loopback run; returns ``(report, counters)``."""
+    obs.reset_telemetry()
+    gateway = make_gateway(
+        list(TENANTS),
+        fields=FIELDS,
+        devices=DEVICES,
+        max_connections=4 * connections * len(TENANTS),
+        max_concurrent=16,
+        queue_limit=8 * connections,
+    )
+    address = gateway.start()
+    try:
+        report = run_loopback_load(
+            address,
+            list(gateway.tenants.values()),
+            GatewayLoadSpec(
+                connections_per_tenant=connections,
+                requests_per_connection=requests,
+                seed=17,
+                write_every=5,
+                hot_fraction=0.5,
+                preload=16,
+            ),
+        )
+    finally:
+        clean = gateway.drain()
+    assert report.errors == [], report.errors
+    assert clean, "gateway drain left stragglers"
+    mismatches = {
+        name: bad for name, bad in report.verify().items() if bad
+    }
+    assert not mismatches, mismatches
+    counters = obs.telemetry().metrics.snapshot().counters
+    return report, counters
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def bench_gateway_loopback_load(benchmark):
+    report, __ = benchmark(lambda: _run_load(connections=4, requests=10))
+    assert report.completed > 0
+
+
+# ----------------------------------------------------------------------
+# Script mode: write BENCH_gateway.json
+# ----------------------------------------------------------------------
+def _measure(connections: int, requests: int) -> dict:
+    report, counters = _run_load(connections, requests)
+    latencies = sorted(
+        record.latency_ms
+        for tenant_report in report.per_tenant.values()
+        for record in tenant_report.requests
+    )
+
+    def percentile(q: float) -> float:
+        if not latencies:
+            return 0.0
+        rank = max(0, min(len(latencies) - 1, round(q * (len(latencies) - 1))))
+        return latencies[rank]
+
+    return {
+        "connections_per_tenant": connections,
+        "tenants": len(TENANTS),
+        "total_connections": connections * len(TENANTS),
+        "requests_per_connection": requests,
+        "completed": report.completed,
+        "throughput_qps": round(report.throughput_qps, 1),
+        "p50_ms": round(percentile(0.50), 4),
+        "p99_ms": round(percentile(0.99), 4),
+        "accepted": counters.get("gateway.accepted", 0),
+        "disconnected": counters.get("gateway.disconnected", 0),
+        "stale_reads": 0,  # asserted zero in _run_load
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer connection counts and requests for CI; same code paths",
+    )
+    parser.add_argument("--out", default="BENCH_gateway.json")
+    parser.add_argument(
+        "--requests", type=int, default=None,
+        help="requests per connection (default 40; smoke 12)",
+    )
+    args = parser.parse_args(argv)
+
+    connection_counts = SMOKE_CONNECTIONS if args.smoke else FULL_CONNECTIONS
+    requests = args.requests or (12 if args.smoke else 40)
+    result = {
+        "mode": "smoke" if args.smoke else "full",
+        "tenants": list(TENANTS),
+        "fields": list(FIELDS),
+        "devices": DEVICES,
+        "sweep": [
+            _measure(connections, requests)
+            for connections in connection_counts
+        ],
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    for row in result["sweep"]:
+        print(
+            f"{row['total_connections']:>3} connections "
+            f"({row['connections_per_tenant']}/tenant x {row['tenants']}): "
+            f"{row['throughput_qps']:>8,.1f} qps, "
+            f"p50 {row['p50_ms']:.3f} ms, p99 {row['p99_ms']:.3f} ms, "
+            f"0 stale reads"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,9 @@ queries under the main-memory cost model.
 Run:  python examples/main_memory_mmdb.py
 """
 
-from repro import FileSystem, FXDistribution, GDMDistribution, ModuloDistribution
+from repro import FileSystem, FXDistribution
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
 from repro.analysis.cpu_cost import CpuCostModel
 from repro.query.partial_match import PartialMatchQuery
 from repro.storage.costs import MainMemoryCostModel

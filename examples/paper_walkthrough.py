@@ -12,11 +12,11 @@ from repro import (
     BasicFXDistribution,
     FileSystem,
     FXDistribution,
-    ModuloDistribution,
     PartialMatchQuery,
     fx_strict_optimal_sufficient,
     is_perfect_optimal,
 )
+from repro.distribution.modulo import ModuloDistribution
 from repro.core.bitops import xor_set, z_m
 from repro.core.transforms import make_transform
 from repro.experiments.cpu_table import render_cpu_table

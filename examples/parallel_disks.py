@@ -10,12 +10,9 @@ timings, per query class.
 Run:  python examples/parallel_disks.py
 """
 
-from repro import (
-    FileSystem,
-    FXDistribution,
-    GDMDistribution,
-    ModuloDistribution,
-)
+from repro import FileSystem, FXDistribution
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
 from repro.query.workload import QueryWorkload, WorkloadSpec
 from repro.storage.costs import DiskCostModel
 from repro.storage.executor import QueryExecutor

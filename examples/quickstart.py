@@ -11,9 +11,9 @@ Run:  python examples/quickstart.py
 from repro import (
     FileSystem,
     FXDistribution,
-    ModuloDistribution,
     PartialMatchQuery,
 )
+from repro.distribution.modulo import ModuloDistribution
 from repro.storage.executor import QueryExecutor
 from repro.storage.parallel_file import PartitionedFile
 

@@ -11,7 +11,8 @@ over, which is precisely why the paper calls it future work.
 Run:  python examples/range_queries.py
 """
 
-from repro import FileSystem, FXDistribution, ModuloDistribution
+from repro import FileSystem, FXDistribution
+from repro.distribution.modulo import ModuloDistribution
 from repro.analysis.box import box_largest_response, box_response_histogram
 from repro.hashing.hash_functions import (
     FibonacciFieldHash,

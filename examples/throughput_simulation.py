@@ -10,7 +10,9 @@ into lower latency *and* higher sustainable throughput.
 Run:  python examples/throughput_simulation.py
 """
 
-from repro import FileSystem, FXDistribution, GDMDistribution, ModuloDistribution
+from repro import FileSystem, FXDistribution
+from repro.distribution.gdm import GDMDistribution
+from repro.distribution.modulo import ModuloDistribution
 from repro.query.workload import QueryWorkload, WorkloadSpec
 from repro.storage.costs import DiskCostModel
 from repro.storage.simulator import ParallelQuerySimulator, poisson_arrivals

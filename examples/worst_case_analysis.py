@@ -9,7 +9,8 @@ engines agree on every answer.
 Run:  python examples/worst_case_analysis.py
 """
 
-from repro import FileSystem, FXDistribution, ModuloDistribution
+from repro import FileSystem, FXDistribution
+from repro.distribution.modulo import ModuloDistribution
 from repro.analysis.adversary import worst_box_search
 from repro.core.optimality import optimality_report
 from repro.distribution.zorder import ZOrderDistribution

@@ -19,7 +19,17 @@ Quickstart::
 
 See ``examples/`` for full scenarios and ``benchmarks/`` for the paper's
 tables and figures.
+
+Importing the baseline constructor classes (``ModuloDistribution``,
+``GDMDistribution``, ...) from this top-level package is **deprecated**:
+build methods through :func:`repro.api.make_method` instead.  The old
+names still resolve (with a one-time :class:`DeprecationWarning` per
+name) so existing callers keep working until the next major release.
 """
+
+import importlib
+import threading
+import warnings
 
 from repro.core.fx import BasicFXDistribution, FXDistribution
 from repro.core.optimality import (
@@ -42,18 +52,19 @@ from repro.core.transforms import (
     assign_transforms,
     make_transform,
 )
-from repro.api import make_durable_file, make_method, make_service, method_names
+from repro.api import (
+    make_durable_file,
+    make_gateway,
+    make_method,
+    make_service,
+    method_names,
+)
 from repro.distribution.base import (
     DistributionMethod,
     available_methods,
     create_method,
 )
-from repro.distribution.gdm import GDM_PRESETS, GDMDistribution
-from repro.distribution.modulo import ModuloDistribution
-from repro.distribution.random_alloc import RandomDistribution
-from repro.distribution.replicated import ChainedReplicaScheme
-from repro.distribution.spanning import SpanningPathDistribution
-from repro.distribution.zorder import ZOrderDistribution
+from repro.distribution.gdm import GDM_PRESETS
 from repro.errors import ReproError
 from repro.runtime import (
     DegradedExecutor,
@@ -79,7 +90,7 @@ from repro.storage import (
     ReplicatedFile,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -115,6 +126,7 @@ __all__ = [
     "make_method",
     "make_durable_file",
     "make_service",
+    "make_gateway",
     "method_names",
     # runtime
     "FaultPlan",
@@ -144,3 +156,43 @@ __all__ = [
     "LoadSpec",
     "ReproError",
 ]
+
+#: Baseline constructor classes reachable at top level only through the
+#: deprecation shim below — same pattern as :mod:`repro.distribution`.
+_DEPRECATED_CONSTRUCTORS = {
+    "ModuloDistribution": "repro.distribution.modulo",
+    "GDMDistribution": "repro.distribution.gdm",
+    "RandomDistribution": "repro.distribution.random_alloc",
+    "ChainedReplicaScheme": "repro.distribution.replicated",
+    "SpanningPathDistribution": "repro.distribution.spanning",
+    "ZOrderDistribution": "repro.distribution.zorder",
+}
+_warned: set[str] = set()
+#: Concurrent first accesses to one deprecated name must produce exactly
+#: one warning; an unguarded check-then-add races under free threading.
+_warned_lock = threading.Lock()
+
+
+def __getattr__(name: str):
+    module_name = _DEPRECATED_CONSTRUCTORS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    with _warned_lock:
+        first_use = name not in _warned
+        if first_use:
+            _warned.add(name)
+    if first_use:
+        warnings.warn(
+            f"importing {name} from repro is deprecated; use "
+            f"repro.api.make_method(...) (or import from "
+            f"{module_name} directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED_CONSTRUCTORS))

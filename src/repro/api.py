@@ -1,4 +1,4 @@
-"""The one-stop construction facade: ``make_method``.
+"""The one-stop construction facade: ``make_method`` and friends.
 
 Callers used to import constructors from five ``repro.distribution.*``
 modules (plus :mod:`repro.core.fx`) and remember each one's signature.
@@ -16,11 +16,36 @@ Names cover every registered distribution method plus ``"replicated"``
 base method).  Unknown options and names raise
 :class:`~repro.errors.ConfigurationError` with the known alternatives
 spelled out.  The old constructor imports still work but are deprecated —
-see ``repro.distribution.__getattr__``.
+see ``repro.distribution.__getattr__`` and the matching warn-once shims
+in :mod:`repro` itself.
+
+The higher tiers stack on the same keyword surface — every factory takes
+``(name, *, fields=..., devices=..., **method options)`` plus its tier's
+knobs, and the knob names are shared wherever tiers overlap:
+
+======================  ==============================================
+factory                 adds
+======================  ==============================================
+:func:`make_method`     the bucket-to-device method itself
+:func:`make_durable_file`  store options (``checksummed``, ``replicate``,
+                        ``offset``, ``cost_model``) + WAL crash points
+:func:`make_service`    the same store options (minus replication) +
+                        serving knobs mirroring
+                        :class:`~repro.service.ServiceConfig`
+                        (admission retry, cache, coalescing,
+                        micro-batching, futures pool)
+:func:`make_gateway`    the same serving knobs as tenant-wide defaults +
+                        network knobs mirroring
+                        :class:`~repro.gateway.GatewayConfig`
+======================  ==============================================
+
+The ``serve`` and ``gateway`` CLI subcommands construct exclusively
+through this module.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from collections.abc import Callable, Sequence
 
 from repro.distribution.base import (
@@ -35,6 +60,7 @@ __all__ = [
     "make_method",
     "make_durable_file",
     "make_service",
+    "make_gateway",
     "method_names",
     "register_factory",
     "default_gdm_multipliers",
@@ -225,6 +251,8 @@ def make_service(
     coalesce: bool = True,
     batch_max_size: int | None = None,
     batch_window_ms: float = 2.0,
+    submit_workers: int | None = None,
+    checksummed: bool = False,
     cost_model=None,
     **opts: object,
 ):
@@ -233,8 +261,12 @@ def make_service(
     admission control, request coalescing and the write-aware result
     cache.
 
-    The serving knobs mirror :class:`~repro.service.ServiceConfig`;
-    remaining keyword options go to the method constructor exactly as in
+    The serving knobs mirror :class:`~repro.service.ServiceConfig`
+    (``submit_workers`` sizes the futures pool behind
+    :meth:`~repro.service.QueryService.submit`); ``checksummed`` puts
+    :class:`~repro.durability.ChecksummedBucketStore` pages on every
+    device, the same store option :func:`make_durable_file` takes.
+    Remaining keyword options go to the method constructor exactly as in
     :func:`make_method`.  The underlying file is reachable as
     ``service.file`` for loading records.
 
@@ -248,6 +280,11 @@ def make_service(
     from repro.storage.parallel_file import PartitionedFile
 
     method = make_method(name, fields=fields, devices=devices, **opts)
+    store_factory = None
+    if checksummed:
+        from repro.durability import ChecksummedBucketStore
+
+        store_factory = ChecksummedBucketStore
     config = ServiceConfig(
         max_concurrent=max_concurrent,
         queue_limit=queue_limit,
@@ -257,7 +294,150 @@ def make_service(
         coalesce=coalesce,
         batch_max_size=batch_max_size,
         batch_window_ms=batch_window_ms,
+        submit_workers=submit_workers,
     )
     return QueryService(
-        PartitionedFile(method, cost_model=cost_model), config
+        PartitionedFile(
+            method, cost_model=cost_model, store_factory=store_factory
+        ),
+        config,
     )
+
+
+#: The ``make_service`` keyword names ``make_gateway`` forwards as
+#: tenant-wide defaults — the one shared serving-knob surface.
+SERVICE_OPTION_NAMES = (
+    "max_concurrent",
+    "queue_limit",
+    "deadline_ms",
+    "admission_retry",
+    "cache_capacity",
+    "coalesce",
+    "batch_max_size",
+    "batch_window_ms",
+    "submit_workers",
+    "checksummed",
+    "cost_model",
+)
+
+
+def make_gateway(
+    tenants,
+    *,
+    fields: Sequence[int] | None = None,
+    devices: int | None = None,
+    method: str = "fx",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_connections: int = 32,
+    max_frame_bytes: int | None = None,
+    drain_timeout_s: float = 10.0,
+    include_records: bool = True,
+    start: bool = False,
+    **service_options: object,
+):
+    """Build a multi-tenant network :class:`~repro.gateway.Gateway`.
+
+    *tenants* may be
+
+    * a sequence of :class:`~repro.gateway.TenantSpec`,
+    * a mapping ``{name: {option: value, ...}}`` of per-tenant options
+      (``fields``/``devices``/``method`` default from the top-level
+      arguments; quotas/limits per :class:`~repro.gateway.TenantSpec`), or
+    * a sequence of bare tenant names sharing the top-level
+      ``fields``/``devices``/``method``.
+
+    Remaining keyword options are the :func:`make_service` serving knobs
+    (see :data:`SERVICE_OPTION_NAMES`) applied as defaults to every
+    tenant; a spec's own ``service`` mapping overrides them.  ``start=True``
+    binds and launches the accept loop before returning — ``port=0``
+    picks a free loopback port, readable from ``gateway.address``.
+
+    >>> gateway = make_gateway(["alpha"], fields=(4, 4), devices=4)
+    >>> sorted(gateway.tenants)
+    ['alpha']
+    """
+    from repro.gateway import Gateway, GatewayConfig, TenantSpec
+    from repro.gateway.protocol import DEFAULT_MAX_FRAME_BYTES
+
+    unknown = sorted(set(service_options) - set(SERVICE_OPTION_NAMES))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown gateway/service options: {unknown}; "
+            f"serving knobs are {sorted(SERVICE_OPTION_NAMES)}"
+        )
+
+    def default_spec(tenant_name: str, options: dict) -> TenantSpec:
+        options = dict(options)
+        tenant_fields = options.pop("fields", fields)
+        tenant_devices = options.pop("devices", devices)
+        tenant_method = options.pop("method", method)
+        if tenant_fields is None or tenant_devices is None:
+            raise ConfigurationError(
+                f"tenant {tenant_name!r} needs fields= and devices= "
+                "(per tenant or as make_gateway defaults)"
+            )
+        return TenantSpec.of(
+            tenant_name,
+            fields=tuple(tenant_fields),
+            devices=tenant_devices,
+            method=tenant_method,
+            **options,
+        )
+
+    specs: list[TenantSpec] = []
+    if hasattr(tenants, "items"):
+        for tenant_name, options in tenants.items():
+            if isinstance(options, TenantSpec):
+                specs.append(options)
+            else:
+                specs.append(default_spec(tenant_name, dict(options or {})))
+    else:
+        for entry in tenants:
+            if isinstance(entry, TenantSpec):
+                specs.append(entry)
+            elif isinstance(entry, str):
+                specs.append(default_spec(entry, {}))
+            else:
+                raise ConfigurationError(
+                    f"tenant entries must be names or TenantSpec, got "
+                    f"{entry!r}"
+                )
+
+    # Tenant services are built lazily on first touch, so check every
+    # tenant's merged serving knobs now — a bad default should fail the
+    # build, not bounce every later request as a wire error.
+    from repro.service import ServiceConfig
+
+    config_fields = {f.name for f in dataclasses.fields(ServiceConfig)}
+    for spec in specs:
+        merged = dict(service_options)
+        merged.update(spec.service)
+        knobs = {
+            key: value
+            for key, value in merged.items()
+            if key in config_fields and value is not None
+        }
+        try:
+            ServiceConfig(**knobs).validate()
+        except ConfigurationError as error:
+            raise ConfigurationError(
+                f"tenant {spec.name!r}: {error}"
+            ) from None
+
+    config = GatewayConfig(
+        host=host,
+        port=port,
+        max_connections=max_connections,
+        max_frame_bytes=(
+            DEFAULT_MAX_FRAME_BYTES
+            if max_frame_bytes is None
+            else max_frame_bytes
+        ),
+        drain_timeout_s=drain_timeout_s,
+        include_records=include_records,
+    )
+    gateway = Gateway(specs, config, service_defaults=service_options)
+    if start:
+        gateway.start()
+    return gateway

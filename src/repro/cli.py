@@ -41,6 +41,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
+import time
 from collections.abc import Sequence
 
 from repro.analysis.ascii_chart import render_series
@@ -1070,7 +1072,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for name, value in sorted(snap.counters.items())
         if name.startswith("service.")
     }
-    ok = not report.errors and not mismatches
+    shed = int(data.get("shed", 0))
+    timed_out = int(data.get("timeout", 0))
+    degraded = (shed or timed_out) and not args.allow_degraded
+    ok = not report.errors and not mismatches and not degraded
+    if degraded:
+        # Machine-readable failure on stderr so scripted callers (CI, make
+        # targets) can tell "load was shed" apart from a crash.
+        print(
+            json.dumps(
+                {
+                    "v": 1,
+                    "error": {
+                        "code": "degraded_load",
+                        "message": "load run ended with shed or timed-out "
+                        "requests (pass --allow-degraded to tolerate)",
+                        "shed": shed,
+                        "timeout": timed_out,
+                    },
+                }
+            ),
+            file=sys.stderr,
+        )
     if args.json:
         data["counters"] = counters
         print(json.dumps(data, indent=2))
@@ -1109,6 +1132,149 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     for message in mismatches[:10]:
         print(f"MISMATCH {message}")
+    return 0 if ok else 1
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """Run the multi-tenant network gateway over a loopback load."""
+    from repro import obs
+    from repro.api import make_gateway
+    from repro.gateway import GatewayLoadSpec, run_loopback_load
+    from repro.runtime import RetryPolicy
+
+    obs.reset_telemetry()
+    fs = _parse_filesystem(args)
+    tenant_names = [
+        name.strip() for name in args.tenants.split(",") if name.strip()
+    ]
+    tenants = {
+        name: {
+            "request_quota": args.quota,
+            "rate_per_s": args.rate,
+            "burst": args.burst,
+            "max_inflight": args.max_inflight,
+        }
+        for name in tenant_names
+    }
+    gateway = make_gateway(
+        tenants,
+        fields=fs.field_sizes,
+        devices=fs.m,
+        method=args.method,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        max_concurrent=args.max_concurrent,
+        queue_limit=args.queue_limit,
+        deadline_ms=args.deadline,
+        admission_retry=RetryPolicy(max_attempts=args.retries),
+        cache_capacity=None if args.no_cache else args.cache_capacity,
+        coalesce=not args.no_coalesce,
+    )
+    host, port = gateway.start()
+    if args.listen:
+        print(f"gateway listening on {host}:{port} "
+              f"(tenants: {', '.join(tenant_names)}; Ctrl-C to drain)")
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        clean = gateway.drain()
+        return 0 if clean else 1
+
+    report = run_loopback_load(
+        (host, port),
+        list(gateway.tenants.values()),
+        GatewayLoadSpec(
+            connections_per_tenant=args.connections,
+            requests_per_connection=args.requests,
+            seed=args.seed,
+            spec_probability=args.p,
+            write_every=args.write_every,
+            batch_every=args.batch_every,
+            preload=args.preload,
+            deadline_ms=args.deadline,
+        ),
+    )
+    clean_drain = gateway.drain()
+    mismatches: dict[str, list[str]] = {}
+    if args.verify:
+        mismatches = {
+            name: bad for name, bad in report.verify().items() if bad
+        }
+    snap = obs.telemetry().metrics.snapshot()
+    counters = {
+        name: value
+        for name, value in sorted(snap.counters.items())
+        if name.startswith("gateway.") and "latency" not in name
+    }
+    ok = not report.errors and not mismatches and clean_drain
+    if not ok:
+        print(
+            json.dumps(
+                {
+                    "v": 1,
+                    "error": {
+                        "code": "gateway_load_failed",
+                        "transport_errors": len(report.errors),
+                        "stale_tenants": sorted(mismatches),
+                        "clean_drain": clean_drain,
+                    },
+                }
+            ),
+            file=sys.stderr,
+        )
+    if args.json:
+        data = report.to_dict()
+        data["counters"] = counters
+        data["clean_drain"] = clean_drain
+        if args.verify:
+            data["replay_mismatches"] = {
+                name: len(bad) for name, bad in mismatches.items()
+            }
+        print(json.dumps(data, indent=2))
+        return 0 if ok else 1
+    total_rejected = sum(
+        count
+        for codes in report.rejections.values()
+        for count in codes.values()
+    )
+    rows = [
+        ["tenants", len(tenant_names)],
+        ["connections per tenant", args.connections],
+        ["requests completed", report.completed],
+        ["rejected (quota / rate)", total_rejected],
+        ["throughput (req/s)", round(report.throughput_qps, 3)],
+        ["transport errors", len(report.errors)],
+        ["clean drain", clean_drain],
+    ]
+    if args.verify:
+        rows.append(
+            ["stale reads", sum(len(bad) for bad in mismatches.values())]
+        )
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Gateway {args.method} on {fs.describe()}: "
+                f"{len(tenant_names)} tenants x {args.connections} "
+                f"connections x {args.requests} requests"
+            ),
+        )
+    )
+    if counters:
+        print()
+        print(
+            format_table(
+                ["gateway counter", "value"],
+                [[name, value] for name, value in counters.items()],
+            )
+        )
+    for name, bad in sorted(mismatches.items()):
+        for message in bad[:5]:
+            print(f"MISMATCH [{name}] {message}")
     return 0 if ok else 1
 
 
@@ -1475,9 +1641,109 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="serial-replay the request log and fail on any stale read",
     )
+    serve.add_argument(
+        "--allow-degraded", action="store_true", dest="allow_degraded",
+        help="exit 0 even when requests were shed or timed out "
+             "(default: degraded runs fail with a structured error)",
+    )
     serve.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of tables")
     serve.set_defaults(func=_cmd_serve)
+
+    gateway = sub.add_parser(
+        "gateway",
+        help="serve multiple tenants over TCP and drive a loopback load",
+    )
+    _add_filesystem_arguments(gateway)
+    gateway.add_argument(
+        "--method", default="fx", choices=list(method_names()),
+        help="distribution method for every tenant's file",
+    )
+    gateway.add_argument(
+        "--tenants", default="alpha,beta",
+        help="comma-separated tenant namespace names",
+    )
+    gateway.add_argument("--host", default="127.0.0.1",
+                         help="bind address")
+    gateway.add_argument("--port", type=int, default=0,
+                         help="bind port (0 picks a free one)")
+    gateway.add_argument(
+        "--listen", action="store_true",
+        help="serve until interrupted instead of driving a loopback load",
+    )
+    gateway.add_argument(
+        "--connections", type=int, default=4,
+        help="loopback connections per tenant",
+    )
+    gateway.add_argument("--requests", type=int, default=25,
+                         help="requests issued by each connection")
+    gateway.add_argument("--seed", type=int, default=0,
+                         help="seed for the per-connection op logs")
+    gateway.add_argument("--p", type=float, default=0.5,
+                         help="per-field specification probability")
+    gateway.add_argument(
+        "--write-every", type=int, default=5, dest="write_every",
+        help="every k-th op of a connection is an insert (0 = none)",
+    )
+    gateway.add_argument(
+        "--batch-every", type=int, default=0, dest="batch_every",
+        help="every k-th op is a multi-query batch frame (0 = never)",
+    )
+    gateway.add_argument(
+        "--preload", type=int, default=16,
+        help="records inserted per tenant before the timed run",
+    )
+    gateway.add_argument(
+        "--quota", type=int, default=None,
+        help="per-tenant lifetime request quota (default: unlimited)",
+    )
+    gateway.add_argument(
+        "--rate", type=float, default=None,
+        help="per-tenant token-bucket refill rate, requests/s",
+    )
+    gateway.add_argument("--burst", type=int, default=8,
+                         help="token-bucket burst size")
+    gateway.add_argument(
+        "--max-inflight", type=int, default=None, dest="max_inflight",
+        help="per-tenant concurrent-request cap",
+    )
+    gateway.add_argument(
+        "--max-connections", type=int, default=32, dest="max_connections",
+        help="total connections accepted before busy-rejecting",
+    )
+    gateway.add_argument(
+        "--max-concurrent", type=int, default=8, dest="max_concurrent",
+        help="per-tenant requests served at once before queueing",
+    )
+    gateway.add_argument(
+        "--queue-limit", type=int, default=32, dest="queue_limit",
+        help="per-tenant waiting requests beyond which admission sheds",
+    )
+    gateway.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline in milliseconds",
+    )
+    gateway.add_argument(
+        "--retries", type=int, default=1,
+        help="admission attempts before giving up (backed-off)",
+    )
+    gateway.add_argument(
+        "--cache-capacity", type=int, default=64, dest="cache_capacity",
+        help="per-tenant result-cache entries",
+    )
+    gateway.add_argument("--no-cache", action="store_true", dest="no_cache",
+                         help="serve without the write-aware result cache")
+    gateway.add_argument(
+        "--no-coalesce", action="store_true", dest="no_coalesce",
+        help="disable in-flight request coalescing",
+    )
+    gateway.add_argument(
+        "--verify", action="store_true",
+        help="serial-replay every tenant's log; fail on any stale read",
+    )
+    gateway.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of tables")
+    gateway.set_defaults(func=_cmd_gateway)
 
     return parser
 

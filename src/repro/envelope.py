@@ -1,0 +1,62 @@
+"""The versioned JSON envelope every serialised surface shares.
+
+Every JSON object this library emits across a process boundary — gateway
+wire frames, ``ExecutionResult.to_dict()`` / ``ServiceResult.to_dict()``
+(the CLI ``--json`` surfaces), and every ``obs export`` JSONL record —
+carries the same schema-version marker::
+
+    {"v": 1, ...}
+
+A reader first checks ``v`` and only then interprets the rest, so the
+schema can evolve without silent misreads: an old reader handed a newer
+payload fails loudly with :class:`~repro.errors.ProtocolError` instead of
+guessing.  :data:`SCHEMA_VERSION` is bumped exactly when a field changes
+meaning or disappears — *adding* fields is backwards compatible and does
+not bump it.
+
+``tests/test_gateway.py`` pins the version and round-trips every surface
+through :func:`versioned` / :func:`check_version`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+
+__all__ = ["SCHEMA_VERSION", "versioned", "check_version"]
+
+#: The one process-wide envelope schema version.
+SCHEMA_VERSION = 1
+
+
+def versioned(payload: dict) -> dict:
+    """Return *payload* with the envelope version stamped in (key ``"v"``).
+
+    The version key is placed first so the marker leads every serialised
+    object; the input mapping is not mutated.
+
+    >>> versioned({"op": "ping"})
+    {'v': 1, 'op': 'ping'}
+    """
+    out: dict = {"v": SCHEMA_VERSION}
+    out.update(payload)
+    return out
+
+
+def check_version(payload: object, where: str = "payload") -> dict:
+    """Validate the envelope of *payload* and return it as a dict.
+
+    Raises :class:`~repro.errors.ProtocolError` when *payload* is not an
+    object, lacks the ``"v"`` marker, or carries a version this reader
+    does not speak.  *where* names the surface in the error message.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"{where}: expected a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.get("v")
+    if version != SCHEMA_VERSION:
+        raise ProtocolError(
+            f"{where}: unsupported envelope version {version!r} "
+            f"(this reader speaks v{SCHEMA_VERSION})"
+        )
+    return payload

@@ -23,6 +23,9 @@ __all__ = [
     "RecoveryError",
     "SimulatedCrashError",
     "AnalysisError",
+    "ProtocolError",
+    "FrameTooLargeError",
+    "GatewayError",
 ]
 
 
@@ -94,3 +97,26 @@ class SimulatedCrashError(ReproError, RuntimeError):
 
 class AnalysisError(ReproError, RuntimeError):
     """An analysis routine received inputs it cannot evaluate exactly."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """A serialised payload violates the versioned envelope or wire schema."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A wire frame declared a length beyond the configured bound.
+
+    Raised *before* the body is buffered, so a hostile or broken peer
+    cannot make the gateway allocate unbounded memory.
+    """
+
+    def __init__(self, declared: int, limit: int):
+        self.declared = declared
+        self.limit = limit
+        super().__init__(
+            f"frame declares {declared} bytes, limit is {limit}"
+        )
+
+
+class GatewayError(ReproError, RuntimeError):
+    """The network gateway hit an unrecoverable serving-side state."""

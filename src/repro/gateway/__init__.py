@@ -1,0 +1,55 @@
+"""Multi-tenant network gateway over the serving tier.
+
+The declustering guarantee — every query touches at most
+``ceil(|R(q)|/M)`` buckets per device — only pays off when many
+*independent* clients actually share the device array.  This package is
+the socket front end that lets them: a length-framed JSON wire protocol
+(:mod:`repro.gateway.protocol`) over per-tenant namespaces
+(:mod:`repro.gateway.tenant`, each a lazily-built
+:class:`~repro.storage.parallel_file.PartitionedFile` +
+:class:`~repro.service.frontend.QueryService`), served by a threaded
+accept loop with bounded connections, per-tenant quotas and token-bucket
+rate limits, and graceful drain (:mod:`repro.gateway.server`).
+
+The gateway consumes only the service's futures surface
+(``submit`` / ``submit_many`` / ``submit_insert``);
+:class:`~repro.gateway.client.GatewayClient` and the loopback
+multi-tenant load test (:mod:`repro.gateway.loadtest`) close the loop,
+proving zero stale reads by serial replay over traffic that crossed real
+sockets.  Build one through :func:`repro.api.make_gateway`; drive it with
+``python -m repro gateway``.
+"""
+
+from repro.gateway.client import GatewayClient, GatewayRequestError
+from repro.gateway.loadtest import (
+    GatewayLoadReport,
+    GatewayLoadSpec,
+    run_loopback_load,
+)
+from repro.gateway.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    WIRE_VERSION,
+    encode_frame,
+    recv_frame,
+)
+from repro.gateway.server import Gateway, GatewayConfig
+from repro.gateway.tenant import Tenant, TenantSpec, TokenBucket
+
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "GatewayClient",
+    "GatewayRequestError",
+    "GatewayLoadSpec",
+    "GatewayLoadReport",
+    "run_loopback_load",
+    "Tenant",
+    "TenantSpec",
+    "TokenBucket",
+    "FrameDecoder",
+    "encode_frame",
+    "recv_frame",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "WIRE_VERSION",
+]

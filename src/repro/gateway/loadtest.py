@@ -1,0 +1,369 @@
+"""Loopback multi-tenant load test with end-to-end staleness verification.
+
+This drives a running :class:`~repro.gateway.server.Gateway` through real
+sockets — N tenants x C connections, each connection a closed-loop client
+with a *deterministic* op log (seeded per ``(tenant, connection)``), the
+same discipline as the in-process
+:class:`~repro.service.loadgen.LoadGenerator`.  Every response is rebuilt
+into a full :class:`~repro.service.frontend.ServiceResult`, so the run
+ends with one :class:`~repro.service.loadgen.LoadReport` per tenant and
+the zero-stale-reads serial-replay check
+(:meth:`~repro.service.loadgen.LoadReport.verify`) runs over traffic that
+crossed the wire, not a shortcut in-process path.
+
+Tenant-gate rejections (quota ``shed`` / ``rate_limited``) come back as
+coded wire errors; the harness counts them per code so tests can assert
+"quota N + k excess = exactly k sheds" against the ``gateway.*``
+counters.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+import zlib
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.gateway.client import GatewayClient, GatewayRequestError
+from repro.gateway.tenant import TenantSpec
+from repro.hashing.fields import FileSystem
+from repro.hashing.multikey import MultiKeyHash
+from repro.query.workload import QueryWorkload, WorkloadSpec
+from repro.service.loadgen import LoadReport, LoadSpec, RequestRecord
+
+__all__ = ["GatewayLoadSpec", "GatewayLoadReport", "run_loopback_load"]
+
+
+@dataclass(frozen=True)
+class GatewayLoadSpec:
+    """Shape of one loopback load run (per tenant)."""
+
+    connections_per_tenant: int = 4
+    requests_per_connection: int = 25
+    seed: int = 0
+    spec_probability: float = 0.5
+    #: Every k-th op of a connection is an insert (0 = read-only).
+    write_every: int = 0
+    hot_fraction: float = 0.0
+    hot_pool: int = 4
+    #: Every k-th op is a ``batch`` frame of *batch_size* queries (0 = never).
+    batch_every: int = 0
+    batch_size: int = 4
+    #: Records inserted per tenant before the timed run starts.
+    preload: int = 0
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.connections_per_tenant < 1:
+            raise ConfigurationError(
+                f"connections_per_tenant must be >= 1, got "
+                f"{self.connections_per_tenant}"
+            )
+        if self.requests_per_connection < 1:
+            raise ConfigurationError(
+                f"requests_per_connection must be >= 1, got "
+                f"{self.requests_per_connection}"
+            )
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hot_fraction {self.hot_fraction} outside [0, 1]"
+            )
+        if self.write_every < 0 or self.batch_every < 0 or self.preload < 0:
+            raise ConfigurationError("write_every/batch_every/preload must be >= 0")
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+
+
+@dataclass
+class GatewayLoadReport:
+    """Everything one loopback run produced, per tenant plus wire totals."""
+
+    spec: GatewayLoadSpec
+    wall_s: float
+    #: One serial-replay-verifiable report per tenant.
+    per_tenant: dict[str, LoadReport] = field(default_factory=dict)
+    #: Coded wire rejections per tenant, e.g. ``{"alpha": {"shed": 3}}``.
+    rejections: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Client-side transport failures (should stay empty).
+    errors: list[str] = field(default_factory=list)
+    #: Per-tenant hash functions the replay verification evaluates with.
+    _hashes: dict[str, MultiKeyHash] = field(default_factory=dict, repr=False)
+
+    @property
+    def completed(self) -> int:
+        return sum(report.completed for report in self.per_tenant.values())
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.completed / self.wall_s
+
+    def verify(self) -> dict[str, list[str]]:
+        """Serial-replay every tenant's log; returns mismatches by tenant.
+
+        All-empty values are the zero-stale-reads acceptance criterion.
+        Preloaded records travelled through the same versioned write log,
+        so each tenant's timeline replays from version 1.
+        """
+        return {
+            name: report.verify(self._hashes[name], initial_records=[])
+            for name, report in self.per_tenant.items()
+        }
+
+    def to_dict(self) -> dict:
+        from repro.envelope import versioned
+
+        return versioned(
+            {
+                "wall_s": round(self.wall_s, 6),
+                "throughput_qps": round(self.throughput_qps, 3),
+                "tenants": {
+                    name: report.to_dict()
+                    for name, report in sorted(self.per_tenant.items())
+                },
+                "rejections": {
+                    name: dict(sorted(codes.items()))
+                    for name, codes in sorted(self.rejections.items())
+                },
+                "errors": len(self.errors),
+            }
+        )
+
+
+def run_loopback_load(
+    address: tuple[str, int],
+    tenants: Sequence[TenantSpec],
+    spec: GatewayLoadSpec | None = None,
+) -> GatewayLoadReport:
+    """Drive the gateway at *address* and return the verifiable report.
+
+    *tenants* accepts :class:`TenantSpec` entries or the live
+    :class:`~repro.gateway.tenant.Tenant` objects a gateway exposes.
+    """
+    spec = spec or GatewayLoadSpec()
+    tenants = [getattr(tenant, "spec", tenant) for tenant in tenants]
+    host, port = address
+    per_tenant: dict[str, LoadReport] = {}
+    rejections: dict[str, dict[str, int]] = {}
+    hashes: dict[str, MultiKeyHash] = {}
+    errors: list[str] = []
+    errors_lock = threading.Lock()
+
+    # Preload sequentially so the concurrent phase starts from a known
+    # version; the writes still flow through the wire and the write log.
+    # A tenant quota small enough to reject preloads counts them like any
+    # other rejection rather than aborting the run.
+    preload_writes: dict[str, list[tuple[int, tuple]]] = {}
+    for tenant in tenants:
+        fs = FileSystem.of(*tenant.fields, m=tenant.devices)
+        hashes[tenant.name] = MultiKeyHash.default(fs)
+        writes: list[tuple[int, tuple]] = []
+        # The serial-replay proof in verify() rebuilds each tenant's file
+        # from version 1, so this run must own the tenant's entire write
+        # history — refuse tenants that were already written to.
+        with GatewayClient(host, port, tenant=tenant.name) as client:
+            existing = int(client.stats().get("write_version", 0))
+        if existing:
+            raise ConfigurationError(
+                f"tenant {tenant.name!r} already has write_version "
+                f"{existing}; run_loopback_load needs fresh tenants so "
+                f"verify() can replay the full write history"
+            )
+        if spec.preload:
+            rng = random.Random(f"gateway-preload:{spec.seed}:{tenant.name}")
+            codes = rejections.setdefault(tenant.name, {})
+            with GatewayClient(host, port, tenant=tenant.name) as client:
+                for __ in range(spec.preload):
+                    record = tuple(
+                        rng.randrange(4096) for __ in range(fs.n_fields)
+                    )
+                    try:
+                        __, version = client.insert(record)
+                    except GatewayRequestError as error:
+                        codes[error.code] = codes.get(error.code, 0) + 1
+                    else:
+                        writes.append((version, record))
+        preload_writes[tenant.name] = writes
+
+    lock = threading.Lock()
+    threads: list[threading.Thread] = []
+    barrier = threading.Barrier(
+        len(tenants) * spec.connections_per_tenant + 1
+    )
+
+    def connection_loop(tenant: TenantSpec, connection: int) -> None:
+        fs = FileSystem.of(*tenant.fields, m=tenant.devices)
+        ops = _connection_ops(fs, tenant.name, connection, spec)
+        requests: list[RequestRecord] = []
+        writes: list[tuple[int, tuple]] = []
+        rejected: dict[str, int] = {}
+        try:
+            client = GatewayClient(
+                host,
+                port,
+                tenant=tenant.name,
+                fields=tenant.fields,
+                devices=tenant.devices,
+            )
+        except OSError as error:
+            with errors_lock:
+                errors.append(
+                    f"{tenant.name}#{connection}: connect failed: {error!r}"
+                )
+            barrier.wait()
+            return
+        try:
+            barrier.wait()
+            for index, (kind, payload) in enumerate(ops):
+                try:
+                    if kind == "insert":
+                        __, version = client.insert(payload)
+                        writes.append((version, payload))
+                    elif kind == "batch":
+                        started = time.perf_counter()
+                        results = client.batch(
+                            payload, deadline_ms=spec.deadline_ms
+                        )
+                        latency_ms = (time.perf_counter() - started) * 1000.0
+                        for result in results:
+                            requests.append(
+                                RequestRecord(
+                                    connection, index, result.query,
+                                    result, latency_ms,
+                                )
+                            )
+                    else:
+                        started = time.perf_counter()
+                        result = client.query(
+                            payload, deadline_ms=spec.deadline_ms
+                        )
+                        latency_ms = (time.perf_counter() - started) * 1000.0
+                        requests.append(
+                            RequestRecord(
+                                connection, index, result.query, result,
+                                latency_ms,
+                            )
+                        )
+                except GatewayRequestError as error:
+                    rejected[error.code] = rejected.get(error.code, 0) + 1
+        except BaseException as error:
+            with errors_lock:
+                errors.append(f"{tenant.name}#{connection}: {error!r}")
+        finally:
+            client.close()
+        with lock:
+            report = per_tenant[tenant.name]
+            report.requests.extend(requests)
+            report.writes.extend(writes)
+            codes = rejections.setdefault(tenant.name, {})
+            for code, count in rejected.items():
+                codes[code] = codes.get(code, 0) + count
+
+    for tenant in tenants:
+        per_tenant[tenant.name] = LoadReport(
+            spec=LoadSpec(
+                clients=spec.connections_per_tenant,
+                requests_per_client=spec.requests_per_connection,
+                seed=spec.seed,
+                spec_probability=spec.spec_probability,
+                write_every=spec.write_every,
+                hot_fraction=spec.hot_fraction,
+                hot_pool=spec.hot_pool,
+                deadline_ms=spec.deadline_ms,
+            ),
+            wall_s=0.0,
+            writes=list(preload_writes[tenant.name]),
+        )
+        for connection in range(spec.connections_per_tenant):
+            threads.append(
+                threading.Thread(
+                    target=connection_loop,
+                    args=(tenant, connection),
+                    name=f"gwload-{tenant.name}-{connection}",
+                )
+            )
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+    for report in per_tenant.values():
+        report.wall_s = wall_s
+
+    return GatewayLoadReport(
+        spec=spec,
+        wall_s=wall_s,
+        per_tenant=per_tenant,
+        rejections=rejections,
+        errors=errors,
+        _hashes=hashes,
+    )
+
+
+def _connection_ops(
+    fs: FileSystem, tenant: str, connection: int, spec: GatewayLoadSpec
+) -> list[tuple[str, object]]:
+    """The deterministic op log of one connection.
+
+    ``("query", {field: value})``, ``("insert", record)`` and
+    ``("batch", [specified, ...])`` tuples — independent of scheduling, so
+    the same spec always produces the same wire traffic.
+    """
+    rng = random.Random(f"gateway-load:{spec.seed}:{tenant}:{connection}")
+    # PYTHONHASHSEED randomises str hashes; crc32 keeps the per-tenant
+    # streams deterministic across processes.
+    tenant_salt = zlib.crc32(tenant.encode("utf-8")) & 0xFFFF
+    workload = QueryWorkload(
+        fs,
+        WorkloadSpec(
+            spec_probability=spec.spec_probability,
+            exclude_trivial=True,
+            seed=(spec.seed * 104729 + connection + 1) ^ tenant_salt,
+        ),
+    )
+    hot_workload = QueryWorkload(
+        fs,
+        WorkloadSpec(
+            spec_probability=spec.spec_probability,
+            exclude_trivial=True,
+            seed=(spec.seed * 7919 + 1) ^ tenant_salt,
+        ),
+    )
+    hot = [
+        _specified_of(query)
+        for query in hot_workload.take(max(1, spec.hot_pool))
+    ]
+    ops: list[tuple[str, object]] = []
+    for index in range(spec.requests_per_connection):
+        if spec.write_every and (index + 1) % spec.write_every == 0:
+            record = tuple(
+                rng.randrange(4096) for __ in range(fs.n_fields)
+            )
+            ops.append(("insert", record))
+        elif spec.batch_every and (index + 1) % spec.batch_every == 0:
+            ops.append(
+                (
+                    "batch",
+                    [
+                        _specified_of(workload.next_query())
+                        for __ in range(spec.batch_size)
+                    ],
+                )
+            )
+        elif hot and rng.random() < spec.hot_fraction:
+            ops.append(("query", hot[rng.randrange(len(hot))]))
+        else:
+            ops.append(("query", _specified_of(workload.next_query())))
+    return ops
+
+
+def _specified_of(query) -> dict[int, int]:
+    return dict(query.specified_items())

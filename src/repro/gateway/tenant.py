@@ -1,0 +1,250 @@
+"""Per-tenant namespaces: one file + service + admission budget each.
+
+Multi-tenant placement on a shared device array is exactly the regime the
+declustering guarantee targets; the gateway keeps tenants *isolated* by
+giving each its own :class:`~repro.storage.parallel_file.PartitionedFile`
+and :class:`~repro.service.frontend.QueryService` (built lazily through
+the :mod:`repro.api` facade on first touch) plus a private admission
+budget in front of the service's own gate:
+
+* ``request_quota`` — a lifetime request budget; deterministic, so tests
+  can prove "quota N + k excess requests = exactly k sheds",
+* ``rate_per_s`` / ``burst`` — a token bucket (burst tokens up front,
+  refilled continuously), and
+* ``max_inflight`` — concurrent requests across all of the tenant's
+  connections.
+
+A request that fails the tenant gate never reaches the service; the
+gateway reports it as a coded ``shed`` / ``rate_limited`` wire error and
+bumps the matching ``gateway.*`` counter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TenantSpec", "TokenBucket", "Tenant"]
+
+#: Tenant-gate outcomes (also wire error codes / counter suffixes).
+ACCEPTED = "accepted"
+SHED = "shed"
+RATE_LIMITED = "rate_limited"
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative shape of one tenant namespace.
+
+    *fields*/*devices*/*method* describe the tenant's own partitioned
+    file; *service* holds extra :func:`repro.api.make_service` keyword
+    options (cache, coalescing, micro-batching, admission retry — the one
+    shared facade keyword surface).
+    """
+
+    name: str
+    fields: tuple[int, ...]
+    devices: int
+    method: str = "fx"
+    #: Lifetime request budget (``None`` = unlimited).
+    request_quota: int | None = None
+    #: Token-bucket refill rate, requests/second (``None`` = no rate limit).
+    rate_per_s: float | None = None
+    #: Token-bucket capacity (the burst the tenant may front-load).
+    burst: int = 8
+    #: Concurrent in-flight requests across all connections (``None`` = no cap).
+    max_inflight: int | None = None
+    #: Extra ``make_service`` keyword options.
+    service: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(f"tenant name must be non-empty, got {self.name!r}")
+        if self.request_quota is not None and self.request_quota < 0:
+            raise ConfigurationError(
+                f"request_quota must be >= 0, got {self.request_quota}"
+            )
+        if self.rate_per_s is not None and self.rate_per_s < 0:
+            raise ConfigurationError(
+                f"rate_per_s must be >= 0, got {self.rate_per_s}"
+            )
+        if self.burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {self.burst}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+
+    @classmethod
+    def of(cls, name: str, fields: Sequence[int], devices: int, **options):
+        """Keyword-friendly constructor used by the facade and CLI."""
+        return cls(name=name, fields=tuple(fields), devices=devices, **options)
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (thread-safe).
+
+    ``rate_per_s=0`` never refills — the *burst* tokens are the whole
+    budget, which is what the deterministic rate-limit tests rely on.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int,
+        clock=time.monotonic,
+    ):
+        if rate_per_s < 0:
+            raise ConfigurationError(f"rate_per_s must be >= 0, got {rate_per_s}")
+        if burst < 1:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take *tokens* if available; never blocks."""
+        with self._lock:
+            now = self._clock()
+            elapsed = max(0.0, now - self._last)
+            self._last = now
+            self._tokens = min(
+                float(self.burst), self._tokens + elapsed * self.rate_per_s
+            )
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        with self._lock:
+            return self._tokens
+
+
+class Tenant:
+    """One live tenant: lazy service plus the admission budget state."""
+
+    def __init__(self, spec: TenantSpec, service_defaults: Mapping | None = None):
+        self.spec = spec
+        #: Gateway-wide ``make_service`` defaults the spec's own options
+        #: override (the facade merges them; see ``repro.api.make_gateway``).
+        self.service_defaults = dict(service_defaults or {})
+        self._service = None
+        self._service_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._requests_admitted = 0
+        self._inflight = 0
+        self._bucket = (
+            TokenBucket(spec.rate_per_s, spec.burst)
+            if spec.rate_per_s is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # The namespace
+    # ------------------------------------------------------------------
+    @property
+    def service(self):
+        """The tenant's :class:`QueryService`, built on first touch.
+
+        Construction goes through the :func:`repro.api.make_service`
+        facade — tenants never call service constructors directly, so the
+        gateway and the in-process path share one construction surface.
+        """
+        with self._service_lock:
+            if self._service is None:
+                from repro.api import make_service
+
+                options = dict(self.service_defaults)
+                options.update(self.spec.service)
+                self._service = make_service(
+                    self.spec.method,
+                    fields=self.spec.fields,
+                    devices=self.spec.devices,
+                    **options,
+                )
+            return self._service
+
+    @property
+    def started(self) -> bool:
+        """Has the lazy service been materialised yet?"""
+        with self._service_lock:
+            return self._service is not None
+
+    def shutdown(self) -> None:
+        """Retire the tenant's service pool, if one was ever built."""
+        with self._service_lock:
+            service = self._service
+        if service is not None:
+            service.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # The tenant gate
+    # ------------------------------------------------------------------
+    def admit(self) -> str:
+        """Charge one request against the tenant budget.
+
+        Returns ``"accepted"``, ``"shed"`` (quota or inflight cap) or
+        ``"rate_limited"``; on acceptance the caller must pair with
+        :meth:`release`.
+        """
+        with self._state_lock:
+            if (
+                self.spec.request_quota is not None
+                and self._requests_admitted >= self.spec.request_quota
+            ):
+                return SHED
+            if (
+                self.spec.max_inflight is not None
+                and self._inflight >= self.spec.max_inflight
+            ):
+                return SHED
+            if self._bucket is not None and not self._bucket.try_acquire():
+                return RATE_LIMITED
+            self._requests_admitted += 1
+            self._inflight += 1
+            return ACCEPTED
+
+    def release(self) -> None:
+        with self._state_lock:
+            self._inflight -= 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        with self._state_lock:
+            return self._inflight
+
+    @property
+    def requests_admitted(self) -> int:
+        with self._state_lock:
+            return self._requests_admitted
+
+    def stats(self) -> dict:
+        """JSON-ready snapshot for the ``stats`` wire op."""
+        with self._state_lock:
+            admitted = self._requests_admitted
+            inflight = self._inflight
+        with self._service_lock:
+            service = self._service
+        return {
+            "tenant": self.spec.name,
+            "admitted": admitted,
+            "inflight": inflight,
+            "quota": self.spec.request_quota,
+            "rate_per_s": self.spec.rate_per_s,
+            "started": service is not None,
+            "write_version": (
+                0 if service is None else service.file.write_version
+            ),
+        }

@@ -127,9 +127,11 @@ class Telemetry:
     # ------------------------------------------------------------------
     def export_records(self) -> list[dict]:
         """Every event record plus a trailing metrics snapshot record."""
+        from repro.envelope import versioned
+
         records = self.events.records()
-        snapshot = self.metrics.snapshot().to_dict()
-        snapshot["type"] = "metrics"
+        snapshot = versioned({"type": "metrics"})
+        snapshot.update(self.metrics.snapshot().to_dict())
         records.append(snapshot)
         return records
 

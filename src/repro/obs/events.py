@@ -9,14 +9,18 @@ export byte-identical files.
 JSONL schema (documented in ``docs/usage.md`` and enforced by
 :func:`validate_record` / the ``obs export --validate`` CLI path):
 
-``{"type": "span", "id": int, "parent": int | null, "name": str,
+``{"v": 1, "type": "span", "id": int, "parent": int | null, "name": str,
 "start_ms": float, "end_ms": float, "duration_ms": float,
 "attrs": {str: scalar}, "events": [{"name": str, "at_ms": float,
 "attrs": {...}}]}``
 
-``{"type": "metrics", "counters": {...}, "gauges": {...},
+``{"v": 1, "type": "metrics", "counters": {...}, "gauges": {...},
 "histograms": {name: {count, sum, min, max, p50, p95, p99}},
 "perf": {name: {hits, misses, events, seconds}}}``
+
+The leading ``"v"`` is the process-wide envelope version from
+:mod:`repro.envelope` — the same marker the gateway wire protocol and the
+``--json`` result serialisations carry.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from collections import deque
 from collections.abc import Iterable
 from pathlib import Path
 
+from repro.envelope import SCHEMA_VERSION
 from repro.errors import ReproError
 
 __all__ = [
@@ -126,6 +131,7 @@ def jsonl_line(record: dict) -> str:
 # Schema validation (used by ``obs export --validate`` and CI obs-smoke)
 # ----------------------------------------------------------------------
 _SPAN_REQUIRED = {
+    "v": int,
     "type": str,
     "id": int,
     "name": str,
@@ -136,6 +142,7 @@ _SPAN_REQUIRED = {
     "events": list,
 }
 _METRICS_REQUIRED = {
+    "v": int,
     "type": str,
     "counters": dict,
     "gauges": dict,
@@ -150,6 +157,11 @@ def validate_record(record: dict) -> None:
     """Raise :class:`~repro.errors.ReproError` unless *record* fits the schema."""
     if not isinstance(record, dict):
         raise ReproError(f"telemetry record is not an object: {record!r}")
+    if record.get("v") != SCHEMA_VERSION:
+        raise ReproError(
+            f"telemetry record envelope version {record.get('v')!r} is not "
+            f"the supported v{SCHEMA_VERSION}"
+        )
     kind = record.get("type")
     if kind == "span":
         _require(record, _SPAN_REQUIRED)

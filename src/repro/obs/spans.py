@@ -26,6 +26,7 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.envelope import SCHEMA_VERSION
 from repro.obs.clock import Clock
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
@@ -62,6 +63,7 @@ class Span:
         """The span as a JSONL-schema record, times relative to *origin*."""
         start_ms = (self.start - origin) * 1000.0
         return {
+            "v": SCHEMA_VERSION,
             "type": "span",
             "id": self.span_id,
             "parent": self.parent_id,

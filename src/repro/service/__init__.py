@@ -7,7 +7,11 @@ with:
 
 * :class:`QueryService` (:mod:`repro.service.frontend`) — thread-safe
   execution with in-flight request coalescing over the query algebra and
-  the write-aware result cache,
+  the write-aware result cache.  The service API is *futures-first*:
+  ``submit`` / ``submit_many`` / ``submit_insert`` return
+  :class:`concurrent.futures.Future` objects, and ``execute`` is the
+  blocking wrapper.  The network gateway (:mod:`repro.gateway`) consumes
+  only the futures surface,
 * :class:`AdmissionController` (:mod:`repro.service.admission`) — bounded
   concurrency and queueing with explicit shed/timeout outcomes, reusing
   :class:`~repro.runtime.RetryPolicy` backoff semantics, and
@@ -15,7 +19,8 @@ with:
   closed-loop driver whose :class:`LoadReport` measures throughput and
   latency percentiles and *proves* zero stale reads by serial replay.
 
-``python -m repro serve`` drives the whole tier from the command line;
+``python -m repro serve`` drives the whole tier from the command line
+(``python -m repro gateway`` adds the multi-tenant socket front end);
 every interaction lands in the ``service.*`` counters and histograms of
 the process telemetry registry.
 """

@@ -13,6 +13,11 @@ executor into something that can take traffic from many threads at once:
 * **a write-aware result cache** — the thread-safe
   :class:`~repro.storage.cache.CachedExecutor`, invalidated selectively
   by the file's write notifications, and
+* **a futures-first API** — :meth:`QueryService.submit` /
+  :meth:`QueryService.submit_many` / :meth:`QueryService.submit_insert`
+  return :class:`concurrent.futures.Future` objects (the shape the
+  network gateway consumes exclusively); :meth:`QueryService.execute` is
+  the blocking wrapper over the same code path, and
 * **linearisable reads** — every result carries the file
   :attr:`~repro.storage.parallel_file.WriteNotifier.write_version` it
   reflects, so a request log can be replayed serially and compared
@@ -30,8 +35,10 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.envelope import SCHEMA_VERSION
 from repro.errors import ConfigurationError
 from repro.hashing.fields import Bucket
 from repro.obs import telemetry, trace_span
@@ -75,6 +82,47 @@ class ServiceConfig:
     #: How long a batch leader waits for followers before executing a
     #: partial batch.  Zero means "whatever arrived in the same instant".
     batch_window_ms: float = 2.0
+    #: Worker threads behind the futures surface (:meth:`QueryService.submit`).
+    #: ``None`` sizes the pool to ``max_concurrent + queue_limit`` so the
+    #: pool itself never narrows what admission control would admit or
+    #: queue; submits beyond that wait in the pool (extra backpressure)
+    #: rather than being shed.  Blocking :meth:`QueryService.execute`
+    #: callers never touch the pool.
+    submit_workers: int | None = None
+
+    def validate(self) -> "ServiceConfig":
+        """Fail fast on impossible knob values.
+
+        ``QueryService`` runs this at construction; ``make_gateway`` runs
+        it per tenant up front, so a bad serving default is rejected when
+        the gateway is built rather than surfacing as per-request wire
+        errors once the tenant's lazy service is first touched.
+        """
+        if self.max_concurrent < 1:
+            raise ConfigurationError(
+                f"max_concurrent must be >= 1, got {self.max_concurrent}"
+            )
+        if self.queue_limit < 0:
+            raise ConfigurationError(
+                f"queue_limit must be >= 0, got {self.queue_limit}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ConfigurationError(
+                f"deadline_ms must be positive, got {self.deadline_ms}"
+            )
+        if self.batch_max_size is not None and self.batch_max_size < 1:
+            raise ConfigurationError(
+                f"batch_max_size must be >= 1, got {self.batch_max_size}"
+            )
+        if self.batch_window_ms < 0:
+            raise ConfigurationError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        if self.submit_workers is not None and self.submit_workers < 1:
+            raise ConfigurationError(
+                f"submit_workers must be >= 1, got {self.submit_workers}"
+            )
+        return self
 
 
 @dataclass
@@ -106,11 +154,18 @@ class ServiceResult:
         return self.status == OK
 
     def to_dict(self) -> dict:
+        """JSON-ready summary under the process-wide versioned envelope.
+
+        The same ``{"v": 1, ...}`` schema the gateway wire protocol ships
+        per request (there augmented with the records themselves).
+        """
         return {
+            "v": SCHEMA_VERSION,
             "status": self.status,
             "query": self.query.describe() if self.query else None,
             "records": len(self.records),
             "write_version": self.write_version,
+            "submit_version": self.submit_version,
             "coalesced": self.coalesced,
             "batched": self.batched,
             "cache_hit": self.cache_hit,
@@ -267,22 +322,7 @@ class QueryService:
         config: ServiceConfig | None = None,
     ):
         self.file = partitioned_file
-        self.config = config or ServiceConfig()
-        if self.config.deadline_ms is not None and self.config.deadline_ms <= 0:
-            raise ConfigurationError(
-                f"deadline_ms must be positive, got {self.config.deadline_ms}"
-            )
-        if (
-            self.config.batch_max_size is not None
-            and self.config.batch_max_size < 1
-        ):
-            raise ConfigurationError(
-                f"batch_max_size must be >= 1, got {self.config.batch_max_size}"
-            )
-        if self.config.batch_window_ms < 0:
-            raise ConfigurationError(
-                f"batch_window_ms must be >= 0, got {self.config.batch_window_ms}"
-            )
+        self.config = (config or ServiceConfig()).validate()
         self.admission = AdmissionController(
             max_concurrent=self.config.max_concurrent,
             queue_limit=self.config.queue_limit,
@@ -301,6 +341,8 @@ class QueryService:
             else None
         )
         self._engine = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Writes
@@ -329,7 +371,10 @@ class QueryService:
     ) -> ServiceResult:
         """Serve one partial match query, never raising for overload.
 
-        *deadline_ms* overrides the config default for this request.
+        The blocking wrapper over the futures surface: semantically
+        ``submit(query).result()``, but run inline in the caller's thread
+        so synchronous callers pay no pool handoff.  *deadline_ms*
+        overrides the config default for this request.
         """
         start = time.perf_counter()
         deadline_ms = (
@@ -377,6 +422,79 @@ class QueryService:
     def search(self, specified, deadline_ms: float | None = None) -> ServiceResult:
         """Convenience: hash raw attribute values and execute."""
         return self.execute(self.file.query(specified), deadline_ms=deadline_ms)
+
+    # ------------------------------------------------------------------
+    # Futures surface
+    # ------------------------------------------------------------------
+    # The coalescing machinery has always been future-shaped internally
+    # (a follower parks on the leader's in-flight entry); ``submit`` makes
+    # that shape public.  It is the primary service API: the network
+    # gateway consumes *only* these methods, and :meth:`execute` /
+    # :meth:`execute_many` are the blocking wrappers over the same code
+    # path (run inline in the caller's thread, so synchronous callers pay
+    # no handoff).
+    def submit(
+        self,
+        query: PartialMatchQuery,
+        deadline_ms: float | None = None,
+    ) -> "Future[ServiceResult]":
+        """Serve *query* asynchronously; returns a resolved-on-completion
+        :class:`~concurrent.futures.Future` of the :class:`ServiceResult`.
+
+        The future never carries an overload exception — shed/timeout are
+        *results* exactly as for :meth:`execute`; only genuine serving
+        failures (device faults escaping the runtime, cancelled flights)
+        surface as the future's exception.  Await-friendly: wrap with
+        :func:`asyncio.wrap_future` to consume from an event loop.
+        """
+        return self._submit_pool().submit(
+            self.execute, query, deadline_ms=deadline_ms
+        )
+
+    def submit_many(
+        self,
+        queries: list[PartialMatchQuery],
+        deadline_ms: float | None = None,
+    ) -> "Future[list[ServiceResult]]":
+        """Asynchronous :meth:`execute_many`: one engine micro-batch, one
+        admission permit, one future resolving to the per-query results."""
+        return self._submit_pool().submit(
+            self.execute_many, queries, deadline_ms=deadline_ms
+        )
+
+    def submit_insert(self, record) -> "Future[tuple[Bucket, int]]":
+        """Asynchronous :meth:`insert`; resolves to ``(bucket, version)``."""
+        return self._submit_pool().submit(self.insert, record)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Retire the futures worker pool (idempotent).
+
+        Outstanding futures complete when *wait* is true.  The blocking
+        surface stays usable afterwards; a later :meth:`submit` raises
+        :class:`RuntimeError` as a shut-down executor would.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._retired = True
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def _submit_pool(self) -> ThreadPoolExecutor:
+        """The lazily-created worker pool behind the futures surface."""
+        with self._pool_lock:
+            if getattr(self, "_retired", False):
+                raise RuntimeError(
+                    "cannot submit after QueryService.shutdown()"
+                )
+            if self._pool is None:
+                workers = self.config.submit_workers
+                if workers is None:
+                    workers = self.config.max_concurrent + self.config.queue_limit
+                self._pool = ThreadPoolExecutor(
+                    max_workers=max(1, workers),
+                    thread_name_prefix="service-submit",
+                )
+            return self._pool
 
     # ------------------------------------------------------------------
     # Internals

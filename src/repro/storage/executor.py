@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.envelope import SCHEMA_VERSION
 from repro.hashing.fields import Bucket
 from repro.obs import telemetry, trace_span
 from repro.query.partial_match import PartialMatchQuery
@@ -61,9 +62,12 @@ class ExecutionResult:
 
         The single marshalling point shared by the CLI's ``--json`` output,
         the simulator and the fault runtime — subclasses extend it rather
-        than re-listing fields.
+        than re-listing fields.  The leading ``"v"`` is the process-wide
+        envelope version (:mod:`repro.envelope`), shared with the gateway
+        wire protocol and ``obs export``.
         """
         return {
+            "v": SCHEMA_VERSION,
             "query": self.query.describe(),
             "records": len(self.records),
             "buckets_per_device": list(self.buckets_per_device),

@@ -185,9 +185,21 @@ class TestDeprecationShims:
         for name in self.NAMES:
             assert name in listed
 
-    def test_package_root_import_does_not_warn(self):
+    def test_package_root_import_is_silent_but_access_warns(self):
         import subprocess
         import sys
+
+        # `import repro` itself must stay warning-free; only touching a
+        # deprecated constructor attribute emits the DeprecationWarning.
+        code = (
+            "import warnings; warnings.simplefilter('error');"
+            "import repro;"
+            "import repro.api"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+        )
+        assert completed.returncode == 0, completed.stderr
 
         code = (
             "import warnings; warnings.simplefilter('error');"
@@ -196,4 +208,6 @@ class TestDeprecationShims:
         completed = subprocess.run(
             [sys.executable, "-c", code], capture_output=True, text=True,
         )
-        assert completed.returncode == 0, completed.stderr
+        assert completed.returncode != 0
+        assert "DeprecationWarning" in completed.stderr
+        assert "make_method" in completed.stderr

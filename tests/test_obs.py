@@ -280,7 +280,18 @@ class TestSchema:
         validate_record(self._span_record())
         metrics = telemetry().metrics.snapshot().to_dict()
         metrics["type"] = "metrics"
+        metrics["v"] = 1
         validate_record(metrics)
+
+    def test_missing_or_wrong_envelope_version_rejected(self):
+        record = self._span_record()
+        assert record["v"] == 1
+        del record["v"]
+        with pytest.raises(ReproError):
+            validate_record(record)
+        record["v"] = 2
+        with pytest.raises(ReproError):
+            validate_record(record)
 
     def test_unknown_type_rejected(self):
         with pytest.raises(ReproError):
