@@ -27,6 +27,10 @@ obs:
 	$(PYTHON) -m repro obs export --fields 2,2,2 --devices 8 --queries 50 \
 		--deterministic-clock --validate --jsonl /tmp/obs_run.jsonl
 	$(PYTHON) -m repro obs check --fields 2,2,2 --devices 8 --queries 50
+	$(PYTHON) -m repro obs tail --fields 2,2,2 --devices 8 --queries 20 \
+		--lines 10
+	$(PYTHON) -m repro obs slo --fields 4,4 --devices 4 \
+		--tenants alpha,beta --connections 2 --requests 15
 
 recover:
 	$(PYTHON) -m repro recover scrub --fields 4,4 --devices 8 \
@@ -45,7 +49,8 @@ serve:
 gateway:
 	$(PYTHON) -m repro gateway --fields 8,8 --devices 8 \
 		--tenants alpha,beta --connections 4 --requests 25 \
-		--write-every 5 --preload 16 --verify
+		--write-every 5 --preload 16 --verify \
+		--export-jsonl /tmp/gateway_trace.jsonl
 	$(PYTHON) -m repro gateway --fields 8,8 --devices 8 \
 		--tenants alpha,beta --connections 2 --requests 10 \
 		--preload 4 --quota 20 --verify

@@ -644,7 +644,38 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return _cmd_obs_export(args)
     if args.action == "tail":
         return _cmd_obs_tail(args)
+    if args.action == "slo":
+        return _cmd_obs_slo(args)
     return _cmd_obs_check(args)
+
+
+def _span_keep(args: argparse.Namespace):
+    """Span predicate for the ``--tenant`` / ``--trace-id`` filters.
+
+    Returns None when no filter is active (keep everything, including
+    non-span records).  Tenant membership is resolved by walking parent
+    links to the owning ``gateway.request`` span, the same attribution
+    the query-mix profiler uses.
+    """
+    tenant = getattr(args, "filter_tenant", None)
+    trace_id = getattr(args, "trace_id", None)
+    if tenant is None and trace_id is None:
+        return None
+    from repro.obs import telemetry
+    from repro.obs.profile import resolve_tenant, span_index
+
+    index = span_index(telemetry().export_records())
+
+    def keep(record: dict) -> bool:
+        if record.get("type") != "span":
+            return False
+        if trace_id is not None and record.get("trace") != trace_id:
+            return False
+        if tenant is not None and resolve_tenant(record, index) != tenant:
+            return False
+        return True
+
+    return keep
 
 
 def _format_ms(value: float | None) -> str:
@@ -704,9 +735,18 @@ def _cmd_obs_export(args: argparse.Namespace) -> int:
     import sys
 
     from repro.obs import telemetry, validate_jsonl
+    from repro.obs.events import jsonl_line
 
     _obs_replay(args)
-    text = telemetry().export_jsonl()
+    keep = _span_keep(args)
+    if keep is None:
+        text = telemetry().export_jsonl()
+    else:
+        text = "".join(
+            jsonl_line(record)
+            for record in telemetry().export_records()
+            if keep(record)
+        )
     if args.validate:
         validate_jsonl(text)
     if args.jsonl == "-":
@@ -727,8 +767,11 @@ def _cmd_obs_tail(args: argparse.Namespace) -> int:
     from repro.obs import telemetry
 
     _obs_replay(args)
+    keep = _span_keep(args)
     for record in telemetry().events.tail(args.lines):
         if record.get("type") != "span":
+            continue
+        if keep is not None and not keep(record):
             continue
         attrs = " ".join(
             f"{key}={value}" for key, value in sorted(record["attrs"].items())
@@ -739,6 +782,8 @@ def _cmd_obs_tail(args: argparse.Namespace) -> int:
         )
         if record["parent"] is not None:
             line += f" parent=#{record['parent']}"
+        if record.get("trace"):
+            line += f" trace={record['trace']:#x}"
         if attrs:
             line += f" {attrs}"
         if record["events"]:
@@ -773,6 +818,65 @@ def _cmd_obs_check(args: argparse.Namespace) -> int:
             f"{sorted(observation.closed_form_per_device)}"
         )
     return 0 if report.consistent else 1
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    """Serve a loopback multi-tenant load, then report SLO budgets.
+
+    The snapshot is fetched through the ``{"op": "obs"}`` wire operation
+    (not read from process-local state), so the command exercises the
+    same path an external monitor would: framed request in, labeled
+    metrics + per-tenant SLO budgets out.
+    """
+    from repro import obs
+    from repro.api import make_gateway
+    from repro.gateway import GatewayLoadSpec, run_loopback_load
+    from repro.gateway.client import GatewayClient
+    from repro.obs.slo import SloReport
+
+    if args.deterministic_clock:
+        obs.configure(clock=obs.ManualClock(step=0.001), reset=True)
+    else:
+        obs.reset_telemetry()
+    fs = _parse_filesystem(args)
+    tenant_names = [
+        name.strip() for name in args.tenants.split(",") if name.strip()
+    ]
+    gateway = make_gateway(
+        {name: {"request_quota": args.quota} for name in tenant_names},
+        fields=fs.field_sizes,
+        devices=fs.m,
+        method=args.method,
+    )
+    host, port = gateway.start()
+    try:
+        load = run_loopback_load(
+            (host, port),
+            list(gateway.tenants.values()),
+            GatewayLoadSpec(
+                connections_per_tenant=args.connections,
+                requests_per_connection=args.requests,
+                seed=args.seed,
+                spec_probability=args.p,
+                preload=min(args.records, 32),
+            ),
+        )
+        with GatewayClient(host, port) as client:
+            snapshot = client.obs()
+    finally:
+        clean = gateway.drain()
+    report = SloReport.from_dict(snapshot["slo"])
+    if args.json:
+        print(json.dumps(snapshot["slo"], indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        print()
+        print(
+            f"{load.completed} requests served over the wire, "
+            f"clean drain: {clean}"
+        )
+    ok = clean and not load.errors and report.healthy
+    return 0 if ok else 1
 
 
 def _seeded_records(fs: FileSystem, count: int, seed: int) -> list[tuple]:
@@ -1198,6 +1302,11 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         ),
     )
     clean_drain = gateway.drain()
+    if args.export_jsonl:
+        from pathlib import Path
+
+        text = obs.telemetry().export_jsonl()
+        Path(args.export_jsonl).write_text(text, encoding="utf-8")
     mismatches: dict[str, list[str]] = {}
     if args.verify:
         mismatches = {
@@ -1475,10 +1584,12 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="telemetry: replay a workload, report/export/tail/check"
     )
     obs.add_argument(
-        "action", choices=["report", "export", "tail", "check"],
+        "action", choices=["report", "export", "tail", "check", "slo"],
         help="report = metrics and latency tables; export = structured "
         "JSONL; tail = most recent spans; check = verify strict "
-        "optimality from telemetry alone",
+        "optimality from telemetry alone; slo = serve a loopback "
+        "multi-tenant load and report per-tenant error budgets over "
+        "the wire",
     )
     _add_filesystem_arguments(obs)
     obs.add_argument(
@@ -1515,6 +1626,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--batched", action="store_true",
         help="check only: replay through the array batch engine and "
         "audit its query.batch span instead of serial query.execute",
+    )
+    obs.add_argument(
+        "--tenant", dest="filter_tenant", default=None,
+        help="tail/export only: keep spans attributed to this tenant "
+        "(resolved by walking parent links to the gateway.request span)",
+    )
+    obs.add_argument(
+        "--trace-id", type=lambda s: int(s, 0), default=None,
+        help="tail/export only: keep spans of one trace (decimal or 0x hex)",
+    )
+    obs.add_argument(
+        "--tenants", default="alpha,beta",
+        help="slo only: comma-separated tenant names for the loopback load",
+    )
+    obs.add_argument("--connections", type=int, default=2,
+                     help="slo only: connections per tenant")
+    obs.add_argument("--requests", type=int, default=25,
+                     help="slo only: requests per connection")
+    obs.add_argument("--quota", type=int, default=None,
+                     help="slo only: per-tenant request quota (burns budget)")
+    obs.add_argument(
+        "--json", action="store_true",
+        help="slo only: print the wire SLO snapshot as JSON",
     )
     obs.set_defaults(func=_cmd_obs)
 
@@ -1740,6 +1874,11 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument(
         "--verify", action="store_true",
         help="serial-replay every tenant's log; fail on any stale read",
+    )
+    gateway.add_argument(
+        "--export-jsonl", default=None, dest="export_jsonl",
+        help="after the load, write the telemetry stream (propagated "
+        "traces included) as canonical JSONL to this path",
     )
     gateway.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of tables")

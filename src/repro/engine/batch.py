@@ -228,12 +228,32 @@ class BatchEngine:
             return [], self.file.write_version
         plan = self.planner.plan(queries)
         report = BatchExecutionReport()
-        try:
-            with self.file.read_locked():
-                version = self.file.write_version
-                fetched = self._fetch_locked(plan, report)
-        finally:
-            self.planner.recycle(plan)
+        with trace_span(
+            "query.batch",
+            queries=len(queries),
+            distinct=len(plan.distinct),
+            planned_reads=plan.planned_reads,
+            unique_reads=plan.unique_reads,
+        ) as span:
+            try:
+                with self.file.read_locked():
+                    version = self.file.write_version
+                    fetched = self._fetch_locked(plan, report)
+            finally:
+                self.planner.recycle(plan)
+            span.set_attr(
+                "per_query",
+                [
+                    {
+                        "query": query.describe(),
+                        "qualified": query.qualified_count,
+                        "buckets_per_device": plan.counts[
+                            plan.slot_of[index]
+                        ].tolist(),
+                    }
+                    for index, query in enumerate(queries)
+                ],
+            )
         distinct_maps: list[dict[Bucket, tuple[object, ...]]] = []
         for slot in range(len(plan.distinct)):
             buckets: dict[Bucket, tuple[object, ...]] = {}

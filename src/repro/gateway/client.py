@@ -13,6 +13,7 @@ the protocol a third-party client would implement.
 from __future__ import annotations
 
 import itertools
+import os
 import socket
 import threading
 from collections.abc import Mapping, Sequence
@@ -22,8 +23,12 @@ from repro.gateway import protocol
 from repro.hashing.fields import FileSystem
 from repro.query.partial_match import PartialMatchQuery
 from repro.service.frontend import ServiceResult
+from repro.util.numbers import mix64
 
 __all__ = ["GatewayClient", "GatewayRequestError"]
+
+#: Salt separating client-allocated trace ids from the tracer's stream.
+_CLIENT_TRACE_SALT = 0xD1B54A32D192ED03
 
 
 class GatewayRequestError(GatewayError):
@@ -41,6 +46,13 @@ class GatewayClient:
     be rebuilt into full :class:`ServiceResult` objects client-side; pass
     them whenever you want :meth:`query` / :meth:`batch` to return typed
     results (raw payload dicts come back otherwise).
+
+    Every request is stamped with **trace context**: when the caller is
+    inside a live span (or activated context), that position propagates;
+    otherwise the client allocates a fresh 64-bit trace id per request
+    from a seeded splitmix64 stream (*trace_seed*; defaults to a random
+    per-client seed — pass an explicit seed for deterministic wire
+    traces, as the loopback load test does).
     """
 
     def __init__(
@@ -52,6 +64,7 @@ class GatewayClient:
         devices: int | None = None,
         timeout_s: float = 30.0,
         max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+        trace_seed: int | None = None,
     ):
         self.tenant = tenant
         self.max_frame_bytes = max_frame_bytes
@@ -60,7 +73,13 @@ class GatewayClient:
             if fields is not None and devices is not None
             else None
         )
+        self.trace_seed = (
+            trace_seed
+            if trace_seed is not None
+            else int.from_bytes(os.urandom(8), "big")
+        )
         self._ids = itertools.count(1)
+        self._traces = itertools.count(1)
         self._lock = threading.Lock()
         self._sock = socket.create_connection((host, port), timeout=timeout_s)
 
@@ -101,8 +120,27 @@ class GatewayClient:
                 op,
                 request_id=next(self._ids),
                 tenant=self.tenant,
+                **self._trace_context(),
                 **body,
             )
+        )
+
+    def _trace_context(self) -> dict:
+        """The trace fields to stamp into the next request.
+
+        A live span (or activated remote context) in the calling thread
+        wins — its position crosses the wire so the server's
+        ``gateway.request`` continues the caller's trace.  Otherwise the
+        request roots a fresh trace under a client-allocated id.
+        """
+        from repro.obs import telemetry
+
+        context = telemetry().tracer.current_context()
+        if context is not None:
+            return protocol.trace_fields(context.trace_id, context.span_id)
+        nth = next(self._traces)
+        return protocol.trace_fields(
+            mix64(self.trace_seed ^ (nth * _CLIENT_TRACE_SALT))
         )
 
     # ------------------------------------------------------------------
@@ -113,6 +151,10 @@ class GatewayClient:
 
     def stats(self) -> dict:
         return self._request("stats")
+
+    def obs(self) -> dict:
+        """Live observability snapshot: labeled metrics + per-tenant SLO."""
+        return self._request("obs")
 
     def insert(self, record: Sequence[object]) -> tuple[tuple, int]:
         """Insert one record; returns ``(bucket, write_version)``."""

@@ -167,7 +167,12 @@ def run_loopback_load(
         # The serial-replay proof in verify() rebuilds each tenant's file
         # from version 1, so this run must own the tenant's entire write
         # history — refuse tenants that were already written to.
-        with GatewayClient(host, port, tenant=tenant.name) as client:
+        setup_seed = zlib.crc32(
+            f"gateway-setup-trace:{spec.seed}:{tenant.name}".encode()
+        )
+        with GatewayClient(
+            host, port, tenant=tenant.name, trace_seed=setup_seed
+        ) as client:
             existing = int(client.stats().get("write_version", 0))
         if existing:
             raise ConfigurationError(
@@ -178,7 +183,9 @@ def run_loopback_load(
         if spec.preload:
             rng = random.Random(f"gateway-preload:{spec.seed}:{tenant.name}")
             codes = rejections.setdefault(tenant.name, {})
-            with GatewayClient(host, port, tenant=tenant.name) as client:
+            with GatewayClient(
+                host, port, tenant=tenant.name, trace_seed=~setup_seed
+            ) as client:
                 for __ in range(spec.preload):
                     record = tuple(
                         rng.randrange(4096) for __ in range(fs.n_fields)
@@ -210,6 +217,12 @@ def run_loopback_load(
                 tenant=tenant.name,
                 fields=tenant.fields,
                 devices=tenant.devices,
+                # Deterministic wire-trace ids: the same derivation family
+                # as _connection_ops, so two identical runs stamp the same
+                # trace id onto the same request.
+                trace_seed=zlib.crc32(
+                    f"gateway-trace:{spec.seed}:{tenant.name}:{connection}".encode()
+                ),
             )
         except OSError as error:
             with errors_lock:

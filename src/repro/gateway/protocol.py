@@ -12,6 +12,20 @@ Requests name an operation and (except ``ping``) a tenant::
      "queries": [{"specified": {"0": 3}}, {"specified": {"1": 0}}]}
     {"v": 1, "id": 0, "op": "ping"}
     {"v": 1, "id": 1, "op": "stats",  "tenant": "alpha"}
+    {"v": 1, "id": 2, "op": "obs"}
+
+``obs`` serves a live observability snapshot — the labeled metrics
+registry plus the per-tenant SLO report (:mod:`repro.obs.slo`) — so a
+client can watch error budgets over the same framed protocol it queries
+through.
+
+Requests may additionally carry **trace context**: an optional 64-bit
+``trace`` id and optional ``parent_span`` id (:func:`trace_fields` /
+:func:`parse_trace`).  The server resumes the trace around its
+``gateway.request`` span, so one request tree spans both processes.
+Both fields are additive — a ``{"v": 1}`` reader that ignores them
+interprets the rest of the frame exactly as before, so the schema
+version does not change.
 
 Responses echo the request ``id`` and carry either a result or a coded
 error::
@@ -54,6 +68,8 @@ __all__ = [
     "encode_frame",
     "recv_frame",
     "request",
+    "trace_fields",
+    "parse_trace",
     "ok_response",
     "error_response",
     "query_payload",
@@ -216,6 +232,46 @@ def request(
         payload["tenant"] = tenant
     payload.update(body)
     return versioned(payload)
+
+
+def trace_fields(
+    trace_id: int | None = None, parent_span: int | None = None
+) -> dict:
+    """The optional trace-context fields of a request, as extra body kwargs.
+
+    >>> trace_fields(7, 3)
+    {'trace': 7, 'parent_span': 3}
+    >>> trace_fields(None, None)
+    {}
+    """
+    fields: dict = {}
+    if trace_id is not None:
+        fields["trace"] = int(trace_id)
+        if parent_span is not None:
+            fields["parent_span"] = int(parent_span)
+    return fields
+
+
+def parse_trace(data: Mapping) -> tuple[int, int | None] | None:
+    """Extract ``(trace_id, parent_span)`` from a request, if stamped.
+
+    Returns ``None`` for context-less requests (the backward-compatible
+    pre-trace wire shape); raises :class:`~repro.errors.ProtocolError`
+    when the fields are present but malformed.
+    """
+    trace = data.get("trace")
+    if trace is None:
+        return None
+    if not isinstance(trace, int) or isinstance(trace, bool):
+        raise ProtocolError(f"trace id must be an integer, got {trace!r}")
+    parent = data.get("parent_span")
+    if parent is not None and (
+        not isinstance(parent, int) or isinstance(parent, bool)
+    ):
+        raise ProtocolError(
+            f"parent_span must be an integer or absent, got {parent!r}"
+        )
+    return trace, parent
 
 
 def ok_response(request_id, result: Mapping) -> dict:

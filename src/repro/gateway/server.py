@@ -21,10 +21,16 @@ Lifecycle:
   resolves its flight before the socket closes), then closes sockets and
   retires the per-tenant service pools.
 
-Observability: every request runs under a ``gateway.request`` span and
-lands in the ``gateway.*`` metric family — ``accepted`` / ``shed`` /
-``rate_limited`` / ``disconnected`` counters plus per-tenant latency
-histograms (``gateway.tenant.<name>.latency_ms``).
+Observability: every request runs under a ``gateway.request`` span that
+*resumes the caller's trace* when the frame carries trace context (the
+span parents under the client's ``trace``/``parent_span`` and is marked
+``remote``), so one request tree crosses the wire.  Outcomes and
+latencies land in the ``gateway.*`` metric family with per-tenant labels
+— ``gateway.ok{tenant=...}`` / ``gateway.shed{tenant=...}`` counters and
+``gateway.latency_ms{tenant=...}`` histograms, each also rolled up into
+the bare base series.  The ``{"op": "obs"}`` wire operation serves a
+live snapshot of that registry plus the per-tenant SLO report
+(:mod:`repro.obs.slo`).
 """
 
 from __future__ import annotations
@@ -44,7 +50,8 @@ from repro.errors import (
 )
 from repro.gateway import protocol
 from repro.gateway.tenant import ACCEPTED, Tenant, TenantSpec
-from repro.obs import telemetry, trace_span
+from repro.obs import TraceContext, telemetry, trace_span
+from repro.obs.slo import SloMonitor, SloPolicy
 
 __all__ = ["GatewayConfig", "Gateway"]
 
@@ -97,6 +104,7 @@ class Gateway:
         tenants: Iterable[TenantSpec] | Mapping[str, TenantSpec],
         config: GatewayConfig | None = None,
         service_defaults: Mapping | None = None,
+        slo_policy: SloPolicy | None = None,
     ):
         specs = (
             list(tenants.values())
@@ -120,6 +128,8 @@ class Gateway:
         self._state_lock = threading.Lock()
         self._draining = threading.Event()
         self._closed = threading.Event()
+        #: Evaluates per-tenant error budgets for the ``obs`` wire op.
+        self.slo = SloMonitor(policy=slo_policy)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -341,7 +351,22 @@ class Gateway:
         tenant_name = (
             payload.get("tenant") if isinstance(payload, dict) else None
         )
-        with trace_span(
+        context = None
+        if isinstance(payload, dict):
+            try:
+                stamped = protocol.parse_trace(payload)
+            except ProtocolError as error:
+                metrics.add("gateway.bad_request")
+                return protocol.error_response(
+                    request_id, "bad_request", str(error)
+                )
+            if stamped is not None:
+                context = TraceContext(
+                    trace_id=stamped[0],
+                    span_id=stamped[1],
+                    tenant=tenant_name if isinstance(tenant_name, str) else None,
+                )
+        with telemetry().tracer.activate(context), trace_span(
             "gateway.request",
             op=str(payload.get("op")) if isinstance(payload, dict) else "?",
             tenant=str(tenant_name),
@@ -361,6 +386,11 @@ class Gateway:
             if op == "ping":
                 span.set_attr("status", "ok")
                 return protocol.ok_response(request_id, {"pong": True})
+            if op == "obs":
+                span.set_attr("status", "ok")
+                return protocol.ok_response(
+                    request_id, self.observability_snapshot()
+                )
             tenant = self.tenants.get(data.get("tenant"))
             if tenant is None:
                 span.set_attr("status", "unknown_tenant")
@@ -380,11 +410,11 @@ class Gateway:
                 return protocol.error_response(
                     request_id, "unknown_op", f"unknown op {op!r}"
                 )
+            labels = {"tenant": tenant.spec.name}
             outcome = tenant.admit()
             if outcome != ACCEPTED:
                 span.set_attr("status", outcome)
-                metrics.add(f"gateway.{outcome}")
-                metrics.add(f"gateway.tenant.{tenant.spec.name}.{outcome}")
+                metrics.add(f"gateway.{outcome}", labels=labels)
                 return protocol.error_response(
                     request_id,
                     outcome,
@@ -394,6 +424,7 @@ class Gateway:
             try:
                 result = self._dispatch(tenant, op, data)
                 span.set_attr("status", "ok")
+                self._count_outcomes(metrics, labels, op, result)
                 return protocol.ok_response(request_id, result)
             except (ProtocolError, ReproError) as error:
                 span.set_attr("status", "bad_request")
@@ -410,11 +441,36 @@ class Gateway:
             finally:
                 tenant.release()
                 latency_ms = (time.perf_counter() - started) * 1000.0
-                metrics.observe("gateway.latency_ms", latency_ms)
-                metrics.observe(
-                    f"gateway.tenant.{tenant.spec.name}.latency_ms",
-                    latency_ms,
-                )
+                metrics.observe("gateway.latency_ms", latency_ms, labels=labels)
+
+    def observability_snapshot(self) -> dict:
+        """The ``obs`` wire-op body: labeled metrics + per-tenant SLO."""
+        report = self.slo.report()
+        return {
+            "metrics": telemetry().metrics.snapshot().to_dict(),
+            "slo": report.to_dict(),
+        }
+
+    @staticmethod
+    def _count_outcomes(metrics, labels: dict, op: str, result: dict) -> None:
+        """Tenant-labeled availability counters from a served dispatch.
+
+        Service-level outcomes (a shed admission queue, a blown deadline)
+        travel as *result statuses* inside an ``ok`` wire response, so
+        they are tallied here — into the same ``gateway.<outcome>``
+        family the tenant gate uses — for the SLO monitor to consume.
+        """
+        if op == "query":
+            statuses = [result.get("status", "ok")]
+        elif op == "batch":
+            statuses = [
+                entry.get("status", "ok")
+                for entry in result.get("results", [])
+            ]
+        else:
+            statuses = ["ok"]
+        for status in statuses:
+            metrics.add(f"gateway.{status}", labels=labels)
 
     def _dispatch(self, tenant: Tenant, op: str, data: dict) -> dict:
         """Run one admitted op through the tenant's futures surface."""

@@ -25,7 +25,12 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 
-from repro.obs.checker import ObservedCheckReport, ObservedOptimalityChecker
+from repro.obs.checker import (
+    ObservedCheckReport,
+    ObservedOptimalityChecker,
+    TraceAuditObservation,
+    TraceAuditReport,
+)
 from repro.obs.clock import (
     Clock,
     ManualClock,
@@ -49,8 +54,12 @@ from repro.obs.metrics import (
     MetricsRegistry,
     PerfCounter,
     default_registry,
+    labeled_name,
+    parse_labeled_name,
 )
-from repro.obs.spans import Span, Tracer
+from repro.obs.profile import QueryMixProfile, TenantProfile
+from repro.obs.slo import SloMonitor, SloPolicy, SloReport, TenantSlo
+from repro.obs.spans import Span, TraceContext, Tracer
 
 __all__ = [
     "Clock",
@@ -64,6 +73,8 @@ __all__ = [
     "PerfCounter",
     "MetricsRegistry",
     "default_registry",
+    "labeled_name",
+    "parse_labeled_name",
     "DEFAULT_LATENCY_BOUNDARIES_MS",
     "EventLog",
     "DEFAULT_CAPACITY",
@@ -72,6 +83,7 @@ __all__ = [
     "validate_record",
     "validate_jsonl",
     "Span",
+    "TraceContext",
     "Tracer",
     "Telemetry",
     "telemetry",
@@ -79,8 +91,16 @@ __all__ = [
     "reset_telemetry",
     "trace_span",
     "current_span",
+    "QueryMixProfile",
+    "TenantProfile",
+    "SloMonitor",
+    "SloPolicy",
+    "SloReport",
+    "TenantSlo",
     "ObservedCheckReport",
     "ObservedOptimalityChecker",
+    "TraceAuditObservation",
+    "TraceAuditReport",
 ]
 
 

@@ -18,7 +18,13 @@ from dataclasses import dataclass, field
 from repro.errors import AnalysisError
 from repro.util.numbers import ceil_div
 
-__all__ = ["ObservedQuery", "ObservedCheckReport", "ObservedOptimalityChecker"]
+__all__ = [
+    "ObservedQuery",
+    "ObservedCheckReport",
+    "TraceAuditObservation",
+    "TraceAuditReport",
+    "ObservedOptimalityChecker",
+]
 
 
 @dataclass(frozen=True)
@@ -102,6 +108,96 @@ class ObservedCheckReport:
             "disagreements": [o.query for o in self.disagreements],
             "all_strict_optimal": self.all_strict_optimal,
             "consistent": self.consistent,
+        }
+
+
+@dataclass(frozen=True)
+class TraceAuditObservation:
+    """One query observation from a propagated (possibly remote) trace."""
+
+    tenant: str
+    trace: int
+    span: int
+    query: str
+    qualified: int
+    observed_per_device: tuple[int, ...]
+
+    @property
+    def devices(self) -> int:
+        return len(self.observed_per_device)
+
+    @property
+    def bound(self) -> int:
+        return ceil_div(self.qualified, max(1, self.devices))
+
+    @property
+    def observed_max(self) -> int:
+        return max(self.observed_per_device, default=0)
+
+    @property
+    def strict_optimal(self) -> bool:
+        return self.observed_max <= self.bound
+
+
+@dataclass
+class TraceAuditReport:
+    """Bound audit of an exported trace, attributed per tenant.
+
+    Unlike :class:`ObservedCheckReport` (which replays a known query list
+    through a known method), this report is built from records alone — it
+    audits whatever ``query.execute`` spans and ``query.batch``
+    ``per_query`` entries the export carries, resolving each span's owner
+    by walking its trace to the tenanted ``gateway.request`` ancestor.
+    Violations therefore name the *tenant* responsible, not a bare span
+    id; spans with no tenanted ancestor land under ``""``.
+    """
+
+    observations: list[TraceAuditObservation] = field(default_factory=list)
+
+    @property
+    def queries(self) -> int:
+        return len(self.observations)
+
+    @property
+    def violations(self) -> list[TraceAuditObservation]:
+        return [o for o in self.observations if not o.strict_optimal]
+
+    @property
+    def all_strict_optimal(self) -> bool:
+        return not self.violations
+
+    @property
+    def tenants(self) -> list[str]:
+        return sorted({o.tenant for o in self.observations})
+
+    def violations_by_tenant(self) -> dict[str, list[TraceAuditObservation]]:
+        grouped: dict[str, list[TraceAuditObservation]] = {}
+        for observation in self.violations:
+            grouped.setdefault(observation.tenant, []).append(observation)
+        return {tenant: grouped[tenant] for tenant in sorted(grouped)}
+
+    def summary(self) -> str:
+        return (
+            f"trace audit: {self.queries} query observations across "
+            f"{len(self.tenants)} tenants, {len(self.violations)} bound "
+            f"violations"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "tenants": self.tenants,
+            "violations": [
+                {
+                    "tenant": o.tenant,
+                    "query": o.query,
+                    "observed_max": o.observed_max,
+                    "bound": o.bound,
+                    "trace": o.trace,
+                }
+                for o in self.violations
+            ],
+            "all_strict_optimal": self.all_strict_optimal,
         }
 
 
@@ -201,6 +297,51 @@ class ObservedOptimalityChecker:
                     ),
                 )
             )
+        return report
+
+    @staticmethod
+    def audit_trace(records) -> TraceAuditReport:
+        """Audit an exported record stream, attributing per tenant.
+
+        Every ``query.execute`` span and every ``query.batch``
+        ``per_query`` entry is checked against ``ceil(|R(q)|/M)`` (``M``
+        read from the span's own ``buckets_per_device`` width, so no
+        method object is needed).  A span whose propagated trace leads to
+        a tenanted ``gateway.request`` ancestor — including across the
+        remote hop the server marked when it resumed the wire context —
+        is attributed to that tenant; untenanted spans report as ``""``.
+        """
+        from repro.obs.profile import resolve_tenant, span_index
+
+        spans = [r for r in records if r.get("type") == "span"]
+        index = span_index(spans)
+        report = TraceAuditReport()
+
+        def observe(record, attrs) -> None:
+            observed = attrs.get("buckets_per_device")
+            qualified = attrs.get("qualified")
+            described = attrs.get("query")
+            if observed is None or qualified is None or described is None:
+                return
+            report.observations.append(
+                TraceAuditObservation(
+                    tenant=resolve_tenant(record, index),
+                    trace=record.get("trace", 0),
+                    span=record["id"],
+                    query=str(described),
+                    qualified=int(qualified),
+                    observed_per_device=tuple(observed),
+                )
+            )
+
+        for record in spans:
+            name = record.get("name")
+            if name == "query.execute":
+                observe(record, record.get("attrs", {}))
+            elif name == "query.batch":
+                for entry in record.get("attrs", {}).get("per_query", []):
+                    if isinstance(entry, dict):
+                        observe(record, entry)
         return report
 
     @staticmethod

@@ -9,10 +9,12 @@ export byte-identical files.
 JSONL schema (documented in ``docs/usage.md`` and enforced by
 :func:`validate_record` / the ``obs export --validate`` CLI path):
 
-``{"v": 1, "type": "span", "id": int, "parent": int | null, "name": str,
-"start_ms": float, "end_ms": float, "duration_ms": float,
+``{"v": 1, "type": "span", "id": int, "trace": int, "parent": int | null,
+"name": str, "start_ms": float, "end_ms": float, "duration_ms": float,
 "attrs": {str: scalar}, "events": [{"name": str, "at_ms": float,
-"attrs": {...}}]}``
+"attrs": {...}}]}`` — plus an optional ``"remote": true`` marker on spans
+whose parent context arrived over the wire (``trace`` is the 64-bit trace
+id shared by a whole cross-process request tree).
 
 ``{"v": 1, "type": "metrics", "counters": {...}, "gauges": {...},
 "histograms": {name: {count, sum, min, max, p50, p95, p99}},
@@ -134,6 +136,7 @@ _SPAN_REQUIRED = {
     "v": int,
     "type": str,
     "id": int,
+    "trace": int,
     "name": str,
     "start_ms": (int, float),
     "end_ms": (int, float),
@@ -170,6 +173,11 @@ def validate_record(record: dict) -> None:
         parent = record.get("parent")
         if parent is not None and not isinstance(parent, int):
             raise ReproError(f"span parent must be int or null: {parent!r}")
+        if "remote" in record and record["remote"] is not True:
+            raise ReproError(
+                f"span remote marker must be true when present: "
+                f"{record['remote']!r}"
+            )
         for event in record["events"]:
             if not isinstance(event, dict) or not isinstance(
                 event.get("name"), str

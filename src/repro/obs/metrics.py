@@ -15,12 +15,23 @@ All mutation happens under one registry lock, and :meth:`MetricsRegistry.
 snapshot` copies everything atomically — reports render from a snapshot,
 never from live objects (a live render can interleave with concurrent
 updates and print a torn row).
+
+**Dimensional (labeled) series.**  Every recorder takes an optional
+``labels=`` mapping (e.g. ``{"tenant": "alpha"}``).  A labeled sample is
+recorded twice under the one lock hold: once into the bare base series
+(the roll-up existing flat-name callers — ``repro.perf.counters``, the
+reports — keep reading) and once into a canonical per-label series keyed
+``name{key=value,...}`` with label keys sorted.  :func:`labeled_name` and
+:func:`parse_labeled_name` are the two sides of that key convention;
+consumers such as :mod:`repro.obs.slo` split snapshot keys back into
+``(base, labels)`` pairs to aggregate per tenant.
 """
 
 from __future__ import annotations
 
 import bisect
 import threading
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -30,6 +41,8 @@ __all__ = [
     "PerfCounter",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BOUNDARIES_MS",
+    "labeled_name",
+    "parse_labeled_name",
 ]
 
 #: Default histogram boundaries, in milliseconds: sub-ms resolution at the
@@ -39,6 +52,44 @@ DEFAULT_LATENCY_BOUNDARIES_MS: tuple[float, ...] = (
     25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
     30000.0, 60000.0,
 )
+
+
+def labeled_name(name: str, labels: Mapping[str, object] | None) -> str:
+    """Canonical series key for *name* under *labels*.
+
+    Label keys are sorted, so ``{"b": 1, "a": 2}`` and ``{"a": 2, "b": 1}``
+    address the same series; an empty/None mapping returns the bare name.
+
+    >>> labeled_name("gateway.ok", {"tenant": "alpha"})
+    'gateway.ok{tenant=alpha}'
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_labeled_name(series: str) -> tuple[str, dict[str, str]]:
+    """Split a series key back into ``(base_name, labels)``.
+
+    Bare names come back with an empty label dict, so callers can iterate
+    a snapshot uniformly.
+
+    >>> parse_labeled_name("gateway.ok{tenant=alpha}")
+    ('gateway.ok', {'tenant': 'alpha'})
+    """
+    if not series.endswith("}"):
+        return series, {}
+    brace = series.find("{")
+    if brace < 0:
+        return series, {}
+    labels: dict[str, str] = {}
+    inner = series[brace + 1 : -1]
+    if inner:
+        for pair in inner.split(","):
+            key, _, value = pair.partition("=")
+            labels[key] = value
+    return series[:brace], labels
 
 
 @dataclass
@@ -268,26 +319,55 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Recording (one lock acquisition per sample)
     # ------------------------------------------------------------------
-    def add(self, name: str, amount: int = 1) -> None:
+    def add(
+        self,
+        name: str,
+        amount: int = 1,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
         with self._lock:
             counter = self._counters.get(name)
             if counter is None:
                 counter = self._counters[name] = Counter(name)
             counter.add(amount)
+            if labels:
+                series = labeled_name(name, labels)
+                labeled = self._counters.get(series)
+                if labeled is None:
+                    labeled = self._counters[series] = Counter(series)
+                labeled.add(amount)
 
-    def set_gauge(self, name: str, value: float) -> None:
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
         with self._lock:
-            gauge = self._gauges.get(name)
-            if gauge is None:
-                gauge = self._gauges[name] = Gauge(name)
-            gauge.set(value)
+            self._gauges.setdefault(name, Gauge(name)).set(value)
+            if labels:
+                series = labeled_name(name, labels)
+                self._gauges.setdefault(series, Gauge(series)).set(value)
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
         with self._lock:
             histogram = self._histograms.get(name)
             if histogram is None:
                 histogram = self._histograms[name] = Histogram(name)
             histogram.observe(value)
+            if labels:
+                series = labeled_name(name, labels)
+                labeled = self._histograms.get(series)
+                if labeled is None:
+                    labeled = self._histograms[series] = Histogram(
+                        series, histogram.boundaries
+                    )
+                labeled.observe(value)
 
     def record_perf_hit(self, name: str, count: int = 1) -> None:
         with self._lock:

@@ -1,0 +1,214 @@
+"""Query-mix profiler: per-tenant pattern frequencies from exported spans.
+
+ROADMAP item 3 (workload-adaptive declustering) needs the *observed*
+query-pattern distribution — how often each partial-match pattern (which
+fields are specified) is actually asked, per tenant — so candidate
+transforms can be scored against the real mix rather than the uniform
+assumption the closed-form analysis uses.  This module derives exactly
+that from the telemetry JSONL stream:
+
+* every ``query.execute`` span contributes its one query,
+* every ``query.batch`` span contributes each entry of its ``per_query``
+  attribute, and
+* each contribution is attributed to a tenant by walking the span's
+  parent links (within its trace) up to the nearest ancestor carrying a
+  ``tenant`` attribute — the ``gateway.request`` span stamped by the
+  server when it resumed the caller's trace context.  Spans with no
+  tenanted ancestor (in-process runs) land under the empty tenant ``""``.
+
+Patterns are canonicalised as indicator strings over the field order —
+``"1*1"`` means fields 0 and 2 specified, field 1 unspecified — parsed
+from the query ``describe()`` form (``"<1, *, 3>"``) the spans carry.
+Profiles hold only integer counts (no timestamps), so two identical runs
+serialise byte-identically regardless of clock behaviour; canonical JSON
+uses sorted keys and compact separators, matching the telemetry export
+conventions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.envelope import SCHEMA_VERSION, check_version, versioned
+from repro.errors import ReproError
+
+__all__ = [
+    "pattern_of",
+    "pattern_of_query",
+    "span_index",
+    "resolve_tenant",
+    "TenantProfile",
+    "QueryMixProfile",
+]
+
+
+def pattern_of(described: str) -> str:
+    """Canonical pattern of a ``describe()`` string.
+
+    >>> pattern_of("<1, *, 3>")
+    '1*1'
+    """
+    inner = described.strip()
+    if inner.startswith("<") and inner.endswith(">"):
+        inner = inner[1:-1]
+    if not inner:
+        return ""
+    return "".join(
+        "*" if cell.strip() == "*" else "1" for cell in inner.split(",")
+    )
+
+
+def pattern_of_query(query) -> str:
+    """Canonical pattern of a live :class:`PartialMatchQuery`."""
+    return "".join("*" if value is None else "1" for value in query.values)
+
+
+def span_index(records: Iterable[Mapping]) -> dict[tuple[int, int], Mapping]:
+    """Index span records by ``(trace, id)`` for parent walks."""
+    return {
+        (record["trace"], record["id"]): record
+        for record in records
+        if record.get("type") == "span"
+    }
+
+
+def resolve_tenant(
+    record: Mapping,
+    index: Mapping[tuple[int, int], Mapping],
+    default: str = "",
+) -> str:
+    """The ``tenant`` attribute of the nearest ancestor span (or *default*).
+
+    The walk stays inside the record's trace; a missing parent (evicted
+    from the ring, or remote to the export) or a malformed cycle ends the
+    walk at *default*.
+    """
+    seen: set[int] = set()
+    current: Mapping | None = record
+    while current is not None:
+        tenant = current.get("attrs", {}).get("tenant")
+        if tenant is not None:
+            return str(tenant)
+        span_id = current.get("id")
+        if span_id in seen:
+            return default
+        seen.add(span_id)
+        parent = current.get("parent")
+        if parent is None:
+            return default
+        current = index.get((current.get("trace"), parent))
+    return default
+
+
+@dataclass
+class TenantProfile:
+    """One tenant's observed pattern-frequency histogram."""
+
+    tenant: str
+    patterns: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def queries(self) -> int:
+        return sum(self.patterns.values())
+
+    def record(self, pattern: str, count: int = 1) -> None:
+        self.patterns[pattern] = self.patterns.get(pattern, 0) + count
+
+    def frequencies(self) -> dict[str, float]:
+        """Pattern → relative frequency (empty profile → empty dict)."""
+        total = self.queries
+        if total == 0:
+            return {}
+        return {
+            pattern: self.patterns[pattern] / total
+            for pattern in sorted(self.patterns)
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "queries": self.queries,
+            "patterns": {k: self.patterns[k] for k in sorted(self.patterns)},
+        }
+
+
+@dataclass
+class QueryMixProfile:
+    """Per-tenant pattern frequencies aggregated from exported spans."""
+
+    tenants: dict[str, TenantProfile] = field(default_factory=dict)
+    #: Number of query spans consumed (execute spans + batch entries).
+    observed: int = 0
+
+    def tenant(self, name: str) -> TenantProfile:
+        found = self.tenants.get(name)
+        if found is None:
+            found = self.tenants[name] = TenantProfile(name)
+        return found
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping]) -> "QueryMixProfile":
+        """Aggregate ``query.execute``/``query.batch`` spans into a profile."""
+        records = [r for r in records if r.get("type") == "span"]
+        index = span_index(records)
+        profile = cls()
+        for record in records:
+            name = record.get("name")
+            if name == "query.execute":
+                described = record.get("attrs", {}).get("query")
+                if not isinstance(described, str):
+                    continue
+                owner = resolve_tenant(record, index)
+                profile.tenant(owner).record(pattern_of(described))
+                profile.observed += 1
+            elif name == "query.batch":
+                per_query = record.get("attrs", {}).get("per_query")
+                if not isinstance(per_query, list):
+                    continue
+                owner = resolve_tenant(record, index)
+                for entry in per_query:
+                    described = entry.get("query") if isinstance(entry, dict) else None
+                    if not isinstance(described, str):
+                        continue
+                    profile.tenant(owner).record(pattern_of(described))
+                    profile.observed += 1
+        return profile
+
+    # ------------------------------------------------------------------
+    # Canonical serialisation (byte-identical run over run)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return versioned(
+            {
+                "type": "profile",
+                "observed": self.observed,
+                "tenants": {
+                    name: self.tenants[name].to_dict()
+                    for name in sorted(self.tenants)
+                },
+            }
+        )
+
+    def to_json(self) -> str:
+        """One canonical JSON document: sorted keys, compact separators."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "QueryMixProfile":
+        check_version(data, where="query-mix profile")
+        if data.get("type") != "profile":
+            raise ReproError(
+                f"not a query-mix profile record: {data.get('type')!r}"
+            )
+        profile = cls(observed=int(data.get("observed", 0)))
+        for name, entry in data.get("tenants", {}).items():
+            tenant = profile.tenant(name)
+            for pattern, count in entry.get("patterns", {}).items():
+                tenant.record(pattern, int(count))
+        return profile
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryMixProfile":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,412 @@
+"""Per-tenant SLO evaluation over the labeled metrics plane.
+
+The gateway records every admission outcome and request latency twice:
+once into the flat roll-up series (``gateway.ok``, ``gateway.latency_ms``)
+and once into the per-tenant labeled series
+(``gateway.ok{tenant=alpha}``, ``gateway.latency_ms{tenant=alpha}``) — see
+:mod:`repro.obs.metrics`.  :class:`SloMonitor` consumes those labeled
+series and evaluates two objectives per tenant against an
+:class:`SloPolicy`:
+
+* **availability** — ``ok / (ok + shed + rate_limited + timeout)``, i.e.
+  every request the tenant offered that the gateway failed to serve
+  (admission shed, rate limit, or service deadline) burns the
+  availability error budget, and
+* **latency** — the fraction of served requests completing within
+  ``latency_threshold_ms``, read from the labeled latency *histogram
+  buckets* (the threshold is snapped to a bucket boundary, conservative
+  in the same upper-edge convention the histogram quantiles use).
+
+Error budgets follow the standard form: with target ``t`` the allowed bad
+fraction is ``1 - t``, the budget consumed is ``bad_fraction / (1 - t)``,
+and the **burn rate** over a trailing window is the windowed bad fraction
+divided by the allowed fraction (burn rate 1.0 = exactly spending the
+budget; >1 = on course to exhaust it).  Windowed rates come from
+timestamped snapshot samples the monitor retains on each
+:meth:`SloMonitor.sample` call, so a live gateway serving the
+``{"op": "obs"}`` wire operation accumulates history simply by being
+asked.  All arithmetic is pure and the clock is injectable, so reports
+are deterministic under :class:`~repro.obs.clock.ManualClock`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    default_registry,
+    parse_labeled_name,
+)
+
+__all__ = ["SloPolicy", "TenantSlo", "SloReport", "SloMonitor"]
+
+#: The counter base the availability numerator reads.
+GOOD_OUTCOME = "ok"
+#: Counter bases that burn the availability budget.
+BAD_OUTCOMES = ("shed", "rate_limited", "timeout")
+#: Prefix of the outcome counters the gateway records per tenant.
+OUTCOME_PREFIX = "gateway."
+#: The labeled latency histogram the latency objective reads.
+LATENCY_SERIES = "gateway.latency_ms"
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """The objectives one gateway holds every tenant to."""
+
+    #: Fraction of offered requests that must be served (not shed/timed out).
+    availability_target: float = 0.999
+    #: Latency objective threshold, milliseconds.
+    latency_threshold_ms: float = 50.0
+    #: Fraction of served requests that must complete within the threshold.
+    latency_target: float = 0.95
+    #: Trailing windows (seconds) burn rates are evaluated over.
+    burn_windows_s: tuple[float, ...] = (60.0, 300.0, 3600.0)
+
+    def __post_init__(self) -> None:
+        for name, target in (
+            ("availability_target", self.availability_target),
+            ("latency_target", self.latency_target),
+        ):
+            if not 0.0 < target < 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in (0, 1), got {target}"
+                )
+        if self.latency_threshold_ms <= 0:
+            raise ConfigurationError(
+                f"latency_threshold_ms must be positive, got "
+                f"{self.latency_threshold_ms}"
+            )
+        if not self.burn_windows_s or any(w <= 0 for w in self.burn_windows_s):
+            raise ConfigurationError(
+                f"burn_windows_s must be positive, got {self.burn_windows_s}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "availability_target": self.availability_target,
+            "latency_threshold_ms": self.latency_threshold_ms,
+            "latency_target": self.latency_target,
+            "burn_windows_s": list(self.burn_windows_s),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SloPolicy":
+        return cls(
+            availability_target=float(data["availability_target"]),
+            latency_threshold_ms=float(data["latency_threshold_ms"]),
+            latency_target=float(data["latency_target"]),
+            burn_windows_s=tuple(
+                float(w) for w in data["burn_windows_s"]
+            ),
+        )
+
+
+@dataclass
+class TenantSlo:
+    """One tenant's evaluated objectives (JSON-ready via :meth:`to_dict`)."""
+
+    tenant: str
+    requests: int
+    good: int
+    bad: dict[str, int]
+    availability: float | None
+    availability_budget_remaining: float | None
+    latency_count: int
+    latency_within: int
+    latency_compliance: float | None
+    latency_budget_remaining: float | None
+    #: ``{"60s": rate, ...}`` — availability burn per policy window
+    #: (None when the window has no traffic yet).
+    burn_rates: dict[str, float | None] = field(default_factory=dict)
+
+    @property
+    def bad_total(self) -> int:
+        return sum(self.bad.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "requests": self.requests,
+            "good": self.good,
+            "bad": {k: self.bad[k] for k in sorted(self.bad)},
+            "availability": _round(self.availability),
+            "availability_budget_remaining": _round(
+                self.availability_budget_remaining
+            ),
+            "latency_count": self.latency_count,
+            "latency_within": self.latency_within,
+            "latency_compliance": _round(self.latency_compliance),
+            "latency_budget_remaining": _round(self.latency_budget_remaining),
+            "burn_rates": {
+                k: _round(v) for k, v in sorted(self.burn_rates.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantSlo":
+        return cls(
+            tenant=str(data["tenant"]),
+            requests=int(data["requests"]),
+            good=int(data["good"]),
+            bad={str(k): int(v) for k, v in data["bad"].items()},
+            availability=data["availability"],
+            availability_budget_remaining=data[
+                "availability_budget_remaining"
+            ],
+            latency_count=int(data["latency_count"]),
+            latency_within=int(data["latency_within"]),
+            latency_compliance=data["latency_compliance"],
+            latency_budget_remaining=data["latency_budget_remaining"],
+            burn_rates=dict(data.get("burn_rates", {})),
+        )
+
+
+@dataclass
+class SloReport:
+    """Every tenant's objectives under one policy."""
+
+    policy: SloPolicy
+    tenants: dict[str, TenantSlo]
+
+    @property
+    def healthy(self) -> bool:
+        """True when no tenant has exhausted either error budget."""
+        for slo in self.tenants.values():
+            for remaining in (
+                slo.availability_budget_remaining,
+                slo.latency_budget_remaining,
+            ):
+                if remaining is not None and remaining < 0.0:
+                    return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy.to_dict(),
+            "tenants": {
+                name: self.tenants[name].to_dict()
+                for name in sorted(self.tenants)
+            },
+            "healthy": self.healthy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SloReport":
+        """Rebuild a report from :meth:`to_dict` output (e.g. the wire
+        ``{"op": "obs"}`` snapshot), so remote reports render locally."""
+        return cls(
+            policy=SloPolicy.from_dict(data["policy"]),
+            tenants={
+                name: TenantSlo.from_dict(tenant)
+                for name, tenant in data["tenants"].items()
+            },
+        )
+
+    def render(self) -> str:
+        """Human-readable table (the ``obs slo`` text output)."""
+        lines = [
+            f"SLO report — availability target "
+            f"{self.policy.availability_target:g}, latency "
+            f"<= {self.policy.latency_threshold_ms:g}ms at "
+            f"{self.policy.latency_target:g}",
+            f"{'tenant':<12} {'requests':>8} {'avail':>8} {'budget':>8} "
+            f"{'lat-ok':>8} {'budget':>8}",
+        ]
+        for name in sorted(self.tenants):
+            slo = self.tenants[name]
+            lines.append(
+                f"{name:<12} {slo.requests:>8} "
+                f"{_cell(slo.availability):>8} "
+                f"{_cell(slo.availability_budget_remaining):>8} "
+                f"{_cell(slo.latency_compliance):>8} "
+                f"{_cell(slo.latency_budget_remaining):>8}"
+            )
+        if not self.tenants:
+            lines.append("(no tenant traffic recorded)")
+        return "\n".join(lines)
+
+
+def _round(value: float | None) -> float | None:
+    return None if value is None else round(value, 6)
+
+
+def _cell(value: float | None) -> str:
+    return "-" if value is None else f"{value:.4f}"
+
+
+def _budget_remaining(bad_fraction: float, target: float) -> float:
+    return 1.0 - bad_fraction / (1.0 - target)
+
+
+@dataclass
+class _TenantCounts:
+    """Raw per-tenant tallies extracted from one metrics snapshot."""
+
+    good: int = 0
+    bad: dict[str, int] = field(default_factory=dict)
+    latency_count: int = 0
+    latency_within: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.good + sum(self.bad.values())
+
+
+def _extract(
+    snapshot: MetricsSnapshot, threshold_ms: float
+) -> dict[str, _TenantCounts]:
+    """Per-tenant tallies from the labeled series of one snapshot."""
+    tenants: dict[str, _TenantCounts] = {}
+
+    def of(tenant: str) -> _TenantCounts:
+        found = tenants.get(tenant)
+        if found is None:
+            found = tenants[tenant] = _TenantCounts()
+        return found
+
+    for series, value in snapshot.counters.items():
+        base, labels = parse_labeled_name(series)
+        tenant = labels.get("tenant")
+        if tenant is None or not base.startswith(OUTCOME_PREFIX):
+            continue
+        outcome = base[len(OUTCOME_PREFIX) :]
+        if outcome == GOOD_OUTCOME:
+            of(tenant).good += value
+        elif outcome in BAD_OUTCOMES:
+            counts = of(tenant)
+            counts.bad[outcome] = counts.bad.get(outcome, 0) + value
+    for series, histogram in snapshot.histograms.items():
+        base, labels = parse_labeled_name(series)
+        tenant = labels.get("tenant")
+        if tenant is None or base != LATENCY_SERIES:
+            continue
+        counts = of(tenant)
+        counts.latency_count += histogram.count
+        within = 0
+        for index, edge in enumerate(histogram.boundaries):
+            if edge > threshold_ms:
+                break
+            within += histogram.counts[index]
+        counts.latency_within += within
+    return tenants
+
+
+class SloMonitor:
+    """Evaluates :class:`SloPolicy` objectives from the live registry.
+
+    The monitor is stateful only for burn-rate windows: each
+    :meth:`sample` keeps a timestamped copy of the per-tenant tallies,
+    and :meth:`report` differences the newest tally against the oldest
+    one inside each policy window.
+    """
+
+    def __init__(
+        self,
+        policy: SloPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+        clock=None,
+        max_samples: int = 512,
+    ):
+        self.policy = policy or SloPolicy()
+        self._registry = registry
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._samples: deque[tuple[float, dict[str, _TenantCounts]]] = deque(
+            maxlen=max_samples
+        )
+
+    def _now(self) -> float:
+        if self._clock is not None:
+            return self._clock.now()
+        from repro.obs.clock import now
+
+        return now()
+
+    def _snapshot(self) -> MetricsSnapshot:
+        registry = self._registry if self._registry is not None else default_registry()
+        return registry.snapshot()
+
+    def sample(self) -> None:
+        """Record one timestamped tally for burn-rate windows."""
+        tallies = _extract(self._snapshot(), self.policy.latency_threshold_ms)
+        with self._lock:
+            self._samples.append((self._now(), tallies))
+
+    def report(self) -> SloReport:
+        """Evaluate every tenant now (also records a sample)."""
+        policy = self.policy
+        tallies = _extract(self._snapshot(), policy.latency_threshold_ms)
+        now = self._now()
+        with self._lock:
+            self._samples.append((now, tallies))
+            samples = list(self._samples)
+        tenants: dict[str, TenantSlo] = {}
+        for tenant, counts in tallies.items():
+            total = counts.total
+            bad_total = sum(counts.bad.values())
+            availability = None if total == 0 else counts.good / total
+            avail_budget = (
+                None
+                if availability is None
+                else _budget_remaining(
+                    bad_total / total, policy.availability_target
+                )
+            )
+            compliance = (
+                None
+                if counts.latency_count == 0
+                else counts.latency_within / counts.latency_count
+            )
+            latency_budget = (
+                None
+                if compliance is None
+                else _budget_remaining(1.0 - compliance, policy.latency_target)
+            )
+            tenants[tenant] = TenantSlo(
+                tenant=tenant,
+                requests=total,
+                good=counts.good,
+                bad=dict(counts.bad),
+                availability=availability,
+                availability_budget_remaining=avail_budget,
+                latency_count=counts.latency_count,
+                latency_within=counts.latency_within,
+                latency_compliance=compliance,
+                latency_budget_remaining=latency_budget,
+                burn_rates=self._burn_rates(tenant, counts, now, samples),
+            )
+        return SloReport(policy=policy, tenants=tenants)
+
+    def _burn_rates(
+        self,
+        tenant: str,
+        latest: _TenantCounts,
+        now: float,
+        samples: list[tuple[float, dict[str, _TenantCounts]]],
+    ) -> dict[str, float | None]:
+        """Windowed availability burn vs the allowed bad fraction."""
+        allowed = 1.0 - self.policy.availability_target
+        rates: dict[str, float | None] = {}
+        for window in self.policy.burn_windows_s:
+            label = f"{window:g}s"
+            baseline: _TenantCounts | None = None
+            for at, tallies in samples:
+                if at >= now - window:
+                    baseline = tallies.get(tenant, _TenantCounts())
+                    break
+            if baseline is None:
+                rates[label] = None
+                continue
+            delta_total = latest.total - baseline.total
+            delta_bad = sum(latest.bad.values()) - sum(baseline.bad.values())
+            if delta_total <= 0:
+                rates[label] = None
+                continue
+            rates[label] = (delta_bad / delta_total) / allowed
+        return rates

@@ -14,6 +14,16 @@ appended to the telemetry :class:`~repro.obs.events.EventLog` as one
 structured record and its duration is observed into the
 ``span.<name>.ms`` latency histogram of the metrics registry.
 
+Every span belongs to a **trace**: a 64-bit id shared by a whole request
+tree, even when that tree crosses a process boundary.  A root span (no
+local parent, no remote context) allocates a fresh trace id from a seeded
+splitmix64 stream — deterministic under :class:`~repro.obs.clock.ManualClock`
+runs because :meth:`Tracer.reset` restarts the stream.  A server resuming a
+request that arrived over the wire activates the caller's
+:class:`TraceContext` (:meth:`Tracer.activate`); the next span opened in
+that context adopts the remote trace id, parents itself under the remote
+span, and is marked ``remote`` in its exported record.
+
 When tracing is disabled the context manager yields a shared no-op span and
 touches neither the log nor the clock, keeping the disabled cost to one
 attribute check per span.
@@ -30,8 +40,29 @@ from repro.envelope import SCHEMA_VERSION
 from repro.obs.clock import Clock
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.util.numbers import mix64
 
-__all__ = ["Span", "Tracer", "NULL_SPAN"]
+__all__ = ["Span", "TraceContext", "Tracer", "NULL_SPAN"]
+
+#: Salt separating the trace-id splitmix64 stream from other seeded streams.
+_TRACE_SALT = 0xA24BAED4963EE407
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Portable identity of a trace position: ``(trace_id, span_id)``.
+
+    This is what crosses process boundaries: the client stamps it into the
+    wire frame, the server activates it so the resumed span parents under
+    the caller.  *span_id* is ``None`` when the caller allocated a trace id
+    without opening a span of its own (the thin-client case) — the resumed
+    span then becomes the root of the remote trace.  *tenant* is carried as
+    a convenience for attribution; it never affects span identity.
+    """
+
+    trace_id: int
+    span_id: int | None = None
+    tenant: str | None = None
 
 
 @dataclass
@@ -45,6 +76,12 @@ class Span:
     attrs: dict = field(default_factory=dict)
     events: list[dict] = field(default_factory=list)
     end: float | None = None
+    #: 64-bit id of the trace this span belongs to.
+    trace_id: int = 0
+    #: True when the parent context was adopted via ``Tracer.activate``
+    #: rather than lexical nesting — i.e. the link crossed a propagation
+    #: boundary (a wire frame, or a thread-pool handoff).
+    remote: bool = False
 
     def set_attr(self, key: str, value) -> None:
         self.attrs[key] = value
@@ -52,6 +89,10 @@ class Span:
     def add_event(self, name: str, **attrs) -> None:
         """Attach a point-in-time event (retry, failover, ...) to the span."""
         self.events.append({"name": name, "attrs": attrs})
+
+    def to_context(self) -> TraceContext:
+        """This span's position as a portable :class:`TraceContext`."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
 
     @property
     def duration_ms(self) -> float:
@@ -62,25 +103,33 @@ class Span:
     def to_record(self, origin: float) -> dict:
         """The span as a JSONL-schema record, times relative to *origin*."""
         start_ms = (self.start - origin) * 1000.0
-        return {
+        end_ms = round(start_ms + self.duration_ms, 6)
+        record = {
             "v": SCHEMA_VERSION,
             "type": "span",
             "id": self.span_id,
+            "trace": self.trace_id,
             "parent": self.parent_id,
             "name": self.name,
             "start_ms": round(start_ms, 6),
-            "end_ms": round(start_ms + self.duration_ms, 6),
+            "end_ms": end_ms,
             "duration_ms": round(self.duration_ms, 6),
             "attrs": self.attrs,
             "events": [
                 {
                     "name": event["name"],
-                    "at_ms": event.get("at_ms", round(start_ms, 6)),
+                    # Default to the span *end*, matching the stamp the
+                    # tracer applies at close (events carry no clock reads
+                    # of their own).
+                    "at_ms": event.get("at_ms", end_ms),
                     "attrs": event["attrs"],
                 }
                 for event in self.events
             ],
         }
+        if self.remote:
+            record["remote"] = True
+        return record
 
 
 class _NullSpan:
@@ -104,6 +153,9 @@ class Tracer:
     *origin* (the clock reading at construction/reset) anchors every
     exported timestamp, so a deterministic clock yields identical records
     run over run regardless of process start time.
+
+    *trace_seed* seeds the 64-bit trace-id stream; :meth:`reset` restarts
+    it, so a seeded deterministic run exports byte-identical trace ids.
     """
 
     def __init__(
@@ -112,27 +164,68 @@ class Tracer:
         event_log: EventLog,
         metrics: MetricsRegistry,
         enabled: bool = True,
+        trace_seed: int = 0,
     ):
         self.clock = clock
         self.event_log = event_log
         self.metrics = metrics
         self.enabled = enabled
+        self.trace_seed = trace_seed
         self._lock = threading.Lock()
         self._next_id = 1
+        self._next_trace = 1
         self._current: contextvars.ContextVar[Span | None] = (
             contextvars.ContextVar("repro_obs_span", default=None)
+        )
+        self._remote: contextvars.ContextVar[TraceContext | None] = (
+            contextvars.ContextVar("repro_obs_remote", default=None)
         )
         self.origin = clock.now()
 
     def reset(self) -> None:
-        """Restart span ids and the time origin (fresh deterministic run)."""
+        """Restart span/trace ids and the time origin (fresh run)."""
         with self._lock:
             self._next_id = 1
+            self._next_trace = 1
         self.origin = self.clock.now()
 
     def current(self) -> Span | None:
         """The innermost live span of this thread/context, if any."""
         return self._current.get()
+
+    def allocate_trace_id(self) -> int:
+        """A fresh 64-bit trace id from the seeded splitmix64 stream."""
+        with self._lock:
+            nth = self._next_trace
+            self._next_trace += 1
+        return mix64(self.trace_seed ^ (nth * _TRACE_SALT))
+
+    def current_context(self) -> TraceContext | None:
+        """The trace position new work started *here* should inherit.
+
+        The innermost live span wins; with no live span, an activated
+        remote context (if any) is returned, so pool threads that re-enter
+        a captured context propagate it onward.
+        """
+        span = self._current.get()
+        if span is not None:
+            return span.to_context()
+        return self._remote.get()
+
+    @contextmanager
+    def activate(self, context: TraceContext | None):
+        """Resume *context* (a remote caller's trace position) here.
+
+        The next span opened under this context manager — with no local
+        parent span — adopts the remote trace id, parents itself under the
+        remote span id, and is marked ``remote`` in its record.  ``None``
+        deactivates (useful for symmetric call sites).
+        """
+        token = self._remote.set(context)
+        try:
+            yield context
+        finally:
+            self._remote.reset(token)
 
     @contextmanager
     def span(self, name: str, **attrs):
@@ -143,12 +236,28 @@ class Tracer:
             span_id = self._next_id
             self._next_id += 1
         parent = self._current.get()
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            remote = False
+        else:
+            context = self._remote.get()
+            if context is not None:
+                trace_id = context.trace_id
+                parent_id = context.span_id
+                remote = True
+            else:
+                trace_id = self.allocate_trace_id()
+                parent_id = None
+                remote = False
         span = Span(
             name=name,
             span_id=span_id,
-            parent_id=None if parent is None else parent.span_id,
+            parent_id=parent_id,
             start=self.clock.now(),
             attrs=dict(attrs),
+            trace_id=trace_id,
+            remote=remote,
         )
         token = self._current.set(span)
         try:

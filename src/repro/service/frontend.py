@@ -185,6 +185,9 @@ class _Flight:
         self.buckets: dict[Bucket, tuple[object, ...]] | None = None
         self.version: int = -1
         self.error: BaseException | None = None
+        #: The leader's trace position, so followers can link their spans
+        #: to the request that actually did the device round-trip.
+        self.leader_context = None
 
     def resolve(
         self, buckets: dict[Bucket, tuple[object, ...]], version: int
@@ -204,7 +207,16 @@ class _Flight:
 class _BatchSlot:
     """One request waiting for its micro-batch to execute."""
 
-    __slots__ = ("query", "buckets", "version", "hit", "error", "size", "_done")
+    __slots__ = (
+        "query",
+        "buckets",
+        "version",
+        "hit",
+        "error",
+        "size",
+        "leader_context",
+        "_done",
+    )
 
     def __init__(self, query: PartialMatchQuery):
         self.query = query
@@ -212,6 +224,7 @@ class _BatchSlot:
         self.version: int = -1
         self.hit: str = ""
         self.size: int = 0
+        self.leader_context = None
         self.error: BaseException | None = None
         self._done = threading.Event()
 
@@ -287,6 +300,7 @@ class _MicroBatcher:
             # them will self-promote: this thread stays leader for them.
             overflow = bool(self._pending)
             self._leader_active = overflow
+        leader_context = telemetry().tracer.current_context()
         try:
             try:
                 resolved = self._service._execute_batch_queries(
@@ -297,6 +311,7 @@ class _MicroBatcher:
                     slot.fail(error)
                 raise
             for slot, (buckets, version, hit) in zip(batch, resolved):
+                slot.leader_context = leader_context
                 slot.resolve(buckets, version, hit, len(batch))
         finally:
             if overflow:
@@ -447,7 +462,7 @@ class QueryService:
         surface as the future's exception.  Await-friendly: wrap with
         :func:`asyncio.wrap_future` to consume from an event loop.
         """
-        return self._submit_pool().submit(
+        return self._submit_traced(
             self.execute, query, deadline_ms=deadline_ms
         )
 
@@ -458,13 +473,35 @@ class QueryService:
     ) -> "Future[list[ServiceResult]]":
         """Asynchronous :meth:`execute_many`: one engine micro-batch, one
         admission permit, one future resolving to the per-query results."""
-        return self._submit_pool().submit(
+        return self._submit_traced(
             self.execute_many, queries, deadline_ms=deadline_ms
         )
 
     def submit_insert(self, record) -> "Future[tuple[Bucket, int]]":
         """Asynchronous :meth:`insert`; resolves to ``(bucket, version)``."""
-        return self._submit_pool().submit(self.insert, record)
+        return self._submit_traced(self.insert, record)
+
+    def _submit_traced(self, fn, *args, **kwargs) -> "Future":
+        """Pool submit that carries the caller's trace context along.
+
+        :class:`contextvars.ContextVar` state does not follow work into
+        pool threads, so the caller's trace position (its live span, or a
+        remote context the gateway activated) is captured here — in the
+        submitting thread — and re-activated around the pooled call.  The
+        spans the work opens then parent under the submitting request
+        instead of starting orphan traces.
+        """
+        tracer = telemetry().tracer
+        context = tracer.current_context()
+        pool = self._submit_pool()
+        if context is None:
+            return pool.submit(fn, *args, **kwargs)
+
+        def run():
+            with tracer.activate(context):
+                return fn(*args, **kwargs)
+
+        return pool.submit(run)
 
     def shutdown(self, wait: bool = True) -> None:
         """Retire the futures worker pool (idempotent).
@@ -539,6 +576,7 @@ class QueryService:
         if flight.error is not None:
             raise flight.error
         telemetry().metrics.add("service.coalesced")
+        self._link_leader(flight.leader_context)
         return ServiceResult(
             status=OK,
             query=query,
@@ -563,6 +601,8 @@ class QueryService:
             raise slot.error
         metrics.add("service.batched")
         metrics.observe("service.batch_size", float(slot.size))
+        if not leader:
+            self._link_leader(slot.leader_context)
         return ServiceResult(
             status=OK,
             query=query,
@@ -687,6 +727,7 @@ class QueryService:
                 ):
                     return candidate, False
             flight = _Flight(query, current)
+            flight.leader_context = telemetry().tracer.current_context()
             self._inflight[query] = flight
             return flight, True
 
@@ -694,6 +735,16 @@ class QueryService:
         with self._inflight_lock:
             if self._inflight.get(flight.query) is flight:
                 del self._inflight[flight.query]
+
+    @staticmethod
+    def _link_leader(context) -> None:
+        """Stamp the leader's trace position onto the follower's span."""
+        if context is None:
+            return
+        span = telemetry().tracer.current()
+        if span is not None:
+            span.set_attr("leader_trace", context.trace_id)
+            span.set_attr("leader_span", context.span_id)
 
     def _fetch(
         self, query: PartialMatchQuery
@@ -704,15 +755,23 @@ class QueryService:
             return lookup.buckets, lookup.version, lookup.hit
         buckets: dict[Bucket, tuple[object, ...]] = {}
         method = self.file.method
-        with self.file.read_locked():
-            for device in self.file.devices:
-                assigned = list(
-                    method.qualified_on_device(device.device_id, query)
-                )
-                device.read_buckets(assigned)
-                for bucket in assigned:
-                    buckets[bucket] = device.store.records_in(bucket)
-            version = self.file.write_version
+        with trace_span(
+            "query.execute",
+            query=query.describe(),
+            qualified=query.qualified_count,
+        ) as span:
+            buckets_per_device = []
+            with self.file.read_locked():
+                for device in self.file.devices:
+                    assigned = list(
+                        method.qualified_on_device(device.device_id, query)
+                    )
+                    device.read_buckets(assigned)
+                    buckets_per_device.append(len(assigned))
+                    for bucket in assigned:
+                        buckets[bucket] = device.store.records_in(bucket)
+                version = self.file.write_version
+            span.set_attr("buckets_per_device", buckets_per_device)
         return buckets, version, ""
 
     @staticmethod
@@ -727,7 +786,14 @@ class QueryService:
 
     @staticmethod
     def _observe(metrics, result: ServiceResult) -> None:
-        metrics.observe("service.latency_ms", result.total_ms)
+        mode = (
+            "batched"
+            if result.batched
+            else ("coalesced" if result.coalesced else "serial")
+        )
+        metrics.observe(
+            "service.latency_ms", result.total_ms, labels={"mode": mode}
+        )
         if result.queue_ms:
             metrics.observe("service.queue_ms", result.queue_ms)
 

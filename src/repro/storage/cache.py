@@ -61,6 +61,7 @@ from repro.core.inverse import bucket_strides
 from repro.engine.signature import pack_queries, pack_query
 from repro.errors import ConfigurationError
 from repro.hashing.fields import Bucket
+from repro.obs import trace_span
 from repro.query.algebra import subsumes
 from repro.query.partial_match import PartialMatchQuery
 from repro.storage.parallel_file import PartitionedFile
@@ -355,15 +356,23 @@ class CachedExecutor:
         """
         entry = _Entry(query=query)
         method = self.file.method
-        with self.file.read_locked():
-            for device in self.file.devices:
-                assigned = list(
-                    method.qualified_on_device(device.device_id, query)
-                )
-                device.read_buckets(assigned)
-                for bucket in assigned:
-                    entry.buckets[bucket] = device.store.records_in(bucket)
-            entry.version = self.file.write_version
+        with trace_span(
+            "query.execute",
+            query=query.describe(),
+            qualified=query.qualified_count,
+        ) as span:
+            buckets_per_device = []
+            with self.file.read_locked():
+                for device in self.file.devices:
+                    assigned = list(
+                        method.qualified_on_device(device.device_id, query)
+                    )
+                    device.read_buckets(assigned)
+                    buckets_per_device.append(len(assigned))
+                    for bucket in assigned:
+                        entry.buckets[bucket] = device.store.records_in(bucket)
+                entry.version = self.file.write_version
+            span.set_attr("buckets_per_device", buckets_per_device)
         return entry
 
     # ------------------------------------------------------------------

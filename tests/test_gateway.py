@@ -323,7 +323,7 @@ class TestServerOps:
         assert counters.get("gateway.accepted") == 2
         assert counters.get("gateway.requests") == 2
         histograms = obs.telemetry().metrics.snapshot().histograms
-        assert "gateway.tenant.alpha.latency_ms" in histograms
+        assert "gateway.latency_ms{tenant=alpha}" in histograms
         spans = [
             record
             for record in obs.telemetry().export_records()
@@ -352,7 +352,7 @@ class TestTenantGate:
         assert shed == excess
         counters = _counters()
         assert counters.get("gateway.shed") == excess
-        assert counters.get("gateway.tenant.alpha.shed") == excess
+        assert counters.get("gateway.shed{tenant=alpha}") == excess
         assert counters.get("gateway.accepted") == quota
 
     def test_quota_does_not_leak_across_tenants(self, gateway_factory):
@@ -646,7 +646,7 @@ class TestLoopbackLoad:
         assert not any(report.rejections.get("beta", {}).values())
         counters = _counters()
         assert counters.get("gateway.shed") == excess
-        assert counters.get("gateway.tenant.alpha.shed") == excess
+        assert counters.get("gateway.shed{tenant=alpha}") == excess
         # Every non-shed request was admitted and served.
         assert counters.get("gateway.accepted") == 2 * total - excess
         assert all(not bad for bad in report.verify().values())
