@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-batch report examples faults obs recover serve gateway clean
+.PHONY: install test bench bench-batch report examples faults obs recover serve gateway chaos clean
 
 install:
 	$(PYTHON) -m pip install -e .[test] || $(PYTHON) setup.py develop
@@ -55,6 +55,12 @@ gateway:
 		--tenants alpha,beta --connections 2 --requests 10 \
 		--preload 4 --quota 20 --verify
 	$(PYTHON) benchmarks/bench_gateway.py --smoke
+
+chaos:
+	$(PYTHON) -m repro chaos --fields 8,8 --devices 8 \
+		--tenants alpha,beta --connections 2 --requests 12 \
+		--fault-rate 0.06 --crash-at 0.5 --torn-tail
+	$(PYTHON) benchmarks/bench_chaos.py --smoke --out /tmp/BENCH_chaos.json
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,23 @@
+"""Deterministic chaos engineering for the network tier.
+
+Seeded wire faults (:mod:`repro.chaos.faults`), a fault-injecting
+loopback proxy (:mod:`repro.chaos.proxy`), a crash-restart gateway
+supervisor (:mod:`repro.chaos.supervisor`) and the invariant-proving
+harness (:mod:`repro.chaos.harness`) that ties them together.
+"""
+
+from repro.chaos.faults import FAULT_KINDS, NetFaultInjector, NetFaultPlan
+from repro.chaos.harness import ChaosReport, ChaosSpec, run_chaos_load
+from repro.chaos.proxy import ChaosEndpoint
+from repro.chaos.supervisor import RestartableGateway
+
+__all__ = [
+    "FAULT_KINDS",
+    "NetFaultPlan",
+    "NetFaultInjector",
+    "ChaosEndpoint",
+    "RestartableGateway",
+    "ChaosSpec",
+    "ChaosReport",
+    "run_chaos_load",
+]

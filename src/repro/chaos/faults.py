@@ -1,0 +1,255 @@
+"""Deterministic network-fault models for the chaos layer.
+
+The runtime's :class:`~repro.runtime.faults.FaultPlan` describes how the
+*device array* breaks; :class:`NetFaultPlan` describes how the *wire*
+breaks between a gateway client and the gateway:
+
+* **refuse** — an accepted connection is closed before a single frame is
+  relayed (a refused/instantly-reset connect, drawn once per connection),
+* **reset_request** — the connection is reset before the request frame
+  reaches the server (the write never happened),
+* **reset_response** — the request is delivered and served but the
+  response is swallowed and the connection reset (the write happened, the
+  acknowledgement did not — the case idempotency keys exist for),
+* **tear** — the response frame is delivered in several chunks with
+  pauses between them (the torn frames :class:`FrameDecoder` reassembles),
+* **duplicate** — the response frame is delivered twice, then the
+  connection is closed (a confused peer; the client must resync by
+  reconnecting),
+* **delay** — the response is held back *delay_ms* before delivery.
+
+All randomness hashes fixed coordinates through splitmix64 — the same
+idiom as :class:`~repro.runtime.faults.FaultInjector`: a per-exchange
+draw hashes ``(seed, endpoint, epoch, exchange)`` and a per-connection
+refusal draw hashes ``(seed, endpoint, epoch)`` on its own salt, so fault
+schedules are order-independent across endpoints, reproducible per seed,
+and adding a new fault kind never perturbs existing streams.
+
+``endpoint`` identity is the ``(tenant, connection)`` pair a
+:class:`~repro.chaos.proxy.ChaosEndpoint` serves, ``epoch`` counts the
+client's reconnects on that endpoint, and ``exchange`` counts
+request/response round-trips within one epoch — all three advance only
+with endpoint-local events, never with cross-endpoint scheduling, which
+is what makes whole chaos runs byte-deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.util.numbers import mix64
+
+__all__ = ["FAULT_KINDS", "NetFaultPlan", "NetFaultInjector"]
+
+_MASK = (1 << 64) - 1
+#: Odd multipliers decorrelating the coordinates of one exchange draw.
+_ENDPOINT_SALT = 0xBF58476D1CE4E5B9
+_EPOCH_SALT = 0x94D049BB133111EB
+_EXCHANGE_SALT = 0x2545F4914F6CDD1D
+#: Separate salt for the per-connection refusal stream, so adding
+#: refusals to a plan never perturbs its exchange-level draws.
+_REFUSE_SALT = 0xD1342543DE82EF95
+
+#: The exchange-level fault kinds, in threshold-stacking order (the order
+#: is part of the deterministic contract: one uniform draw per exchange
+#: walks these cumulative rate bands).
+FAULT_KINDS = ("reset_request", "reset_response", "tear", "duplicate", "delay")
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """A declarative, seed-reproducible description of wire faults.
+
+    Rates are per-exchange probabilities (one request/response
+    round-trip); *refuse_rate* is per accepted connection.  The exchange
+    kinds share a single uniform draw through stacked thresholds, so
+    their rates must sum below 1.  *script* pins specific faults for
+    tests: it maps ``(epoch, exchange)`` to a kind and applies to every
+    endpoint, overriding the random draw at those coordinates;
+    *refuse_epochs* likewise pins refusals.  The default plan is
+    fault-free.
+
+    >>> NetFaultPlan().is_trivial
+    True
+    >>> NetFaultPlan(tear_rate=0.2).is_trivial
+    False
+    """
+
+    seed: int = 0
+    refuse_rate: float = 0.0
+    reset_request_rate: float = 0.0
+    reset_response_rate: float = 0.0
+    tear_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    #: How long a ``delay`` fault holds the response back.  Keep well
+    #: below the client timeout or delays escalate into timeouts.
+    delay_ms: float = 5.0
+    #: How many chunks a ``tear`` fault splits the response into.
+    tear_chunks: int = 3
+    #: Scripted exchange faults: ``{(epoch, exchange): kind}``.
+    script: Mapping[tuple[int, int], str] = field(default_factory=dict)
+    #: Scripted connection refusals by epoch.
+    refuse_epochs: frozenset[int] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "script", dict(self.script))
+        object.__setattr__(
+            self, "refuse_epochs", frozenset(self.refuse_epochs)
+        )
+        for name in (
+            "refuse_rate",
+            "reset_request_rate",
+            "reset_response_rate",
+            "tear_rate",
+            "duplicate_rate",
+            "delay_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"{name} {rate} outside [0, 1)")
+        if sum(self.exchange_rates().values()) >= 1.0:
+            raise ConfigurationError(
+                "exchange fault rates must sum below 1, got "
+                f"{self.exchange_rates()}"
+            )
+        if self.delay_ms < 0:
+            raise ConfigurationError(
+                f"delay_ms must be >= 0, got {self.delay_ms}"
+            )
+        if self.tear_chunks < 2:
+            raise ConfigurationError(
+                f"tear_chunks must be >= 2, got {self.tear_chunks}"
+            )
+        for key, kind in self.script.items():
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"scripted fault {kind!r} at {key} not in {FAULT_KINDS}"
+                )
+
+    @classmethod
+    def none(cls) -> "NetFaultPlan":
+        """The fault-free plan (a transparent proxy)."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, **overrides) -> "NetFaultPlan":
+        """Every fault kind (refusals included) at the same *rate*."""
+        options = dict(
+            seed=seed,
+            refuse_rate=rate,
+            reset_request_rate=rate,
+            reset_response_rate=rate,
+            tear_rate=rate,
+            duplicate_rate=rate,
+            delay_rate=rate,
+        )
+        options.update(overrides)
+        return cls(**options)
+
+    def exchange_rates(self) -> dict[str, float]:
+        """Kind -> rate for the per-exchange draws, in stacking order."""
+        return {
+            "reset_request": self.reset_request_rate,
+            "reset_response": self.reset_response_rate,
+            "tear": self.tear_rate,
+            "duplicate": self.duplicate_rate,
+            "delay": self.delay_rate,
+        }
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the plan injects no fault of any kind."""
+        return (
+            self.refuse_rate == 0.0
+            and all(r == 0.0 for r in self.exchange_rates().values())
+            and not self.script
+            and not self.refuse_epochs
+        )
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.refuse_rate:
+            parts.append(f"refuse={self.refuse_rate}")
+        for kind, rate in self.exchange_rates().items():
+            if rate:
+                parts.append(f"{kind}={rate}")
+        if self.delay_rate:
+            parts.append(f"delay_ms={self.delay_ms}")
+        if self.script:
+            parts.append(f"script={len(self.script)}")
+        if self.refuse_epochs:
+            parts.append(f"refuse_epochs={sorted(self.refuse_epochs)}")
+        return f"NetFaultPlan({', '.join(parts)})"
+
+
+class NetFaultInjector:
+    """A :class:`NetFaultPlan` bound to nothing — draws are pure hashes.
+
+    >>> injector = NetFaultInjector(NetFaultPlan(script={(0, 0): "tear"}))
+    >>> injector.exchange_fault("alpha", 0, epoch=0, exchange=0)
+    'tear'
+    >>> injector.exchange_fault("alpha", 0, epoch=1, exchange=0) is None
+    True
+    """
+
+    def __init__(self, plan: NetFaultPlan):
+        self.plan = plan
+
+    @staticmethod
+    def _endpoint_word(tenant: str, connection: int) -> int:
+        # PYTHONHASHSEED randomises str hashes; crc32 keeps endpoint
+        # identity deterministic across processes.
+        return (
+            zlib.crc32(tenant.encode("utf-8")) * _ENDPOINT_SALT
+            ^ (connection + 1) * _EXCHANGE_SALT
+        ) & _MASK
+
+    def refuse_connection(
+        self, tenant: str, connection: int, epoch: int
+    ) -> bool:
+        """Seeded Bernoulli draw: close this accepted connection at once?"""
+        if epoch in self.plan.refuse_epochs:
+            return True
+        rate = self.plan.refuse_rate
+        if rate == 0.0:
+            return False
+        word = (
+            (self.plan.seed & _MASK)
+            ^ self._endpoint_word(tenant, connection)
+            ^ (epoch * _REFUSE_SALT)
+        ) & _MASK
+        return mix64(word) / float(1 << 64) < rate
+
+    def exchange_fault(
+        self, tenant: str, connection: int, epoch: int, exchange: int
+    ) -> str | None:
+        """The fault (if any) injected into one request/response exchange.
+
+        One uniform draw hashed from ``(seed, endpoint, epoch,
+        exchange)`` walks the cumulative rate bands of
+        :data:`FAULT_KINDS`, so per-kind schedules stay stable when other
+        kinds' rates change to zero or back.
+        """
+        scripted = self.plan.script.get((epoch, exchange))
+        if scripted is not None:
+            return scripted
+        rates = self.plan.exchange_rates()
+        if all(rate == 0.0 for rate in rates.values()):
+            return None
+        word = (
+            (self.plan.seed & _MASK)
+            ^ self._endpoint_word(tenant, connection)
+            ^ (epoch * _EPOCH_SALT)
+            ^ ((exchange + 1) * _EXCHANGE_SALT)
+        ) & _MASK
+        draw = mix64(word) / float(1 << 64)
+        cumulative = 0.0
+        for kind in FAULT_KINDS:
+            cumulative += rates[kind]
+            if draw < cumulative:
+                return kind
+        return None

@@ -1,0 +1,617 @@
+"""The chaos harness: drive faults, crash the gateway, prove invariants.
+
+:func:`run_chaos_load` stands up the whole failure stack — a
+:class:`~repro.chaos.supervisor.RestartableGateway`, one fault-injecting
+:class:`~repro.chaos.proxy.ChaosEndpoint` per ``(tenant, connection)``,
+and one :class:`~repro.gateway.resilient.ResilientGatewayClient` per
+endpoint — runs a deterministic op log through it (the same per-connection
+logs as :mod:`repro.gateway.loadtest`), optionally kills and restarts the
+gateway mid-run, and returns a :class:`ChaosReport` whose
+:meth:`~ChaosReport.verify` proves the invariants that make resilience
+*correct* rather than merely lucky:
+
+* **zero stale reads** — every tenant's query log serial-replays clean
+  against the write-ahead log's version timeline
+  (:meth:`~repro.service.loadgen.LoadReport.verify`);
+* **no lost acknowledged write** — every ``(version, record)`` a client
+  was acked is present in the WAL at exactly that version, crash or not;
+* **no doubly applied write** — WAL idempotency keys are unique and no
+  two acknowledged writes share a version;
+* **bounded retry amplification** — total retries are capped by the
+  faults actually injected times the retry budget.
+
+The crash is phased with two barriers: every client finishes its
+pre-crash ops and parks; the supervisor crash-captures the WAL "disks"
+and restarts; only then do clients resume.  Combined with the strictly
+synchronous relay (no exchange is ever half-served) this makes the
+entire run — fault schedule, WAL contents, retry counts, ack sets —
+deterministic per seed: :meth:`ChaosReport.canonical_digest` is
+byte-identical across runs of the same spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import threading
+import time
+import zlib
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.chaos.faults import NetFaultInjector, NetFaultPlan
+from repro.chaos.proxy import ChaosEndpoint
+from repro.chaos.supervisor import RestartableGateway
+from repro.errors import CircuitOpenError, ConfigurationError
+from repro.gateway.client import GatewayClient, GatewayRequestError
+from repro.gateway.loadtest import GatewayLoadSpec, _connection_ops
+from repro.gateway.resilient import (
+    TRANSPORT_ERRORS,
+    CircuitBreaker,
+    ResilientGatewayClient,
+)
+from repro.gateway.server import GatewayConfig
+from repro.gateway.tenant import TenantSpec
+from repro.hashing.fields import FileSystem
+from repro.hashing.multikey import MultiKeyHash
+from repro.runtime.retry import RetryPolicy
+from repro.service.loadgen import LoadReport, LoadSpec, RequestRecord
+
+__all__ = ["ChaosSpec", "ChaosReport", "run_chaos_load"]
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Shape of one chaos run (per tenant)."""
+
+    connections_per_tenant: int = 2
+    requests_per_connection: int = 16
+    seed: int = 0
+    spec_probability: float = 0.5
+    #: Every k-th op of a connection is an insert (0 = read-only — but
+    #: then the exactly-once proof has nothing to chew on).
+    write_every: int = 3
+    hot_fraction: float = 0.0
+    hot_pool: int = 4
+    batch_every: int = 0
+    batch_size: int = 4
+    #: Records written per tenant (through the WAL) before chaos starts.
+    preload: int = 4
+    #: The wire-fault schedule; :meth:`NetFaultPlan.none` = clean run.
+    faults: NetFaultPlan = field(default_factory=NetFaultPlan.none)
+    #: Fraction of each connection's ops after which the gateway is
+    #: crash-killed and restarted (``None`` = no crash).
+    crash_at: float | None = 0.5
+    #: Shear the final WAL frame in half at the crash (torn tail).
+    torn_tail: bool = False
+    #: Socket deadline of each client attempt.
+    timeout_s: float = 10.0
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=6, base_delay_ms=2.0, max_delay_ms=25.0
+        )
+    )
+    #: Consecutive transport failures before a client's breaker trips.
+    #: The default is deliberately high: an open breaker heals on a
+    #: wall-clock cooldown, which would break run determinism.
+    breaker_threshold: int = 64
+    breaker_cooldown_s: float = 1.0
+    deadline_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.connections_per_tenant < 1:
+            raise ConfigurationError(
+                "connections_per_tenant must be >= 1, got "
+                f"{self.connections_per_tenant}"
+            )
+        if self.requests_per_connection < 1:
+            raise ConfigurationError(
+                "requests_per_connection must be >= 1, got "
+                f"{self.requests_per_connection}"
+            )
+        if self.crash_at is not None and not 0.0 <= self.crash_at <= 1.0:
+            raise ConfigurationError(
+                f"crash_at {self.crash_at} outside [0, 1]"
+            )
+        if self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be positive, got {self.timeout_s}"
+            )
+        if self.breaker_threshold < 1:
+            raise ConfigurationError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.preload < 0 or self.write_every < 0:
+            raise ConfigurationError("preload/write_every must be >= 0")
+
+    def load_spec(self) -> GatewayLoadSpec:
+        """The op-log shape shared with the fault-free loopback load."""
+        return GatewayLoadSpec(
+            connections_per_tenant=self.connections_per_tenant,
+            requests_per_connection=self.requests_per_connection,
+            seed=self.seed,
+            spec_probability=self.spec_probability,
+            write_every=self.write_every,
+            hot_fraction=self.hot_fraction,
+            hot_pool=self.hot_pool,
+            batch_every=self.batch_every,
+            batch_size=self.batch_size,
+            preload=0,
+            deadline_ms=self.deadline_ms,
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced, plus the invariant checks."""
+
+    spec: ChaosSpec
+    wall_s: float
+    crashes: int
+    #: One serial-replay-verifiable report per tenant; its ``writes``
+    #: timeline is the WAL ground truth, not the clients' view.
+    per_tenant: dict[str, LoadReport] = field(default_factory=dict)
+    #: Client-acknowledged ``(version, record)`` writes per tenant
+    #: (preload included) — what "no lost acknowledged write" checks.
+    acked: dict[str, list[tuple[int, tuple]]] = field(default_factory=dict)
+    #: Idempotency keys found in each tenant's WAL, in log order.
+    wal_idem: dict[str, list[str]] = field(default_factory=dict)
+    #: ``"tenant#connection"`` -> ``[(kind, status, attempts), ...]``.
+    outcomes: dict[str, list[tuple[str, str, int]]] = field(
+        default_factory=dict
+    )
+    #: ``"tenant#connection"`` -> fault kind -> times injected.
+    faults: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Per-tenant recovery summaries after the restart (``None`` entries
+    #: mean that tenant had nothing to recover).
+    recovered: dict[str, dict | None] = field(default_factory=dict)
+    total_retries: int = 0
+    total_reconnects: int = 0
+    total_deduped: int = 0
+    #: Unexpected client exceptions (must stay empty).
+    errors: list[str] = field(default_factory=list)
+    _hashes: dict[str, MultiKeyHash] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Outcome accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_ops(self) -> int:
+        return sum(len(ops) for ops in self.outcomes.values())
+
+    @property
+    def ok_ops(self) -> int:
+        return sum(
+            1
+            for ops in self.outcomes.values()
+            for __, status, __ in ops
+            if status == "ok"
+        )
+
+    @property
+    def availability(self) -> float:
+        """Fraction of chaos-phase ops that ultimately succeeded."""
+        total = self.total_ops
+        return 1.0 if total == 0 else self.ok_ops / total
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(
+            sum(counts.values()) for counts in self.faults.values()
+        )
+
+    # ------------------------------------------------------------------
+    # The invariants
+    # ------------------------------------------------------------------
+    def verify(self) -> list[str]:
+        """Every violated invariant, as a human-readable message.
+
+        An empty list is the chaos acceptance criterion.
+        """
+        violations = list(self.errors)
+        for name, report in sorted(self.per_tenant.items()):
+            timeline = {version: record for version, record in report.writes}
+            seen_versions: dict[int, tuple] = {}
+            for version, record in self.acked.get(name, []):
+                applied = timeline.get(version)
+                if applied is None:
+                    violations.append(
+                        f"{name}: LOST acknowledged write v{version} "
+                        f"{record} — not in the WAL"
+                    )
+                elif tuple(applied) != tuple(record):
+                    violations.append(
+                        f"{name}: acknowledged write v{version} {record} "
+                        f"!= WAL record {applied}"
+                    )
+                earlier = seen_versions.get(version)
+                if earlier is not None and tuple(earlier) != tuple(record):
+                    violations.append(
+                        f"{name}: version {version} acknowledged for two "
+                        f"different writes: {earlier} and {record}"
+                    )
+                seen_versions[version] = tuple(record)
+            keys = self.wal_idem.get(name, [])
+            if len(keys) != len(set(keys)):
+                dupes = sorted(
+                    key for key in set(keys) if keys.count(key) > 1
+                )
+                violations.append(
+                    f"{name}: DOUBLY APPLIED writes — idempotency keys "
+                    f"{dupes} appear more than once in the WAL"
+                )
+            violations.extend(
+                f"{name}: {message}"
+                for message in report.verify(
+                    self._hashes[name], initial_records=[]
+                )
+            )
+        # Retry amplification: every retry must be attributable to an
+        # injected fault or a crash-severed connection, each of which can
+        # burn at most the per-call retry budget.
+        disruptions = self.faults_injected + self.crashes * len(self.outcomes)
+        ceiling = disruptions * self.spec.retry.max_attempts
+        if self.total_retries > ceiling:
+            violations.append(
+                f"retry amplification: {self.total_retries} retries > "
+                f"{ceiling} ({disruptions} disruptions x "
+                f"{self.spec.retry.max_attempts} attempts)"
+            )
+        return violations
+
+    # ------------------------------------------------------------------
+    # Canonical (seed-deterministic) view
+    # ------------------------------------------------------------------
+    def canonical_dict(self) -> dict:
+        """The run stripped to what determinism guarantees.
+
+        Wall-clock, latencies, write-version assignments and WAL order
+        all depend on thread interleaving; what a seed pins down is the
+        fault schedule, each endpoint's op outcomes, the retry totals and
+        the *multisets* of applied and acknowledged records — so those
+        are what the canonical view (and its digest) contains.
+        """
+        from repro.envelope import versioned
+
+        return versioned(
+            {
+                "seed": self.spec.seed,
+                "faults": self.spec.faults.describe(),
+                "crash_at": self.spec.crash_at,
+                "torn_tail": self.spec.torn_tail,
+                "crashes": self.crashes,
+                "endpoints": {
+                    key: {
+                        "outcomes": [list(entry) for entry in ops],
+                        "faults": dict(sorted(self.faults.get(key, {}).items())),
+                    }
+                    for key, ops in sorted(self.outcomes.items())
+                },
+                "tenants": {
+                    name: {
+                        "wal_entries": len(report.writes),
+                        "acked_writes": len(self.acked.get(name, [])),
+                        "wal_digest": _records_digest(
+                            record for __, record in report.writes
+                        ),
+                        "acked_digest": _records_digest(
+                            record
+                            for __, record in self.acked.get(name, [])
+                        ),
+                        "idem_keys": sorted(self.wal_idem.get(name, [])),
+                    }
+                    for name, report in sorted(self.per_tenant.items())
+                },
+                "totals": {
+                    "ops": self.total_ops,
+                    "ok": self.ok_ops,
+                    "retries": self.total_retries,
+                    "reconnects": self.total_reconnects,
+                    "deduped": self.total_deduped,
+                    "faults_injected": self.faults_injected,
+                },
+            }
+        )
+
+    def canonical_digest(self) -> str:
+        """SHA-256 over the canonical view — identical for identical seeds."""
+        payload = json.dumps(
+            self.canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> dict:
+        from repro.envelope import versioned
+
+        violations = self.verify()
+        return versioned(
+            {
+                "wall_s": round(self.wall_s, 6),
+                "availability": round(self.availability, 6),
+                "ops": self.total_ops,
+                "ok": self.ok_ops,
+                "crashes": self.crashes,
+                "faults_injected": self.faults_injected,
+                "retries": self.total_retries,
+                "reconnects": self.total_reconnects,
+                "deduped": self.total_deduped,
+                "tenants": {
+                    name: report.to_dict()
+                    for name, report in sorted(self.per_tenant.items())
+                },
+                "recovered": {
+                    name: info
+                    for name, info in sorted(self.recovered.items())
+                },
+                "violations": violations,
+                "canonical_digest": self.canonical_digest(),
+            }
+        )
+
+
+def _records_digest(records) -> str:
+    """Order-independent SHA-256 over a multiset of records."""
+    payload = json.dumps(
+        sorted(list(record) for record in records),
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_chaos_load(
+    tenants: Sequence[TenantSpec],
+    spec: ChaosSpec | None = None,
+    service_defaults: Mapping | None = None,
+) -> ChaosReport:
+    """One full chaos run: faults in, invariants out.
+
+    *tenants* accepts :class:`TenantSpec` entries or live tenants.  The
+    gateway (WAL-durable, supervised), the per-endpoint fault proxies and
+    the resilient clients are all built and torn down inside the call.
+    """
+    spec = spec or ChaosSpec()
+    specs = [getattr(tenant, "spec", tenant) for tenant in tenants]
+    supervisor = RestartableGateway(
+        specs,
+        config=GatewayConfig(
+            max_connections=4 * len(specs) * spec.connections_per_tenant + 8
+        ),
+        service_defaults=service_defaults,
+    )
+    host, port = supervisor.start()
+
+    hashes: dict[str, MultiKeyHash] = {}
+    acked: dict[str, list[tuple[int, tuple]]] = {
+        tenant.name: [] for tenant in specs
+    }
+    errors: list[str] = []
+    errors_lock = threading.Lock()
+
+    # Preload through the real gateway (no proxy): these writes ride the
+    # WAL like any other, so the verify timeline starts at version 1.
+    for tenant in specs:
+        fs = FileSystem.of(*tenant.fields, m=tenant.devices)
+        hashes[tenant.name] = MultiKeyHash.default(fs)
+        if spec.preload:
+            rng = random.Random(f"chaos-preload:{spec.seed}:{tenant.name}")
+            trace_seed = zlib.crc32(
+                f"chaos-preload-trace:{spec.seed}:{tenant.name}".encode()
+            )
+            with GatewayClient(
+                host, port, tenant=tenant.name, trace_seed=trace_seed
+            ) as client:
+                for n in range(spec.preload):
+                    record = tuple(
+                        rng.randrange(4096) for __ in range(fs.n_fields)
+                    )
+                    __, version = client.insert(
+                        record, idem=f"preload:{spec.seed}:{tenant.name}:{n}"
+                    )
+                    acked[tenant.name].append((version, record))
+
+    injector = NetFaultInjector(spec.faults)
+    endpoints: dict[tuple[str, int], ChaosEndpoint] = {}
+    for tenant in specs:
+        for connection in range(spec.connections_per_tenant):
+            endpoint = ChaosEndpoint(
+                (host, port), injector, tenant.name, connection
+            )
+            endpoint.start()
+            endpoints[(tenant.name, connection)] = endpoint
+
+    load_spec = spec.load_spec()
+    outcomes: dict[str, list[tuple[str, str, int]]] = {}
+    per_endpoint_requests: dict[str, list[RequestRecord]] = {}
+    totals_lock = threading.Lock()
+    totals = {"retries": 0, "reconnects": 0, "deduped": 0}
+    n_endpoints = len(endpoints)
+    barrier_pre = threading.Barrier(n_endpoints + 1)
+    barrier_post = threading.Barrier(n_endpoints + 1)
+
+    def endpoint_loop(tenant: TenantSpec, connection: int) -> None:
+        key = f"{tenant.name}#{connection}"
+        fs = FileSystem.of(*tenant.fields, m=tenant.devices)
+        ops = _connection_ops(fs, tenant.name, connection, load_spec)
+        crash_index = (
+            len(ops)
+            if spec.crash_at is None
+            else int(len(ops) * spec.crash_at)
+        )
+        proxy_host, proxy_port = endpoints[(tenant.name, connection)].address
+        client = ResilientGatewayClient(
+            proxy_host,
+            proxy_port,
+            tenant=tenant.name,
+            fields=tenant.fields,
+            devices=tenant.devices,
+            retry=spec.retry,
+            timeout_s=spec.timeout_s,
+            breaker=CircuitBreaker(
+                failure_threshold=spec.breaker_threshold,
+                cooldown_s=spec.breaker_cooldown_s,
+            ),
+            trace_seed=zlib.crc32(
+                f"chaos-trace:{spec.seed}:{tenant.name}:{connection}".encode()
+            ),
+            idem_prefix=f"{spec.seed}:{tenant.name}:{connection}",
+        )
+        log: list[tuple[str, str, int]] = []
+        requests: list[RequestRecord] = []
+        writes: list[tuple[int, tuple]] = []
+
+        def run_op(index: int, kind: str, payload) -> None:
+            try:
+                if kind == "insert":
+                    __, version = client.insert(payload)
+                    writes.append((version, payload))
+                    log.append((kind, "ok", client.last_attempts))
+                elif kind == "batch":
+                    started = time.perf_counter()
+                    results = client.batch(
+                        payload, deadline_ms=spec.deadline_ms
+                    )
+                    latency_ms = (time.perf_counter() - started) * 1000.0
+                    for result in results:
+                        requests.append(
+                            RequestRecord(
+                                connection, index, result.query, result,
+                                latency_ms,
+                            )
+                        )
+                    log.append((kind, "ok", client.last_attempts))
+                else:
+                    started = time.perf_counter()
+                    result = client.query(
+                        payload, deadline_ms=spec.deadline_ms
+                    )
+                    latency_ms = (time.perf_counter() - started) * 1000.0
+                    requests.append(
+                        RequestRecord(
+                            connection, index, result.query, result,
+                            latency_ms,
+                        )
+                    )
+                    log.append((kind, result.status, client.last_attempts))
+            except CircuitOpenError:
+                log.append((kind, "breaker_open", 0))
+            except GatewayRequestError as error:
+                log.append((kind, f"rejected:{error.code}", 1))
+            except TRANSPORT_ERRORS as error:
+                log.append(
+                    (
+                        kind,
+                        f"failed:{type(error).__name__}",
+                        spec.retry.max_attempts,
+                    )
+                )
+
+        try:
+            for index, (kind, payload) in enumerate(ops[:crash_index]):
+                run_op(index, kind, payload)
+            barrier_pre.wait()
+            barrier_post.wait()
+            for index, (kind, payload) in enumerate(
+                ops[crash_index:], start=crash_index
+            ):
+                run_op(index, kind, payload)
+        except BaseException as error:  # invariant: zero unexpected errors
+            with errors_lock:
+                errors.append(f"{key}: {error!r}")
+        finally:
+            client.close()
+        with totals_lock:
+            outcomes[key] = log
+            per_endpoint_requests[key] = requests
+            acked[tenant.name].extend(writes)
+            totals["retries"] += client.retries
+            totals["reconnects"] += client.reconnects
+            totals["deduped"] += client.deduped
+
+    threads = [
+        threading.Thread(
+            target=endpoint_loop,
+            args=(tenant, connection),
+            name=f"chaos-client-{tenant.name}-{connection}",
+        )
+        for tenant in specs
+        for connection in range(spec.connections_per_tenant)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    barrier_pre.wait()
+    if spec.crash_at is not None:
+        supervisor.crash(torn_tail=spec.torn_tail)
+        supervisor.restart()
+    barrier_post.wait()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+
+    # The WAL is the ground truth the invariants replay against: entry k
+    # describes write version k+1 (appends happen under the file's
+    # mutation lock, so log order equals version order).
+    per_tenant: dict[str, LoadReport] = {}
+    wal_idem: dict[str, list[str]] = {}
+    recovered: dict[str, dict | None] = {}
+    for tenant in specs:
+        entries = supervisor.wal_entries(tenant.name)
+        report = LoadReport(
+            spec=LoadSpec(
+                clients=spec.connections_per_tenant,
+                requests_per_client=spec.requests_per_connection,
+                seed=spec.seed,
+                spec_probability=spec.spec_probability,
+                write_every=spec.write_every,
+                hot_fraction=spec.hot_fraction,
+                hot_pool=spec.hot_pool,
+                deadline_ms=spec.deadline_ms,
+            ),
+            wall_s=wall_s,
+            writes=[
+                (index + 1, tuple(entry.record))
+                for index, entry in enumerate(entries)
+                if entry.op == "insert"
+            ],
+        )
+        per_tenant[tenant.name] = report
+        wal_idem[tenant.name] = [
+            str((entry.meta or {}).get("idem"))
+            for entry in entries
+            if entry.op == "insert" and (entry.meta or {}).get("idem")
+        ]
+        live = (
+            supervisor.gateway.tenants.get(tenant.name)
+            if supervisor.gateway is not None
+            else None
+        )
+        recovered[tenant.name] = live.recovered if live is not None else None
+    for key, requests in per_endpoint_requests.items():
+        name = key.split("#", 1)[0]
+        per_tenant[name].requests.extend(requests)
+
+    faults = {
+        f"{name}#{connection}": dict(endpoint.faults)
+        for (name, connection), endpoint in endpoints.items()
+    }
+    for endpoint in endpoints.values():
+        endpoint.stop()
+    supervisor.stop()
+
+    return ChaosReport(
+        spec=spec,
+        wall_s=wall_s,
+        crashes=supervisor.crashes,
+        per_tenant=per_tenant,
+        acked=acked,
+        wal_idem=wal_idem,
+        outcomes=outcomes,
+        faults=faults,
+        recovered=recovered,
+        total_retries=totals["retries"],
+        total_reconnects=totals["reconnects"],
+        total_deduped=totals["deduped"],
+        errors=errors,
+        _hashes=hashes,
+    )

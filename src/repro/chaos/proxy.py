@@ -1,0 +1,286 @@
+"""A fault-injecting TCP proxy in front of the gateway.
+
+One :class:`ChaosEndpoint` is one listening socket proxying **one client
+identity** — a ``(tenant, connection)`` pair — to the real gateway.
+Giving every client its own endpoint is what keeps chaos runs
+deterministic: fault draws key on the endpoint's fixed identity plus its
+local reconnect epoch and exchange counters, never on the order in which
+the OS happens to schedule unrelated connections.
+
+The relay is strictly exchange-oriented, mirroring the closed-loop
+protocol clients (one outstanding frame per connection): read one
+request frame from the client, draw the fault for this ``(endpoint,
+epoch, exchange)``, forward, read the one response frame from the
+backend, deliver it — torn, delayed, duplicated, swallowed or intact.
+Because the relay always reads the backend's response before moving on,
+server-side work for an exchange is *complete* before the next exchange
+begins; a crash between exchanges therefore captures a well-defined
+write-ahead-log prefix, with no request half-way through the stack.
+
+Faults that abandon a connection (``reset_*``, ``duplicate``) close both
+sides and let the client's resilience machinery reconnect — which
+advances the endpoint's epoch and lands the retry on a fresh relay.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.chaos.faults import NetFaultInjector
+from repro.errors import GatewayError
+from repro.gateway.protocol import HEADER
+from repro.obs import telemetry
+
+__all__ = ["ChaosEndpoint"]
+
+#: How often the accept loop wakes to check the stop flag.
+_POLL_S = 0.1
+#: Pause between the chunks of a torn response (long enough that the
+#: client's decoder really sees separate reads, short enough to never
+#: approach a sane client timeout).
+_TEAR_PAUSE_S = 0.002
+
+
+class ChaosEndpoint:
+    """One fault-injecting listener for one ``(tenant, connection)`` pair.
+
+    >>> endpoint = ChaosEndpoint(("127.0.0.1", 9999), injector,
+    ...                          tenant="alpha", connection=0)  # doctest: +SKIP
+    >>> host, port = endpoint.start()                           # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        backend: tuple[str, int],
+        injector: NetFaultInjector,
+        tenant: str,
+        connection: int,
+        host: str = "127.0.0.1",
+        io_timeout_s: float = 30.0,
+    ):
+        self.backend = backend
+        self.injector = injector
+        self.tenant = tenant
+        self.connection = connection
+        self.host = host
+        self.io_timeout_s = io_timeout_s
+        #: Fault kind -> times injected on this endpoint.
+        self.faults: dict[str, int] = {}
+        self._faults_lock = threading.Lock()
+        self._listener: socket.socket | None = None
+        self._address: tuple[str, int] | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._relays: set[threading.Thread] = set()
+        self._open: set[socket.socket] = set()
+        self._state_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._epoch = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Bind, listen, launch the accept loop; returns ``(host, port)``."""
+        if self._listener is not None:
+            raise GatewayError("chaos endpoint already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(8)
+        listener.settimeout(_POLL_S)
+        self._listener = listener
+        self._address = listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"chaos-{self.tenant}-{self.connection}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self._address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._address is None:
+            raise GatewayError("chaos endpoint not started")
+        return self._address
+
+    def stop(self) -> None:
+        """Close the listener and every relayed connection."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        with self._state_lock:
+            pending = list(self._open)
+            relays = list(self._relays)
+        for sock in pending:
+            _close_quietly(sock)
+        for relay in relays:
+            relay.join(timeout=2.0)
+
+    def __enter__(self) -> "ChaosEndpoint":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Accept loop
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                conn, __ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            epoch = self._epoch
+            self._epoch += 1
+            if self.injector.refuse_connection(
+                self.tenant, self.connection, epoch
+            ):
+                self._count("refuse")
+                _close_quietly(conn)
+                continue
+            relay = threading.Thread(
+                target=self._relay,
+                args=(conn, epoch),
+                name=f"chaos-relay-{self.tenant}-{self.connection}-{epoch}",
+                daemon=True,
+            )
+            with self._state_lock:
+                self._open.add(conn)
+                self._relays.add(relay)
+            relay.start()
+
+    # ------------------------------------------------------------------
+    # The relay
+    # ------------------------------------------------------------------
+    def _relay(self, client: socket.socket, epoch: int) -> None:
+        client.settimeout(self.io_timeout_s)
+        try:
+            backend = socket.create_connection(
+                self.backend, timeout=self.io_timeout_s
+            )
+        except OSError:
+            self._finish(client, None)
+            return
+        backend.settimeout(self.io_timeout_s)
+        with self._state_lock:
+            self._open.add(backend)
+        exchange = 0
+        try:
+            while not self._stopping.is_set():
+                request = _read_frame(client)
+                if request is None:
+                    return
+                fault = self.injector.exchange_fault(
+                    self.tenant, self.connection, epoch, exchange
+                )
+                if fault == "reset_request":
+                    self._count(fault)
+                    return
+                try:
+                    backend.sendall(request)
+                except OSError:
+                    return
+                response = _read_frame(backend)
+                if response is None:
+                    return
+                if fault == "reset_response":
+                    self._count(fault)
+                    return
+                try:
+                    if fault == "duplicate":
+                        # Deliver twice, then abandon the connection: the
+                        # stray copy forces the client to observe an id
+                        # mismatch and resync on a fresh connection.
+                        self._count(fault)
+                        client.sendall(response + response)
+                        return
+                    if fault == "tear":
+                        self._count(fault)
+                        for chunk in _chunks(
+                            response, self.injector.plan.tear_chunks
+                        ):
+                            client.sendall(chunk)
+                            time.sleep(_TEAR_PAUSE_S)
+                    elif fault == "delay":
+                        self._count(fault)
+                        time.sleep(self.injector.plan.delay_ms / 1000.0)
+                        client.sendall(response)
+                    else:
+                        client.sendall(response)
+                except OSError:
+                    return
+                exchange += 1
+        finally:
+            self._finish(client, backend)
+
+    def _finish(
+        self, client: socket.socket, backend: socket.socket | None
+    ) -> None:
+        with self._state_lock:
+            self._open.discard(client)
+            if backend is not None:
+                self._open.discard(backend)
+            self._relays.discard(threading.current_thread())
+        _close_quietly(client)
+        if backend is not None:
+            _close_quietly(backend)
+
+    def _count(self, kind: str) -> None:
+        with self._faults_lock:
+            self.faults[kind] = self.faults.get(kind, 0) + 1
+        telemetry().metrics.add(
+            "chaos.faults", labels={"kind": kind, "tenant": self.tenant}
+        )
+
+
+def _read_frame(sock: socket.socket) -> bytes | None:
+    """One complete wire frame (header + body), or ``None`` on EOF/error."""
+    try:
+        header = _read_exact(sock, HEADER.size)
+        if header is None:
+            return None
+        (length,) = HEADER.unpack(header)
+        body = _read_exact(sock, length)
+        if body is None:
+            return None
+        return header + body
+    except (OSError, ValueError):
+        return None
+
+
+def _read_exact(sock: socket.socket, n: int) -> bytes | None:
+    buffer = bytearray()
+    while len(buffer) < n:
+        chunk = sock.recv(n - len(buffer))
+        if not chunk:
+            return None
+        buffer += chunk
+    return bytes(buffer)
+
+
+def _chunks(data: bytes, n: int) -> list[bytes]:
+    """Split *data* into *n* non-empty chunks (fewer for tiny frames)."""
+    size = max(1, len(data) // n)
+    pieces = [data[i : i + size] for i in range(0, len(data), size)]
+    return [piece for piece in pieces if piece]
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass

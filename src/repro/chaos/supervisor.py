@@ -1,0 +1,160 @@
+"""Crash-restart supervision for the gateway under chaos.
+
+:class:`RestartableGateway` owns what a process supervisor owns: the
+tenant specs, the bound port, and — standing in for the disk — each
+tenant's write-ahead-log bytes.  :meth:`crash` captures every started
+tenant's WAL (optionally shearing the final frame in half, the residue a
+power cut leaves) and then :meth:`Gateway.abort`-kills the process
+stand-in; :meth:`restart` builds a brand-new :class:`Gateway` on the
+*same* port whose tenants recover by replaying those captured bytes —
+the :class:`~repro.gateway.tenant.Tenant` WAL path.
+
+The crash boundary is deterministic by construction: the chaos harness
+quiesces its clients at a barrier before calling :meth:`crash`, and the
+relay in :mod:`repro.chaos.proxy` never leaves an exchange half-served,
+so the captured WAL is a well-defined prefix of the run's writes rather
+than whatever a racing thread happened to flush.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Mapping
+
+from repro.durability.wal import WalEntry, WriteAheadLog
+from repro.errors import GatewayError
+from repro.gateway.server import Gateway, GatewayConfig
+from repro.gateway.tenant import Tenant, TenantSpec
+from repro.obs import telemetry
+
+__all__ = ["RestartableGateway"]
+
+
+class RestartableGateway:
+    """A gateway that can be killed and rebuilt on the same address.
+
+    >>> supervisor = RestartableGateway([spec])      # doctest: +SKIP
+    >>> host, port = supervisor.start()              # doctest: +SKIP
+    >>> supervisor.crash(torn_tail=True)             # doctest: +SKIP
+    >>> supervisor.restart()                         # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        tenants: Iterable[TenantSpec] | Mapping[str, TenantSpec],
+        config: GatewayConfig | None = None,
+        service_defaults: Mapping | None = None,
+    ):
+        self.specs = (
+            list(tenants.values())
+            if isinstance(tenants, Mapping)
+            else list(tenants)
+        )
+        self.config = config or GatewayConfig()
+        self.service_defaults = dict(service_defaults or {})
+        #: The surviving "disk": tenant name -> serialised WAL bytes.
+        self._wal_bytes: dict[str, bytes] = {}
+        self.gateway: Gateway | None = None
+        self.crashes = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> tuple[str, int]:
+        """Boot a fresh gateway; tenants recover from any captured WAL."""
+        if self.gateway is not None:
+            raise GatewayError("supervised gateway already running")
+        gateway = Gateway(
+            self.specs,
+            config=self.config,
+            service_defaults=self.service_defaults,
+            tenant_factory=self._build_tenant,
+        )
+        address = gateway.start()
+        # Pin the kernel-chosen port so every restart lands on the same
+        # address and clients can reconnect blindly.
+        if self.config.port == 0:
+            self.config = dataclasses.replace(self.config, port=address[1])
+        self.gateway = gateway
+        return address
+
+    def _build_tenant(self, spec: TenantSpec) -> Tenant:
+        wal = WriteAheadLog.from_bytes(self._wal_bytes.get(spec.name, b""))
+        return Tenant(spec, self.service_defaults, wal=wal)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.gateway is None:
+            raise GatewayError("supervised gateway not running")
+        return self.gateway.address
+
+    def crash(self, torn_tail: bool = False) -> None:
+        """Capture each tenant's WAL "disk" state, then kill the gateway.
+
+        With *torn_tail* the capture additionally appends the first half
+        of a phantom insert frame to every non-empty log — the torn final
+        frame recovery must shear off (:func:`repro.durability.wal.read_wal`
+        treats exactly that residue as a crash artefact, not corruption).
+        """
+        gateway = self.gateway
+        if gateway is None:
+            raise GatewayError("supervised gateway not running")
+        for name, tenant in gateway.tenants.items():
+            wal = tenant.wal
+            if wal is None:
+                continue
+            if tenant.started:
+                # Snapshot under the file's mutation lock so no write is
+                # mid-append while we copy the log.
+                with tenant.service.file.read_locked():
+                    captured = wal.to_bytes()
+            else:
+                captured = wal.to_bytes()
+            if torn_tail and captured:
+                phantom = WalEntry(
+                    "insert", tuple(0 for _ in tenant.spec.fields)
+                ).frame()
+                captured += phantom[: max(1, len(phantom) // 2)]
+            self._wal_bytes[name] = captured
+        gateway.abort()
+        self.gateway = None
+        self.crashes += 1
+        telemetry().metrics.add("chaos.crashes")
+
+    def restart(self, eager_recover: bool = True) -> tuple[str, int]:
+        """Boot the replacement gateway on the pinned address.
+
+        With *eager_recover* every tenant namespace is materialised (and
+        its WAL replayed) before the address is returned, so the first
+        client request after restart pays no recovery latency and tests
+        can assert on :attr:`Tenant.recovered` immediately.
+        """
+        address = self.start()
+        if eager_recover:
+            for tenant in self.gateway.tenants.values():
+                tenant.service
+        return address
+
+    def stop(self) -> None:
+        """Graceful final shutdown (drain, not abort)."""
+        if self.gateway is not None:
+            self.gateway.close()
+            self.gateway = None
+
+    def wal_entries(self, tenant: str):
+        """The named tenant's *live* WAL entries (ground truth for verify)."""
+        if self.gateway is not None and tenant in self.gateway.tenants:
+            wal = self.gateway.tenants[tenant].wal
+            if wal is not None:
+                return wal.entries()
+        return WriteAheadLog.from_bytes(
+            self._wal_bytes.get(tenant, b"")
+        ).entries()
+
+    def __enter__(self) -> "RestartableGateway":
+        if self.gateway is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1387,6 +1387,104 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos harness and prove the resilience invariants."""
+    from repro import obs
+    from repro.chaos import ChaosSpec, NetFaultPlan, run_chaos_load
+    from repro.gateway.tenant import TenantSpec
+    from repro.runtime import RetryPolicy
+
+    obs.reset_telemetry()
+    fs = _parse_filesystem(args)
+    tenant_names = [
+        name.strip() for name in args.tenants.split(",") if name.strip()
+    ]
+    tenants = [
+        TenantSpec.of(name, fs.field_sizes, fs.m, method=args.method)
+        for name in tenant_names
+    ]
+    rate = args.fault_rate
+    plan = NetFaultPlan(
+        seed=args.seed,
+        refuse_rate=args.refuse_rate if args.refuse_rate is not None else rate,
+        reset_request_rate=rate,
+        reset_response_rate=rate,
+        tear_rate=rate,
+        duplicate_rate=rate,
+        delay_rate=rate,
+        delay_ms=args.delay_ms,
+    )
+    spec = ChaosSpec(
+        connections_per_tenant=args.connections,
+        requests_per_connection=args.requests,
+        seed=args.seed,
+        spec_probability=args.p,
+        write_every=args.write_every,
+        batch_every=args.batch_every,
+        preload=args.preload,
+        faults=plan,
+        crash_at=None if args.no_crash else args.crash_at,
+        torn_tail=args.torn_tail,
+        timeout_s=args.timeout,
+        retry=RetryPolicy(
+            max_attempts=args.max_attempts,
+            base_delay_ms=2.0,
+            max_delay_ms=25.0,
+        ),
+    )
+    report = run_chaos_load(tenants, spec)
+    violations = report.verify()
+    if violations:
+        print(
+            json.dumps(
+                {
+                    "v": 1,
+                    "error": {
+                        "code": "chaos_invariant_violated",
+                        "violations": violations,
+                    },
+                }
+            ),
+            file=sys.stderr,
+        )
+    if args.json:
+        data = report.to_dict()
+        print(json.dumps(data, indent=2))
+        return 1 if violations else 0
+    recovered = sum(
+        (info or {}).get("entries", 0)
+        for info in report.recovered.values()
+    )
+    rows = [
+        ["tenants x connections",
+         f"{len(tenant_names)} x {args.connections}"],
+        ["ops (chaos phase)", report.total_ops],
+        ["ok", report.ok_ops],
+        ["availability", round(report.availability, 4)],
+        ["faults injected", report.faults_injected],
+        ["crash-restarts", report.crashes],
+        ["writes recovered from WAL", recovered],
+        ["retries", report.total_retries],
+        ["reconnects", report.total_reconnects],
+        ["dedup re-acks", report.total_deduped],
+        ["invariant violations", len(violations)],
+        ["canonical digest", report.canonical_digest()[:16]],
+    ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Chaos {plan.describe()} over {fs.describe()}: "
+                f"crash={'none' if spec.crash_at is None else spec.crash_at}"
+            ),
+        )
+    )
+    for message in violations[:10]:
+        print(f"VIOLATION {message}")
+    return 1 if violations else 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -1883,6 +1981,75 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of tables")
     gateway.set_defaults(func=_cmd_gateway)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="inject deterministic wire faults + a crash-restart and "
+        "prove zero stale reads / exactly-once acked writes",
+    )
+    _add_filesystem_arguments(chaos)
+    chaos.add_argument(
+        "--method", default="fx", choices=list(method_names()),
+        help="distribution method for every tenant's file",
+    )
+    chaos.add_argument(
+        "--tenants", default="alpha,beta",
+        help="comma-separated tenant namespace names",
+    )
+    chaos.add_argument("--connections", type=int, default=2,
+                       help="chaos clients (fault endpoints) per tenant")
+    chaos.add_argument("--requests", type=int, default=16,
+                       help="ops issued by each client")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for op logs AND the fault schedule")
+    chaos.add_argument("--p", type=float, default=0.5,
+                       help="per-field specification probability")
+    chaos.add_argument(
+        "--write-every", type=int, default=3, dest="write_every",
+        help="every k-th op of a client is an insert (0 = read-only)",
+    )
+    chaos.add_argument(
+        "--batch-every", type=int, default=0, dest="batch_every",
+        help="every k-th op is a multi-query batch frame (0 = never)",
+    )
+    chaos.add_argument(
+        "--preload", type=int, default=4,
+        help="records written per tenant before chaos starts",
+    )
+    chaos.add_argument(
+        "--fault-rate", type=float, default=0.05, dest="fault_rate",
+        help="per-exchange rate of EACH fault kind (reset/tear/dup/delay)",
+    )
+    chaos.add_argument(
+        "--refuse-rate", type=float, default=None, dest="refuse_rate",
+        help="per-connection refusal rate (default: --fault-rate)",
+    )
+    chaos.add_argument(
+        "--delay-ms", type=float, default=5.0, dest="delay_ms",
+        help="how long a delay fault holds a response back",
+    )
+    chaos.add_argument(
+        "--crash-at", type=float, default=0.5, dest="crash_at",
+        help="crash-restart the gateway after this fraction of each "
+        "client's ops",
+    )
+    chaos.add_argument(
+        "--no-crash", action="store_true", dest="no_crash",
+        help="skip the crash-restart (wire faults only)",
+    )
+    chaos.add_argument(
+        "--torn-tail", action="store_true", dest="torn_tail",
+        help="shear the final WAL frame in half at the crash",
+    )
+    chaos.add_argument("--timeout", type=float, default=10.0,
+                       help="socket deadline of each client attempt (s)")
+    chaos.add_argument(
+        "--max-attempts", type=int, default=6, dest="max_attempts",
+        help="retry budget per logical request",
+    )
+    chaos.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of tables")
+    chaos.set_defaults(func=_cmd_chaos)
 
     return parser
 

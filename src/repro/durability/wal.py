@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import struct
 import zlib
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, SimulatedCrashError, WalError
@@ -47,10 +47,17 @@ class WalEntry:
 
     Records must be sequences of JSON scalars (the field values the
     multi-key hash consumes); they round-trip the log as tuples.
+
+    *meta* carries optional JSON-scalar annotations — today the
+    gateway's client-stamped idempotency key (``{"idem": "..."}``), so
+    exactly-once dedup state survives a crash by riding the same log the
+    records do.  ``None`` serialises exactly as the pre-meta format, so
+    existing golden WAL bytes are unchanged.
     """
 
     op: str
     record: tuple
+    meta: Mapping[str, object] | None = None
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
@@ -58,13 +65,20 @@ class WalEntry:
                 f"unknown WAL op {self.op!r}; known: {OPS}"
             )
         object.__setattr__(self, "record", tuple(self.record))
+        if self.meta is not None:
+            if not isinstance(self.meta, Mapping):
+                raise ConfigurationError(
+                    f"WAL entry meta must be a mapping, got {self.meta!r}"
+                )
+            object.__setattr__(self, "meta", dict(self.meta))
 
     def payload(self) -> bytes:
         """Canonical JSON payload bytes (sorted keys, compact separators)."""
+        body: dict = {"op": self.op, "record": list(self.record)}
+        if self.meta is not None:
+            body["meta"] = self.meta
         return json.dumps(
-            {"op": self.op, "record": list(self.record)},
-            sort_keys=True,
-            separators=(",", ":"),
+            body, sort_keys=True, separators=(",", ":")
         ).encode("utf-8")
 
     @classmethod
@@ -77,10 +91,11 @@ class WalEntry:
             not isinstance(obj, dict)
             or not isinstance(obj.get("op"), str)
             or not isinstance(obj.get("record"), list)
+            or not isinstance(obj.get("meta", {}), dict)
         ):
             raise WalError(f"malformed WAL payload: {obj!r}")
         try:
-            return cls(obj["op"], tuple(obj["record"]))
+            return cls(obj["op"], tuple(obj["record"]), obj.get("meta"))
         except ConfigurationError as error:
             raise WalError(str(error)) from None
 
@@ -162,9 +177,14 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
-    def append(self, op: str, record: Sequence[object]) -> None:
+    def append(
+        self,
+        op: str,
+        record: Sequence[object],
+        meta: Mapping[str, object] | None = None,
+    ) -> None:
         """Frame and append one entry; fires the crash point if armed."""
-        entry = WalEntry(op, tuple(record))
+        entry = WalEntry(op, tuple(record), meta)
         if self._crashed:
             raise SimulatedCrashError(
                 "write-ahead log already crashed; recover before writing"
@@ -183,8 +203,12 @@ class WriteAheadLog:
         self._buffer += entry.frame()
         self._count += 1
 
-    def append_insert(self, record: Sequence[object]) -> None:
-        self.append("insert", record)
+    def append_insert(
+        self,
+        record: Sequence[object],
+        meta: Mapping[str, object] | None = None,
+    ) -> None:
+        self.append("insert", record, meta)
 
     def append_delete(self, record: Sequence[object]) -> None:
         self.append("delete", record)

@@ -26,6 +26,9 @@ __all__ = [
     "ProtocolError",
     "FrameTooLargeError",
     "GatewayError",
+    "GatewayTimeoutError",
+    "ConnectionLostError",
+    "CircuitOpenError",
 ]
 
 
@@ -120,3 +123,29 @@ class FrameTooLargeError(ProtocolError):
 
 class GatewayError(ReproError, RuntimeError):
     """The network gateway hit an unrecoverable serving-side state."""
+
+
+class GatewayTimeoutError(GatewayError):
+    """A socket operation against the gateway ran past its deadline.
+
+    Wraps the raw :class:`socket.timeout` so callers never block forever
+    on an unresponsive server and never have to catch raw socket errors.
+    """
+
+
+class ConnectionLostError(GatewayError):
+    """The TCP connection to the gateway dropped mid-operation.
+
+    Wraps raw :class:`OSError` connect/send/recv failures (refused,
+    reset, broken pipe) behind the library hierarchy; a resilient client
+    treats it as retryable on a fresh connection.
+    """
+
+
+class CircuitOpenError(GatewayError):
+    """A per-tenant circuit breaker is open: the request failed fast.
+
+    Raised instead of attempting the wire call once consecutive
+    transport failures cross the breaker threshold; the breaker lets a
+    probe through after its cooldown.
+    """

@@ -18,6 +18,13 @@ multi-tenant load test (:mod:`repro.gateway.loadtest`) close the loop,
 proving zero stale reads by serial replay over traffic that crossed real
 sockets.  Build one through :func:`repro.api.make_gateway`; drive it with
 ``python -m repro gateway``.
+
+When the wire itself is hostile,
+:class:`~repro.gateway.resilient.ResilientGatewayClient` retries typed
+transport errors with capped backoff behind a circuit breaker and stamps
+idempotency keys so the gateway's per-tenant dedup window (persisted via
+the WAL, rebuilt across crash-restarts) acks every write exactly once —
+proved end to end by the chaos harness in :mod:`repro.chaos`.
 """
 
 from repro.gateway.client import GatewayClient, GatewayRequestError
@@ -33,6 +40,7 @@ from repro.gateway.protocol import (
     encode_frame,
     recv_frame,
 )
+from repro.gateway.resilient import CircuitBreaker, ResilientGatewayClient
 from repro.gateway.server import Gateway, GatewayConfig
 from repro.gateway.tenant import Tenant, TenantSpec, TokenBucket
 
@@ -41,6 +49,8 @@ __all__ = [
     "GatewayConfig",
     "GatewayClient",
     "GatewayRequestError",
+    "CircuitBreaker",
+    "ResilientGatewayClient",
     "GatewayLoadSpec",
     "GatewayLoadReport",
     "run_loopback_load",

@@ -18,7 +18,12 @@ import socket
 import threading
 from collections.abc import Mapping, Sequence
 
-from repro.errors import GatewayError, ProtocolError
+from repro.errors import (
+    ConnectionLostError,
+    GatewayError,
+    GatewayTimeoutError,
+    ProtocolError,
+)
 from repro.gateway import protocol
 from repro.hashing.fields import FileSystem
 from repro.query.partial_match import PartialMatchQuery
@@ -78,10 +83,25 @@ class GatewayClient:
             if trace_seed is not None
             else int.from_bytes(os.urandom(8), "big")
         )
+        self.timeout_s = timeout_s
         self._ids = itertools.count(1)
         self._traces = itertools.count(1)
         self._lock = threading.Lock()
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        # The timeout sticks to the socket, so *every* later send/recv is
+        # bounded — an unresponsive server surfaces as a typed
+        # GatewayTimeoutError instead of an indefinite hang.
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout_s
+            )
+        except socket.timeout as error:
+            raise GatewayTimeoutError(
+                f"connect to {host}:{port} timed out after {timeout_s}s"
+            ) from error
+        except OSError as error:
+            raise ConnectionLostError(
+                f"connect to {host}:{port} failed: {error}"
+            ) from error
 
     # ------------------------------------------------------------------
     # Raw request/response
@@ -89,12 +109,25 @@ class GatewayClient:
     def call(self, payload: dict) -> dict:
         """Send one request payload; return the matched ``result`` object.
 
-        Raises :class:`GatewayRequestError` on a coded error response and
-        :class:`~repro.errors.ProtocolError` on a broken stream.
+        Raises :class:`GatewayRequestError` on a coded error response,
+        :class:`~repro.errors.ProtocolError` on a broken stream,
+        :class:`~repro.errors.GatewayTimeoutError` when the socket
+        deadline expires mid-operation, and
+        :class:`~repro.errors.ConnectionLostError` when the transport
+        drops — never a raw :mod:`socket` error.
         """
-        with self._lock:
-            self._sock.sendall(protocol.encode_frame(payload))
-            response = protocol.recv_frame(self._sock, self.max_frame_bytes)
+        try:
+            with self._lock:
+                self._sock.sendall(protocol.encode_frame(payload))
+                response = protocol.recv_frame(self._sock, self.max_frame_bytes)
+        except socket.timeout as error:
+            raise GatewayTimeoutError(
+                f"gateway did not answer within {self.timeout_s}s"
+            ) from error
+        except OSError as error:
+            raise ConnectionLostError(
+                f"connection to gateway lost: {error}"
+            ) from error
         if response is None:
             raise ProtocolError("gateway closed the connection")
         data = protocol.check_version(response, where="response")
@@ -149,6 +182,11 @@ class GatewayClient:
     def ping(self) -> bool:
         return bool(self._request("ping").get("pong"))
 
+    def health(self) -> dict:
+        """Readiness/drain snapshot: ``{"ready": ..., "draining": ...}``
+        plus per-tenant started/write_version state."""
+        return self._request("health")
+
     def stats(self) -> dict:
         return self._request("stats")
 
@@ -156,9 +194,20 @@ class GatewayClient:
         """Live observability snapshot: labeled metrics + per-tenant SLO."""
         return self._request("obs")
 
-    def insert(self, record: Sequence[object]) -> tuple[tuple, int]:
-        """Insert one record; returns ``(bucket, write_version)``."""
-        result = self._request("insert", record=list(record))
+    def insert(
+        self, record: Sequence[object], idem: str | None = None
+    ) -> tuple[tuple, int]:
+        """Insert one record; returns ``(bucket, write_version)``.
+
+        *idem* stamps a client-chosen idempotency key onto the write: the
+        gateway dedupes retries of the same key within its per-tenant
+        window and re-acknowledges the original ``(bucket, version)``
+        instead of applying the record twice.
+        """
+        body: dict = {"record": list(record)}
+        if idem is not None:
+            body["idem"] = idem
+        result = self._request("insert", **body)
         return tuple(result["bucket"]), int(result["write_version"])
 
     def query(

@@ -13,6 +13,14 @@ Requests name an operation and (except ``ping``) a tenant::
     {"v": 1, "id": 0, "op": "ping"}
     {"v": 1, "id": 1, "op": "stats",  "tenant": "alpha"}
     {"v": 1, "id": 2, "op": "obs"}
+    {"v": 1, "id": 3, "op": "health"}
+
+``health`` answers readiness/drain state without touching any tenant
+service (a load-balancer probe); ``insert`` may carry an additive
+``"idem": "<key>"`` field — a client-stamped idempotency key the
+gateway dedupes in a bounded per-tenant window, so a retried write is
+re-acknowledged at its original ``(bucket, write_version)`` instead of
+being applied twice (the response then carries ``"deduped": true``).
 
 ``obs`` serves a live observability snapshot — the labeled metrics
 registry plus the per-tenant SLO report (:mod:`repro.obs.slo`) — so a

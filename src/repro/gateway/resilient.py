@@ -1,0 +1,361 @@
+"""A gateway client that survives the wire: retry, reconnect, breaker.
+
+:class:`ResilientGatewayClient` wraps :class:`~repro.gateway.client.GatewayClient`
+with the client side of the chaos story:
+
+* **bounded retry** — transport failures (timeout, reset, broken frame
+  stream) retry under a :class:`~repro.runtime.retry.RetryPolicy`'s
+  capped exponential backoff, reconnecting first so each attempt rides a
+  fresh connection (and, under the chaos proxy, a fresh fault epoch);
+* **a per-client circuit breaker** — consecutive transport failures trip
+  the breaker open and further calls fail fast with
+  :class:`~repro.errors.CircuitOpenError` until a cooldown admits one
+  half-open probe;
+* **idempotency keys** — every :meth:`insert` is stamped with a
+  client-generated key, so a retry whose original actually committed is
+  deduped server-side and re-acknowledged instead of applied twice.
+
+Coded server responses (:class:`GatewayRequestError`) are *not* retried
+and count as breaker successes: the server answered — the wire works —
+the request itself was bad or shed.
+
+Every logical call runs under one ``client.request`` span that all retry
+attempts share, so ``obs tail --trace-id`` shows a retried request as a
+single trace with ``chaos.retry`` / ``chaos.fault`` events and the
+server-side ``gateway.request`` spans of each attempt underneath.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections.abc import Mapping, Sequence
+
+from repro.errors import (
+    CircuitOpenError,
+    ConfigurationError,
+    ConnectionLostError,
+    GatewayTimeoutError,
+    ProtocolError,
+)
+from repro.gateway import protocol
+from repro.gateway.client import GatewayClient, GatewayRequestError
+from repro.obs import telemetry, trace_span
+from repro.runtime.retry import RetryPolicy
+from repro.util.numbers import mix64
+
+__all__ = ["CircuitBreaker", "ResilientGatewayClient"]
+
+#: Errors that mean "the transport failed" — retryable, breaker-counted.
+TRANSPORT_ERRORS = (GatewayTimeoutError, ConnectionLostError, ProtocolError)
+
+#: Salt deriving each reconnect epoch's trace-seed stream.
+_EPOCH_TRACE_SALT = 0x9E3779B97F4A7C15
+
+
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker over consecutive failures.
+
+    Pure state machine: the *clock* is injectable, so tests drive it with
+    a manual clock and the chaos harness can keep it effectively disabled
+    (a huge threshold) where wall-clock cooldowns would break run
+    determinism.
+
+    >>> clock = iter([0.0, 1.0, 2.0]).__next__
+    >>> breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0,
+    ...                          clock=clock)
+    >>> breaker.record_failure(); breaker.state
+    'open'
+    >>> breaker.allow()
+    False
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 0.25,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ConfigurationError(
+                f"cooldown_s must be positive, got {cooldown_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        In the open state the first caller after the cooldown is admitted
+        as the half-open probe; everyone else keeps failing fast until
+        that probe reports back.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._state = self.HALF_OPEN
+                    return True
+                return False
+            # Half-open: the probe is already in flight.
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if (
+                self._state == self.HALF_OPEN
+                or self._failures >= self.failure_threshold
+            ):
+                if self._state != self.OPEN:
+                    self.trips += 1
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+
+class ResilientGatewayClient:
+    """Retrying, reconnecting, breaker-guarded gateway client.
+
+    Construction is lazy — no socket is opened until the first call — so
+    a client can be built while its gateway is still booting.  *tenant*
+    is required: idempotency and the breaker are per-namespace concerns.
+
+    >>> client = ResilientGatewayClient(host, port, tenant="alpha",
+    ...                                 retry=RetryPolicy(max_attempts=5),
+    ...                                 timeout_s=2.0)   # doctest: +SKIP
+    >>> client.insert((1, 2))                            # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        fields: Sequence[int] | None = None,
+        devices: int | None = None,
+        retry: RetryPolicy | None = None,
+        timeout_s: float = 5.0,
+        breaker: CircuitBreaker | None = None,
+        trace_seed: int | None = None,
+        idem_prefix: str | None = None,
+        max_frame_bytes: int = protocol.DEFAULT_MAX_FRAME_BYTES,
+    ):
+        if not tenant:
+            raise ConfigurationError("resilient client needs a tenant name")
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.fields = tuple(fields) if fields is not None else None
+        self.devices = devices
+        self.retry = retry or RetryPolicy(
+            max_attempts=4, base_delay_ms=5.0, max_delay_ms=100.0
+        )
+        self.timeout_s = timeout_s
+        self.breaker = breaker or CircuitBreaker()
+        self.trace_seed = (
+            trace_seed
+            if trace_seed is not None
+            else int.from_bytes(os.urandom(8), "big")
+        )
+        self.idem_prefix = (
+            idem_prefix
+            if idem_prefix is not None
+            else f"rgc-{self.trace_seed & 0xFFFFFFFF:08x}"
+        )
+        self.max_frame_bytes = max_frame_bytes
+        self._client: GatewayClient | None = None
+        self._epoch = 0
+        self._writes = itertools.count()
+        #: Attempts the most recent successful call took (1 = no retry).
+        self.last_attempts = 0
+        self.retries = 0
+        self.reconnects = 0
+        #: Acknowledgements the server served from its dedup window.
+        self.deduped = 0
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> GatewayClient:
+        if self._client is None:
+            epoch = self._epoch
+            self._epoch += 1
+            if epoch:
+                self.reconnects += 1
+            self._client = GatewayClient(
+                self.host,
+                self.port,
+                tenant=self.tenant,
+                fields=self.fields,
+                devices=self.devices,
+                timeout_s=self.timeout_s,
+                max_frame_bytes=self.max_frame_bytes,
+                # Each epoch gets its own derived seed so trace ids stay
+                # deterministic per (client seed, reconnect count).
+                trace_seed=mix64(
+                    self.trace_seed ^ ((epoch + 1) * _EPOCH_TRACE_SALT)
+                ),
+            )
+        return self._client
+
+    def _disconnect(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    @property
+    def connected(self) -> bool:
+        return self._client is not None
+
+    # ------------------------------------------------------------------
+    # The retry loop
+    # ------------------------------------------------------------------
+    def _call(self, op: str, action):
+        """Run *action(client)* with reconnect-retry under the breaker.
+
+        The whole loop lives inside one ``client.request`` span, so every
+        attempt (client-side events and the server's remote spans alike)
+        lands in a single trace.
+        """
+        metrics = telemetry().metrics
+        labels = {"tenant": self.tenant}
+        with trace_span("client.request", op=op, tenant=self.tenant) as span:
+            last_error: Exception | None = None
+            for attempt in range(1, self.retry.max_attempts + 1):
+                if not self.breaker.allow():
+                    metrics.add("chaos.breaker_open", labels=labels)
+                    span.set_attr("status", "breaker_open")
+                    raise CircuitOpenError(
+                        f"circuit breaker open for tenant {self.tenant!r} "
+                        f"after {self.breaker.failure_threshold} consecutive "
+                        "transport failures"
+                    ) from last_error
+                if attempt > 1:
+                    delay_ms = self.retry.delay_before(attempt)
+                    if delay_ms:
+                        time.sleep(delay_ms / 1000.0)
+                    self.retries += 1
+                    metrics.add("gateway.retries", labels=labels)
+                    span.add_event(
+                        "chaos.retry", attempt=attempt, op=op
+                    )
+                try:
+                    client = self._connect()
+                    result = action(client)
+                except GatewayRequestError:
+                    # The server answered: the wire works.  Coded errors
+                    # are the caller's problem, not the transport's.
+                    self.breaker.record_success()
+                    span.set_attr("status", "request_error")
+                    raise
+                except TRANSPORT_ERRORS as error:
+                    last_error = error
+                    self.breaker.record_failure()
+                    metrics.add("chaos.transport_errors", labels=labels)
+                    span.add_event(
+                        "chaos.fault",
+                        attempt=attempt,
+                        kind=type(error).__name__,
+                        detail=str(error),
+                    )
+                    self._disconnect()
+                    continue
+                self.breaker.record_success()
+                self.last_attempts = attempt
+                span.set_attr("status", "ok")
+                span.set_attr("attempts", attempt)
+                return result
+            span.set_attr("status", "exhausted")
+            metrics.add("chaos.retries_exhausted", labels=labels)
+            raise last_error
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return self._call("ping", lambda client: client.ping())
+
+    def health(self) -> dict:
+        return self._call("health", lambda client: client.health())
+
+    def stats(self) -> dict:
+        return self._call("stats", lambda client: client.stats())
+
+    def obs(self) -> dict:
+        return self._call("obs", lambda client: client.obs())
+
+    def insert(self, record: Sequence[object]) -> tuple[tuple, int]:
+        """Exactly-once insert: returns ``(bucket, write_version)``.
+
+        The key is allocated *before* the retry loop, so every attempt of
+        this logical write carries the same key — a retry whose original
+        actually committed comes back ``deduped`` with the original
+        position instead of landing the record twice.
+        """
+        idem = f"{self.idem_prefix}:{next(self._writes)}"
+        body = {"record": list(record), "idem": idem}
+
+        def do_insert(client: GatewayClient) -> dict:
+            return client._request("insert", **body)
+
+        result = self._call("insert", do_insert)
+        if result.get("deduped"):
+            self.deduped += 1
+        return tuple(result["bucket"]), int(result["write_version"])
+
+    def query(
+        self,
+        specified: Mapping[int, int],
+        deadline_ms: float | None = None,
+    ):
+        return self._call(
+            "query", lambda client: client.query(specified, deadline_ms)
+        )
+
+    def batch(
+        self,
+        queries: Sequence[Mapping[int, int]],
+        deadline_ms: float | None = None,
+    ):
+        return self._call(
+            "batch", lambda client: client.batch(queries, deadline_ms)
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._disconnect()
+
+    def __enter__(self) -> "ResilientGatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

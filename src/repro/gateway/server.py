@@ -105,6 +105,7 @@ class Gateway:
         config: GatewayConfig | None = None,
         service_defaults: Mapping | None = None,
         slo_policy: SloPolicy | None = None,
+        tenant_factory=None,
     ):
         specs = (
             list(tenants.values())
@@ -117,8 +118,13 @@ class Gateway:
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate tenant names in {names}")
         self.config = config or GatewayConfig()
+        # tenant_factory lets a supervisor hand each namespace a durable
+        # WAL (see repro.chaos.supervisor.RestartableGateway); the default
+        # builds plain in-memory tenants.
+        if tenant_factory is None:
+            tenant_factory = lambda spec: Tenant(spec, service_defaults)  # noqa: E731
         self.tenants: dict[str, Tenant] = {
-            spec.name: Tenant(spec, service_defaults) for spec in specs
+            spec.name: tenant_factory(spec) for spec in specs
         }
         self._listener: socket.socket | None = None
         self._address: tuple[str, int] | None = None
@@ -209,6 +215,42 @@ class Gateway:
         """Drain with the configured timeout (idempotent)."""
         if not self._closed.is_set():
             self.drain()
+
+    def abort(self) -> None:
+        """Crash-stop: kill the listener and every connection *now*.
+
+        No drain, no in-flight courtesy, no graceful service retirement —
+        this is the supervisor's stand-in for ``kill -9``.  Anything not
+        yet acknowledged is simply gone; recovery happens by rebuilding
+        tenants from their write-ahead logs
+        (:class:`repro.chaos.supervisor.RestartableGateway`).
+        """
+        if self._closed.is_set():
+            return
+        self._draining.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        accept_thread = self._accept_thread
+        if accept_thread is not None:
+            accept_thread.join(timeout=1.0)
+        with self._state_lock:
+            conns = list(self._conns)
+            workers = list(self._workers)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            _close_quietly(conn)
+        for worker in workers:
+            worker.join(timeout=1.0)
+        for tenant in self.tenants.values():
+            tenant.shutdown(wait=False)
+        self._closed.set()
+        telemetry().metrics.add("gateway.aborts")
 
     def __enter__(self) -> "Gateway":
         if self._listener is None:
@@ -386,6 +428,11 @@ class Gateway:
             if op == "ping":
                 span.set_attr("status", "ok")
                 return protocol.ok_response(request_id, {"pong": True})
+            if op == "health":
+                span.set_attr("status", "ok")
+                return protocol.ok_response(
+                    request_id, self.health_snapshot()
+                )
             if op == "obs":
                 span.set_attr("status", "ok")
                 return protocol.ok_response(
@@ -451,6 +498,27 @@ class Gateway:
             "slo": report.to_dict(),
         }
 
+    def health_snapshot(self) -> dict:
+        """The ``health`` wire-op body: readiness plus tenant liveness.
+
+        ``ready`` goes false the moment drain begins, so load balancers
+        (and the chaos harness) can distinguish "up and serving" from
+        "up but finishing in-flight work" without issuing a real query.
+        """
+        draining = self._draining.is_set()
+        return {
+            "ready": self._listener is not None and not draining,
+            "draining": draining,
+            "connections": self.active_connections,
+            "tenants": {
+                name: {
+                    "started": tenant.started,
+                    "recovered": tenant.recovered,
+                }
+                for name, tenant in sorted(self.tenants.items())
+            },
+        }
+
     @staticmethod
     def _count_outcomes(metrics, labels: dict, op: str, result: dict) -> None:
         """Tenant-labeled availability counters from a served dispatch.
@@ -487,8 +555,30 @@ class Gateway:
                 raise ProtocolError(
                     f"insert needs a 'record' array, got {record!r}"
                 )
-            bucket, version = service.submit_insert(tuple(record)).result()
-            return {"bucket": list(bucket), "write_version": version}
+            idem = data.get("idem")
+            if idem is not None and (
+                not isinstance(idem, str) or not idem or len(idem) > 128
+            ):
+                raise ProtocolError(
+                    "idempotency key must be a non-empty string of at "
+                    f"most 128 chars, got {idem!r}"
+                )
+            bucket, version, deduped = tenant.insert_idempotent(
+                tuple(record), idem
+            )
+            if deduped:
+                telemetry().metrics.add(
+                    "gateway.dedup_hits",
+                    labels={"tenant": tenant.spec.name},
+                )
+                span = telemetry().tracer.current()
+                if span is not None:
+                    span.add_event("gateway.dedup_hit", idem=idem)
+            return {
+                "bucket": list(bucket),
+                "write_version": version,
+                "deduped": deduped,
+            }
         # op == "batch"
         queries_raw = data.get("queries")
         if not isinstance(queries_raw, list) or not queries_raw:

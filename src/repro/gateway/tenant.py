@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
 
@@ -58,6 +59,8 @@ class TenantSpec:
     burst: int = 8
     #: Concurrent in-flight requests across all connections (``None`` = no cap).
     max_inflight: int | None = None
+    #: Distinct idempotency keys remembered for write dedup (LRU window).
+    idem_window: int = 256
     #: Extra ``make_service`` keyword options.
     service: Mapping[str, object] = field(default_factory=dict)
 
@@ -77,6 +80,10 @@ class TenantSpec:
         if self.max_inflight is not None and self.max_inflight < 1:
             raise ConfigurationError(
                 f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.idem_window < 1:
+            raise ConfigurationError(
+                f"idem_window must be >= 1, got {self.idem_window}"
             )
 
     @classmethod
@@ -130,18 +137,39 @@ class TokenBucket:
 
 
 class Tenant:
-    """One live tenant: lazy service plus the admission budget state."""
+    """One live tenant: lazy service plus the admission budget state.
 
-    def __init__(self, spec: TenantSpec, service_defaults: Mapping | None = None):
+    *wal* (a :class:`~repro.durability.wal.WriteAheadLog`) makes the
+    namespace durable: it is replayed into the fresh file when the lazy
+    service is first built — the crash-recovery path a restarted gateway
+    takes — and then attached to the service so every later write is
+    logged before it is applied.  Idempotency keys stamped into WAL entry
+    metadata are rebuilt into the dedup window during that replay, so
+    exactly-once acknowledgement survives the crash too.
+    """
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        service_defaults: Mapping | None = None,
+        wal=None,
+    ):
         self.spec = spec
         #: Gateway-wide ``make_service`` defaults the spec's own options
         #: override (the facade merges them; see ``repro.api.make_gateway``).
         self.service_defaults = dict(service_defaults or {})
+        self.wal = wal
+        #: Filled at service build when *wal* held entries to replay:
+        #: ``{"entries": n, "torn_bytes": t}``.
+        self.recovered: dict[str, int] | None = None
         self._service = None
         self._service_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._requests_admitted = 0
         self._inflight = 0
+        #: idem key -> acknowledged (bucket, write_version), LRU-bounded.
+        self._idem: OrderedDict[str, tuple[tuple, int]] = OrderedDict()
+        self._idem_lock = threading.Lock()
         self._bucket = (
             TokenBucket(spec.rate_per_s, spec.burst)
             if spec.rate_per_s is not None
@@ -165,13 +193,60 @@ class Tenant:
 
                 options = dict(self.service_defaults)
                 options.update(self.spec.service)
-                self._service = make_service(
+                service = make_service(
                     self.spec.method,
                     fields=self.spec.fields,
                     devices=self.spec.devices,
                     **options,
                 )
+                if self.wal is not None:
+                    self._replay_wal(service)
+                    service.wal = self.wal
+                self._service = service
             return self._service
+
+    def _replay_wal(self, service) -> None:
+        """Rebuild the fresh file (and idem window) from the tenant's WAL.
+
+        Mirrors :func:`repro.durability.durable_file.recover`: inserts and
+        deletes replay in log order, ``move`` audit entries are no-ops.
+        Versions come out identical to the original run because WAL order
+        equals write-version order (the service appends under the file's
+        mutation lock).
+        """
+        entries = self.wal.entries()
+        if not entries and not self.wal.torn_bytes_discarded:
+            return
+        from repro.obs import telemetry, trace_span
+
+        with trace_span(
+            "tenant.recover",
+            tenant=self.spec.name,
+            entries=len(entries),
+        ) as span:
+            for entry in entries:
+                if entry.op == "insert":
+                    bucket, version = service.file.insert_versioned(
+                        entry.record
+                    )
+                    idem = (entry.meta or {}).get("idem")
+                    if isinstance(idem, str):
+                        self._remember(idem, (tuple(bucket), version))
+                elif entry.op == "delete":
+                    service.file.delete(entry.record)
+            if self.wal.torn_bytes_discarded:
+                span.add_event(
+                    "wal.torn_tail", bytes=self.wal.torn_bytes_discarded
+                )
+        self.recovered = {
+            "entries": len(entries),
+            "torn_bytes": self.wal.torn_bytes_discarded,
+        }
+        metrics = telemetry().metrics
+        labels = {"tenant": self.spec.name}
+        metrics.add("chaos.recovered_writes", len(entries), labels=labels)
+        if self.wal.torn_bytes_discarded:
+            metrics.add("chaos.torn_tails", labels=labels)
 
     @property
     def started(self) -> bool:
@@ -179,12 +254,56 @@ class Tenant:
         with self._service_lock:
             return self._service is not None
 
-    def shutdown(self) -> None:
+    def shutdown(self, wait: bool = True) -> None:
         """Retire the tenant's service pool, if one was ever built."""
         with self._service_lock:
             service = self._service
         if service is not None:
-            service.shutdown(wait=True)
+            service.shutdown(wait=wait)
+
+    # ------------------------------------------------------------------
+    # Exactly-once writes
+    # ------------------------------------------------------------------
+    def insert_idempotent(
+        self, record: tuple, idem: str | None
+    ) -> tuple[tuple, int, bool]:
+        """Insert with at-most-once application per idempotency key.
+
+        Returns ``(bucket, write_version, deduped)``.  A key seen within
+        the LRU window re-acknowledges the original position without
+        touching the file; a fresh key rides the normal futures path with
+        the key stamped into the WAL entry, so a crash between apply and
+        acknowledgement still dedupes the retry after recovery.
+        """
+        if idem is None:
+            bucket, version = self.service.submit_insert(record).result()
+            return tuple(bucket), version, False
+        # Lookup and apply are atomic under the window lock: a retry that
+        # races its original (duplicated frames land the same write on
+        # two connections at once) must observe the first apply, or the
+        # record would land twice.  Writes are serialised by the file's
+        # mutation lock anyway, so this costs no extra parallelism.
+        with self._idem_lock:
+            hit = self._idem.get(idem)
+            if hit is not None:
+                self._idem.move_to_end(idem)
+                return hit[0], hit[1], True
+            bucket, version = self.service.submit_insert(
+                record, wal_meta={"idem": idem}
+            ).result()
+            ack = (tuple(bucket), version)
+            self._remember(idem, ack)
+        return ack[0], ack[1], False
+
+    def _remember(self, idem: str, ack: tuple[tuple, int]) -> None:
+        """Record one acknowledged key, evicting beyond the window.
+
+        Callers hold ``_idem_lock`` (or are single-threaded replay).
+        """
+        self._idem[idem] = ack
+        self._idem.move_to_end(idem)
+        while len(self._idem) > self.spec.idem_window:
+            self._idem.popitem(last=False)
 
     # ------------------------------------------------------------------
     # The tenant gate
@@ -247,4 +366,6 @@ class Tenant:
             "write_version": (
                 0 if service is None else service.file.write_version
             ),
+            "durable": self.wal is not None,
+            "recovered": self.recovered,
         }

@@ -358,11 +358,16 @@ class QueryService:
         self._engine = None
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
+        #: Optional :class:`~repro.durability.wal.WriteAheadLog` writes are
+        #: framed into *before* they touch the file (the gateway's
+        #: crash-recovery path attaches one per tenant).  ``None`` keeps
+        #: the in-memory-only write path.
+        self.wal = None
 
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def insert(self, record) -> tuple[Bucket, int]:
+    def insert(self, record, wal_meta=None) -> tuple[Bucket, int]:
         """Insert through the serving layer.
 
         Returns ``(bucket, write_version)`` — the version is the record's
@@ -371,8 +376,22 @@ class QueryService:
         :meth:`~repro.storage.parallel_file.PartitionedFile.insert_versioned`;
         reading ``file.write_version`` after the insert would attribute a
         concurrent writer's version to this record.
+
+        With a :attr:`wal` attached, the entry is framed into the log
+        under the file's mutation lock immediately before the apply, so
+        WAL order equals write-version order and entry ``k`` always
+        describes version ``k`` — the identity crash recovery replays by.
+        *wal_meta* annotates that entry (e.g. an idempotency key).
         """
-        bucket, version = self.file.insert_versioned(record)
+        wal = self.wal
+        if wal is None:
+            bucket, version = self.file.insert_versioned(record)
+        else:
+            # The mutation lock is an RLock, so the nested
+            # insert_versioned acquisition below is reentrant.
+            with self.file.read_locked():
+                wal.append_insert(tuple(record), wal_meta)
+                bucket, version = self.file.insert_versioned(record)
         telemetry().metrics.add("service.writes")
         return bucket, version
 
@@ -477,9 +496,9 @@ class QueryService:
             self.execute_many, queries, deadline_ms=deadline_ms
         )
 
-    def submit_insert(self, record) -> "Future[tuple[Bucket, int]]":
+    def submit_insert(self, record, wal_meta=None) -> "Future[tuple[Bucket, int]]":
         """Asynchronous :meth:`insert`; resolves to ``(bucket, version)``."""
-        return self._submit_traced(self.insert, record)
+        return self._submit_traced(self.insert, record, wal_meta=wal_meta)
 
     def _submit_traced(self, fn, *args, **kwargs) -> "Future":
         """Pool submit that carries the caller's trace context along.
