@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-batch report examples faults obs recover serve gateway chaos clean
+.PHONY: install test bench bench-batch report examples faults obs recover serve gateway chaos adapt clean
 
 install:
 	$(PYTHON) -m pip install -e .[test] || $(PYTHON) setup.py develop
@@ -61,6 +61,15 @@ chaos:
 		--tenants alpha,beta --connections 2 --requests 12 \
 		--fault-rate 0.06 --crash-at 0.5 --torn-tail
 	$(PYTHON) benchmarks/bench_chaos.py --smoke --out /tmp/BENCH_chaos.json
+
+adapt:
+	$(PYTHON) -m repro adapt score --fields 2,2,2,2 --devices 16 \
+		--mix "***1=50,**11=20,*1*1=15,1**1=15"
+	$(PYTHON) -m repro adapt plan --fields 2,2,2,2 --devices 16 \
+		--mix "***1=50,**11=20,*1*1=15,1**1=15"
+	$(PYTHON) -m repro adapt apply --fields 2,2,2,2 --devices 16 \
+		--mix "***1=50,**11=20,*1*1=15,1**1=15"
+	$(PYTHON) benchmarks/bench_adaptive.py --smoke --out /tmp/BENCH_adaptive.json
 
 examples:
 	@for script in examples/*.py; do \

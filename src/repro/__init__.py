@@ -90,7 +90,7 @@ from repro.storage import (
     ReplicatedFile,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "__version__",

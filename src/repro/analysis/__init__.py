@@ -44,6 +44,7 @@ from repro.analysis.optim_prob import (
     optimal_pattern_fraction,
     sufficient_optimality_series,
 )
+from repro.analysis.query_model import IndependenceModel, QueryModel
 from repro.analysis.skew import (
     SkewSummary,
     expected_largest_response,
@@ -88,6 +89,8 @@ __all__ = [
     "box_qualified_on_device",
     "render_chart",
     "render_series",
+    "QueryModel",
+    "IndependenceModel",
     "SkewSummary",
     "skew_summary",
     "expected_largest_response",

@@ -6,8 +6,11 @@ the same exact histograms:
 
 * **load factor** of a query — largest response divided by the ideal
   ``ceil(|R(q)| / M)`` (1.0 means strict optimal),
-* **expected largest response / load factor** under the independence query
-  model with specification probability ``p``,
+* **expected largest response / load factor** under a pluggable
+  :class:`~repro.analysis.query_model.QueryModel` — the paper's
+  independence model with specification probability ``p`` by default, or
+  an observed-mix model (:class:`~repro.adaptive.EmpiricalQueryModel`)
+  via the ``model=`` argument,
 * **static balance** of the bucket allocation itself (max/mean and Gini
   coefficient of device bucket counts).
 """
@@ -18,7 +21,7 @@ import math
 from dataclasses import dataclass
 
 from repro.analysis.histograms import evaluator_for
-from repro.analysis.optim_prob import pattern_probability
+from repro.analysis.query_model import IndependenceModel, QueryModel
 from repro.distribution.base import DistributionMethod, SeparableMethod
 from repro.errors import AnalysisError
 from repro.query.patterns import all_patterns
@@ -43,24 +46,38 @@ def pattern_load_factor(method: SeparableMethod, pattern: frozenset[int]) -> flo
     return evaluator_for(method).largest_response(pattern) / bound
 
 
-def expected_largest_response(method: SeparableMethod, p: float = 0.5) -> float:
-    """E[max_i r_i(q)] under the paper's independent-specification model."""
+def expected_largest_response(
+    method: SeparableMethod, p: float = 0.5, model: QueryModel | None = None
+) -> float:
+    """E[max_i r_i(q)] under *model* (default: independence with prob. *p*).
+
+    An explicit *model* overrides *p*; the sweep covers only the model's
+    support, so an empirical model pays for its observed patterns alone.
+    """
     fs = method.filesystem
     evaluator = evaluator_for(method)
+    if model is None:
+        model = IndependenceModel(p)
     total = 0.0
-    for pattern in all_patterns(fs.n_fields):
-        weight = pattern_probability(pattern, fs.n_fields, p)
+    for pattern in model.patterns(fs.n_fields):
+        weight = model.pattern_weight(pattern, fs.n_fields)
         if weight:
             total += weight * evaluator.largest_response(pattern)
     return total
 
 
-def expected_load_factor(method: SeparableMethod, p: float = 0.5) -> float:
-    """E[load factor]: 1.0 iff the method is perfect optimal."""
+def expected_load_factor(
+    method: SeparableMethod, p: float = 0.5, model: QueryModel | None = None
+) -> float:
+    """E[load factor] under *model*: 1.0 iff every weighted pattern is
+    strict optimal (perfect optimality, restricted to the model's support).
+    """
     fs = method.filesystem
+    if model is None:
+        model = IndependenceModel(p)
     total = 0.0
-    for pattern in all_patterns(fs.n_fields):
-        weight = pattern_probability(pattern, fs.n_fields, p)
+    for pattern in model.patterns(fs.n_fields):
+        weight = model.pattern_weight(pattern, fs.n_fields)
         if weight:
             total += weight * pattern_load_factor(method, pattern)
     return total
@@ -115,23 +132,33 @@ class SkewSummary:
         ]
 
 
-def skew_summary(method: SeparableMethod, p: float = 0.5) -> SkewSummary:
-    """Full skew profile: expectations, worst case and optimal fraction."""
+def skew_summary(
+    method: SeparableMethod, p: float = 0.5, model: QueryModel | None = None
+) -> SkewSummary:
+    """Full skew profile: expectations, worst case and optimal fraction.
+
+    Expectations and ``optimal_fraction`` are weighted by *model*
+    (default: independence with probability *p*); ``worst_load_factor``
+    always sweeps all patterns — the worst case does not depend on how
+    likely it is.
+    """
     fs = method.filesystem
     evaluator = evaluator_for(method)
+    if model is None:
+        model = IndependenceModel(p)
     expected_response = 0.0
     expected_factor = 0.0
     worst_factor = 1.0
     optimal = 0.0
     for pattern in all_patterns(fs.n_fields):
-        weight = pattern_probability(pattern, fs.n_fields, p)
+        weight = model.pattern_weight(pattern, fs.n_fields)
         factor = pattern_load_factor(method, pattern)
         worst_factor = max(worst_factor, factor)
         if weight:
             expected_response += weight * evaluator.largest_response(pattern)
             expected_factor += weight * factor
-        if factor <= 1.0:
-            optimal += pattern_probability(pattern, fs.n_fields, 0.5)
+            if factor <= 1.0:
+                optimal += weight
     return SkewSummary(
         method_name=method.name or type(method).__name__,
         expected_largest_response=expected_response,

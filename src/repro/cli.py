@@ -29,7 +29,13 @@ Commands
              multi-client load through the admission-controlled,
              coalescing, result-cached front end; report throughput,
              latency percentiles and the ``service.*`` counters, and
-             (``--verify``) prove zero stale reads by serial replay.
+             (``--verify``) prove zero stale reads by serial replay,
+``adapt``    workload-adaptive declustering: score the deployed transform
+             assignment against an observed query mix (``score``), search
+             for a better one and report the gap to the lower bound
+             (``plan``), or hot-swap a durable file onto it through the
+             WAL-audited migration path and re-verify optimality from
+             telemetry (``apply``).
 
 File systems are given as ``--fields 8,8,16 --devices 32``.  The sweeping
 commands (``census``, ``search``) accept ``--parallel N`` to fan the
@@ -1485,6 +1491,225 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _parse_mix(text: str) -> dict[str, int]:
+    """Parse ``--mix "***1=50,**11=20"`` into pattern counts."""
+    counts: dict[str, int] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pattern, _, count = part.partition("=")
+        try:
+            counts[pattern] = int(count)
+        except ValueError:
+            raise ConfigurationError(
+                f"--mix entry {part!r} is not pattern=count"
+            ) from None
+    if not counts:
+        raise ConfigurationError("--mix named no patterns")
+    return counts
+
+
+def _adapt_model(args: argparse.Namespace, fs: FileSystem):
+    """The observed mix: from a profile/export file or an inline --mix."""
+    from repro.adaptive import EmpiricalQueryModel, load_profile
+
+    if (args.profile is None) == (args.mix is None):
+        raise ConfigurationError(
+            "give the observed mix as exactly one of --profile (a profile "
+            "JSON or obs-export JSONL file) or --mix (inline pattern=count "
+            "pairs)"
+        )
+    if args.profile is not None:
+        profile = load_profile(args.profile)
+        return EmpiricalQueryModel.from_profile(
+            profile, fs.n_fields, tenant=args.tenant
+        )
+    return EmpiricalQueryModel.from_counts(_parse_mix(args.mix), fs.n_fields)
+
+
+def _adapt_baseline(args: argparse.Namespace, fs: FileSystem):
+    """The deployed method the adaptation is measured against.
+
+    ``--transforms`` pins it explicitly; otherwise the uniform-optimal
+    assignment (the best the existing search finds under the paper's
+    p=0.5 independence model) — the strongest mix-blind competitor.
+    """
+    if args.transforms:
+        names = [t.strip() for t in args.transforms.split(",") if t.strip()]
+        return FXDistribution(fs, transforms=names)
+    if len(fs.small_fields()) <= 6:
+        result = exhaustive_assignment_search(fs, parallel=args.parallel)
+    else:
+        result = hill_climb_assignment_search(
+            fs, seed=args.seed, parallel=args.parallel
+        )
+    return FXDistribution(fs, transforms=list(result.methods))
+
+
+def _adapt_pattern_rows(plan, model, fs: FileSystem) -> list[list[object]]:
+    """Per-pattern table: weight and before/after load factors."""
+    from repro.adaptive import pattern_to_unspecified
+    from repro.analysis.skew import pattern_load_factor
+
+    baseline = FXDistribution(fs, transforms=list(plan.baseline_names))
+    candidate = plan.build()
+    rows = []
+    for indicator, weight in model.frequencies().items():
+        pattern = pattern_to_unspecified(indicator, fs.n_fields)
+        rows.append(
+            [
+                indicator,
+                f"{100 * weight:.1f}%",
+                round(pattern_load_factor(baseline, pattern), 3),
+                round(pattern_load_factor(candidate, pattern), 3),
+            ]
+        )
+    return rows
+
+
+def _adapt_plan(args: argparse.Namespace, fs: FileSystem, model):
+    from repro.adaptive import adaptive_transform_search
+
+    return adaptive_transform_search(
+        fs,
+        model,
+        baseline=_adapt_baseline(args, fs),
+        restarts=args.restarts,
+        seed=args.seed,
+        linear_draws=args.linear_draws,
+    )
+
+
+def _cmd_adapt_score(args: argparse.Namespace) -> int:
+    """Score the deployed assignment against the observed mix."""
+    from repro.adaptive import score_method
+    from repro.analysis.skew import pattern_load_factor
+
+    fs = _parse_filesystem(args)
+    model = _adapt_model(args, fs)
+    baseline = _adapt_baseline(args, fs)
+    score = score_method(baseline, model)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "method": baseline.describe(),
+                    "mix": model.frequencies(),
+                    "score": score.to_dict(),
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
+    rows = []
+    for indicator, weight in model.frequencies().items():
+        from repro.adaptive import pattern_to_unspecified
+
+        pattern = pattern_to_unspecified(indicator, fs.n_fields)
+        rows.append(
+            [
+                indicator,
+                f"{100 * weight:.1f}%",
+                round(pattern_load_factor(baseline, pattern), 3),
+            ]
+        )
+    print(
+        format_table(
+            ["pattern", "weight", "load factor"],
+            rows,
+            title=f"Observed mix vs {baseline.describe()}",
+        )
+    )
+    print(f"mix-weighted E[load factor]:      {score.expected_load_factor:.4f}")
+    print(f"mix-weighted E[largest response]: "
+          f"{score.expected_largest_response:.4f}")
+    print(f"lower bound (any allocation):     {score.lower_bound:.4f}  "
+          f"(gap {score.gap:.4f})")
+    print(f"strict-optimal share of the mix:  "
+          f"{100 * score.optimal_weight:.1f}%")
+    return 0
+
+
+def _cmd_adapt_plan(args: argparse.Namespace) -> int:
+    """Search for a better assignment; rc 1 when none exists."""
+    fs = _parse_filesystem(args)
+    model = _adapt_model(args, fs)
+    plan = _adapt_plan(args, fs, model)
+    if args.json:
+        print(json.dumps(plan.to_dict(), sort_keys=True))
+        return 0 if plan.worthwhile else 1
+    print(
+        format_table(
+            ["pattern", "weight", "LF now", "LF planned"],
+            _adapt_pattern_rows(plan, model, fs),
+            title=f"Adaptive plan for {fs.describe()}",
+        )
+    )
+    print(plan.summary())
+    if not plan.worthwhile:
+        print("no assignment beats the deployed one on this mix")
+        return 1
+    return 0
+
+
+def _cmd_adapt_apply(args: argparse.Namespace) -> int:
+    """Plan, hot-swap a durable file, and re-verify from telemetry."""
+    import random as random_module
+
+    from repro import obs
+    from repro.adaptive import apply_plan
+    from repro.api import make_durable_file
+
+    obs.reset_telemetry()
+    obs.configure(enabled=True)
+    fs = _parse_filesystem(args)
+    model = _adapt_model(args, fs)
+    plan = _adapt_plan(args, fs, model)
+    if not plan.worthwhile and not args.force:
+        print("no assignment beats the deployed one on this mix; "
+              "nothing to apply")
+        return 1
+    durable = make_durable_file(
+        "fx",
+        fields=fs.field_sizes,
+        devices=fs.m,
+        replicate=False,
+        transforms=list(plan.baseline_names),
+    )
+    rng = random_module.Random(args.seed)
+    durable.insert_all(
+        tuple(rng.randrange(size) for size in fs.field_sizes)
+        for __ in range(args.records)
+    )
+    report = apply_plan(
+        durable, plan, model, require_improvement=not args.force
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {"plan": plan.to_dict(), "swap": report.to_dict()},
+                sort_keys=True,
+            )
+        )
+    else:
+        print(plan.summary())
+        print(report.summary())
+        if not report.content_preserved:
+            print("ERROR: content digest changed across the migration")
+        if report.verified_strict_optimal is False:
+            print("ERROR: telemetry replay found bound violations")
+    return 0 if report.verified else 1
+
+
+def _cmd_adapt(args: argparse.Namespace) -> int:
+    if args.action == "score":
+        return _cmd_adapt_score(args)
+    if args.action == "plan":
+        return _cmd_adapt_plan(args)
+    return _cmd_adapt_apply(args)
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -2050,6 +2275,62 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of tables")
     chaos.set_defaults(func=_cmd_chaos)
+
+    adapt = sub.add_parser(
+        "adapt",
+        help="workload-adaptive declustering: score the deployed "
+        "assignment against an observed mix, search for a better one, "
+        "or hot-swap onto it crash-safely",
+    )
+    adapt.add_argument(
+        "action", choices=["score", "plan", "apply"],
+        help="score = mix-weighted load factor of the deployed "
+        "assignment and the gap to the lower bound; plan = search for a "
+        "better assignment (rc 1 if none); apply = plan, migrate a "
+        "durable file through the WAL-audited path, and re-verify "
+        "optimality from telemetry (rc 1 unless verified)",
+    )
+    _add_filesystem_arguments(adapt)
+    adapt.add_argument(
+        "--profile", default=None,
+        help="observed mix: a query-mix profile JSON or an 'obs export' "
+        "JSONL file (offline feed — no new wire op)",
+    )
+    adapt.add_argument(
+        "--tenant", default=None,
+        help="profile only: adapt to this tenant's mix (default: all "
+        "tenants pooled)",
+    )
+    adapt.add_argument(
+        "--mix", default=None,
+        help="observed mix inline: pattern=count pairs, e.g. "
+        "'***1=50,**11=20' ('*' = unspecified field)",
+    )
+    adapt.add_argument(
+        "--transforms", default=None,
+        help="deployed assignment as comma-separated family names "
+        "(default: the uniform-optimal assignment found by search)",
+    )
+    adapt.add_argument("--seed", type=int, default=0,
+                       help="seed for search restarts, linear draws and "
+                       "the apply workload")
+    adapt.add_argument("--restarts", type=int, default=4,
+                       help="hill-climb restarts (many small fields)")
+    adapt.add_argument(
+        "--linear-draws", type=int, default=0, dest="linear_draws",
+        help="also try this many random injective GF(2) matrix "
+        "assignments",
+    )
+    adapt.add_argument("--parallel", type=int, default=None,
+                       help="threads for the baseline search (0 = one "
+                       "per CPU)")
+    adapt.add_argument("--records", type=int, default=128,
+                       help="apply only: records inserted before the swap")
+    adapt.add_argument("--force", action="store_true",
+                       help="apply only: swap even without improvement")
+    adapt.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+    adapt.set_defaults(func=_cmd_adapt)
 
     return parser
 

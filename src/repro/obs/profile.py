@@ -44,6 +44,15 @@ __all__ = [
 ]
 
 
+def _check_count(value: object, what: str) -> int:
+    """Validate a profile count: a non-negative integer (bools rejected)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ReproError(f"{what} must be an integer, got {value!r}")
+    if value < 0:
+        raise ReproError(f"{what} must be non-negative, got {value}")
+    return value
+
+
 def pattern_of(described: str) -> str:
     """Canonical pattern of a ``describe()`` string.
 
@@ -81,20 +90,23 @@ def resolve_tenant(
 ) -> str:
     """The ``tenant`` attribute of the nearest ancestor span (or *default*).
 
-    The walk stays inside the record's trace; a missing parent (evicted
+    The walk stays inside each record's trace; a missing parent (evicted
     from the ring, or remote to the export) or a malformed cycle ends the
-    walk at *default*.
+    walk at *default*.  The cycle guard keys on ``(trace, id)``, not the
+    span id alone: merged multi-run exports legitimately reuse span ids
+    across traces, and an id-only guard would mistake such a reuse for a
+    cycle and terminate the walk before reaching the tenanted ancestor.
     """
-    seen: set[int] = set()
+    seen: set[tuple[object, object]] = set()
     current: Mapping | None = record
     while current is not None:
         tenant = current.get("attrs", {}).get("tenant")
         if tenant is not None:
             return str(tenant)
-        span_id = current.get("id")
-        if span_id in seen:
+        key = (current.get("trace"), current.get("id"))
+        if key in seen:
             return default
-        seen.add(span_id)
+        seen.add(key)
         parent = current.get("parent")
         if parent is None:
             return default
@@ -197,16 +209,42 @@ class QueryMixProfile:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "QueryMixProfile":
+        """Parse and *validate* a profile document.
+
+        Counts must be non-negative integers and the top-level
+        ``observed`` total must equal the sum of all tenant pattern
+        counts (``from_records`` maintains exactly that invariant) —
+        anything else would silently corrupt :meth:`frequencies`, so it
+        raises :class:`~repro.errors.ReproError` instead.
+        """
         check_version(data, where="query-mix profile")
         if data.get("type") != "profile":
             raise ReproError(
                 f"not a query-mix profile record: {data.get('type')!r}"
             )
-        profile = cls(observed=int(data.get("observed", 0)))
+        observed = _check_count(data.get("observed", 0), "observed total")
+        profile = cls(observed=observed)
+        recorded = 0
         for name, entry in data.get("tenants", {}).items():
             tenant = profile.tenant(name)
             for pattern, count in entry.get("patterns", {}).items():
-                tenant.record(pattern, int(count))
+                if not isinstance(pattern, str) or not all(
+                    cell in "1*" for cell in pattern
+                ):
+                    raise ReproError(
+                        f"tenant {name!r}: malformed pattern {pattern!r} "
+                        "(expected an indicator string over '1'/'*')"
+                    )
+                count = _check_count(
+                    count, f"tenant {name!r} pattern {pattern!r} count"
+                )
+                tenant.record(pattern, count)
+                recorded += count
+        if recorded != observed:
+            raise ReproError(
+                f"inconsistent query-mix profile: observed total "
+                f"{observed} != {recorded} recorded pattern counts"
+            )
         return profile
 
     @classmethod

@@ -548,6 +548,24 @@ class TestQueryMixProfiler:
         ]
         assert resolve_tenant(loop[0], span_index(loop)) == ""
 
+    def test_resolve_tenant_cycle_guard_keys_on_trace_and_id(self):
+        """Regression: the cycle guard keyed on span id alone.
+
+        Merged multi-run exports legitimately reuse span ids across
+        traces.  Here the walk passes through two spans that share id 9
+        but live in different traces (the index, hand-merged the way a
+        multi-export aggregation would build it, maps (1, 5) to a record
+        whose own trace is 2) — an id-only guard mistook the reuse for a
+        cycle and never reached the tenanted ancestor."""
+        start = {"type": "span", "id": 9, "trace": 1, "parent": 5,
+                 "name": "query.execute", "attrs": {}}
+        middle = {"type": "span", "id": 9, "trace": 2, "parent": 7,
+                  "name": "stage", "attrs": {}}
+        gateway = {"type": "span", "id": 7, "trace": 2, "parent": None,
+                   "name": "gateway.request", "attrs": {"tenant": "acme"}}
+        index = {(1, 5): middle, (2, 7): gateway}
+        assert resolve_tenant(start, index) == "acme"
+
     def test_from_records_attributes_per_tenant(self):
         profile = QueryMixProfile.from_records(_synthetic_records())
         assert profile.observed == 4
@@ -578,6 +596,55 @@ class TestQueryMixProfiler:
     def test_from_dict_rejects_wrong_version(self):
         with pytest.raises(ReproError):
             QueryMixProfile.from_dict({"v": 999, "type": "profile"})
+
+    @staticmethod
+    def _profile_dict(count, observed):
+        return versioned(
+            {
+                "type": "profile",
+                "observed": observed,
+                "tenants": {
+                    "acme": {
+                        "tenant": "acme",
+                        "queries": observed,
+                        "patterns": {"1*": count},
+                    }
+                },
+            }
+        )
+
+    @pytest.mark.parametrize("count", [-1, 2.5, "3", True, None])
+    def test_from_dict_rejects_malformed_counts(self, count):
+        """Regression: negative, fractional, boolean and string counts
+        were silently accepted and corrupted frequencies()."""
+        with pytest.raises(ReproError):
+            QueryMixProfile.from_dict(self._profile_dict(count, 1))
+
+    @pytest.mark.parametrize("observed", [-1, 2.5, True])
+    def test_from_dict_rejects_malformed_observed_total(self, observed):
+        with pytest.raises(ReproError):
+            QueryMixProfile.from_dict(self._profile_dict(1, observed))
+
+    def test_from_dict_rejects_inconsistent_observed_total(self):
+        """Regression: `observed` disagreeing with the summed pattern
+        counts was silently accepted."""
+        with pytest.raises(ReproError):
+            QueryMixProfile.from_dict(self._profile_dict(2, 5))
+
+    def test_from_dict_rejects_malformed_pattern(self):
+        data = self._profile_dict(1, 1)
+        data["tenants"]["acme"]["patterns"] = {"1x": 1}
+        with pytest.raises(ReproError):
+            QueryMixProfile.from_dict(data)
+
+    def test_validated_round_trip_preserves_counts(self):
+        data = self._profile_dict(3, 3)
+        profile = QueryMixProfile.from_dict(data)
+        assert profile.observed == 3
+        assert profile.tenant("acme").patterns == {"1*": 3}
+        assert QueryMixProfile.from_json(profile.to_json()).to_json() == (
+            profile.to_json()
+        )
 
 
 # ======================================================================

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.analysis.ascii_chart import render_chart, render_series
+from repro.analysis.optim_prob import pattern_probability
+from repro.analysis.query_model import IndependenceModel
 from repro.analysis.skew import (
     expected_largest_response,
     expected_load_factor,
@@ -15,6 +17,7 @@ from repro.core.fx import FXDistribution
 from repro.distribution.modulo import ModuloDistribution
 from repro.errors import AnalysisError
 from repro.hashing.fields import FileSystem
+from repro.query.patterns import all_patterns
 from repro.util.numbers import mix64
 
 
@@ -109,6 +112,53 @@ class TestSkewSummary:
         summary = skew_summary(ModuloDistribution(fs))
         assert summary.worst_load_factor > 1.0
         assert summary.optimal_fraction < 1.0
+
+    def test_optimal_fraction_respects_p(self):
+        """Regression: optimal_fraction was hardcoded to p=0.5 weights.
+
+        On F=(2,2,2,2), M=16 the I,U,IU1,IU2 assignment is optimal on
+        some patterns and not others, so the fraction must shift with p;
+        verify it against the definition at p=0.25.
+        """
+        fs = FileSystem.of(2, 2, 2, 2, m=16)
+        method = FXDistribution(fs, transforms=["I", "U", "IU1", "IU2"])
+        exact = sum(
+            pattern_probability(pattern, fs.n_fields, 0.25)
+            for pattern in all_patterns(fs.n_fields)
+            if pattern_load_factor(method, pattern) <= 1.0
+        )
+        summary = skew_summary(method, p=0.25)
+        assert summary.optimal_fraction == pytest.approx(exact)
+        # and the p=0.5 fraction is genuinely different on this method,
+        # so the old hardcoded behaviour cannot sneak back in
+        assert skew_summary(method, p=0.5).optimal_fraction != pytest.approx(
+            exact
+        )
+
+    def test_p_weights_consistent_across_summary_fields(self):
+        """All p-weighted fields of one summary use the same p."""
+        fs = FileSystem.of(2, 2, 2, 2, m=16)
+        method = FXDistribution(fs, transforms=["I", "U", "IU1", "IU2"])
+        summary = skew_summary(method, p=0.25)
+        assert summary.expected_largest_response == pytest.approx(
+            expected_largest_response(method, p=0.25)
+        )
+        assert summary.expected_load_factor == pytest.approx(
+            expected_load_factor(method, p=0.25)
+        )
+
+    def test_explicit_model_overrides_p(self):
+        fs = FileSystem.of(2, 2, 2, 2, m=16)
+        method = FXDistribution(fs, transforms=["I", "U", "IU1", "IU2"])
+        model = IndependenceModel(0.3)
+        assert skew_summary(
+            method, p=0.9, model=model
+        ).optimal_fraction == pytest.approx(
+            skew_summary(method, p=0.3).optimal_fraction
+        )
+        assert expected_load_factor(
+            method, p=0.9, model=model
+        ) == pytest.approx(expected_load_factor(method, p=0.3))
 
 
 class TestAsciiChart:
